@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Baseline protocols FTMP is compared against.
+//!
+//! §8 of the paper situates FTMP among its contemporaries: sequencer-based
+//! total order (Amoeba, Chang–Maxemchuk, pinwheel), token-passing total
+//! order (Totem), and — implicitly, as the thing being replaced — plain
+//! point-to-point IIOP over TCP. The paper publishes no measurements, so
+//! the experiment harness builds the comparison itself; these engines are
+//! the other side of that comparison, all running over the same simulator.
+//!
+//! * [`sequencer`] — originators multicast data; a fixed sequencer
+//!   multicasts ordering decisions; receivers deliver in sequencer order
+//!   with NACK recovery for both streams.
+//! * [`token_ring`] — a rotating token carries the global sequence number;
+//!   only the token holder multicasts; delivery order is the stamp order.
+//! * [`unicast`] — a TCP-like reliable unicast request/response channel:
+//!   the unreplicated IIOP baseline for experiment E8.
+//!
+//! All engines expose the same [`TotalOrderNode`] surface so the harness
+//! can sweep them interchangeably.
+
+pub mod sequencer;
+pub mod token_ring;
+pub mod unicast;
+
+pub use sequencer::SequencerNode;
+pub use token_ring::TokenRingNode;
+pub use unicast::{UnicastClient, UnicastServer};
+
+use bytes::Bytes;
+use ftmp_net::NodeId;
+
+/// A message delivered in total order by a baseline engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BDelivery {
+    /// Global delivery position.
+    pub global_seq: u64,
+    /// Originating node.
+    pub source: NodeId,
+    /// The originator's local sequence number (latency correlation key).
+    pub local_seq: u64,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+/// Common surface of the total-order baseline engines.
+pub trait TotalOrderNode {
+    /// Queue a payload for totally-ordered multicast. Returns the local
+    /// sequence number identifying it at this originator.
+    fn submit(&mut self, payload: Bytes) -> u64;
+
+    /// Drain messages delivered in total order.
+    fn take_delivered(&mut self) -> Vec<BDelivery>;
+
+    /// Total messages delivered so far (cheap progress probe).
+    fn delivered_count(&self) -> u64;
+}

@@ -1,0 +1,465 @@
+//! Fixed-sequencer total order (Amoeba / Chang–Maxemchuk style, §8).
+//!
+//! Originators multicast DATA immediately; a distinguished member (the
+//! smallest id) multicasts ORDER records assigning global sequence numbers;
+//! receivers deliver DATA in ORDER order. Gaps in either stream are
+//! NACK-recovered: ORDER gaps from the sequencer, DATA gaps from the
+//! originator (contrast with FTMP's any-holder retransmission).
+//!
+//! The engine is a [`SimNode`]; submissions go in through
+//! [`TotalOrderNode::submit`] and come out of every member through
+//! [`TotalOrderNode::take_delivered`] in the same global order.
+
+use crate::{BDelivery, TotalOrderNode};
+use bytes::{BufMut, Bytes, BytesMut};
+use ftmp_net::{McastAddr, NodeId, Outbox, Packet, SimDuration, SimNode, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+const TAG_DATA: u8 = 1;
+const TAG_ORDER: u8 = 2;
+const TAG_NACK_DATA: u8 = 3;
+const TAG_NACK_ORDER: u8 = 4;
+const TAG_HB: u8 = 5;
+
+fn put_header(buf: &mut BytesMut, tag: u8, src: NodeId) {
+    buf.put_u8(tag);
+    buf.put_u32(src);
+}
+
+/// Configuration for a sequencer-group member.
+#[derive(Debug, Clone)]
+pub struct SequencerConfig {
+    /// Group multicast address.
+    pub addr: McastAddr,
+    /// All member ids; the smallest is the sequencer.
+    pub members: Vec<NodeId>,
+    /// Sequencer heartbeat / order-batch flush interval.
+    pub flush_interval: SimDuration,
+    /// NACK retry interval.
+    pub nack_interval: SimDuration,
+}
+
+impl SequencerConfig {
+    /// Reasonable defaults for the simulated LAN.
+    pub fn new(addr: McastAddr, members: Vec<NodeId>) -> Self {
+        SequencerConfig {
+            addr,
+            members,
+            flush_interval: SimDuration::from_millis(1),
+            nack_interval: SimDuration::from_millis(5),
+        }
+    }
+
+    /// The sequencer's node id.
+    pub fn sequencer(&self) -> NodeId {
+        self.members.iter().copied().min().expect("non-empty group")
+    }
+}
+
+/// One member of a sequencer-ordered group.
+pub struct SequencerNode {
+    id: NodeId,
+    cfg: SequencerConfig,
+    // Originator state.
+    next_local: u64,
+    sent: BTreeMap<u64, Bytes>,
+    // Sequencer state.
+    next_global: u64,
+    order_log: BTreeMap<u64, (NodeId, u64)>,
+    ordered_keys: BTreeSet<(NodeId, u64)>,
+    unflushed: Vec<(u64, NodeId, u64)>,
+    // Receiver state.
+    data: BTreeMap<(NodeId, u64), Bytes>,
+    orders: BTreeMap<u64, (NodeId, u64)>,
+    next_deliver: u64,
+    highest_order_seen: u64,
+    delivered: Vec<BDelivery>,
+    delivered_count: u64,
+    last_nack: SimTime,
+    last_flush: SimTime,
+    /// Local sequence numbers for which an ORDER entry has been observed;
+    /// unordered submissions are retransmitted until they appear here (a
+    /// DATA packet lost on its way to the sequencer is otherwise
+    /// unrecoverable: no order references it, so nobody NACKs it).
+    ordered_local: BTreeSet<u64>,
+    last_data_retry: SimTime,
+}
+
+impl SequencerNode {
+    /// Create a member.
+    pub fn new(id: NodeId, cfg: SequencerConfig) -> Self {
+        SequencerNode {
+            id,
+            cfg,
+            next_local: 0,
+            sent: BTreeMap::new(),
+            next_global: 1,
+            order_log: BTreeMap::new(),
+            ordered_keys: BTreeSet::new(),
+            unflushed: Vec::new(),
+            data: BTreeMap::new(),
+            orders: BTreeMap::new(),
+            next_deliver: 1,
+            highest_order_seen: 0,
+            delivered: Vec::new(),
+            delivered_count: 0,
+            last_nack: SimTime::ZERO,
+            last_flush: SimTime::ZERO,
+            ordered_local: BTreeSet::new(),
+            last_data_retry: SimTime::ZERO,
+        }
+    }
+
+    fn is_sequencer(&self) -> bool {
+        self.id == self.cfg.sequencer()
+    }
+
+    fn send_data(&mut self, out: &mut Outbox, local: u64, payload: &Bytes) {
+        let mut buf = BytesMut::with_capacity(13 + payload.len());
+        put_header(&mut buf, TAG_DATA, self.id);
+        buf.put_u64(local);
+        buf.put_slice(payload);
+        out.send(Packet::new(self.id, self.cfg.addr, buf.freeze()));
+    }
+
+    fn sequencer_note_data(&mut self, src: NodeId, local: u64) {
+        if !self.is_sequencer() || self.ordered_keys.contains(&(src, local)) {
+            return;
+        }
+        let g = self.next_global;
+        self.next_global += 1;
+        self.ordered_keys.insert((src, local));
+        self.order_log.insert(g, (src, local));
+        self.unflushed.push((g, src, local));
+    }
+
+    fn flush_orders(&mut self, out: &mut Outbox) {
+        if !self.unflushed.is_empty() {
+            let mut buf = BytesMut::new();
+            put_header(&mut buf, TAG_ORDER, self.id);
+            buf.put_u32(self.unflushed.len() as u32);
+            for (g, src, local) in self.unflushed.drain(..) {
+                buf.put_u64(g);
+                buf.put_u32(src);
+                buf.put_u64(local);
+            }
+            out.send(Packet::new(self.id, self.cfg.addr, buf.freeze()));
+        }
+    }
+
+    fn note_order(&mut self, g: u64, src: NodeId, local: u64) {
+        self.highest_order_seen = self.highest_order_seen.max(g);
+        self.orders.entry(g).or_insert((src, local));
+        if src == self.id {
+            self.ordered_local.insert(local);
+        }
+    }
+
+    fn try_deliver(&mut self) {
+        while let Some(&(src, local)) = self.orders.get(&self.next_deliver) {
+            let Some(payload) = self.data.get(&(src, local)) else {
+                break; // DATA missing; NACK path will fetch it
+            };
+            self.delivered.push(BDelivery {
+                global_seq: self.next_deliver,
+                source: src,
+                local_seq: local,
+                payload: payload.clone(),
+            });
+            self.delivered_count += 1;
+            self.next_deliver += 1;
+        }
+    }
+
+    fn send_nacks(&mut self, out: &mut Outbox) {
+        // ORDER gaps → ask the sequencer.
+        let mut missing_orders: Vec<u64> = Vec::new();
+        for g in self.next_deliver..=self.highest_order_seen {
+            if !self.orders.contains_key(&g) {
+                missing_orders.push(g);
+                if missing_orders.len() >= 64 {
+                    break;
+                }
+            }
+        }
+        if !missing_orders.is_empty() {
+            let mut buf = BytesMut::new();
+            put_header(&mut buf, TAG_NACK_ORDER, self.id);
+            buf.put_u32(missing_orders.len() as u32);
+            for g in missing_orders {
+                buf.put_u64(g);
+            }
+            out.send(Packet::new(self.id, self.cfg.addr, buf.freeze()));
+        }
+        // DATA referenced by an order but absent → ask the originator.
+        let mut missing_data: Vec<(NodeId, u64)> = Vec::new();
+        for (g, (src, local)) in self.orders.range(self.next_deliver..) {
+            let _ = g;
+            if !self.data.contains_key(&(*src, *local)) {
+                missing_data.push((*src, *local));
+                if missing_data.len() >= 64 {
+                    break;
+                }
+            }
+        }
+        if !missing_data.is_empty() {
+            let mut buf = BytesMut::new();
+            put_header(&mut buf, TAG_NACK_DATA, self.id);
+            buf.put_u32(missing_data.len() as u32);
+            for (src, local) in missing_data {
+                buf.put_u32(src);
+                buf.put_u64(local);
+            }
+            out.send(Packet::new(self.id, self.cfg.addr, buf.freeze()));
+        }
+    }
+}
+
+impl TotalOrderNode for SequencerNode {
+    fn submit(&mut self, payload: Bytes) -> u64 {
+        self.next_local += 1;
+        let local = self.next_local;
+        self.sent.insert(local, payload);
+        local
+    }
+
+    fn take_delivered(&mut self) -> Vec<BDelivery> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+}
+
+impl SequencerNode {
+    /// Transmit all locally queued submissions now.
+    pub fn transmit_queued(&mut self, out: &mut Outbox) {
+        let queued: Vec<(u64, Bytes)> = self
+            .sent
+            .iter()
+            .filter(|(k, _)| !self.data.contains_key(&(self.id, **k)))
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for (local, payload) in queued {
+            self.data.insert((self.id, local), payload.clone());
+            self.sequencer_note_data(self.id, local);
+            self.send_data(out, local, &payload);
+        }
+        self.try_deliver();
+    }
+}
+
+impl SimNode for SequencerNode {
+    fn on_packet(&mut self, _now: SimTime, pkt: &Packet, out: &mut Outbox) {
+        let b = &pkt.payload;
+        if b.len() < 5 {
+            return;
+        }
+        let tag = b[0];
+        let src = u32::from_be_bytes([b[1], b[2], b[3], b[4]]);
+        let rest = &b[5..];
+        match tag {
+            TAG_DATA => {
+                if rest.len() < 8 {
+                    return;
+                }
+                let local = u64::from_be_bytes(rest[..8].try_into().expect("checked"));
+                let payload = Bytes::copy_from_slice(&rest[8..]);
+                self.data.insert((src, local), payload);
+                self.sequencer_note_data(src, local);
+                self.try_deliver();
+            }
+            TAG_ORDER => {
+                if rest.len() < 4 {
+                    return;
+                }
+                let n = u32::from_be_bytes(rest[..4].try_into().expect("checked")) as usize;
+                let mut off = 4;
+                for _ in 0..n {
+                    if rest.len() < off + 20 {
+                        return;
+                    }
+                    let g = u64::from_be_bytes(rest[off..off + 8].try_into().expect("len"));
+                    let s = u32::from_be_bytes(rest[off + 8..off + 12].try_into().expect("len"));
+                    let l = u64::from_be_bytes(rest[off + 12..off + 20].try_into().expect("len"));
+                    off += 20;
+                    self.note_order(g, s, l);
+                }
+                self.try_deliver();
+            }
+            TAG_NACK_ORDER => {
+                if !self.is_sequencer() || rest.len() < 4 {
+                    return;
+                }
+                let n = u32::from_be_bytes(rest[..4].try_into().expect("checked")) as usize;
+                let mut entries = Vec::new();
+                for i in 0..n {
+                    let off = 4 + i * 8;
+                    if rest.len() < off + 8 {
+                        return;
+                    }
+                    let g = u64::from_be_bytes(rest[off..off + 8].try_into().expect("len"));
+                    if let Some((s, l)) = self.order_log.get(&g) {
+                        entries.push((g, *s, *l));
+                    }
+                }
+                if !entries.is_empty() {
+                    let mut buf = BytesMut::new();
+                    put_header(&mut buf, TAG_ORDER, self.id);
+                    buf.put_u32(entries.len() as u32);
+                    for (g, s, l) in entries {
+                        buf.put_u64(g);
+                        buf.put_u32(s);
+                        buf.put_u64(l);
+                    }
+                    out.send(Packet::new(self.id, self.cfg.addr, buf.freeze()));
+                }
+            }
+            TAG_NACK_DATA => {
+                if rest.len() < 4 {
+                    return;
+                }
+                let n = u32::from_be_bytes(rest[..4].try_into().expect("checked")) as usize;
+                for i in 0..n {
+                    let off = 4 + i * 12;
+                    if rest.len() < off + 12 {
+                        return;
+                    }
+                    let s = u32::from_be_bytes(rest[off..off + 4].try_into().expect("len"));
+                    let l = u64::from_be_bytes(rest[off + 4..off + 12].try_into().expect("len"));
+                    // Sender-based recovery: only the originator answers.
+                    if s == self.id {
+                        if let Some(p) = self.sent.get(&l).cloned() {
+                            self.send_data(out, l, &p);
+                        }
+                    }
+                }
+            }
+            TAG_HB => {
+                if rest.len() < 8 {
+                    return;
+                }
+                let next_g = u64::from_be_bytes(rest[..8].try_into().expect("checked"));
+                self.highest_order_seen = self.highest_order_seen.max(next_g.saturating_sub(1));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, out: &mut Outbox) {
+        self.transmit_queued(out);
+        if now.saturating_since(self.last_data_retry) >= self.cfg.nack_interval {
+            self.last_data_retry = now;
+            let unordered: Vec<(u64, Bytes)> = self
+                .sent
+                .iter()
+                .filter(|(l, _)| {
+                    !self.ordered_local.contains(l) && self.data.contains_key(&(self.id, **l))
+                })
+                .map(|(l, p)| (*l, p.clone()))
+                .collect();
+            for (local, payload) in unordered {
+                self.send_data(out, local, &payload);
+            }
+        }
+        if self.is_sequencer() && now.saturating_since(self.last_flush) >= self.cfg.flush_interval
+        {
+            self.last_flush = now;
+            self.flush_orders(out);
+            let mut buf = BytesMut::new();
+            put_header(&mut buf, TAG_HB, self.id);
+            buf.put_u64(self.next_global);
+            out.send(Packet::new(self.id, self.cfg.addr, buf.freeze()));
+        }
+        if now.saturating_since(self.last_nack) >= self.cfg.nack_interval {
+            self.last_nack = now;
+            self.send_nacks(out);
+        }
+        self.try_deliver();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmp_net::{LossModel, SimConfig, SimNet};
+
+    fn build(n: u32, seed: u64, loss: LossModel) -> SimNet<SequencerNode> {
+        let addr = McastAddr(1);
+        let members: Vec<NodeId> = (1..=n).collect();
+        let mut net = SimNet::new(SimConfig::with_seed(seed).loss(loss));
+        for id in 1..=n {
+            net.add_node(id, SequencerNode::new(id, SequencerConfig::new(addr, members.clone())));
+            net.subscribe(id, addr);
+        }
+        net
+    }
+
+    fn orders(net: &mut SimNet<SequencerNode>, n: u32) -> Vec<Vec<(u64, u32, u64)>> {
+        (1..=n)
+            .map(|id| {
+                net.node_mut(id)
+                    .unwrap()
+                    .take_delivered()
+                    .iter()
+                    .map(|d| (d.global_seq, d.source, d.local_seq))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_members_deliver_same_order() {
+        let mut net = build(4, 1, LossModel::None);
+        for id in 1..=4u32 {
+            net.with_node(id, |n, _, _| {
+                n.submit(Bytes::from(vec![id as u8]));
+                n.submit(Bytes::from(vec![id as u8, 2]));
+            });
+        }
+        net.run_for(SimDuration::from_millis(100));
+        let seqs = orders(&mut net, 4);
+        assert_eq!(seqs[0].len(), 8);
+        for s in &seqs[1..] {
+            assert_eq!(&seqs[0], s);
+        }
+        // Global sequence is gapless from 1.
+        let globals: Vec<u64> = seqs[0].iter().map(|x| x.0).collect();
+        assert_eq!(globals, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_survives_packet_loss() {
+        let mut net = build(3, 9, LossModel::Iid { p: 0.15 });
+        for round in 0..10u8 {
+            for id in 1..=3u32 {
+                net.with_node(id, |n, _, _| {
+                    n.submit(Bytes::from(vec![id as u8, round]));
+                });
+            }
+            net.run_for(SimDuration::from_millis(5));
+        }
+        net.run_for(SimDuration::from_millis(500));
+        let seqs = orders(&mut net, 3);
+        assert_eq!(seqs[0].len(), 30, "all 30 delivered despite loss");
+        assert_eq!(seqs[0], seqs[1]);
+        assert_eq!(seqs[1], seqs[2]);
+        assert!(net.stats().lost > 0);
+    }
+
+    #[test]
+    fn sequencer_is_min_id() {
+        let cfg = SequencerConfig::new(McastAddr(1), vec![5, 3, 9]);
+        assert_eq!(cfg.sequencer(), 3);
+    }
+
+    #[test]
+    fn garbage_packets_ignored() {
+        let mut net = build(2, 2, LossModel::None);
+        net.inject(Packet::new(7, McastAddr(1), vec![0xFF, 1]));
+        net.inject(Packet::new(7, McastAddr(1), vec![]));
+        net.run_for(SimDuration::from_millis(10));
+        assert_eq!(net.node(1).unwrap().delivered_count(), 0);
+    }
+}

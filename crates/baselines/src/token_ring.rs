@@ -1,0 +1,379 @@
+//! Token-ring total order (Totem style, §8).
+//!
+//! Members form a logical ring in ascending id order. A token carries the
+//! next global sequence number and a retransmission-request list. Only the
+//! token holder multicasts: first any retransmissions the token asks for
+//! that it can answer (all members retain all messages — Totem-style
+//! any-holder recovery), then its own queued messages stamped with
+//! consecutive global sequence numbers. It then forwards the token to its
+//! successor and retransmits it until it sees evidence the ring moved on
+//! (a token with a higher rotation counter).
+//!
+//! Fault handling (token regeneration, membership) is deliberately omitted:
+//! the harness uses this engine for failure-free performance comparison,
+//! which is how the Totem-vs-FTMP related-work contrast is framed.
+
+use crate::{BDelivery, TotalOrderNode};
+use bytes::{BufMut, Bytes, BytesMut};
+use ftmp_net::{McastAddr, NodeId, Outbox, Packet, SimDuration, SimNode, SimTime};
+use std::collections::BTreeMap;
+
+const TAG_TOKEN: u8 = 10;
+const TAG_DATA: u8 = 11;
+
+/// Configuration for a ring member.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Ring multicast address (token and data share it).
+    pub addr: McastAddr,
+    /// Member ids; ring order is ascending id.
+    pub members: Vec<NodeId>,
+    /// Token retransmission timeout.
+    pub token_timeout: SimDuration,
+    /// Maximum messages a holder may multicast per token visit.
+    pub burst: usize,
+}
+
+impl RingConfig {
+    /// Defaults for the simulated LAN.
+    pub fn new(addr: McastAddr, mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        RingConfig {
+            addr,
+            members,
+            token_timeout: SimDuration::from_millis(10),
+            burst: 16,
+        }
+    }
+
+    fn successor(&self, id: NodeId) -> NodeId {
+        let idx = self
+            .members
+            .iter()
+            .position(|&m| m == id)
+            .expect("member of the ring");
+        self.members[(idx + 1) % self.members.len()]
+    }
+
+    fn first(&self) -> NodeId {
+        self.members[0]
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Token {
+    rotation: u64,
+    next_global: u64,
+    to: NodeId,
+    rtr: Vec<u64>,
+}
+
+impl Token {
+    fn encode(&self, src: NodeId) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_TOKEN);
+        buf.put_u32(src);
+        buf.put_u64(self.rotation);
+        buf.put_u64(self.next_global);
+        buf.put_u32(self.to);
+        buf.put_u32(self.rtr.len() as u32);
+        for g in &self.rtr {
+            buf.put_u64(*g);
+        }
+        buf.freeze()
+    }
+
+    fn decode(rest: &[u8]) -> Option<Token> {
+        if rest.len() < 24 {
+            return None;
+        }
+        let rotation = u64::from_be_bytes(rest[..8].try_into().ok()?);
+        let next_global = u64::from_be_bytes(rest[8..16].try_into().ok()?);
+        let to = u32::from_be_bytes(rest[16..20].try_into().ok()?);
+        let n = u32::from_be_bytes(rest[20..24].try_into().ok()?) as usize;
+        let mut rtr = Vec::with_capacity(n.min(256));
+        for i in 0..n {
+            let off = 24 + i * 8;
+            rtr.push(u64::from_be_bytes(rest.get(off..off + 8)?.try_into().ok()?));
+        }
+        Some(Token {
+            rotation,
+            next_global,
+            to,
+            rtr,
+        })
+    }
+}
+
+/// One member of the token ring.
+pub struct TokenRingNode {
+    id: NodeId,
+    cfg: RingConfig,
+    queue: Vec<(u64, Bytes)>,
+    next_local: u64,
+    /// Everything seen, by global seq (any-holder retransmission store).
+    store: BTreeMap<u64, (NodeId, u64, Bytes)>,
+    next_deliver: u64,
+    highest_seen: u64,
+    delivered: Vec<BDelivery>,
+    delivered_count: u64,
+    /// The token we last forwarded, for timeout retransmission.
+    inflight_token: Option<(Token, SimTime)>,
+    highest_rotation_seen: u64,
+    bootstrapped: bool,
+}
+
+impl TokenRingNode {
+    /// Create a ring member.
+    pub fn new(id: NodeId, cfg: RingConfig) -> Self {
+        TokenRingNode {
+            id,
+            cfg,
+            queue: Vec::new(),
+            next_local: 0,
+            store: BTreeMap::new(),
+            next_deliver: 1,
+            highest_seen: 0,
+            delivered: Vec::new(),
+            delivered_count: 0,
+            inflight_token: None,
+            highest_rotation_seen: 0,
+            bootstrapped: false,
+        }
+    }
+
+    fn send_data(&self, out: &mut Outbox, g: u64, src: NodeId, local: u64, payload: &Bytes) {
+        let mut buf = BytesMut::with_capacity(25 + payload.len());
+        buf.put_u8(TAG_DATA);
+        buf.put_u32(src);
+        buf.put_u64(g);
+        buf.put_u64(local);
+        buf.put_slice(payload);
+        out.send(Packet::new(self.id, self.cfg.addr, buf.freeze()));
+    }
+
+    fn missing(&self) -> Vec<u64> {
+        (self.next_deliver..=self.highest_seen)
+            .filter(|g| !self.store.contains_key(g))
+            .take(64)
+            .collect()
+    }
+
+    fn try_deliver(&mut self) {
+        while let Some((src, local, payload)) = self.store.get(&self.next_deliver) {
+            self.delivered.push(BDelivery {
+                global_seq: self.next_deliver,
+                source: *src,
+                local_seq: *local,
+                payload: payload.clone(),
+            });
+            self.delivered_count += 1;
+            self.next_deliver += 1;
+        }
+    }
+
+    fn hold_token(&mut self, now: SimTime, mut token: Token, out: &mut Outbox) {
+        // 1. Answer retransmission requests we can serve.
+        for g in &token.rtr {
+            if let Some((src, local, payload)) = self.store.get(g).cloned() {
+                self.send_data(out, *g, src, local, &payload);
+            }
+        }
+        // 2. Multicast queued messages with fresh stamps.
+        let burst = self.cfg.burst.min(self.queue.len());
+        for (local, payload) in self.queue.drain(..burst).collect::<Vec<_>>() {
+            let g = token.next_global;
+            token.next_global += 1;
+            self.highest_seen = self.highest_seen.max(g);
+            self.store.insert(g, (self.id, local, payload.clone()));
+            self.send_data(out, g, self.id, local, &payload);
+        }
+        self.try_deliver();
+        // 3. Forward the token.
+        token.rotation += 1;
+        token.to = self.cfg.successor(self.id);
+        token.rtr = self.missing();
+        out.send(Packet::new(self.id, self.cfg.addr, token.encode(self.id)));
+        self.inflight_token = Some((token, now));
+    }
+}
+
+impl TotalOrderNode for TokenRingNode {
+    fn submit(&mut self, payload: Bytes) -> u64 {
+        self.next_local += 1;
+        self.queue.push((self.next_local, payload));
+        self.next_local
+    }
+
+    fn take_delivered(&mut self) -> Vec<BDelivery> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+}
+
+impl SimNode for TokenRingNode {
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet, out: &mut Outbox) {
+        let b = &pkt.payload;
+        if b.len() < 5 {
+            return;
+        }
+        let tag = b[0];
+        let src = u32::from_be_bytes([b[1], b[2], b[3], b[4]]);
+        let rest = &b[5..];
+        match tag {
+            TAG_TOKEN => {
+                let Some(token) = Token::decode(rest) else {
+                    return;
+                };
+                if token.rotation > self.highest_rotation_seen {
+                    self.highest_rotation_seen = token.rotation;
+                    // Our previously forwarded token made progress.
+                    if let Some((t, _)) = &self.inflight_token {
+                        if token.rotation > t.rotation {
+                            self.inflight_token = None;
+                        }
+                    }
+                }
+                self.highest_seen = self.highest_seen.max(token.next_global.saturating_sub(1));
+                if token.to == self.id && src != self.id {
+                    self.inflight_token = None;
+                    self.hold_token(now, token, out);
+                }
+            }
+            TAG_DATA => {
+                if rest.len() < 16 {
+                    return;
+                }
+                let g = u64::from_be_bytes(rest[..8].try_into().expect("checked"));
+                let local = u64::from_be_bytes(rest[8..16].try_into().expect("checked"));
+                let payload = Bytes::copy_from_slice(&rest[16..]);
+                self.highest_seen = self.highest_seen.max(g);
+                self.store.entry(g).or_insert((src, local, payload));
+                self.try_deliver();
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, out: &mut Outbox) {
+        // Ring bootstrap: the first member mints the token.
+        if !self.bootstrapped && self.id == self.cfg.first() {
+            self.bootstrapped = true;
+            let token = Token {
+                rotation: 0,
+                next_global: 1,
+                to: self.id,
+                rtr: Vec::new(),
+            };
+            self.hold_token(now, token, out);
+            return;
+        }
+        // Token-loss recovery: retransmit our forwarded token on timeout.
+        if let Some((token, sent_at)) = &self.inflight_token {
+            if now.saturating_since(*sent_at) >= self.cfg.token_timeout {
+                let token = token.clone();
+                out.send(Packet::new(self.id, self.cfg.addr, token.encode(self.id)));
+                self.inflight_token = Some((token, now));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmp_net::{LossModel, SimConfig, SimNet};
+
+    fn build(n: u32, seed: u64, loss: LossModel) -> SimNet<TokenRingNode> {
+        let addr = McastAddr(2);
+        let members: Vec<NodeId> = (1..=n).collect();
+        let mut net = SimNet::new(SimConfig::with_seed(seed).loss(loss));
+        for id in 1..=n {
+            net.add_node(id, TokenRingNode::new(id, RingConfig::new(addr, members.clone())));
+            net.subscribe(id, addr);
+        }
+        net
+    }
+
+    fn orders(net: &mut SimNet<TokenRingNode>, n: u32) -> Vec<Vec<(u64, u32, u64)>> {
+        (1..=n)
+            .map(|id| {
+                net.node_mut(id)
+                    .unwrap()
+                    .take_delivered()
+                    .iter()
+                    .map(|d| (d.global_seq, d.source, d.local_seq))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_delivers_identical_gapless_order() {
+        let mut net = build(4, 1, LossModel::None);
+        for id in 1..=4u32 {
+            net.with_node(id, |n, _, _| {
+                n.submit(Bytes::from(vec![id as u8]));
+                n.submit(Bytes::from(vec![id as u8, 1]));
+            });
+        }
+        net.run_for(SimDuration::from_millis(200));
+        let seqs = orders(&mut net, 4);
+        assert_eq!(seqs[0].len(), 8);
+        for s in &seqs[1..] {
+            assert_eq!(&seqs[0], s);
+        }
+        let globals: Vec<u64> = seqs[0].iter().map(|x| x.0).collect();
+        assert_eq!(globals, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_survives_loss_via_token_rtr_and_retransmit() {
+        let mut net = build(3, 4, LossModel::Iid { p: 0.1 });
+        for round in 0..8u8 {
+            for id in 1..=3u32 {
+                net.with_node(id, |n, _, _| {
+                    n.submit(Bytes::from(vec![id as u8, round]));
+                });
+            }
+            net.run_for(SimDuration::from_millis(10));
+        }
+        net.run_for(SimDuration::from_millis(1_000));
+        let seqs = orders(&mut net, 3);
+        assert_eq!(seqs[0].len(), 24, "all messages delivered despite loss");
+        assert_eq!(seqs[0], seqs[1]);
+        assert_eq!(seqs[1], seqs[2]);
+    }
+
+    #[test]
+    fn burst_limits_per_visit_sends() {
+        let addr = McastAddr(2);
+        let mut cfg = RingConfig::new(addr, vec![1, 2]);
+        cfg.burst = 2;
+        let mut net = SimNet::new(SimConfig::with_seed(5));
+        for id in 1..=2u32 {
+            net.add_node(id, TokenRingNode::new(id, cfg.clone()));
+            net.subscribe(id, addr);
+        }
+        net.with_node(1, |n, _, _| {
+            for i in 0..10u8 {
+                n.submit(Bytes::from(vec![i]));
+            }
+        });
+        net.run_for(SimDuration::from_millis(300));
+        // Everything still delivers, just over several token rotations.
+        assert_eq!(net.node(2).unwrap().delivered_count(), 10);
+    }
+
+    #[test]
+    fn successor_wraps_around() {
+        let cfg = RingConfig::new(McastAddr(1), vec![3, 1, 2]);
+        assert_eq!(cfg.successor(1), 2);
+        assert_eq!(cfg.successor(2), 3);
+        assert_eq!(cfg.successor(3), 1);
+        assert_eq!(cfg.first(), 1);
+    }
+}

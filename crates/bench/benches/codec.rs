@@ -1,0 +1,122 @@
+//! Marshalling microbenches: CDR, GIOP, FTMP wire codecs (the per-message
+//! CPU cost of the Fig. 2 encapsulation).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftmp_cdr::{ByteOrder, CdrReader, CdrWriter};
+use ftmp_core::wire::{classify, FtmpBody, FtmpMessage};
+use ftmp_core::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp};
+use ftmp_giop::{GiopMessage, RequestHeader};
+use std::hint::black_box;
+
+fn giop_request(payload: usize) -> Vec<u8> {
+    GiopMessage::Request {
+        header: RequestHeader {
+            service_context: vec![],
+            request_id: 7,
+            response_expected: true,
+            object_key: b"bank/account/1".to_vec(),
+            operation: "deposit".into(),
+            requesting_principal: vec![],
+        },
+        body: vec![0xAB; payload],
+    }
+    .encode(ByteOrder::native())
+}
+
+fn ftmp_regular(payload: usize) -> FtmpMessage {
+    FtmpMessage {
+        retransmission: false,
+        source: ProcessorId(3),
+        group: GroupId(1),
+        seq: SeqNum(99),
+        ts: Timestamp(12_345),
+        ack_ts: Timestamp(12_000),
+        body: FtmpBody::Regular {
+            conn: ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2)),
+            request_num: RequestNum(41),
+            giop: Bytes::from(giop_request(payload)),
+        },
+    }
+}
+
+fn bench_cdr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cdr");
+    g.bench_function("write_mixed_stream", |b| {
+        b.iter(|| {
+            let mut w = CdrWriter::new(ByteOrder::native());
+            for i in 0..32u32 {
+                w.write_u8(i as u8);
+                w.write_u32(i);
+                w.write_u64(u64::from(i) << 32);
+                w.write_string("operation_name");
+            }
+            black_box(w.into_bytes())
+        })
+    });
+    let bytes = {
+        let mut w = CdrWriter::new(ByteOrder::native());
+        for i in 0..32u32 {
+            w.write_u8(i as u8);
+            w.write_u32(i);
+            w.write_u64(u64::from(i) << 32);
+            w.write_string("operation_name");
+        }
+        w.into_bytes()
+    };
+    g.bench_function("read_mixed_stream", |b| {
+        b.iter(|| {
+            let mut r = CdrReader::new(&bytes, ByteOrder::native());
+            for _ in 0..32 {
+                black_box(r.read_u8().unwrap());
+                black_box(r.read_u32().unwrap());
+                black_box(r.read_u64().unwrap());
+                black_box(r.read_string().unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_giop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("giop");
+    for payload in [0usize, 256, 4096] {
+        g.throughput(Throughput::Bytes(payload as u64));
+        g.bench_with_input(BenchmarkId::new("encode_request", payload), &payload, |b, &p| {
+            b.iter(|| black_box(giop_request(p)))
+        });
+        let encoded = giop_request(payload);
+        g.bench_with_input(BenchmarkId::new("decode_request", payload), &encoded, |b, e| {
+            b.iter(|| black_box(GiopMessage::decode(e).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ftmp_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftmp_wire");
+    for payload in [0usize, 256, 4096] {
+        let msg = ftmp_regular(payload);
+        g.throughput(Throughput::Bytes(payload as u64));
+        g.bench_with_input(BenchmarkId::new("encode_regular", payload), &msg, |b, m| {
+            b.iter(|| black_box(m.encode(ByteOrder::native())))
+        });
+        let bytes = msg.encode(ByteOrder::native());
+        g.bench_with_input(BenchmarkId::new("decode_regular", payload), &bytes, |b, e| {
+            b.iter(|| black_box(FtmpMessage::decode(e).unwrap()))
+        });
+    }
+    let hb = FtmpMessage {
+        body: FtmpBody::Heartbeat,
+        ..ftmp_regular(0)
+    };
+    g.bench_function("encode_heartbeat", |b| {
+        b.iter(|| black_box(hb.encode(ByteOrder::native())))
+    });
+    let bytes = ftmp_regular(256).encode(ByteOrder::native());
+    g.bench_function("classify", |b| b.iter(|| black_box(classify(&bytes))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_cdr, bench_giop, bench_ftmp_wire);
+criterion_main!(benches);

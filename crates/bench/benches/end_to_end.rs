@@ -1,0 +1,104 @@
+//! End-to-end benches: a complete replicated CORBA invocation (connection
+//! already established) through ORB → FTMP → simulator and back, and the
+//! ORB-layer CPU cost in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftmp_core::ProtocolConfig;
+use ftmp_harness::worlds::OrbWorld;
+use ftmp_net::{SimConfig, SimDuration};
+use ftmp_orb::servant::encode_i64_arg;
+use ftmp_orb::{giop_map, OrbEndpoint};
+use std::hint::black_box;
+
+fn bench_invocation_rtt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orb_invocation");
+    g.sample_size(15);
+    for (k, m) in [(1u32, 3u32), (3, 3)] {
+        g.bench_with_input(
+            BenchmarkId::new("rtt", format!("{k}x{m}")),
+            &(k, m),
+            |b, &(k, m)| {
+                // Build once; each iteration performs one full invocation in
+                // simulated time (the CPU cost is the protocol machinery).
+                let mut w = OrbWorld::new(
+                    k,
+                    m,
+                    SimConfig::with_seed(9),
+                    ProtocolConfig::with_seed(9).heartbeat(SimDuration::from_millis(2)),
+                    || Box::new(ftmp_orb::Counter::default()),
+                );
+                b.iter(|| {
+                    w.invoke_all("add", 1);
+                    loop {
+                        w.net.run_for(SimDuration::from_micros(500));
+                        let (done, _) = w.drain_completions();
+                        if !done.is_empty() {
+                            break black_box(done.len());
+                        }
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_orb_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orb_layer");
+    let og = ftmp_core::ObjectGroupId::new(2, 7);
+    let conn = ftmp_core::ConnectionId::new(ftmp_core::ObjectGroupId::new(1, 1), og);
+    g.bench_function("serve_request", |b| {
+        let mut server = OrbEndpoint::new();
+        server.host_replica(og, b"obj".to_vec(), Box::new(ftmp_orb::Counter::default()));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let giop = giop_map::make_request(
+                ftmp_core::RequestNum(n),
+                b"obj",
+                "add",
+                &encode_i64_arg(1),
+                true,
+            );
+            server.on_delivery(&ftmp_core::Delivery {
+                group: ftmp_core::GroupId(1),
+                conn,
+                request_num: ftmp_core::RequestNum(n),
+                source: ftmp_core::ProcessorId(1),
+                seq: ftmp_core::SeqNum(n),
+                ts: ftmp_core::Timestamp(n),
+                giop: bytes::Bytes::from(giop),
+            });
+            black_box(server.drain_outbound().len())
+        })
+    });
+    g.bench_function("suppress_duplicate", |b| {
+        let mut server = OrbEndpoint::new();
+        server.host_replica(og, b"obj".to_vec(), Box::new(ftmp_orb::Counter::default()));
+        let giop = giop_map::make_request(
+            ftmp_core::RequestNum(1),
+            b"obj",
+            "add",
+            &encode_i64_arg(1),
+            true,
+        );
+        let d = ftmp_core::Delivery {
+            group: ftmp_core::GroupId(1),
+            conn,
+            request_num: ftmp_core::RequestNum(1),
+            source: ftmp_core::ProcessorId(1),
+            seq: ftmp_core::SeqNum(1),
+            ts: ftmp_core::Timestamp(1),
+            giop: bytes::Bytes::from(giop),
+        };
+        server.on_delivery(&d);
+        server.drain_outbound();
+        b.iter(|| {
+            server.on_delivery(black_box(&d));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_invocation_rtt, bench_orb_layer);
+criterion_main!(benches);

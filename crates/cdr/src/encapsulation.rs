@@ -1,0 +1,104 @@
+//! CDR encapsulations.
+//!
+//! An encapsulation is a `sequence<octet>` whose content is itself a CDR
+//! stream beginning at offset 0 with a leading byte-order octet (0 =
+//! big-endian, 1 = little-endian). GIOP uses encapsulations for service
+//! contexts, tagged profiles in IORs, and type codes. Because alignment
+//! restarts inside the encapsulation, the sender and receiver can disagree
+//! about the outer stream's offsets without corrupting the nested value.
+
+use crate::{ByteOrder, CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
+
+/// Encode `value` as a CDR encapsulation with the given byte order, returning
+/// the raw encapsulation octets (byte-order octet + body, *without* an outer
+/// length prefix — callers emit it as a `sequence<octet>`).
+pub fn encode_encapsulation<T: CdrEncode>(value: &T, order: ByteOrder) -> Vec<u8> {
+    let mut inner = CdrWriter::new(order);
+    // The byte-order octet occupies offset 0 of the nested stream.
+    inner.write_u8(u8::from(order.as_flag()));
+    value.encode(&mut inner);
+    inner.into_bytes()
+}
+
+/// Decode a value from raw encapsulation octets produced by
+/// [`encode_encapsulation`] (or any conforming ORB).
+pub fn decode_encapsulation<T: CdrDecode>(bytes: &[u8]) -> Result<T, CdrError> {
+    if bytes.is_empty() {
+        return Err(CdrError::EmptyEncapsulation);
+    }
+    let order = ByteOrder::from_flag(bytes[0] != 0);
+    let mut r = CdrReader::new(bytes, order);
+    let _flag = r.read_u8()?;
+    let value = T::decode(&mut r)?;
+    Ok(value)
+}
+
+/// Write an encapsulated value into an outer stream as `sequence<octet>`.
+pub fn write_encapsulated<T: CdrEncode>(w: &mut CdrWriter, value: &T, order: ByteOrder) {
+    let bytes = encode_encapsulation(value, order);
+    w.write_octet_seq(&bytes);
+}
+
+/// Read an encapsulated value from an outer stream (`sequence<octet>`).
+pub fn read_encapsulated<T: CdrDecode>(r: &mut CdrReader<'_>) -> Result<T, CdrError> {
+    let bytes = r.read_octet_seq()?;
+    decode_encapsulation(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encapsulation_round_trip() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let v = (0xDEADBEEFu32, "profile".to_string());
+            let bytes = encode_encapsulation(&v, order);
+            assert_eq!(bytes[0], u8::from(order.as_flag()));
+            let back: (u32, String) = decode_encapsulation(&bytes).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn empty_encapsulation_rejected() {
+        assert_eq!(
+            decode_encapsulation::<u32>(&[]).unwrap_err(),
+            CdrError::EmptyEncapsulation
+        );
+    }
+
+    #[test]
+    fn nested_alignment_restarts_at_zero() {
+        // Embed an encapsulation at a deliberately misaligned outer offset;
+        // the nested u64 must still decode.
+        let mut outer = CdrWriter::new(ByteOrder::Big);
+        outer.write_u8(0xFF); // misalign
+        write_encapsulated(&mut outer, &0x0102030405060708u64, ByteOrder::Little);
+        let bytes = outer.into_bytes();
+        let mut r = CdrReader::new(&bytes, ByteOrder::Big);
+        assert_eq!(r.read_u8().unwrap(), 0xFF);
+        let v: u64 = read_encapsulated(&mut r).unwrap();
+        assert_eq!(v, 0x0102030405060708);
+    }
+
+    #[test]
+    fn cross_endian_decode() {
+        // Encode little, decode without being told the order: the leading
+        // octet carries it.
+        let bytes = encode_encapsulation(&0xCAFEBABEu32, ByteOrder::Little);
+        let v: u32 = decode_encapsulation(&bytes).unwrap();
+        assert_eq!(v, 0xCAFEBABE);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encapsulation_round_trip(v: u64, s in "[^\u{0}]{0,32}", little: bool) {
+            let order = ByteOrder::from_flag(little);
+            let bytes = encode_encapsulation(&(v, s.clone()), order);
+            let back: (u64, String) = decode_encapsulation(&bytes).unwrap();
+            prop_assert_eq!(back, (v, s));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! CDR decoding errors.
+
+use std::fmt;
+
+/// An error produced while decoding a CDR stream.
+///
+/// Encoding is infallible (the writer grows its buffer); all failure modes
+/// live on the read side, where the bytes come off the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdrError {
+    /// The stream ended before the requested number of bytes was available.
+    UnexpectedEof {
+        /// Stream offset at which the read was attempted.
+        at: usize,
+        /// Number of bytes requested.
+        wanted: usize,
+        /// Number of bytes remaining.
+        available: usize,
+    },
+    /// A `boolean` octet held a value other than 0 or 1.
+    InvalidBool(u8),
+    /// A string was not NUL-terminated or contained an interior NUL.
+    BadString,
+    /// A string or wide string was not valid UTF-8.
+    InvalidUtf8,
+    /// A sequence or string length exceeded the bytes remaining in the
+    /// stream (corrupt length prefix; refusing to allocate).
+    LengthOverrun {
+        /// The decoded length prefix.
+        len: u64,
+        /// Bytes remaining in the stream.
+        available: usize,
+    },
+    /// An enum discriminant was out of range for the target type.
+    InvalidEnum {
+        /// Name of the enum type being decoded.
+        type_name: &'static str,
+        /// The offending discriminant.
+        value: u32,
+    },
+    /// An encapsulation was empty (missing its byte-order octet).
+    EmptyEncapsulation,
+    /// Trailing bytes remained after a complete value was decoded, in a
+    /// context where the value must consume the whole buffer.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrError::UnexpectedEof {
+                at,
+                wanted,
+                available,
+            } => write!(
+                f,
+                "unexpected end of CDR stream at offset {at}: wanted {wanted} bytes, {available} available"
+            ),
+            CdrError::InvalidBool(b) => write!(f, "invalid boolean octet {b:#04x}"),
+            CdrError::BadString => write!(f, "malformed CDR string (NUL termination)"),
+            CdrError::InvalidUtf8 => write!(f, "CDR string is not valid UTF-8"),
+            CdrError::LengthOverrun { len, available } => write!(
+                f,
+                "length prefix {len} exceeds {available} remaining bytes"
+            ),
+            CdrError::InvalidEnum { type_name, value } => {
+                write!(f, "invalid {type_name} discriminant {value}")
+            }
+            CdrError::EmptyEncapsulation => write!(f, "empty CDR encapsulation"),
+            CdrError::TrailingBytes(n) => write!(f, "{n} trailing bytes after CDR value"),
+        }
+    }
+}
+
+impl std::error::Error for CdrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CdrError::UnexpectedEof {
+            at: 12,
+            wanted: 4,
+            available: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains('4') && s.contains('1'));
+        assert!(CdrError::InvalidBool(7).to_string().contains("0x07"));
+        assert!(CdrError::TrailingBytes(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,104 @@
+#![warn(missing_docs)]
+//! CORBA Common Data Representation (CDR) marshalling.
+//!
+//! GIOP messages are marshalled using CDR (CORBA 2.2, chapter 13): every
+//! primitive value is aligned to its natural size *relative to the start of
+//! the stream*, and the byte order of the stream is chosen by the sender and
+//! flagged in the enclosing GIOP header (or the leading octet of a CDR
+//! encapsulation).
+//!
+//! This crate provides:
+//!
+//! * [`CdrWriter`] — an alignment-aware encoder with selectable endianness,
+//! * [`CdrReader`] — the matching decoder,
+//! * [`CdrEncode`] / [`CdrDecode`] — traits implemented for the CORBA
+//!   primitive types, strings, sequences and a few composites,
+//! * [`encapsulation`] — CDR encapsulations (self-describing nested buffers
+//!   with a leading byte-order octet), used by GIOP service contexts.
+//!
+//! The FTMP paper (Fig. 2) encapsulates a GIOP message — and therefore a CDR
+//! stream — inside the FTMP header; this crate is the innermost layer of that
+//! stack.
+
+pub mod decode;
+pub mod encapsulation;
+pub mod encode;
+pub mod error;
+pub mod types;
+
+pub use decode::CdrReader;
+pub use encapsulation::{decode_encapsulation, encode_encapsulation};
+pub use encode::CdrWriter;
+pub use error::CdrError;
+pub use types::{CdrDecode, CdrEncode};
+
+/// Byte order of a CDR stream.
+///
+/// GIOP flags bit 0 (and the leading octet of an encapsulation) select the
+/// byte order: `false`/0 = big-endian, `true`/1 = little-endian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByteOrder {
+    /// Network byte order (flag bit clear).
+    Big,
+    /// Little-endian (flag bit set).
+    Little,
+}
+
+impl ByteOrder {
+    /// The byte order of the host this code runs on.
+    pub fn native() -> Self {
+        if cfg!(target_endian = "little") {
+            ByteOrder::Little
+        } else {
+            ByteOrder::Big
+        }
+    }
+
+    /// Decode from a GIOP flags bit / encapsulation octet.
+    pub fn from_flag(little: bool) -> Self {
+        if little {
+            ByteOrder::Little
+        } else {
+            ByteOrder::Big
+        }
+    }
+
+    /// Encode as a GIOP flags bit / encapsulation octet.
+    pub fn as_flag(self) -> bool {
+        matches!(self, ByteOrder::Little)
+    }
+}
+
+/// Round-trip helper: encode `value` with `order`, starting at stream
+/// offset 0.
+pub fn to_bytes<T: CdrEncode>(value: &T, order: ByteOrder) -> Vec<u8> {
+    let mut w = CdrWriter::new(order);
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Round-trip helper: decode a `T` from `bytes` interpreted with `order`.
+pub fn from_bytes<T: CdrDecode>(bytes: &[u8], order: ByteOrder) -> Result<T, CdrError> {
+    let mut r = CdrReader::new(bytes, order);
+    let v = T::decode(&mut r)?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_order_flag_round_trip() {
+        assert_eq!(ByteOrder::from_flag(true), ByteOrder::Little);
+        assert_eq!(ByteOrder::from_flag(false), ByteOrder::Big);
+        assert!(ByteOrder::Little.as_flag());
+        assert!(!ByteOrder::Big.as_flag());
+    }
+
+    #[test]
+    fn native_order_is_consistent() {
+        let n = ByteOrder::native();
+        assert_eq!(ByteOrder::from_flag(n.as_flag()), n);
+    }
+}

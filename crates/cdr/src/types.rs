@@ -1,0 +1,189 @@
+//! `CdrEncode`/`CdrDecode` traits and implementations for common types.
+
+use crate::{CdrError, CdrReader, CdrWriter};
+
+/// A value that can be marshalled into a CDR stream.
+pub trait CdrEncode {
+    /// Append this value to the writer (aligning as CDR requires).
+    fn encode(&self, w: &mut CdrWriter);
+}
+
+/// A value that can be unmarshalled from a CDR stream.
+pub trait CdrDecode: Sized {
+    /// Read one value from the reader.
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError>;
+}
+
+macro_rules! prim {
+    ($ty:ty, $wr:ident, $rd:ident) => {
+        impl CdrEncode for $ty {
+            fn encode(&self, w: &mut CdrWriter) {
+                w.$wr(*self);
+            }
+        }
+        impl CdrDecode for $ty {
+            fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+                r.$rd()
+            }
+        }
+    };
+}
+
+prim!(u8, write_u8, read_u8);
+prim!(i8, write_i8, read_i8);
+prim!(u16, write_u16, read_u16);
+prim!(i16, write_i16, read_i16);
+prim!(u32, write_u32, read_u32);
+prim!(i32, write_i32, read_i32);
+prim!(u64, write_u64, read_u64);
+prim!(i64, write_i64, read_i64);
+prim!(f32, write_f32, read_f32);
+prim!(f64, write_f64, read_f64);
+prim!(bool, write_bool, read_bool);
+
+impl CdrEncode for String {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_string(self);
+    }
+}
+
+impl CdrEncode for &str {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_string(self);
+    }
+}
+
+impl CdrDecode for String {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        r.read_string()
+    }
+}
+
+/// Sequences marshal as `unsigned long` count followed by the elements.
+impl<T: CdrEncode> CdrEncode for Vec<T> {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: CdrDecode> CdrDecode for Vec<T> {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        // Elements are at least one octet each on the wire.
+        let len = r.read_seq_len(1)?;
+        let mut v = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: CdrEncode, const N: usize> CdrEncode for [T; N] {
+    fn encode(&self, w: &mut CdrWriter) {
+        // CORBA arrays carry no length prefix (the type fixes it).
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: CdrDecode + Default + Copy, const N: usize> CdrDecode for [T; N] {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::decode(r)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<A: CdrEncode, B: CdrEncode> CdrEncode for (A, B) {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: CdrDecode, B: CdrDecode> CdrDecode for (A, B) {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes, ByteOrder};
+    use proptest::prelude::*;
+
+    fn rt<T: CdrEncode + CdrDecode + PartialEq + std::fmt::Debug>(v: T, order: ByteOrder) {
+        let bytes = to_bytes(&v, order);
+        let back: T = from_bytes(&bytes, order).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        rt(vec![1u32, 2, 3], ByteOrder::Big);
+        rt(Vec::<u64>::new(), ByteOrder::Little);
+        rt(vec!["a".to_string(), "bb".to_string()], ByteOrder::Big);
+    }
+
+    #[test]
+    fn array_has_no_length_prefix() {
+        let bytes = to_bytes(&[1u8, 2, 3, 4], ByteOrder::Big);
+        assert_eq!(bytes, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        rt((42u32, "x".to_string()), ByteOrder::Little);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_round_trip(v: u64, little: bool) {
+            rt(v, ByteOrder::from_flag(little));
+        }
+
+        #[test]
+        fn prop_string_round_trip(s in "[^\u{0}]{0,64}", little: bool) {
+            rt(s, ByteOrder::from_flag(little));
+        }
+
+        #[test]
+        fn prop_vec_u32_round_trip(v in proptest::collection::vec(any::<u32>(), 0..64), little: bool) {
+            rt(v, ByteOrder::from_flag(little));
+        }
+
+        #[test]
+        fn prop_mixed_stream_round_trip(
+            a: u8, b: u32, c: u64, d in "[^\u{0}]{0,16}", e: i16, little: bool
+        ) {
+            let order = ByteOrder::from_flag(little);
+            let mut w = CdrWriter::new(order);
+            a.encode(&mut w); b.encode(&mut w); c.encode(&mut w);
+            d.encode(&mut w); e.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = CdrReader::new(&bytes, order);
+            prop_assert_eq!(u8::decode(&mut r).unwrap(), a);
+            prop_assert_eq!(u32::decode(&mut r).unwrap(), b);
+            prop_assert_eq!(u64::decode(&mut r).unwrap(), c);
+            prop_assert_eq!(String::decode(&mut r).unwrap(), d);
+            prop_assert_eq!(i16::decode(&mut r).unwrap(), e);
+            prop_assert!(r.is_exhausted());
+        }
+
+        #[test]
+        fn prop_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Whatever the input, decoding returns Ok or Err — no panic, no
+            // unbounded allocation.
+            let _ = crate::from_bytes::<Vec<String>>(&bytes, ByteOrder::Big);
+            let _ = crate::from_bytes::<Vec<u64>>(&bytes, ByteOrder::Little);
+            let _ = crate::from_bytes::<String>(&bytes, ByteOrder::Big);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Protocol tunables.
+
+use ftmp_net::SimDuration;
+
+/// Who answers a RetransmitRequest.
+///
+/// The paper (§5) allows *any* processor holding the message to retransmit
+/// it; a policy is needed to keep N holders from all answering at once. The
+/// E9 ablation experiment sweeps these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetransmitPolicy {
+    /// Only the original sender retransmits (classic sender-based ARQ; loses
+    /// the any-holder benefit when the sender itself is slow or dead).
+    OriginalSenderOnly,
+    /// Every holder retransmits with the given probability (expected number
+    /// of responders ≈ p × holders; decorrelates responders cheaply).
+    AnyHolder {
+        /// Per-holder response probability.
+        p: f64,
+    },
+    /// Every holder always retransmits (maximal redundancy, maximal cost).
+    AllHolders,
+}
+
+/// How many suspicions convict a processor (§7.2: "processors that enough
+/// processors suspect").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quorum {
+    /// Strict majority of the current membership — the default, robust to
+    /// minority false suspicion.
+    Majority,
+    /// A fixed count (tests use 1 for immediate conviction).
+    Fixed(usize),
+}
+
+impl Quorum {
+    /// Number of suspicions required given the current membership size.
+    pub fn required(self, membership_size: usize) -> usize {
+        match self {
+            Quorum::Majority => membership_size / 2 + 1,
+            Quorum::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// All FTMP protocol tunables, with defaults sized for the simulated LAN.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Multicast a Heartbeat to a group if no Regular message was sent to it
+    /// within this interval (§5: "a compromise between message latency and
+    /// network traffic" — experiment E1 sweeps it).
+    pub heartbeat_interval: SimDuration,
+    /// Suspect a member after this long without traffic from it (§7.2).
+    pub fail_timeout: SimDuration,
+    /// NACK scheduling: wait a uniformly random delay in `[0, nack_delay]`
+    /// after detecting a gap before sending a RetransmitRequest, so the
+    /// receivers of one multicast don't NACK in lock-step.
+    pub nack_delay: SimDuration,
+    /// Re-issue an unanswered RetransmitRequest after this long.
+    pub nack_retry: SimDuration,
+    /// After retransmitting a message, suppress further retransmissions of
+    /// the same message for this long (any-holder implosion control).
+    pub retransmit_suppress: SimDuration,
+    /// Who answers RetransmitRequests.
+    pub retransmit_policy: RetransmitPolicy,
+    /// Client retry interval for unanswered ConnectRequests (§7).
+    pub connect_retry: SimDuration,
+    /// Server/sponsor retry interval for Connect and AddProcessor messages
+    /// that cannot be NACK-recovered by their beneficiaries (§7).
+    pub join_retry: SimDuration,
+    /// Suspicions required for conviction.
+    pub suspect_quorum: Quorum,
+    /// Maximum missing-sequence span requested per RetransmitRequest.
+    pub max_nack_span: u64,
+    /// Seed for protocol-level randomness (NACK jitter, any-holder coin).
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            heartbeat_interval: SimDuration::from_millis(10),
+            fail_timeout: SimDuration::from_millis(120),
+            nack_delay: SimDuration::from_millis(2),
+            nack_retry: SimDuration::from_millis(8),
+            retransmit_suppress: SimDuration::from_millis(4),
+            retransmit_policy: RetransmitPolicy::AnyHolder { p: 0.4 },
+            connect_retry: SimDuration::from_millis(20),
+            join_retry: SimDuration::from_millis(20),
+            suspect_quorum: Quorum::Majority,
+            max_nack_span: 64,
+            seed: 0xF7F7_0001,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Default config with a specific protocol-randomness seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ProtocolConfig {
+            seed,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    /// Builder-style heartbeat interval override.
+    pub fn heartbeat(mut self, d: SimDuration) -> Self {
+        self.heartbeat_interval = d;
+        self
+    }
+
+    /// Builder-style fail timeout override.
+    pub fn fail_timeout_of(mut self, d: SimDuration) -> Self {
+        self.fail_timeout = d;
+        self
+    }
+
+    /// Builder-style quorum override.
+    pub fn quorum(mut self, q: Quorum) -> Self {
+        self.suspect_quorum = q;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_quorum_math() {
+        assert_eq!(Quorum::Majority.required(1), 1);
+        assert_eq!(Quorum::Majority.required(2), 2);
+        assert_eq!(Quorum::Majority.required(3), 2);
+        assert_eq!(Quorum::Majority.required(4), 3);
+        assert_eq!(Quorum::Majority.required(5), 3);
+    }
+
+    #[test]
+    fn fixed_quorum_is_at_least_one() {
+        assert_eq!(Quorum::Fixed(0).required(10), 1);
+        assert_eq!(Quorum::Fixed(3).required(10), 3);
+    }
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = ProtocolConfig::default();
+        assert!(c.heartbeat_interval < c.fail_timeout);
+        assert!(c.nack_delay < c.nack_retry);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = ProtocolConfig::with_seed(7)
+            .heartbeat(SimDuration::from_millis(3))
+            .quorum(Quorum::Fixed(1));
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.heartbeat_interval.as_millis(), 3);
+        assert_eq!(c.suspect_quorum, Quorum::Fixed(1));
+    }
+}

@@ -1,0 +1,140 @@
+//! Identifier newtypes used across the stack.
+//!
+//! The paper's naming (§4): processors form *processor groups*; replicated
+//! CORBA objects form *object groups* inside a *fault tolerance domain*; a
+//! *logical connection* binds a client object group to a server object group
+//! and is identified by the two (domain, object group) pairs.
+
+use std::fmt;
+
+/// A physical processor (one host / one FTMP endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessorId(pub u32);
+
+/// A processor group — the multicast delivery set RMP/ROMP/PGMP operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(pub u32);
+
+/// A fault tolerance domain (an administrative scope with its own multicast
+/// address for connection establishment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FtDomainId(pub u32);
+
+/// An object group within a fault tolerance domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectGroupId {
+    /// Owning fault tolerance domain.
+    pub domain: FtDomainId,
+    /// Object group number within the domain.
+    pub group: u32,
+}
+
+impl ObjectGroupId {
+    /// Construct from raw parts.
+    pub const fn new(domain: u32, group: u32) -> Self {
+        ObjectGroupId {
+            domain: FtDomainId(domain),
+            group,
+        }
+    }
+}
+
+/// A logical connection between a client object group and a server object
+/// group (§4). At most one connection is open between a given pair at a
+/// time, so the pair itself is the identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ConnectionId {
+    /// The client side.
+    pub client: ObjectGroupId,
+    /// The server side.
+    pub server: ObjectGroupId,
+}
+
+impl ConnectionId {
+    /// Construct a connection id.
+    pub const fn new(client: ObjectGroupId, server: ObjectGroupId) -> Self {
+        ConnectionId { client, server }
+    }
+}
+
+/// Request number on a logical connection (§4): monotonically increasing
+/// over all requests between the two groups; identical across all replicas
+/// of the requester, so `(ConnectionId, RequestNum)` is globally unique and
+/// drives duplicate detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RequestNum(pub u64);
+
+/// Per-(source, group) message sequence number (§3.2): incremented for every
+/// reliably-delivered message a processor multicasts to a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The successor sequence number.
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+/// A message timestamp derived from the source's Lamport clock (§6).
+/// Total order is by `(Timestamp, ProcessorId)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp (used by ConnectRequest headers, §7).
+    pub const ZERO: Timestamp = Timestamp(0);
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_ids_is_numeric() {
+        assert!(ProcessorId(2) < ProcessorId(10));
+        assert!(Timestamp(5) < Timestamp(6));
+        assert_eq!(SeqNum(3).next(), SeqNum(4));
+    }
+
+    #[test]
+    fn connection_id_identity() {
+        let a = ConnectionId::new(ObjectGroupId::new(1, 10), ObjectGroupId::new(1, 20));
+        let b = ConnectionId::new(ObjectGroupId::new(1, 10), ObjectGroupId::new(1, 20));
+        let c = ConnectionId::new(ObjectGroupId::new(1, 20), ObjectGroupId::new(1, 10));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "direction matters: client vs server");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessorId(3).to_string(), "P3");
+        assert_eq!(GroupId(1).to_string(), "G1");
+        assert_eq!(Timestamp(9).to_string(), "T9");
+        assert_eq!(SeqNum(2).to_string(), "#2");
+    }
+}

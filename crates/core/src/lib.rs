@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! The FTMP protocol stack: RMP, ROMP and PGMP.
+//!
+//! This crate implements the Fault-Tolerant Multicast Protocol of the paper
+//! as a **sans-io state machine**: a [`Processor`] consumes network packets
+//! and timer ticks and emits [`Action`]s (datagrams to send, messages to
+//! deliver, membership events to report). The same state machine runs under
+//! the deterministic simulator ([`ftmp_net::sim`]) for tests and experiments,
+//! and under the threaded live transport for the examples.
+//!
+//! Layering follows Fig. 1 of the paper:
+//!
+//! ```text
+//!   application / ORB           (ftmp-orb)
+//!        ▲ ordered deliveries
+//!   PGMP  — membership, connections     (pgmp.rs)
+//!   ROMP  — causal+total order, acks    (romp.rs)
+//!   RMP   — reliable source order       (rmp.rs)
+//!   IP Multicast                        (ftmp-net)
+//! ```
+//!
+//! Module map: [`wire`] holds the FTMP header and the nine message bodies
+//! (§3, §5–§7 of the paper); [`clock`] the Lamport / synchronized message
+//! timestamps (§6); [`rmp`] sequence numbers, NACKs and any-holder
+//! retransmission (§5); [`romp`] the ordering queue, delivery rule, ack
+//! timestamps and buffer reclamation (§6); [`pgmp`] connections, add/remove
+//! and the suspicion → conviction → membership-change pipeline (§7);
+//! [`processor`] ties the layers into one endpoint; [`sim_adapter`] plugs an
+//! endpoint into the simulator.
+
+pub mod clock;
+pub mod config;
+pub mod ids;
+pub mod pgmp;
+pub mod processor;
+pub mod rmp;
+pub mod romp;
+pub mod sim_adapter;
+pub mod wire;
+
+pub use clock::{Clock, ClockMode};
+pub use config::{ProtocolConfig, Quorum, RetransmitPolicy};
+pub use ids::{
+    ConnectionId, FtDomainId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
+};
+pub use processor::{Action, Delivery, Processor, ProtocolEvent, SendError, SendOutcome};
+pub use sim_adapter::SimProcessor;
+pub use wire::{FtmpBody, FtmpHeader, FtmpMessage, FtmpMsgType, WireError};

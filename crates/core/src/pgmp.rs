@@ -1,0 +1,420 @@
+//! PGMP — the Processor Group Membership Protocol layer (§7).
+//!
+//! This module holds PGMP's bookkeeping structures; the event-driven
+//! orchestration (when to send Suspect/Membership/Connect messages) lives in
+//! [`crate::processor`].
+//!
+//! * [`SuspicionMatrix`] — who suspects whom, and the quorum test that
+//!   convicts a processor "that enough processors suspect" (§7.2).
+//! * [`Reconfig`] — the survivors' reconciliation state after a conviction:
+//!   collected Membership proposals, the per-source sequence-number targets
+//!   (pairwise maxima), and the completion test that establishes virtual
+//!   synchrony before the new membership is installed.
+//! * [`ConnectionTable`] — logical connections: client-side pending
+//!   ConnectRequests, server-side registrations with their processor-group
+//!   address pools, and the conn → processor-group bindings (§4, §7).
+
+use crate::ids::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, Timestamp};
+use crate::wire::SeqVector;
+use ftmp_net::{McastAddr, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Who suspects whom (per group).
+#[derive(Debug, Default)]
+pub struct SuspicionMatrix {
+    by_reporter: BTreeMap<ProcessorId, BTreeSet<ProcessorId>>,
+}
+
+impl SuspicionMatrix {
+    /// Record a reporter's complete current suspect set (Suspect messages
+    /// carry the full set, so a report replaces earlier ones).
+    pub fn record(&mut self, reporter: ProcessorId, suspects: BTreeSet<ProcessorId>) {
+        self.by_reporter.insert(reporter, suspects);
+    }
+
+    /// The suspect set last reported by `reporter`.
+    pub fn reported_by(&self, reporter: ProcessorId) -> Option<&BTreeSet<ProcessorId>> {
+        self.by_reporter.get(&reporter)
+    }
+
+    /// Number of current members suspecting `q`.
+    pub fn suspicion_count(&self, q: ProcessorId, membership: &BTreeSet<ProcessorId>) -> usize {
+        self.by_reporter
+            .iter()
+            .filter(|(rep, set)| membership.contains(rep) && set.contains(&q))
+            .count()
+    }
+
+    /// Every member whose suspicion count meets `required`.
+    pub fn convicted(
+        &self,
+        membership: &BTreeSet<ProcessorId>,
+        required: usize,
+    ) -> Vec<ProcessorId> {
+        membership
+            .iter()
+            .copied()
+            .filter(|&q| self.suspicion_count(q, membership) >= required)
+            .collect()
+    }
+
+    /// Drop rows from and references to processors no longer in the group.
+    pub fn retain_members(&mut self, membership: &BTreeSet<ProcessorId>) {
+        self.by_reporter.retain(|rep, _| membership.contains(rep));
+        for set in self.by_reporter.values_mut() {
+            set.retain(|q| membership.contains(q));
+        }
+    }
+
+    /// Forget everything (after a membership change completes).
+    pub fn clear(&mut self) {
+        self.by_reporter.clear();
+    }
+}
+
+/// Reconciliation state while a faulty-processor membership change runs.
+#[derive(Debug)]
+pub struct Reconfig {
+    /// Processors being removed (unioned across local convictions and
+    /// removals proposed by peers' Membership messages; only grows).
+    pub removed: BTreeSet<ProcessorId>,
+    /// Latest Membership proposal from each survivor: its proposed set and
+    /// its per-source contiguous sequence numbers.
+    proposals: BTreeMap<ProcessorId, (BTreeSet<ProcessorId>, BTreeMap<ProcessorId, u64>)>,
+    /// The proposed set this processor last announced (re-announce when the
+    /// computed proposal drifts from it).
+    pub announced: Option<BTreeSet<ProcessorId>>,
+    /// When the reconfiguration began (reporting).
+    pub started_at: SimTime,
+}
+
+impl Reconfig {
+    /// Begin a reconfiguration removing `removed`.
+    pub fn new(removed: BTreeSet<ProcessorId>, now: SimTime) -> Self {
+        Reconfig {
+            removed,
+            proposals: BTreeMap::new(),
+            announced: None,
+            started_at: now,
+        }
+    }
+
+    /// The membership this processor currently proposes.
+    pub fn proposed(&self, membership: &BTreeSet<ProcessorId>) -> BTreeSet<ProcessorId> {
+        membership.difference(&self.removed).copied().collect()
+    }
+
+    /// Merge removals implied by a peer's proposal (peers may have convicted
+    /// processors we have not). Returns true if our removal set grew.
+    pub fn merge_removals(
+        &mut self,
+        membership: &BTreeSet<ProcessorId>,
+        peer_proposed: &BTreeSet<ProcessorId>,
+    ) -> bool {
+        let mut grew = false;
+        for p in membership {
+            if !peer_proposed.contains(p) && self.removed.insert(*p) {
+                grew = true;
+            }
+        }
+        if grew {
+            // Stale proposals (built on a smaller removal set) are invalid.
+            let removed = self.removed.clone();
+            self.proposals
+                .retain(|_, (prop, _)| prop.is_disjoint(&removed));
+        }
+        grew
+    }
+
+    /// Record a survivor's Membership proposal.
+    pub fn note_proposal(
+        &mut self,
+        from: ProcessorId,
+        proposed: BTreeSet<ProcessorId>,
+        seqs: &SeqVector,
+    ) {
+        let map: BTreeMap<ProcessorId, u64> = seqs.iter().copied().collect();
+        self.proposals.insert(from, (proposed, map));
+    }
+
+    /// Per-source reconciliation targets: the pairwise maximum of every
+    /// collected proposal's sequence vector (including our own, which the
+    /// caller passes in as a proposal from itself). Every survivor must
+    /// reach these before installing the new membership.
+    pub fn targets(&self) -> BTreeMap<ProcessorId, u64> {
+        let mut t: BTreeMap<ProcessorId, u64> = BTreeMap::new();
+        for (_, (_, seqs)) in self.proposals.iter() {
+            for (p, s) in seqs {
+                let e = t.entry(*p).or_insert(0);
+                if s > e {
+                    *e = *s;
+                }
+            }
+        }
+        t
+    }
+
+    /// Completion test: every proposed survivor has announced exactly our
+    /// proposed set, and our contiguous reception has reached every target.
+    pub fn complete(
+        &self,
+        proposed: &BTreeSet<ProcessorId>,
+        my_contiguous: &BTreeMap<ProcessorId, u64>,
+    ) -> bool {
+        if self.announced.as_ref() != Some(proposed) {
+            return false;
+        }
+        for p in proposed {
+            match self.proposals.get(p) {
+                Some((their_prop, _)) if their_prop == proposed => {}
+                _ => return false,
+            }
+        }
+        for (src, target) in self.targets() {
+            let have = my_contiguous.get(&src).copied().unwrap_or(0);
+            if have < target {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Survivors that have announced a matching proposal so far.
+    pub fn agreeing(&self, proposed: &BTreeSet<ProcessorId>) -> usize {
+        self.proposals
+            .values()
+            .filter(|(prop, _)| prop == proposed)
+            .count()
+    }
+}
+
+/// Client-side state for a connection being established.
+#[derive(Debug, Clone)]
+pub struct PendingConnect {
+    /// The processors supporting the client object group.
+    pub client_processors: Vec<ProcessorId>,
+    /// The server fault-tolerance domain's multicast address.
+    pub domain_addr: McastAddr,
+    /// Next ConnectRequest retry time.
+    pub next_retry: SimTime,
+}
+
+/// Server-side registration of an object group able to accept connections.
+#[derive(Debug, Clone)]
+pub struct ServerRegistration {
+    /// The processors hosting the server object group's replicas.
+    pub processors: Vec<ProcessorId>,
+    /// Pre-provisioned (processor group, multicast address) pairs this
+    /// object group may allocate for new connections. Several connections
+    /// that need the same processor set share one entry (§7's efficiency
+    /// mechanism).
+    pub pool: Vec<(GroupId, McastAddr)>,
+}
+
+impl ServerRegistration {
+    /// The primary (connection-answering) processor: the smallest id.
+    pub fn primary(&self) -> Option<ProcessorId> {
+        self.processors.iter().copied().min()
+    }
+}
+
+/// All connection state on one processor.
+#[derive(Debug, Default)]
+pub struct ConnectionTable {
+    /// Established conn → processor-group bindings.
+    bindings: BTreeMap<ConnectionId, GroupId>,
+    /// Client-side connects awaiting the server's Connect.
+    pub pending: BTreeMap<ConnectionId, PendingConnect>,
+    /// Server-side object-group registrations keyed by server object group.
+    pub servers: BTreeMap<ObjectGroupId, ServerRegistration>,
+    /// Domain multicast address per registered server object group.
+    pub server_domain_addrs: BTreeMap<ObjectGroupId, McastAddr>,
+    /// Connections whose group allocation is decided but whose Connect has
+    /// not yet been ordered (primary-side dedup of repeated ConnectRequests,
+    /// client-side suppression of further retries).
+    pub promised: BTreeMap<ConnectionId, GroupId>,
+    /// Groups this processor created as connection primary, mapped to the
+    /// membership timestamp of the Connect, for retransmission control.
+    pub primary_of: BTreeMap<GroupId, Timestamp>,
+}
+
+impl ConnectionTable {
+    /// Bind a connection to a processor group.
+    pub fn bind(&mut self, conn: ConnectionId, group: GroupId) {
+        self.bindings.insert(conn, group);
+        self.pending.remove(&conn);
+        self.promised.remove(&conn);
+    }
+
+    /// The group a connection is bound to, if established.
+    pub fn group_of(&self, conn: ConnectionId) -> Option<GroupId> {
+        self.bindings.get(&conn).copied()
+    }
+
+    /// All connections bound to `group`.
+    pub fn conns_on(&self, group: GroupId) -> Vec<ConnectionId> {
+        self.bindings
+            .iter()
+            .filter(|(_, g)| **g == group)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// The registration able to answer a ConnectRequest for `conn` (keyed
+    /// by the connection's server side).
+    pub fn server_for(&self, conn: ConnectionId) -> Option<&ServerRegistration> {
+        self.servers.get(&conn.server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pset(ids: &[u32]) -> BTreeSet<ProcessorId> {
+        ids.iter().copied().map(ProcessorId).collect()
+    }
+
+    #[test]
+    fn suspicion_counting_and_conviction() {
+        let members = pset(&[1, 2, 3, 4, 5]);
+        let mut m = SuspicionMatrix::default();
+        m.record(ProcessorId(1), pset(&[5]));
+        m.record(ProcessorId(2), pset(&[5]));
+        assert_eq!(m.suspicion_count(ProcessorId(5), &members), 2);
+        assert!(m.convicted(&members, 3).is_empty());
+        m.record(ProcessorId(3), pset(&[5, 4]));
+        assert_eq!(m.convicted(&members, 3), vec![ProcessorId(5)]);
+        // Reports from non-members don't count.
+        m.record(ProcessorId(9), pset(&[4]));
+        assert_eq!(m.suspicion_count(ProcessorId(4), &members), 1);
+    }
+
+    #[test]
+    fn suspicion_report_replaces_previous() {
+        let members = pset(&[1, 2]);
+        let mut m = SuspicionMatrix::default();
+        m.record(ProcessorId(1), pset(&[2]));
+        m.record(ProcessorId(1), pset(&[]));
+        assert_eq!(m.suspicion_count(ProcessorId(2), &members), 0);
+    }
+
+    #[test]
+    fn retain_members_prunes_rows_and_columns() {
+        let mut m = SuspicionMatrix::default();
+        m.record(ProcessorId(1), pset(&[3]));
+        m.record(ProcessorId(3), pset(&[1]));
+        let survivors = pset(&[1, 2]);
+        m.retain_members(&survivors);
+        assert!(m.reported_by(ProcessorId(3)).is_none());
+        assert!(m.reported_by(ProcessorId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reconfig_proposal_and_targets() {
+        let members = pset(&[1, 2, 3]);
+        let mut rc = Reconfig::new(pset(&[3]), SimTime(0));
+        let proposed = rc.proposed(&members);
+        assert_eq!(proposed, pset(&[1, 2]));
+        rc.note_proposal(
+            ProcessorId(1),
+            proposed.clone(),
+            &vec![(ProcessorId(1), 10), (ProcessorId(2), 5), (ProcessorId(3), 7)],
+        );
+        rc.note_proposal(
+            ProcessorId(2),
+            proposed.clone(),
+            &vec![(ProcessorId(1), 8), (ProcessorId(2), 6), (ProcessorId(3), 9)],
+        );
+        let t = rc.targets();
+        assert_eq!(t[&ProcessorId(1)], 10);
+        assert_eq!(t[&ProcessorId(2)], 6);
+        assert_eq!(t[&ProcessorId(3)], 9);
+    }
+
+    #[test]
+    fn reconfig_completion_requires_agreement_and_seqs() {
+        let members = pset(&[1, 2, 3]);
+        let mut rc = Reconfig::new(pset(&[3]), SimTime(0));
+        let proposed = rc.proposed(&members);
+        let my_seqs: BTreeMap<ProcessorId, u64> =
+            [(ProcessorId(1), 10), (ProcessorId(2), 6), (ProcessorId(3), 9)]
+                .into_iter()
+                .collect();
+        assert!(!rc.complete(&proposed, &my_seqs), "nothing announced yet");
+        rc.announced = Some(proposed.clone());
+        rc.note_proposal(
+            ProcessorId(1),
+            proposed.clone(),
+            &vec![(ProcessorId(1), 10)],
+        );
+        assert!(!rc.complete(&proposed, &my_seqs), "P2 missing");
+        rc.note_proposal(
+            ProcessorId(2),
+            proposed.clone(),
+            &vec![(ProcessorId(3), 9)],
+        );
+        assert!(rc.complete(&proposed, &my_seqs));
+        // A target we have not reached blocks completion.
+        rc.note_proposal(
+            ProcessorId(2),
+            proposed.clone(),
+            &vec![(ProcessorId(3), 12)],
+        );
+        assert!(!rc.complete(&proposed, &my_seqs));
+    }
+
+    #[test]
+    fn reconfig_merges_peer_removals_and_invalidates_stale_proposals() {
+        let members = pset(&[1, 2, 3, 4]);
+        let mut rc = Reconfig::new(pset(&[4]), SimTime(0));
+        rc.note_proposal(ProcessorId(2), pset(&[1, 2, 3]), &vec![]);
+        // Peer also removes 3.
+        let grew = rc.merge_removals(&members, &pset(&[1, 2]));
+        assert!(grew);
+        assert_eq!(rc.proposed(&members), pset(&[1, 2]));
+        // P2's old proposal contained 3 (now removed): invalidated.
+        assert_eq!(rc.agreeing(&pset(&[1, 2])), 0);
+        // Merging the same removals again changes nothing.
+        assert!(!rc.merge_removals(&members, &pset(&[1, 2])));
+    }
+
+    #[test]
+    fn connection_table_bindings() {
+        let mut t = ConnectionTable::default();
+        let conn = ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2));
+        assert_eq!(t.group_of(conn), None);
+        t.pending.insert(
+            conn,
+            PendingConnect {
+                client_processors: vec![ProcessorId(1)],
+                domain_addr: McastAddr(9),
+                next_retry: SimTime(0),
+            },
+        );
+        t.bind(conn, GroupId(5));
+        assert_eq!(t.group_of(conn), Some(GroupId(5)));
+        assert!(t.pending.is_empty(), "binding clears the pending entry");
+        assert_eq!(t.conns_on(GroupId(5)), vec![conn]);
+    }
+
+    #[test]
+    fn promised_connections_clear_on_bind() {
+        let mut t = ConnectionTable::default();
+        let conn = ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2));
+        t.promised.insert(conn, GroupId(9));
+        assert_eq!(t.group_of(conn), None, "promised is not bound");
+        t.bind(conn, GroupId(9));
+        assert!(t.promised.is_empty());
+        assert_eq!(t.group_of(conn), Some(GroupId(9)));
+    }
+
+    #[test]
+    fn server_registration_primary_is_min_id() {
+        let reg = ServerRegistration {
+            processors: vec![ProcessorId(7), ProcessorId(3), ProcessorId(9)],
+            pool: vec![(GroupId(1), McastAddr(1))],
+        };
+        assert_eq!(reg.primary(), Some(ProcessorId(3)));
+    }
+}

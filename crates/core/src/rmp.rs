@@ -1,0 +1,539 @@
+//! RMP — the Reliable Multicast Protocol layer (§5).
+//!
+//! RMP gives each (source, group) pair a gap-free stream of sequence
+//! numbers. Receivers detect holes (from a later message's sequence number,
+//! or from the sequence number a Heartbeat carries), schedule a jittered
+//! NACK ([`wire::FtmpBody::RetransmitRequest`]), and deliver messages
+//! upward strictly in source order. Any processor that still buffers a
+//! message may answer a NACK — the *any-holder* retransmission that
+//! distinguishes FTMP from sender-based ARQ.
+//!
+//! This module holds the per-source receive window ([`SourceRx`]), the send
+//! counter ([`SendState`]) and the any-holder [`RetentionStore`]; the
+//! [`crate::processor`] module wires them to the clock and the network.
+//!
+//! [`wire::FtmpBody::RetransmitRequest`]: crate::wire::FtmpBody::RetransmitRequest
+
+use crate::ids::{ProcessorId, SeqNum, Timestamp};
+use crate::wire::FtmpMessage;
+use ftmp_net::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Outcome of offering a reliable message to a [`SourceRx`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Already received (retransmission or duplicate); dropped.
+    Duplicate,
+    /// Out of order; buffered awaiting the gap fill.
+    Buffered,
+    /// In order; the contained run (this message plus any buffered
+    /// successors it released) is delivered upward in source order.
+    Delivered(Vec<FtmpMessage>),
+}
+
+/// Per-(source, group) receive window.
+#[derive(Debug)]
+pub struct SourceRx {
+    /// Next sequence number expected in contiguous order.
+    next_seq: u64,
+    /// Out-of-order messages awaiting earlier ones.
+    buffer: BTreeMap<u64, FtmpMessage>,
+    /// Highest sequence number seen in any header from this source
+    /// (including Heartbeats), i.e. how far the source has provably sent.
+    highest_seen: u64,
+    /// When the next RetransmitRequest for this source's gaps is due.
+    nack_at: Option<SimTime>,
+}
+
+impl SourceRx {
+    /// A window expecting the stream to start at `first_seq` (1 for a
+    /// founding member; `cited + 1` for a joiner, §7.1).
+    pub fn starting_at(first_seq: u64) -> Self {
+        SourceRx {
+            next_seq: first_seq,
+            buffer: BTreeMap::new(),
+            highest_seen: first_seq.saturating_sub(1),
+            nack_at: None,
+        }
+    }
+
+    /// Next expected contiguous sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Highest contiguously received sequence number (0 = none yet).
+    pub fn contiguous(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Highest sequence number evidenced by any header.
+    pub fn highest_seen(&self) -> u64 {
+        self.highest_seen
+    }
+
+    /// Number of buffered out-of-order messages.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Offer a reliable message bearing `seq`.
+    pub fn on_reliable(&mut self, msg: FtmpMessage) -> RxOutcome {
+        let seq = msg.seq.0;
+        self.highest_seen = self.highest_seen.max(seq);
+        if seq < self.next_seq || self.buffer.contains_key(&seq) {
+            return RxOutcome::Duplicate;
+        }
+        if seq > self.next_seq {
+            self.buffer.insert(seq, msg);
+            return RxOutcome::Buffered;
+        }
+        // In order: release this message plus any contiguous run behind it.
+        let mut run = vec![msg];
+        self.next_seq += 1;
+        while let Some(m) = self.buffer.remove(&self.next_seq) {
+            run.push(m);
+            self.next_seq += 1;
+        }
+        if !self.has_gap() {
+            self.nack_at = None;
+        }
+        RxOutcome::Delivered(run)
+    }
+
+    /// Note a sequence number carried by an unreliable header (Heartbeat or
+    /// RetransmitRequest): evidence of how far the source has sent.
+    pub fn note_header_seq(&mut self, seq: SeqNum) {
+        self.highest_seen = self.highest_seen.max(seq.0);
+    }
+
+    /// True when messages are known to be missing.
+    pub fn has_gap(&self) -> bool {
+        self.highest_seen >= self.next_seq
+    }
+
+    /// The missing ranges `[start, stop]` (inclusive), each capped at
+    /// `max_span` sequence numbers.
+    pub fn missing_ranges(&self, max_span: u64) -> Vec<(u64, u64)> {
+        if !self.has_gap() {
+            return Vec::new();
+        }
+        let mut ranges = Vec::new();
+        let mut cursor = self.next_seq;
+        let mut received = self.buffer.keys().copied().peekable();
+        while cursor <= self.highest_seen {
+            // Skip past buffered (already received) sequence numbers.
+            while received.peek().is_some_and(|&s| s < cursor) {
+                received.next();
+            }
+            let gap_end = match received.peek() {
+                Some(&s) if s <= self.highest_seen => s - 1,
+                _ => self.highest_seen,
+            };
+            let mut start = cursor;
+            while start <= gap_end {
+                let stop = gap_end.min(start + max_span - 1);
+                ranges.push((start, stop));
+                start = stop + 1;
+            }
+            cursor = gap_end + 1;
+            // Skip the contiguous run of buffered messages at gap_end + 1.
+            while received.peek() == Some(&cursor) {
+                received.next();
+                cursor += 1;
+            }
+        }
+        ranges
+    }
+
+    /// NACK scheduler: called on gap detection and on ticks. Returns true
+    /// when a RetransmitRequest should be emitted now; reschedules itself
+    /// with period `retry`.
+    pub fn nack_due(&mut self, now: SimTime, initial_jitter: SimDuration, retry: SimDuration) -> bool {
+        if !self.has_gap() {
+            self.nack_at = None;
+            return false;
+        }
+        match self.nack_at {
+            None => {
+                self.nack_at = Some(now + initial_jitter);
+                false
+            }
+            Some(at) if now >= at => {
+                self.nack_at = Some(now + retry);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+}
+
+/// Per-group send counter.
+#[derive(Debug, Default)]
+pub struct SendState {
+    last: u64,
+}
+
+impl SendState {
+    /// Allocate the next sequence number (first is 1).
+    pub fn allocate(&mut self) -> SeqNum {
+        self.last += 1;
+        SeqNum(self.last)
+    }
+
+    /// The sequence number of the most recent reliable message, carried by
+    /// Heartbeats and RetransmitRequests (§5).
+    pub fn last(&self) -> SeqNum {
+        SeqNum(self.last)
+    }
+}
+
+/// The any-holder retransmission buffer for one group.
+///
+/// Every reliable message — ours or anyone's — is retained until the ack
+/// timestamps prove every member has it (§6 buffer management). While
+/// retained, it can answer a RetransmitRequest from any processor.
+#[derive(Debug, Default)]
+pub struct RetentionStore {
+    msgs: BTreeMap<(ProcessorId, u64), Retained>,
+    /// Bytes currently retained (payload accounting for experiment E6).
+    bytes: usize,
+}
+
+#[derive(Debug)]
+struct Retained {
+    msg: FtmpMessage,
+    size: usize,
+    /// Last time we retransmitted it (implosion suppression).
+    last_retransmit: Option<SimTime>,
+}
+
+impl RetentionStore {
+    /// Retain a message (idempotent).
+    pub fn insert(&mut self, msg: FtmpMessage, encoded_size: usize) {
+        let key = (msg.source, msg.seq.0);
+        self.msgs.entry(key).or_insert_with(|| {
+            self.bytes += encoded_size;
+            Retained {
+                msg,
+                size: encoded_size,
+                last_retransmit: None,
+            }
+        });
+    }
+
+    /// Look up a retained message.
+    pub fn get(&self, source: ProcessorId, seq: u64) -> Option<&FtmpMessage> {
+        self.msgs.get(&(source, seq)).map(|r| &r.msg)
+    }
+
+    /// Check the suppression window and, if clear, mark a retransmission of
+    /// `(source, seq)` at `now` and return the message to resend.
+    pub fn take_for_retransmit(
+        &mut self,
+        source: ProcessorId,
+        seq: u64,
+        now: SimTime,
+        suppress: SimDuration,
+    ) -> Option<FtmpMessage> {
+        let r = self.msgs.get_mut(&(source, seq))?;
+        if let Some(last) = r.last_retransmit {
+            if now.saturating_since(last) < suppress {
+                return None;
+            }
+        }
+        r.last_retransmit = Some(now);
+        Some(r.msg.clone())
+    }
+
+    /// Reclaim every message with timestamp ≤ `stable`: all members have
+    /// acknowledged receiving everything up to `stable`, so no retransmission
+    /// can ever be needed (§6). Returns the number reclaimed.
+    pub fn reclaim_stable(&mut self, stable: Timestamp) -> usize {
+        let before = self.msgs.len();
+        let bytes = &mut self.bytes;
+        self.msgs.retain(|_, r| {
+            if r.msg.ts <= stable {
+                *bytes -= r.size;
+                false
+            } else {
+                true
+            }
+        });
+        before - self.msgs.len()
+    }
+
+    /// Drop retained messages from a removed/convicted source whose
+    /// sequence numbers exceed the agreed reconciliation target.
+    pub fn drop_beyond(&mut self, source: ProcessorId, beyond: u64) {
+        let bytes = &mut self.bytes;
+        self.msgs.retain(|(s, seq), r| {
+            if *s == source && *seq > beyond {
+                *bytes -= r.size;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Number of retained messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Bytes currently retained.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GroupId;
+    use crate::wire::FtmpBody;
+    use proptest::prelude::*;
+
+    fn msg(src: u32, seq: u64, ts: u64) -> FtmpMessage {
+        FtmpMessage {
+            retransmission: false,
+            source: ProcessorId(src),
+            group: GroupId(1),
+            seq: SeqNum(seq),
+            ts: Timestamp(ts),
+            ack_ts: Timestamp(0),
+            body: FtmpBody::Heartbeat, // body type irrelevant to RMP tests
+        }
+    }
+
+    #[test]
+    fn in_order_stream_delivers_immediately() {
+        let mut rx = SourceRx::starting_at(1);
+        for seq in 1..=5 {
+            match rx.on_reliable(msg(1, seq, seq * 10)) {
+                RxOutcome::Delivered(run) => assert_eq!(run.len(), 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(rx.contiguous(), 5);
+        assert!(!rx.has_gap());
+    }
+
+    #[test]
+    fn gap_buffers_then_releases_run() {
+        let mut rx = SourceRx::starting_at(1);
+        assert_eq!(rx.on_reliable(msg(1, 2, 20)), RxOutcome::Buffered);
+        assert_eq!(rx.on_reliable(msg(1, 3, 30)), RxOutcome::Buffered);
+        assert!(rx.has_gap());
+        match rx.on_reliable(msg(1, 1, 10)) {
+            RxOutcome::Delivered(run) => {
+                let seqs: Vec<u64> = run.iter().map(|m| m.seq.0).collect();
+                assert_eq!(seqs, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!rx.has_gap());
+        assert_eq!(rx.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        let mut rx = SourceRx::starting_at(1);
+        rx.on_reliable(msg(1, 1, 10));
+        assert_eq!(rx.on_reliable(msg(1, 1, 10)), RxOutcome::Duplicate);
+        rx.on_reliable(msg(1, 3, 30));
+        assert_eq!(rx.on_reliable(msg(1, 3, 30)), RxOutcome::Duplicate);
+    }
+
+    #[test]
+    fn heartbeat_seq_reveals_gap() {
+        let mut rx = SourceRx::starting_at(1);
+        rx.on_reliable(msg(1, 1, 10));
+        assert!(!rx.has_gap());
+        rx.note_header_seq(SeqNum(4));
+        assert!(rx.has_gap());
+        assert_eq!(rx.missing_ranges(64), vec![(2, 4)]);
+    }
+
+    #[test]
+    fn missing_ranges_split_around_buffered() {
+        let mut rx = SourceRx::starting_at(1);
+        rx.on_reliable(msg(1, 3, 30));
+        rx.on_reliable(msg(1, 6, 60));
+        rx.note_header_seq(SeqNum(8));
+        assert_eq!(rx.missing_ranges(64), vec![(1, 2), (4, 5), (7, 8)]);
+    }
+
+    #[test]
+    fn missing_ranges_capped_by_span() {
+        let mut rx = SourceRx::starting_at(1);
+        rx.note_header_seq(SeqNum(10));
+        assert_eq!(rx.missing_ranges(4), vec![(1, 4), (5, 8), (9, 10)]);
+    }
+
+    #[test]
+    fn joiner_window_starts_after_cited_seq() {
+        let mut rx = SourceRx::starting_at(6);
+        assert_eq!(rx.contiguous(), 5);
+        assert!(!rx.has_gap());
+        match rx.on_reliable(msg(1, 6, 60)) {
+            RxOutcome::Delivered(run) => assert_eq!(run[0].seq.0, 6),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Old traffic is a duplicate, not a gap trigger.
+        assert_eq!(rx.on_reliable(msg(1, 2, 20)), RxOutcome::Duplicate);
+    }
+
+    #[test]
+    fn nack_scheduling_jitter_then_retry() {
+        let mut rx = SourceRx::starting_at(1);
+        rx.note_header_seq(SeqNum(3));
+        let jitter = SimDuration::from_millis(2);
+        let retry = SimDuration::from_millis(8);
+        // First call arms the timer, does not fire.
+        assert!(!rx.nack_due(SimTime(0), jitter, retry));
+        // Before the jitter elapses: no fire.
+        assert!(!rx.nack_due(SimTime(1_000), jitter, retry));
+        // After: fire once, rearmed at +retry.
+        assert!(rx.nack_due(SimTime(2_500), jitter, retry));
+        assert!(!rx.nack_due(SimTime(3_000), jitter, retry));
+        assert!(rx.nack_due(SimTime(11_000), jitter, retry));
+        // Gap fills: no more NACKs.
+        rx.on_reliable(msg(1, 1, 1));
+        rx.on_reliable(msg(1, 2, 2));
+        rx.on_reliable(msg(1, 3, 3));
+        assert!(!rx.nack_due(SimTime(30_000), jitter, retry));
+    }
+
+    #[test]
+    fn send_state_counts_from_one() {
+        let mut s = SendState::default();
+        assert_eq!(s.last(), SeqNum(0));
+        assert_eq!(s.allocate(), SeqNum(1));
+        assert_eq!(s.allocate(), SeqNum(2));
+        assert_eq!(s.last(), SeqNum(2));
+    }
+
+    #[test]
+    fn retention_insert_get_reclaim() {
+        let mut store = RetentionStore::default();
+        store.insert(msg(1, 1, 10), 100);
+        store.insert(msg(1, 2, 20), 100);
+        store.insert(msg(2, 1, 15), 100);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.bytes(), 300);
+        assert!(store.get(ProcessorId(1), 2).is_some());
+        // Idempotent insert does not double count.
+        store.insert(msg(1, 1, 10), 100);
+        assert_eq!(store.bytes(), 300);
+        // Stability at ts 15 reclaims ts 10 and 15.
+        let n = store.reclaim_stable(Timestamp(15));
+        assert_eq!(n, 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), 100);
+        assert!(store.get(ProcessorId(1), 2).is_some());
+    }
+
+    #[test]
+    fn retransmit_suppression_window() {
+        let mut store = RetentionStore::default();
+        store.insert(msg(1, 1, 10), 50);
+        let sup = SimDuration::from_millis(4);
+        assert!(store
+            .take_for_retransmit(ProcessorId(1), 1, SimTime(0), sup)
+            .is_some());
+        // Within the window: suppressed.
+        assert!(store
+            .take_for_retransmit(ProcessorId(1), 1, SimTime(2_000), sup)
+            .is_none());
+        // After: allowed again.
+        assert!(store
+            .take_for_retransmit(ProcessorId(1), 1, SimTime(5_000), sup)
+            .is_some());
+        // Unknown message: none.
+        assert!(store
+            .take_for_retransmit(ProcessorId(9), 1, SimTime(0), sup)
+            .is_none());
+    }
+
+    #[test]
+    fn drop_beyond_discards_tail() {
+        let mut store = RetentionStore::default();
+        for seq in 1..=5 {
+            store.insert(msg(1, seq, seq * 10), 10);
+        }
+        store.insert(msg(2, 1, 10), 10);
+        store.drop_beyond(ProcessorId(1), 3);
+        assert_eq!(store.len(), 4);
+        assert!(store.get(ProcessorId(1), 3).is_some());
+        assert!(store.get(ProcessorId(1), 4).is_none());
+        assert!(store.get(ProcessorId(2), 1).is_some());
+        assert_eq!(store.bytes(), 40);
+    }
+
+    proptest! {
+        /// Whatever the arrival permutation, the delivered stream is exactly
+        /// 1..=n in order, with no duplicates.
+        #[test]
+        fn prop_source_order_restored(perm in proptest::sample::subsequence((1u64..=20).collect::<Vec<_>>(), 20).prop_shuffle()) {
+            let mut rx = SourceRx::starting_at(1);
+            let mut delivered = Vec::new();
+            for seq in perm {
+                if let RxOutcome::Delivered(run) = rx.on_reliable(msg(1, seq, seq)) {
+                    delivered.extend(run.into_iter().map(|m| m.seq.0));
+                }
+            }
+            prop_assert_eq!(delivered, (1u64..=20).collect::<Vec<_>>());
+        }
+
+        /// Duplicated, shuffled arrivals still deliver each message once.
+        #[test]
+        fn prop_duplicates_never_redeliver(
+            arrivals in proptest::collection::vec(1u64..=10, 0..60),
+        ) {
+            let mut rx = SourceRx::starting_at(1);
+            let mut delivered = Vec::new();
+            for seq in arrivals {
+                if let RxOutcome::Delivered(run) = rx.on_reliable(msg(1, seq, seq)) {
+                    delivered.extend(run.into_iter().map(|m| m.seq.0));
+                }
+            }
+            let mut sorted = delivered.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &delivered, "delivery is in order, no dups");
+        }
+
+        /// missing_ranges exactly complements {buffered} ∪ {contiguous} up
+        /// to highest_seen.
+        #[test]
+        fn prop_missing_ranges_complete(
+            received in proptest::collection::btree_set(1u64..40, 0..25),
+            highest in 1u64..40,
+        ) {
+            let mut rx = SourceRx::starting_at(1);
+            for &seq in &received {
+                rx.on_reliable(msg(1, seq, seq));
+            }
+            rx.note_header_seq(SeqNum(highest));
+            let ranges = rx.missing_ranges(1_000);
+            let mut missing = std::collections::BTreeSet::new();
+            for (a, b) in &ranges {
+                for s in *a..=*b {
+                    missing.insert(s);
+                }
+            }
+            let hi = rx.highest_seen();
+            for s in 1..=hi {
+                let have = s <= rx.contiguous() || received.contains(&s);
+                prop_assert_eq!(missing.contains(&s), !have, "seq {}", s);
+            }
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! ROMP — the Reliable Ordered Multicast Protocol layer (§6).
+//!
+//! ROMP receives source-ordered messages from RMP and delivers the
+//! totally-ordered types (Regular, Connect, AddProcessor, RemoveProcessor)
+//! in a single agreed order: ascending `(timestamp, source id)`.
+//!
+//! **Delivery rule.** A queued message *m* is deliverable once, for every
+//! group member *q*, this processor's *horizon* for *q* — the timestamp of
+//! the latest message received contiguously from *q* — is ≥ *m*.ts. Since
+//! each source stamps strictly increasing timestamps and RMP delivers its
+//! stream gap-free, nothing that could sort before *m* can still arrive.
+//! Heartbeats advance horizons when their carried sequence number matches
+//! the contiguous front (otherwise they first reveal a gap to RMP).
+//!
+//! **Ack timestamps.** Every outgoing message carries
+//! `ack = min over members of horizon` — "I have received everything with
+//! timestamp ≤ ack from everyone". The minimum of all members' *reported*
+//! acks is the stability point: messages at or below it can never be asked
+//! for again and leave the retention buffer (§6 buffer management).
+
+use crate::ids::{ProcessorId, Timestamp};
+use crate::wire::FtmpMessage;
+use std::collections::BTreeMap;
+
+/// A totally-ordered delivery position: `(timestamp, source)`.
+pub type OrderKey = (Timestamp, ProcessorId);
+
+/// The ordering state for one group.
+#[derive(Debug)]
+pub struct Ordering {
+    /// Ordered-but-undelivered messages keyed by delivery position.
+    queue: BTreeMap<OrderKey, FtmpMessage>,
+    /// Per-member contiguous timestamp horizon.
+    horizon: BTreeMap<ProcessorId, Timestamp>,
+    /// Per-member latest reported ack timestamp.
+    reported_ack: BTreeMap<ProcessorId, Timestamp>,
+    /// Position of the last delivered message (deliveries only move up).
+    last_delivered: OrderKey,
+}
+
+impl Ordering {
+    /// Create ordering state for the given founding members, none of whom
+    /// has been heard yet. `floor` is the timestamp before which nothing
+    /// will be ordered (group-creation or join position).
+    pub fn new(members: impl IntoIterator<Item = ProcessorId>, floor: Timestamp) -> Self {
+        Self::with_floor_key(members, floor, (floor, ProcessorId(u32::MAX)))
+    }
+
+    /// Create ordering state whose delivery floor is an exact total-order
+    /// position: a joiner delivers only messages ordered strictly after its
+    /// AddProcessor's `(ts, sponsor)` key (§7.1), while messages at or below
+    /// it are covered by the state snapshot.
+    pub fn with_floor_key(
+        members: impl IntoIterator<Item = ProcessorId>,
+        horizon_floor: Timestamp,
+        floor_key: OrderKey,
+    ) -> Self {
+        let horizon: BTreeMap<ProcessorId, Timestamp> =
+            members.into_iter().map(|p| (p, horizon_floor)).collect();
+        Ordering {
+            queue: BTreeMap::new(),
+            horizon,
+            reported_ack: BTreeMap::new(),
+            last_delivered: floor_key,
+        }
+    }
+
+    /// Add a member at a given horizon floor (AddProcessor position, §7.1).
+    /// Its reported ack starts at zero, pinning retention until it speaks.
+    pub fn add_member(&mut self, p: ProcessorId, floor: Timestamp) {
+        self.horizon.entry(p).or_insert(floor);
+    }
+
+    /// Remove a member (RemoveProcessor or conviction); its horizon no
+    /// longer gates delivery and its acks no longer gate stability.
+    pub fn remove_member(&mut self, p: ProcessorId) {
+        self.horizon.remove(&p);
+        self.reported_ack.remove(&p);
+    }
+
+    /// Current members known to ordering.
+    pub fn members(&self) -> impl Iterator<Item = &ProcessorId> {
+        self.horizon.keys()
+    }
+
+    /// This processor's horizon for `p`.
+    pub fn horizon_of(&self, p: ProcessorId) -> Option<Timestamp> {
+        self.horizon.get(&p).copied()
+    }
+
+    /// Record that `p`'s stream has contiguously reached `ts` (an in-order
+    /// reliable message, or a gap-free Heartbeat).
+    pub fn advance_horizon(&mut self, p: ProcessorId, ts: Timestamp) {
+        if let Some(h) = self.horizon.get_mut(&p) {
+            if ts > *h {
+                *h = ts;
+            }
+        }
+    }
+
+    /// Record an ack timestamp reported by `p` (any header from `p`).
+    pub fn record_ack(&mut self, p: ProcessorId, ack: Timestamp) {
+        let e = self.reported_ack.entry(p).or_insert(Timestamp(0));
+        if ack > *e {
+            *e = ack;
+        }
+    }
+
+    /// The ack timestamp to stamp on outgoing messages: the minimum horizon
+    /// across members (we have everything ≤ this from everyone).
+    pub fn ack_ts(&self) -> Timestamp {
+        self.horizon
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp(0))
+    }
+
+    /// The stability point: every member has acknowledged everything at or
+    /// below this timestamp. Members that have not reported yet hold it at
+    /// zero (deliberately conservative: a joiner pins retention, §7.1).
+    pub fn stable_ts(&self) -> Timestamp {
+        self.horizon
+            .keys()
+            .map(|p| self.reported_ack.get(p).copied().unwrap_or(Timestamp(0)))
+            .min()
+            .unwrap_or(Timestamp(0))
+    }
+
+    /// Enqueue a totally-ordered message at its delivery position. Messages
+    /// at or below the join/creation floor are ignored (the state snapshot
+    /// covers them).
+    pub fn enqueue(&mut self, msg: FtmpMessage) {
+        let key = (msg.ts, msg.source);
+        if key <= self.last_delivered {
+            return;
+        }
+        self.queue.insert(key, msg);
+    }
+
+    /// Pop every message the delivery rule now allows, in order.
+    pub fn deliverable(&mut self) -> Vec<FtmpMessage> {
+        let mut out = Vec::new();
+        while let Some((&(ts, src), _)) = self.queue.first_key_value() {
+            let ok = self.horizon.values().all(|&h| h >= ts);
+            if !ok {
+                break;
+            }
+            let ((k, s), msg) = self.queue.pop_first().expect("peeked");
+            // Monotone max: after a membership-change flush, messages a
+            // faster survivor multicast post-flush can sit below the flush
+            // ceiling; they deliver here (same relative order at every
+            // survivor) without regressing the duplicate-suppression floor.
+            self.last_delivered = self.last_delivered.max((k, s));
+            debug_assert_eq!((k, s), (ts, src));
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Membership-change flush (§7.2): after reconciliation every survivor
+    /// holds the identical message set up to the agreed per-source targets,
+    /// so deliver everything queued with `seq ≤ target[source]` in order.
+    ///
+    /// Beyond-target messages are split by fate: a *removed* processor's are
+    /// discarded (no agreement about them is possible — the source is dead
+    /// and some survivors may lack them), while a *survivor's* stay queued —
+    /// they are messages the survivor multicast after completing its own
+    /// reconfiguration (completions are not simultaneous), and they deliver
+    /// normally in the new membership. Their timestamps necessarily exceed
+    /// every flushed timestamp (the sender's clock passed its own flush
+    /// before stamping them), so no order inversion is possible.
+    ///
+    /// Returns `(delivered, discarded_count)`.
+    pub fn flush_with_targets(
+        &mut self,
+        target: &BTreeMap<ProcessorId, u64>,
+        removed: &std::collections::BTreeSet<ProcessorId>,
+    ) -> (Vec<FtmpMessage>, usize) {
+        let mut delivered = Vec::new();
+        let mut discarded = 0;
+        let keys: Vec<OrderKey> = self.queue.keys().copied().collect();
+        for key in keys {
+            let msg = self.queue.get(&key).expect("key just listed");
+            let within = target
+                .get(&msg.source)
+                .is_some_and(|&t| msg.seq.0 <= t);
+            if within {
+                let msg = self.queue.remove(&key).expect("present");
+                self.last_delivered = self.last_delivered.max(key);
+                delivered.push(msg);
+            } else if removed.contains(&msg.source) {
+                self.queue.remove(&key);
+                discarded += 1;
+            }
+            // else: a survivor's post-reconfiguration message; keep queued.
+        }
+        (delivered, discarded)
+    }
+
+    /// Number of queued, undelivered messages (experiment E6).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Per source, the smallest sequence number still queued (received but
+    /// not yet ordered). Used by AddProcessor to cite the sponsor's
+    /// *ordered* cut (§7.1: "the most recent message from each member that
+    /// has been ordered by the processor originating the message"): for a
+    /// source with a queued message, the ordered prefix ends just before it.
+    pub fn min_queued_seq_per_source(&self) -> BTreeMap<ProcessorId, u64> {
+        let mut out: BTreeMap<ProcessorId, u64> = BTreeMap::new();
+        for msg in self.queue.values() {
+            let e = out.entry(msg.source).or_insert(u64::MAX);
+            if msg.seq.0 < *e {
+                *e = msg.seq.0;
+            }
+        }
+        out
+    }
+
+    /// The position of the last delivered message.
+    pub fn last_delivered(&self) -> OrderKey {
+        self.last_delivered
+    }
+
+    /// True once every member's horizon strictly exceeds `gate` — the
+    /// Connect-gating condition of §7 ("not allowed to transmit … until it
+    /// has received from every member a message with a higher timestamp").
+    pub fn gate_released(&self, gate: Timestamp) -> bool {
+        !self.horizon.is_empty() && self.horizon.values().all(|&h| h > gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GroupId, SeqNum};
+    use crate::wire::FtmpBody;
+    use proptest::prelude::*;
+
+    fn m(src: u32, seq: u64, ts: u64) -> FtmpMessage {
+        FtmpMessage {
+            retransmission: false,
+            source: ProcessorId(src),
+            group: GroupId(1),
+            seq: SeqNum(seq),
+            ts: Timestamp(ts),
+            ack_ts: Timestamp(0),
+            body: FtmpBody::Heartbeat,
+        }
+    }
+
+    fn members(n: u32) -> Vec<ProcessorId> {
+        (1..=n).map(ProcessorId).collect()
+    }
+
+    #[test]
+    fn nothing_delivers_until_all_horizons_cover() {
+        let mut ord = Ordering::new(members(3), Timestamp(0));
+        ord.enqueue(m(1, 1, 10));
+        ord.advance_horizon(ProcessorId(1), Timestamp(10));
+        ord.advance_horizon(ProcessorId(2), Timestamp(15));
+        assert!(ord.deliverable().is_empty(), "P3 not heard yet");
+        ord.advance_horizon(ProcessorId(3), Timestamp(9));
+        assert!(ord.deliverable().is_empty(), "P3 horizon below ts");
+        ord.advance_horizon(ProcessorId(3), Timestamp(10));
+        let d = ord.deliverable();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ts, Timestamp(10));
+    }
+
+    #[test]
+    fn delivery_order_is_ts_then_source() {
+        let mut ord = Ordering::new(members(3), Timestamp(0));
+        ord.enqueue(m(3, 1, 20));
+        ord.enqueue(m(1, 1, 20));
+        ord.enqueue(m(2, 1, 10));
+        for p in members(3) {
+            ord.advance_horizon(p, Timestamp(100));
+        }
+        let d = ord.deliverable();
+        let order: Vec<(u64, u32)> = d.iter().map(|x| (x.ts.0, x.source.0)).collect();
+        assert_eq!(order, vec![(10, 2), (20, 1), (20, 3)]);
+    }
+
+    #[test]
+    fn equal_ts_tie_broken_by_processor_id() {
+        let mut ord = Ordering::new(members(2), Timestamp(0));
+        ord.enqueue(m(2, 1, 5));
+        ord.enqueue(m(1, 1, 5));
+        ord.advance_horizon(ProcessorId(1), Timestamp(5));
+        ord.advance_horizon(ProcessorId(2), Timestamp(5));
+        let d = ord.deliverable();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].source, ProcessorId(1));
+        assert_eq!(d[1].source, ProcessorId(2));
+    }
+
+    #[test]
+    fn floor_suppresses_pre_join_messages() {
+        let mut ord = Ordering::new(members(2), Timestamp(50));
+        ord.enqueue(m(1, 1, 40)); // before the join position: ignored
+        ord.enqueue(m(1, 2, 60));
+        for p in members(2) {
+            ord.advance_horizon(p, Timestamp(100));
+        }
+        let d = ord.deliverable();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ts, Timestamp(60));
+    }
+
+    #[test]
+    fn ack_is_min_horizon_and_stability_min_reported() {
+        let mut ord = Ordering::new(members(3), Timestamp(0));
+        ord.advance_horizon(ProcessorId(1), Timestamp(30));
+        ord.advance_horizon(ProcessorId(2), Timestamp(20));
+        ord.advance_horizon(ProcessorId(3), Timestamp(25));
+        assert_eq!(ord.ack_ts(), Timestamp(20));
+        ord.record_ack(ProcessorId(1), Timestamp(18));
+        ord.record_ack(ProcessorId(2), Timestamp(12));
+        // P3 has not reported: stability pinned at zero.
+        assert_eq!(ord.stable_ts(), Timestamp(0));
+        ord.record_ack(ProcessorId(3), Timestamp(15));
+        assert_eq!(ord.stable_ts(), Timestamp(12));
+        // Acks never regress.
+        ord.record_ack(ProcessorId(2), Timestamp(3));
+        assert_eq!(ord.stable_ts(), Timestamp(12));
+    }
+
+    #[test]
+    fn removing_member_unblocks_delivery() {
+        let mut ord = Ordering::new(members(3), Timestamp(0));
+        ord.enqueue(m(1, 1, 10));
+        ord.advance_horizon(ProcessorId(1), Timestamp(10));
+        ord.advance_horizon(ProcessorId(2), Timestamp(10));
+        assert!(ord.deliverable().is_empty(), "blocked by silent P3");
+        ord.remove_member(ProcessorId(3));
+        assert_eq!(ord.deliverable().len(), 1);
+    }
+
+    #[test]
+    fn add_member_gates_future_delivery() {
+        let mut ord = Ordering::new(members(2), Timestamp(0));
+        ord.advance_horizon(ProcessorId(1), Timestamp(100));
+        ord.advance_horizon(ProcessorId(2), Timestamp(100));
+        ord.add_member(ProcessorId(3), Timestamp(50));
+        ord.enqueue(m(1, 1, 80));
+        assert!(ord.deliverable().is_empty(), "P3 horizon at 50 < 80");
+        ord.advance_horizon(ProcessorId(3), Timestamp(80));
+        assert_eq!(ord.deliverable().len(), 1);
+    }
+
+    #[test]
+    fn flush_respects_targets() {
+        let mut ord = Ordering::new(members(3), Timestamp(0));
+        ord.enqueue(m(1, 5, 10));
+        ord.enqueue(m(1, 6, 20));
+        ord.enqueue(m(3, 2, 15)); // from the removed processor, beyond target
+        let mut target = BTreeMap::new();
+        target.insert(ProcessorId(1), 6u64);
+        target.insert(ProcessorId(2), 0u64);
+        target.insert(ProcessorId(3), 1u64);
+        let removed: std::collections::BTreeSet<ProcessorId> =
+            [ProcessorId(3)].into_iter().collect();
+        let (delivered, discarded) = ord.flush_with_targets(&target, &removed);
+        let seqs: Vec<(u64, u32)> = delivered.iter().map(|x| (x.ts.0, x.source.0)).collect();
+        assert_eq!(seqs, vec![(10, 1), (20, 1)]);
+        assert_eq!(discarded, 1);
+        assert_eq!(ord.queue_len(), 0);
+    }
+
+    #[test]
+    fn flush_retains_survivor_post_reconfiguration_messages() {
+        // A survivor that completed its reconfiguration earlier already
+        // multicast seq 13 (beyond the target of 12). The flush must keep it
+        // queued for normal delivery in the new membership, not discard it.
+        let mut ord = Ordering::new(members(3), Timestamp(0));
+        ord.enqueue(m(1, 12, 30)); // pre-reconfig, within target
+        ord.enqueue(m(2, 13, 60)); // survivor's post-reconfig message
+        ord.enqueue(m(3, 9, 40)); // removed member, beyond its target
+        let mut target = BTreeMap::new();
+        target.insert(ProcessorId(1), 12u64);
+        target.insert(ProcessorId(2), 12u64);
+        target.insert(ProcessorId(3), 8u64);
+        let removed: std::collections::BTreeSet<ProcessorId> =
+            [ProcessorId(3)].into_iter().collect();
+        let (delivered, discarded) = ord.flush_with_targets(&target, &removed);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].source, ProcessorId(1));
+        assert_eq!(discarded, 1, "only the removed member's tail is dropped");
+        assert_eq!(ord.queue_len(), 1, "the survivor's message stays queued");
+        // It delivers normally once the new membership's horizons cover it.
+        ord.remove_member(ProcessorId(3));
+        ord.advance_horizon(ProcessorId(1), Timestamp(100));
+        ord.advance_horizon(ProcessorId(2), Timestamp(100));
+        let d = ord.deliverable();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].seq.0, 13);
+    }
+
+    #[test]
+    fn min_queued_seq_reports_ordered_cut_boundaries() {
+        let mut ord = Ordering::new(members(3), Timestamp(0));
+        assert!(ord.min_queued_seq_per_source().is_empty());
+        ord.enqueue(m(1, 7, 70));
+        ord.enqueue(m(1, 5, 50));
+        ord.enqueue(m(2, 9, 90));
+        let q = ord.min_queued_seq_per_source();
+        assert_eq!(q[&ProcessorId(1)], 5);
+        assert_eq!(q[&ProcessorId(2)], 9);
+        assert!(!q.contains_key(&ProcessorId(3)));
+        // Delivering shrinks the map.
+        for p in members(3) {
+            ord.advance_horizon(p, Timestamp(50));
+        }
+        ord.deliverable();
+        let q = ord.min_queued_seq_per_source();
+        assert_eq!(q[&ProcessorId(1)], 7);
+    }
+
+    #[test]
+    fn gate_release_requires_strictly_higher_everywhere() {
+        let mut ord = Ordering::new(members(2), Timestamp(10));
+        assert!(!ord.gate_released(Timestamp(10)));
+        ord.advance_horizon(ProcessorId(1), Timestamp(11));
+        assert!(!ord.gate_released(Timestamp(10)));
+        ord.advance_horizon(ProcessorId(2), Timestamp(12));
+        assert!(ord.gate_released(Timestamp(10)));
+    }
+
+    #[test]
+    fn redelivery_impossible_after_position_passes() {
+        let mut ord = Ordering::new(members(1), Timestamp(0));
+        ord.enqueue(m(1, 1, 10));
+        ord.advance_horizon(ProcessorId(1), Timestamp(10));
+        assert_eq!(ord.deliverable().len(), 1);
+        // A late duplicate (same position) must not re-enter.
+        ord.enqueue(m(1, 1, 10));
+        assert_eq!(ord.queue_len(), 0);
+        assert!(ord.deliverable().is_empty());
+    }
+
+    proptest! {
+        /// Two processors receiving the same per-source streams in different
+        /// cross-source interleavings (RMP preserves source order, so only
+        /// the interleaving across sources can vary) deliver identical
+        /// sequences — the heart of total order.
+        #[test]
+        fn prop_identical_delivery_sequences(
+            msgs in proptest::collection::vec((1u32..=4, 1u64..50), 1..40),
+            pick_a in proptest::collection::vec(0usize..4, 0..80),
+            pick_b in proptest::collection::vec(0usize..4, 0..80),
+        ) {
+            // Build per-source strictly increasing (seq, ts) streams.
+            let mut streams: BTreeMap<u32, Vec<FtmpMessage>> = BTreeMap::new();
+            let mut per_source_ts: BTreeMap<u32, u64> = BTreeMap::new();
+            for (src, dts) in msgs {
+                let ts = per_source_ts.entry(src).or_insert(0);
+                *ts += dts;
+                let stream = streams.entry(src).or_default();
+                let seq = stream.len() as u64 + 1;
+                stream.push(m(src, seq, *ts));
+            }
+            let run = |picks: &[usize]| -> Vec<(u64, u32)> {
+                let mut cursors: BTreeMap<u32, usize> = BTreeMap::new();
+                let mut ord = Ordering::new(members(4), Timestamp(0));
+                let mut out = Vec::new();
+                let mut feed = |ord: &mut Ordering, out: &mut Vec<(u64, u32)>, src: u32| {
+                    let Some(stream) = streams.get(&src) else { return };
+                    let cur = cursors.entry(src).or_insert(0);
+                    if *cur >= stream.len() { return; }
+                    let msg = stream[*cur].clone();
+                    *cur += 1;
+                    // RMP in-order arrival: horizon tracks the source's ts.
+                    ord.advance_horizon(msg.source, msg.ts);
+                    ord.enqueue(msg);
+                    out.extend(ord.deliverable().iter().map(|x| (x.ts.0, x.source.0)));
+                };
+                for &p in picks {
+                    feed(&mut ord, &mut out, p as u32 + 1);
+                }
+                // Drain every remaining stream, then final heartbeats: each
+                // member's horizon moves past its own last send only.
+                for (src, stream) in &streams {
+                    for _ in 0..stream.len() {
+                        feed(&mut ord, &mut out, *src);
+                    }
+                }
+                for p in members(4) {
+                    let last = per_source_ts.get(&p.0).copied().unwrap_or(0);
+                    ord.advance_horizon(p, Timestamp(last + 1));
+                }
+                out.extend(ord.deliverable().iter().map(|x| (x.ts.0, x.source.0)));
+                out
+            };
+            let a = run(&pick_a);
+            let b = run(&pick_b);
+            prop_assert_eq!(a, b, "total order must not depend on arrival interleaving");
+        }
+
+        /// Deliveries are always in strictly ascending (ts, src) order.
+        #[test]
+        fn prop_delivery_monotone(
+            msgs in proptest::collection::vec((1u32..=3, 1u64..100), 1..30),
+        ) {
+            let mut per_source_ts: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut ord = Ordering::new(members(3), Timestamp(0));
+            let mut delivered = Vec::new();
+            for (i, (src, dts)) in msgs.into_iter().enumerate() {
+                let ts = per_source_ts.entry(src).or_insert(0);
+                *ts += dts;
+                ord.advance_horizon(ProcessorId(src), Timestamp(*ts));
+                ord.enqueue(m(src, i as u64 + 1, *ts));
+                delivered.extend(ord.deliverable());
+            }
+            for p in members(3) {
+                ord.advance_horizon(p, Timestamp(u64::MAX));
+            }
+            delivered.extend(ord.deliverable());
+            let keys: Vec<OrderKey> = delivered.iter().map(|x| (x.ts, x.source)).collect();
+            for w in keys.windows(2) {
+                prop_assert!(w[0] < w[1], "non-monotone delivery {:?}", w);
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Adapter plugging a [`Processor`] into the deterministic simulator.
+//!
+//! [`SimProcessor`] implements [`ftmp_net::SimNode`]: packets and ticks are
+//! forwarded to the engine, its Send/Join/Leave actions are applied through
+//! the [`Outbox`], and its Deliver/Event actions are queued for the test or
+//! experiment harness to drain between simulation steps.
+
+use crate::processor::{Action, Delivery, Processor, ProtocolEvent};
+use ftmp_net::{Outbox, Packet, SimNode, SimTime};
+use std::collections::VecDeque;
+
+/// A simulator-hosted FTMP endpoint.
+pub struct SimProcessor {
+    engine: Processor,
+    deliveries: VecDeque<(SimTime, Delivery)>,
+    events: VecDeque<(SimTime, ProtocolEvent)>,
+    last_now: SimTime,
+}
+
+impl SimProcessor {
+    /// Wrap an engine.
+    pub fn new(engine: Processor) -> Self {
+        SimProcessor {
+            engine,
+            deliveries: VecDeque::new(),
+            events: VecDeque::new(),
+            last_now: SimTime::ZERO,
+        }
+    }
+
+    /// The wrapped engine (for FT-infrastructure calls and inspection).
+    pub fn engine(&self) -> &Processor {
+        &self.engine
+    }
+
+    /// Mutable access to the engine. Call through
+    /// [`ftmp_net::SimNet::with_node`] so the resulting actions are
+    /// transmitted.
+    pub fn engine_mut(&mut self) -> &mut Processor {
+        &mut self.engine
+    }
+
+    /// Drain ordered deliveries accumulated so far, each stamped with the
+    /// virtual time at which it was delivered.
+    pub fn take_deliveries(&mut self) -> Vec<(SimTime, Delivery)> {
+        self.deliveries.drain(..).collect()
+    }
+
+    /// Drain protocol events accumulated so far, stamped with delivery time.
+    pub fn take_events(&mut self) -> Vec<(SimTime, ProtocolEvent)> {
+        self.events.drain(..).collect()
+    }
+
+    /// Peek at queued deliveries without draining.
+    pub fn deliveries(&self) -> impl Iterator<Item = &(SimTime, Delivery)> {
+        self.deliveries.iter()
+    }
+
+    /// Number of queued deliveries.
+    pub fn delivery_count(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// Apply the engine's pending actions to an outbox, queueing upcalls
+    /// stamped with `now`.
+    pub fn pump_at(&mut self, now: SimTime, out: &mut Outbox) {
+        self.last_now = now;
+        for action in self.engine.drain_actions() {
+            match action {
+                Action::Send { addr, payload } => {
+                    out.send(Packet::new(self.engine.id().0, addr, payload));
+                }
+                Action::Join(addr) => out.join(addr),
+                Action::Leave(addr) => out.leave(addr),
+                Action::Deliver(d) => self.deliveries.push_back((now, d)),
+                Action::Event(e) => self.events.push_back((now, e)),
+            }
+        }
+    }
+
+    /// Apply pending actions using the last observed virtual time.
+    pub fn pump(&mut self, out: &mut Outbox) {
+        let now = self.last_now;
+        self.pump_at(now, out);
+    }
+}
+
+impl SimNode for SimProcessor {
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet, out: &mut Outbox) {
+        self.engine.handle_packet(now, pkt);
+        self.pump_at(now, out);
+    }
+
+    fn on_tick(&mut self, now: SimTime, out: &mut Outbox) {
+        self.engine.tick(now);
+        self.pump_at(now, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockMode;
+    use crate::config::ProtocolConfig;
+    use crate::ids::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum};
+    use crate::wire;
+    use bytes::Bytes;
+    use ftmp_net::{McastAddr, SimConfig, SimDuration, SimNet};
+
+    fn conn() -> ConnectionId {
+        ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+    }
+
+    /// Build an n-member simulated group with a pre-bound connection.
+    pub(crate) fn build_net(n: u32, sim_cfg: SimConfig, cfg: ProtocolConfig) -> SimNet<SimProcessor> {
+        let gid = GroupId(1);
+        let addr = McastAddr(100);
+        let members: Vec<ProcessorId> = (1..=n).map(ProcessorId).collect();
+        let mut net = SimNet::new(sim_cfg);
+        net.set_classifier(wire::classify);
+        for id in 1..=n {
+            let mut engine = Processor::new(ProcessorId(id), cfg.clone(), ClockMode::Lamport);
+            engine.create_group(ftmp_net::SimTime::ZERO, gid, addr, members.clone());
+            let mut node = SimProcessor::new(engine);
+            // Apply the initial Join action.
+            let mut out = Outbox::default();
+            node.pump(&mut out);
+            net.add_node(id, node);
+            net.subscribe(id, addr);
+        }
+        // Bind the test connection everywhere.
+        for id in 1..=n {
+            net.with_node(id, |n, _, _| {
+                n.engine_mut().bind_connection(conn(), gid);
+            });
+        }
+        net
+    }
+
+    #[test]
+    fn three_members_converge_on_one_total_order() {
+        let mut net = build_net(3, SimConfig::with_seed(7), ProtocolConfig::with_seed(7));
+        // Everyone multicasts concurrently.
+        for (i, id) in (1u32..=3).enumerate() {
+            net.with_node(id, |n, now, out| {
+                n.engine_mut()
+                    .multicast_request(
+                        now,
+                        conn(),
+                        RequestNum(i as u64 + 1),
+                        Bytes::from(vec![id as u8]),
+                    )
+                    .unwrap();
+                n.pump(out);
+            });
+        }
+        net.run_for(SimDuration::from_millis(100));
+        let seqs: Vec<Vec<(u64, u32)>> = (1..=3u32)
+            .map(|id| {
+                net.node_mut(id)
+                    .unwrap()
+                    .take_deliveries()
+                    .iter()
+                    .map(|(_, d)| (d.ts.0, d.source.0))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(seqs[0].len(), 3, "all three messages delivered");
+        assert_eq!(seqs[0], seqs[1]);
+        assert_eq!(seqs[1], seqs[2]);
+    }
+
+    #[test]
+    fn loss_recovered_transparently() {
+        let sim_cfg = SimConfig::with_seed(3).loss(ftmp_net::LossModel::Iid { p: 0.2 });
+        let mut net = build_net(3, sim_cfg, ProtocolConfig::with_seed(3));
+        for k in 0..20u64 {
+            let id = (k % 3) as u32 + 1;
+            net.with_node(id, |n, now, out| {
+                n.engine_mut()
+                    .multicast_request(now, conn(), RequestNum(k), Bytes::from(vec![k as u8]))
+                    .unwrap();
+                n.pump(out);
+            });
+            net.run_for(SimDuration::from_millis(2));
+        }
+        net.run_for(SimDuration::from_millis(300));
+        let all: Vec<Vec<(u64, u32)>> = (1..=3u32)
+            .map(|id| {
+                net.node_mut(id)
+                    .unwrap()
+                    .take_deliveries()
+                    .iter()
+                    .map(|(_, d)| (d.ts.0, d.source.0))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(all[0].len(), 20, "every message delivered despite loss");
+        assert_eq!(all[0], all[1]);
+        assert_eq!(all[1], all[2]);
+        assert!(net.stats().lost > 0, "the loss model actually dropped packets");
+    }
+
+    #[test]
+    fn crash_triggers_membership_change_and_flush() {
+        let cfg = ProtocolConfig::with_seed(5);
+        let mut net = build_net(3, SimConfig::with_seed(5), cfg);
+        net.run_for(SimDuration::from_millis(20));
+        // One in-flight message, then the sender crashes.
+        net.with_node(3, |n, now, out| {
+            n.engine_mut()
+                .multicast_request(now, conn(), RequestNum(1), Bytes::from_static(b"last"))
+                .unwrap();
+            n.pump(out);
+        });
+        net.run_for(SimDuration::from_millis(5));
+        net.crash(3);
+        // Survivors detect, convict (majority 2 of 3), reconfigure.
+        net.run_for(SimDuration::from_millis(600));
+        for id in 1..=2u32 {
+            let node = net.node_mut(id).unwrap();
+            let events = node.take_events();
+            assert!(
+                events.iter().any(|(_, e)| matches!(
+                    e,
+                    crate::processor::ProtocolEvent::FaultReport { processor, .. }
+                    if *processor == ProcessorId(3)
+                )),
+                "P{id} reported the fault: {events:?}"
+            );
+            let members = node.engine().membership(GroupId(1)).unwrap();
+            assert_eq!(members, vec![ProcessorId(1), ProcessorId(2)]);
+        }
+        // Virtual synchrony: both survivors delivered the same set.
+        let d1: Vec<(u64, u32)> = net
+            .node_mut(1)
+            .unwrap()
+            .take_deliveries()
+            .iter()
+            .map(|(_, d)| (d.ts.0, d.source.0))
+            .collect();
+        let d2: Vec<(u64, u32)> = net
+            .node_mut(2)
+            .unwrap()
+            .take_deliveries()
+            .iter()
+            .map(|(_, d)| (d.ts.0, d.source.0))
+            .collect();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 1, "the crashed sender's message was flushed");
+    }
+
+    #[test]
+    fn retention_reclaimed_by_ack_stability() {
+        let mut net = build_net(3, SimConfig::with_seed(11), ProtocolConfig::with_seed(11));
+        for k in 0..10u64 {
+            net.with_node(1, |n, now, out| {
+                n.engine_mut()
+                    .multicast_request(now, conn(), RequestNum(k), Bytes::from(vec![0u8; 64]))
+                    .unwrap();
+                n.pump(out);
+            });
+            net.run_for(SimDuration::from_millis(1));
+        }
+        let peak = net
+            .node(1)
+            .unwrap()
+            .engine()
+            .group_metrics(GroupId(1))
+            .unwrap()
+            .retention_msgs;
+        assert!(peak > 0);
+        // Quiet period: acks circulate via heartbeats, stability advances.
+        net.run_for(SimDuration::from_millis(500));
+        let after = net
+            .node(1)
+            .unwrap()
+            .engine()
+            .group_metrics(GroupId(1))
+            .unwrap()
+            .retention_msgs;
+        assert!(
+            after < peak,
+            "retention should shrink once acks stabilize (peak {peak}, after {after})"
+        );
+    }
+
+    #[test]
+    fn heartbeat_traffic_classified() {
+        let mut net = build_net(2, SimConfig::with_seed(13), ProtocolConfig::with_seed(13));
+        net.run_for(SimDuration::from_millis(100));
+        let hb = net
+            .stats()
+            .kind_packets(crate::wire::FtmpMsgType::Heartbeat as u8);
+        assert!(hb > 0, "heartbeats flow and are classified");
+    }
+}

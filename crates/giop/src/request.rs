@@ -1,0 +1,396 @@
+//! Message-type-specific GIOP headers (Request, Reply, Locate*, …).
+
+use crate::GiopError;
+use ftmp_cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
+
+/// One entry of a GIOP service context list.
+///
+/// Service contexts piggyback ORB-service data (transactions, codesets, …)
+/// on Requests and Replies; the FTMP mapping uses one to carry the
+/// fault-tolerance `(connection id, request number)` pair when running over
+/// a non-multicast transport, though the native FTMP encoding puts those in
+/// the Regular message body instead (paper §5).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceContext {
+    /// Numeric context id (ORB-service defined).
+    pub context_id: u32,
+    /// Opaque context data (usually a CDR encapsulation).
+    pub context_data: Vec<u8>,
+}
+
+impl CdrEncode for ServiceContext {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.context_id);
+        w.write_octet_seq(&self.context_data);
+    }
+}
+
+impl CdrDecode for ServiceContext {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ServiceContext {
+            context_id: r.read_u32()?,
+            context_data: r.read_octet_seq()?,
+        })
+    }
+}
+
+/// GIOP 1.0 Request header (CORBA 2.2 §13.4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestHeader {
+    /// Service context list.
+    pub service_context: Vec<ServiceContext>,
+    /// Request id, scoped to the connection, matching Reply to Request.
+    pub request_id: u32,
+    /// False for `oneway` operations: no Reply will be sent.
+    pub response_expected: bool,
+    /// Opaque key naming the target object within the server ORB.
+    pub object_key: Vec<u8>,
+    /// Operation (method) name.
+    pub operation: String,
+    /// Requesting principal (deprecated in later CORBA; kept for 1.0 layout).
+    pub requesting_principal: Vec<u8>,
+}
+
+impl CdrEncode for RequestHeader {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.service_context.encode(w);
+        w.write_u32(self.request_id);
+        w.write_bool(self.response_expected);
+        w.write_octet_seq(&self.object_key);
+        w.write_string(&self.operation);
+        w.write_octet_seq(&self.requesting_principal);
+    }
+}
+
+impl CdrDecode for RequestHeader {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(RequestHeader {
+            service_context: Vec::<ServiceContext>::decode(r)?,
+            request_id: r.read_u32()?,
+            response_expected: r.read_bool()?,
+            object_key: r.read_octet_seq()?,
+            operation: r.read_string()?,
+            requesting_principal: r.read_octet_seq()?,
+        })
+    }
+}
+
+/// Reply outcome (CORBA 2.2 §13.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u32)]
+pub enum ReplyStatus {
+    /// Normal completion; body holds the return value and out params.
+    #[default]
+    NoException = 0,
+    /// The operation raised a user exception carried in the body.
+    UserException = 1,
+    /// The ORB raised a system exception carried in the body.
+    SystemException = 2,
+    /// The client should retry at the IOR in the body.
+    LocationForward = 3,
+}
+
+impl ReplyStatus {
+    fn from_u32(v: u32) -> Result<Self, CdrError> {
+        Ok(match v {
+            0 => ReplyStatus::NoException,
+            1 => ReplyStatus::UserException,
+            2 => ReplyStatus::SystemException,
+            3 => ReplyStatus::LocationForward,
+            other => {
+                return Err(CdrError::InvalidEnum {
+                    type_name: "ReplyStatus",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+impl CdrEncode for ReplyStatus {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(*self as u32);
+    }
+}
+
+impl CdrDecode for ReplyStatus {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        ReplyStatus::from_u32(r.read_u32()?)
+    }
+}
+
+/// GIOP 1.0 Reply header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplyHeader {
+    /// Service context list.
+    pub service_context: Vec<ServiceContext>,
+    /// Matches the Request's `request_id`.
+    pub request_id: u32,
+    /// Outcome discriminator for the body that follows.
+    pub reply_status: ReplyStatus,
+}
+
+impl CdrEncode for ReplyHeader {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.service_context.encode(w);
+        w.write_u32(self.request_id);
+        self.reply_status.encode(w);
+    }
+}
+
+impl CdrDecode for ReplyHeader {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ReplyHeader {
+            service_context: Vec::<ServiceContext>::decode(r)?,
+            request_id: r.read_u32()?,
+            reply_status: ReplyStatus::decode(r)?,
+        })
+    }
+}
+
+/// LocateRequest header: "where does this object live?".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LocateRequestHeader {
+    /// Request id for matching the LocateReply.
+    pub request_id: u32,
+    /// Object key being located.
+    pub object_key: Vec<u8>,
+}
+
+impl CdrEncode for LocateRequestHeader {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.request_id);
+        w.write_octet_seq(&self.object_key);
+    }
+}
+
+impl CdrDecode for LocateRequestHeader {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(LocateRequestHeader {
+            request_id: r.read_u32()?,
+            object_key: r.read_octet_seq()?,
+        })
+    }
+}
+
+/// LocateReply status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u32)]
+pub enum LocateStatus {
+    /// The object key names no object here.
+    #[default]
+    UnknownObject = 0,
+    /// The object is served on this connection.
+    ObjectHere = 1,
+    /// The object moved; body holds the forwarding IOR.
+    ObjectForward = 2,
+}
+
+impl LocateStatus {
+    fn from_u32(v: u32) -> Result<Self, CdrError> {
+        Ok(match v {
+            0 => LocateStatus::UnknownObject,
+            1 => LocateStatus::ObjectHere,
+            2 => LocateStatus::ObjectForward,
+            other => {
+                return Err(CdrError::InvalidEnum {
+                    type_name: "LocateStatus",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+impl CdrEncode for LocateStatus {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(*self as u32);
+    }
+}
+
+impl CdrDecode for LocateStatus {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        LocateStatus::from_u32(r.read_u32()?)
+    }
+}
+
+/// LocateReply header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LocateReplyHeader {
+    /// Matches the LocateRequest's id.
+    pub request_id: u32,
+    /// Location outcome.
+    pub locate_status: LocateStatus,
+}
+
+impl CdrEncode for LocateReplyHeader {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.request_id);
+        self.locate_status.encode(w);
+    }
+}
+
+impl CdrDecode for LocateReplyHeader {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(LocateReplyHeader {
+            request_id: r.read_u32()?,
+            locate_status: LocateStatus::decode(r)?,
+        })
+    }
+}
+
+/// CancelRequest header: just the request id being cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CancelRequestHeader {
+    /// The request id the client abandons.
+    pub request_id: u32,
+}
+
+impl CdrEncode for CancelRequestHeader {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.request_id);
+    }
+}
+
+impl CdrDecode for CancelRequestHeader {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(CancelRequestHeader {
+            request_id: r.read_u32()?,
+        })
+    }
+}
+
+/// Convenience: decode a header type expecting it to consume the buffer.
+pub fn decode_exact<T: CdrDecode>(
+    bytes: &[u8],
+    order: ftmp_cdr::ByteOrder,
+    base: usize,
+) -> Result<T, GiopError> {
+    let mut r = CdrReader::with_base(bytes, order, base);
+    let v = T::decode(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmp_cdr::{from_bytes, to_bytes, ByteOrder};
+    use proptest::prelude::*;
+
+    fn sample_request() -> RequestHeader {
+        RequestHeader {
+            service_context: vec![ServiceContext {
+                context_id: 0x4654_0001, // "FT\0\1"
+                context_data: vec![1, 2, 3],
+            }],
+            request_id: 77,
+            response_expected: true,
+            object_key: b"bank/account/42".to_vec(),
+            operation: "deposit".into(),
+            requesting_principal: vec![],
+        }
+    }
+
+    #[test]
+    fn request_header_round_trip() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let h = sample_request();
+            let bytes = to_bytes(&h, order);
+            let back: RequestHeader = from_bytes(&bytes, order).unwrap();
+            assert_eq!(back, h);
+        }
+    }
+
+    #[test]
+    fn reply_header_round_trip() {
+        let h = ReplyHeader {
+            service_context: vec![],
+            request_id: 77,
+            reply_status: ReplyStatus::UserException,
+        };
+        let bytes = to_bytes(&h, ByteOrder::Big);
+        let back: ReplyHeader = from_bytes(&bytes, ByteOrder::Big).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn locate_round_trips() {
+        let lr = LocateRequestHeader {
+            request_id: 9,
+            object_key: vec![0xAB; 7],
+        };
+        let bytes = to_bytes(&lr, ByteOrder::Little);
+        assert_eq!(
+            from_bytes::<LocateRequestHeader>(&bytes, ByteOrder::Little).unwrap(),
+            lr
+        );
+        let lp = LocateReplyHeader {
+            request_id: 9,
+            locate_status: LocateStatus::ObjectForward,
+        };
+        let bytes = to_bytes(&lp, ByteOrder::Big);
+        assert_eq!(
+            from_bytes::<LocateReplyHeader>(&bytes, ByteOrder::Big).unwrap(),
+            lp
+        );
+    }
+
+    #[test]
+    fn bad_reply_status_rejected() {
+        let bytes = to_bytes(&7u32, ByteOrder::Big);
+        assert!(matches!(
+            from_bytes::<ReplyStatus>(&bytes, ByteOrder::Big),
+            Err(CdrError::InvalidEnum { type_name: "ReplyStatus", value: 7 })
+        ));
+    }
+
+    #[test]
+    fn bad_locate_status_rejected() {
+        let bytes = to_bytes(&3u32, ByteOrder::Big);
+        assert!(from_bytes::<LocateStatus>(&bytes, ByteOrder::Big).is_err());
+    }
+
+    #[test]
+    fn decode_exact_rejects_trailing() {
+        let h = CancelRequestHeader { request_id: 5 };
+        let mut bytes = to_bytes(&h, ByteOrder::Big);
+        bytes.push(0);
+        assert!(decode_exact::<CancelRequestHeader>(&bytes, ByteOrder::Big, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_request_header_round_trip(
+            request_id: u32,
+            response_expected: bool,
+            object_key in proptest::collection::vec(any::<u8>(), 0..32),
+            operation in "[a-zA-Z_][a-zA-Z0-9_]{0,24}",
+            little: bool,
+        ) {
+            let order = ByteOrder::from_flag(little);
+            let h = RequestHeader {
+                service_context: vec![],
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+                requesting_principal: vec![],
+            };
+            let bytes = to_bytes(&h, order);
+            prop_assert_eq!(from_bytes::<RequestHeader>(&bytes, order).unwrap(), h);
+        }
+
+        #[test]
+        fn prop_service_context_round_trip(
+            id: u32,
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            little: bool,
+        ) {
+            let order = ByteOrder::from_flag(little);
+            let sc = ServiceContext { context_id: id, context_data: data };
+            let bytes = to_bytes(&sc, order);
+            prop_assert_eq!(from_bytes::<ServiceContext>(&bytes, order).unwrap(), sc);
+        }
+    }
+}

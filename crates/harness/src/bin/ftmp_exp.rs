@@ -1,0 +1,69 @@
+//! `ftmp-exp` — regenerate the paper's figures and the derived experiments.
+//!
+//! ```text
+//! ftmp-exp --exp all              # run everything, print tables
+//! ftmp-exp --exp e1,e3           # run a subset
+//! ftmp-exp --exp all --json out/ # also dump machine-readable JSON
+//! ftmp-exp --list                # list experiment ids
+//! ```
+
+use ftmp_harness::experiments;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftmp-exp --exp <id[,id…]|all> [--json <dir>]\n       ftmp-exp --list\n\nexperiments: {}",
+        experiments::all_ids().join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exps: Vec<String> = Vec::new();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for id in experiments::all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--exp" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                if v == "all" {
+                    exps = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+                } else {
+                    exps.extend(v.split(',').map(|s| s.trim().to_string()));
+                }
+            }
+            "--json" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                json_dir = Some(PathBuf::from(v));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if exps.is_empty() {
+        usage();
+    }
+    for id in &exps {
+        let Some(tables) = experiments::run(id) else {
+            eprintln!("unknown experiment '{id}'");
+            std::process::exit(2);
+        };
+        for t in tables {
+            t.print();
+            if let Some(dir) = &json_dir {
+                if let Err(e) = t.dump_json(dir) {
+                    eprintln!("failed to write JSON for {}: {e}", t.id);
+                }
+            }
+        }
+    }
+}

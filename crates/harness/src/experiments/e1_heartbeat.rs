@@ -1,0 +1,77 @@
+//! E1 — the heartbeat-interval compromise (§5).
+//!
+//! "The choice of the heartbeat interval is a compromise between message
+//! latency and network traffic. A shorter heartbeat interval results in
+//! lower message latency but higher network traffic." This sweep measures
+//! both sides of that compromise: a sparse single-sender workload (where
+//! ordering must wait for other members' heartbeats to advance the
+//! horizons) against the total packet and byte rate on the wire.
+
+use crate::metrics::{fmt_rate, LatencyStats};
+use crate::report::Table;
+use crate::worlds::FtmpWorld;
+use ftmp_core::wire::FtmpMsgType;
+use ftmp_core::{ClockMode, ProtocolConfig};
+use ftmp_net::{SimConfig, SimDuration};
+
+/// Run E1.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "e1",
+        "Heartbeat interval vs delivery latency vs network traffic (5 members, 1 sparse sender)",
+        &[
+            "hb interval",
+            "mean latency",
+            "p99 latency",
+            "pkts/s total",
+            "heartbeat pkts/s",
+            "hb share",
+        ],
+    );
+    for hb_ms in [1u64, 2, 5, 10, 20, 50, 100] {
+        let proto = ProtocolConfig::with_seed(0xE1).heartbeat(SimDuration::from_millis(hb_ms));
+        let mut w = FtmpWorld::new(5, SimConfig::with_seed(0xE1), proto, ClockMode::Lamport);
+        // Sparse sender: one message every 50 ms for 2 simulated seconds.
+        let rounds = 40;
+        for _ in 0..rounds {
+            w.send(1, 128);
+            w.run_ms(50);
+        }
+        w.run_ms(500);
+        let res = w.collect();
+        let secs = w.net.now().as_secs_f64();
+        let stats = LatencyStats::from_samples(&res.latencies_us);
+        let total = w.net.stats().sent_packets;
+        let hb = w.net.stats().kind_packets(FtmpMsgType::Heartbeat as u8);
+        t.row(vec![
+            format!("{hb_ms} ms"),
+            format!("{} ms", stats.mean_ms()),
+            format!("{:.3} ms", stats.p99_us as f64 / 1000.0),
+            fmt_rate(total, secs),
+            fmt_rate(hb, secs),
+            format!("{:.0}%", 100.0 * hb as f64 / total.max(1) as f64),
+        ]);
+        assert_eq!(res.delivered(), rounds, "all messages delivered");
+    }
+    t.note("latency is send -> ordered delivery, sampled at every receiver");
+    t.note("with one sparse sender, ordering waits for every member's next heartbeat: latency tracks the interval, traffic tracks its inverse");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e1_shows_the_compromise() {
+        let tables = super::run();
+        let rows = &tables[0].rows;
+        let mean_ms = |r: &Vec<String>| -> f64 {
+            r[1].trim_end_matches(" ms").parse().unwrap()
+        };
+        let first = mean_ms(&rows[0]); // 1 ms heartbeats
+        let last = mean_ms(rows.last().unwrap()); // 100 ms heartbeats
+        assert!(
+            last > 3.0 * first,
+            "latency must grow with the heartbeat interval ({first} vs {last})"
+        );
+    }
+}

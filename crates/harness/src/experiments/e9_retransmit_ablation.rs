@@ -1,0 +1,170 @@
+//! E9 — ablation of the any-holder retransmission design choice (§5).
+//!
+//! "The missing message can be retransmitted by any processor that has the
+//! message." This ablation compares retransmission-responsibility policies
+//! — original sender only, any holder with probability p, every holder —
+//! under loss, reporting recovery latency and redundant-retransmission
+//! cost. A second scenario crashes the original sender right after it
+//! multicasts, where sender-only ARQ has nobody to answer during normal
+//! operation and recovery rides entirely on the membership change.
+
+use crate::metrics::LatencyStats;
+use crate::report::Table;
+use crate::worlds::FtmpWorld;
+use ftmp_core::{ClockMode, ProtocolConfig, RetransmitPolicy};
+use ftmp_net::{LossModel, SimConfig, SimDuration};
+
+fn policy_label(p: RetransmitPolicy) -> String {
+    match p {
+        RetransmitPolicy::OriginalSenderOnly => "sender only".into(),
+        RetransmitPolicy::AnyHolder { p } => format!("any holder p={p}"),
+        RetransmitPolicy::AllHolders => "all holders".into(),
+    }
+}
+
+fn run_lossy(policy: RetransmitPolicy, loss: f64) -> (LatencyStats, u64, u64, bool) {
+    let mut proto = ProtocolConfig::with_seed(0xE9).heartbeat(SimDuration::from_millis(5));
+    proto.retransmit_policy = policy;
+    let sim = SimConfig::with_seed(0xE9).loss(LossModel::Iid { p: loss });
+    let mut w = FtmpWorld::new(5, sim, proto, ClockMode::Lamport);
+    let rounds = 40u64;
+    for _ in 0..rounds {
+        for id in 1..=5u32 {
+            w.send(id, 128);
+        }
+        w.run_ms(5);
+    }
+    w.run_ms(1_500);
+    let res = w.collect();
+    let stats = LatencyStats::from_samples(&res.latencies_us);
+    let (nacks, retrans, _) = w.recovery_stats();
+    let ok = res.delivered() == rounds as usize * 5 && res.all_agree();
+    (stats, nacks, retrans, ok)
+}
+
+/// Crash the sender right after its multicast lands at a *proper subset* of
+/// the survivors; the rest must recover the message from a living holder.
+/// Seeds are scanned until the loss pattern produces that situation (a
+/// sender whose message reached nobody is trivially excluded by virtual
+/// synchrony and not the interesting case).
+fn run_sender_crash(policy: RetransmitPolicy) -> (bool, f64) {
+    for seed in 0x9E00u64.. {
+        let mut proto = ProtocolConfig::with_seed(seed).heartbeat(SimDuration::from_millis(5));
+        proto.retransmit_policy = policy;
+        let sim = SimConfig::with_seed(seed).loss(LossModel::Iid { p: 0.25 });
+        let mut w = FtmpWorld::new(4, sim, proto, ClockMode::Lamport);
+        w.run_ms(50);
+        w.send(4, 128);
+        w.run_ms(1); // the multicast lands (or is lost) per receiver
+        let holders = (1..=3u32)
+            .filter(|&id| {
+                w.net
+                    .node(id)
+                    .unwrap()
+                    .engine()
+                    .group_metrics(w.group())
+                    .unwrap()
+                    .ordering_queue
+                    > 0
+            })
+            .count();
+        if holders == 0 || holders == 3 {
+            continue; // need a partial delivery for a real recovery test
+        }
+        w.net.crash(4);
+        w.run_ms(3_000);
+        let res = w.collect();
+        let delivered_everywhere = res
+            .sequences
+            .iter()
+            .all(|s| s.iter().any(|&(_, src, _)| src == 4))
+            && res.all_agree();
+        let last_ms = res.latencies_us.iter().copied().max().unwrap_or(0) as f64 / 1000.0;
+        return (delivered_everywhere, last_ms);
+    }
+    unreachable!("seed scan always terminates")
+}
+
+/// Run E9.
+pub fn run() -> Vec<Table> {
+    let policies = [
+        RetransmitPolicy::OriginalSenderOnly,
+        RetransmitPolicy::AnyHolder { p: 0.2 },
+        RetransmitPolicy::AnyHolder { p: 0.4 },
+        RetransmitPolicy::AllHolders,
+    ];
+    let mut t = Table::new(
+        "e9",
+        "Retransmission-responsibility ablation (5 members, 200 msgs)",
+        &[
+            "policy",
+            "loss",
+            "mean latency",
+            "p99 latency",
+            "NACKs",
+            "retransmissions",
+            "complete",
+        ],
+    );
+    for &loss in &[0.05f64, 0.15] {
+        for &p in &policies {
+            let (stats, nacks, retrans, ok) = run_lossy(p, loss);
+            t.row(vec![
+                policy_label(p),
+                format!("{:.0}%", loss * 100.0),
+                format!("{} ms", stats.mean_ms()),
+                format!("{:.2} ms", stats.p99_us as f64 / 1000.0),
+                nacks.to_string(),
+                retrans.to_string(),
+                if ok { "PASS".into() } else { "FAIL".into() },
+            ]);
+        }
+    }
+    t.note("all-holders answers fastest but multiplies retransmission traffic; probabilistic any-holder buys most of the latency at a fraction of the cost");
+
+    let mut t2 = Table::new(
+        "e9b",
+        "Sender crashes right after multicasting (25% loss): who recovers the message?",
+        &["policy", "delivered at all survivors", "worst delivery latency (ms)"],
+    );
+    for &p in &policies {
+        let (ok, last) = run_sender_crash(p);
+        t2.row(vec![
+            policy_label(p),
+            if ok { "yes".into() } else { "NO".into() },
+            format!("{last:.1}"),
+        ]);
+    }
+    t2.note("delivery latency is identical across policies: a dead member's message cannot be *delivered* before the membership change removes it from the horizons, so the fail timeout dominates");
+    t2.note("the policies differ in *recovery*: any-holder fetches the data within milliseconds, while sender-only ARQ has no live responder and leans entirely on the reconciliation phase's mandatory any-holder override");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_all_policies_eventually_complete() {
+        let tables = run();
+        assert!(!tables[0].render().contains("FAIL"), "{}", tables[0].render());
+        assert!(!tables[1].render().contains("NO"), "{}", tables[1].render());
+    }
+
+    #[test]
+    fn e9_all_holders_costs_more_retransmissions() {
+        let tables = run();
+        let rows = &tables[0].rows;
+        let retrans = |label: &str, loss: &str| -> u64 {
+            rows.iter()
+                .find(|r| r[0] == label && r[1] == loss)
+                .unwrap()[5]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            retrans("all holders", "15%") > retrans("sender only", "15%"),
+            "redundant responders must show up as extra retransmissions"
+        );
+    }
+}

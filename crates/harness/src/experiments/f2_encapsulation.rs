@@ -1,0 +1,163 @@
+//! F2 — Figure 2: the GIOP-in-FTMP-in-IP encapsulation, measured in bytes.
+//!
+//! Figure 2 draws `IP Multicast header | FTMP header | GIOP header | data`.
+//! This experiment marshals each GIOP message type, wraps it in an FTMP
+//! Regular message, and reports the exact layer sizes and framing overhead
+//! for a sweep of payload sizes.
+
+use crate::report::Table;
+use bytes::Bytes;
+use ftmp_cdr::ByteOrder;
+use ftmp_core::wire::{FtmpBody, FtmpMessage, FTMP_HEADER_LEN};
+use ftmp_core::{
+    ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
+};
+use ftmp_giop::{GiopMessage, RequestHeader, GIOP_HEADER_LEN};
+
+/// Assumed IP + UDP header size for the overhead column (IPv4 20 + UDP 8).
+const IP_UDP: usize = 28;
+
+fn wrap_regular(giop: Vec<u8>) -> usize {
+    let msg = FtmpMessage {
+        retransmission: false,
+        source: ProcessorId(1),
+        group: GroupId(1),
+        seq: SeqNum(1),
+        ts: Timestamp(1),
+        ack_ts: Timestamp(0),
+        body: FtmpBody::Regular {
+            conn: ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2)),
+            request_num: RequestNum(1),
+            giop: Bytes::from(giop),
+        },
+    };
+    msg.encode(ByteOrder::Big).len()
+}
+
+fn request(payload: usize) -> Vec<u8> {
+    GiopMessage::Request {
+        header: RequestHeader {
+            service_context: vec![],
+            request_id: 1,
+            response_expected: true,
+            object_key: b"bank/account/1".to_vec(),
+            operation: "deposit".into(),
+            requesting_principal: vec![],
+        },
+        body: vec![0u8; payload],
+    }
+    .encode(ByteOrder::Big)
+}
+
+/// Run F2.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "f2",
+        "Encapsulation of a GIOP Request (Fig. 2): per-layer bytes",
+        &[
+            "app payload",
+            "GIOP msg",
+            "FTMP msg",
+            "on wire (+IP/UDP)",
+            "framing overhead",
+        ],
+    );
+    for payload in [0usize, 16, 64, 256, 1024, 4096] {
+        let giop = request(payload);
+        let ftmp = wrap_regular(giop.clone());
+        let wire = ftmp + IP_UDP;
+        let overhead = wire - payload;
+        t.row(vec![
+            payload.to_string(),
+            giop.len().to_string(),
+            ftmp.to_string(),
+            wire.to_string(),
+            format!("{overhead} B ({:.1}%)", 100.0 * overhead as f64 / wire as f64),
+        ]);
+    }
+    t.note(format!(
+        "fixed headers: GIOP {GIOP_HEADER_LEN} B, FTMP {FTMP_HEADER_LEN} B, IP+UDP {IP_UDP} B (assumed); \
+         the rest is the GIOP Request header (object key, operation, …) and the FTMP Regular preamble \
+         (connection id, request number)"
+    ));
+
+    let mut t2 = Table::new(
+        "f2b",
+        "FTMP message sizes for each GIOP message type (empty bodies)",
+        &["GIOP type", "GIOP msg bytes", "FTMP msg bytes"],
+    );
+    let samples: Vec<(&str, Vec<u8>)> = vec![
+        ("Request", request(0)),
+        (
+            "Reply",
+            GiopMessage::Reply {
+                header: ftmp_giop::ReplyHeader::default(),
+                body: vec![],
+            }
+            .encode(ByteOrder::Big),
+        ),
+        (
+            "CancelRequest",
+            GiopMessage::CancelRequest { request_id: 1 }.encode(ByteOrder::Big),
+        ),
+        (
+            "LocateRequest",
+            GiopMessage::LocateRequest(ftmp_giop::LocateRequestHeader {
+                request_id: 1,
+                object_key: b"bank/account/1".to_vec(),
+            })
+            .encode(ByteOrder::Big),
+        ),
+        (
+            "LocateReply",
+            GiopMessage::LocateReply {
+                header: ftmp_giop::LocateReplyHeader::default(),
+                body: vec![],
+            }
+            .encode(ByteOrder::Big),
+        ),
+        (
+            "CloseConnection",
+            GiopMessage::CloseConnection.encode(ByteOrder::Big),
+        ),
+        ("MessageError", GiopMessage::MessageError.encode(ByteOrder::Big)),
+        (
+            "Fragment",
+            GiopMessage::Fragment {
+                body: vec![],
+                more: false,
+            }
+            .encode(ByteOrder::Big),
+        ),
+    ];
+    for (name, giop) in samples {
+        t2.row(vec![
+            name.to_string(),
+            giop.len().to_string(),
+            wrap_regular(giop).to_string(),
+        ]);
+    }
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_layer_arithmetic_is_consistent() {
+        let tables = run();
+        let t = &tables[0];
+        for row in &t.rows {
+            let payload: usize = row[0].parse().unwrap();
+            let giop: usize = row[1].parse().unwrap();
+            let ftmp: usize = row[2].parse().unwrap();
+            let wire: usize = row[3].parse().unwrap();
+            assert!(giop >= payload + GIOP_HEADER_LEN);
+            assert!(ftmp > giop + FTMP_HEADER_LEN, "Regular preamble included");
+            assert_eq!(wire, ftmp + IP_UDP);
+        }
+        // Every GIOP type wraps.
+        assert_eq!(tables[1].rows.len(), 8);
+    }
+}

@@ -1,0 +1,179 @@
+//! F3 — Figure 3: the message-type × delivery-guarantee matrix, verified
+//! under injected loss.
+//!
+//! Figure 3 tabulates, for each FTMP message type, whether it is delivered
+//! reliably / source-ordered / totally ordered, with two exceptions:
+//! Connect is not guaranteed to the *client group* and AddProcessor is not
+//! guaranteed to the *new member* (neither can NACK yet) — both are covered
+//! by periodic retransmission instead. This experiment reproduces the
+//! matrix and attaches empirical evidence for every dynamic cell:
+//!
+//! * Regular under 10% loss: identical gap-free delivery sequences at all
+//!   members (reliable + source-ordered + totally ordered);
+//! * AddProcessor under 10% loss to a joiner that cannot NACK;
+//! * Connect/ConnectRequest under 10% loss through the full handshake;
+//! * Suspect/Membership under loss + crash: survivors converge.
+
+use crate::report::Table;
+use crate::worlds::{FtmpWorld, OrbWorld};
+use ftmp_core::wire::FtmpMsgType;
+use ftmp_core::{ClockMode, GroupId, ProcessorId, ProtocolConfig, Processor, SimProcessor};
+use ftmp_net::{LossModel, McastAddr, SimConfig, SimDuration, SimTime};
+
+fn check_regular() -> (bool, bool, bool) {
+    let sim = SimConfig::with_seed(0xF3).loss(LossModel::Iid { p: 0.10 });
+    let mut w = FtmpWorld::new(3, sim, ProtocolConfig::with_seed(0xF3), ClockMode::Lamport);
+    for k in 0..40u32 {
+        w.send(k % 3 + 1, 64);
+        w.run_ms(2);
+    }
+    w.run_ms(400);
+    let res = w.collect();
+    let reliable = res.delivered() == 40;
+    let total = res.all_agree();
+    // Source order: each source's sequence numbers appear in increasing
+    // order within every node's delivery sequence.
+    let source_ordered = res.sequences.iter().all(|seq| {
+        let mut last: std::collections::BTreeMap<u32, u64> = Default::default();
+        seq.iter().all(|&(_, src, s)| {
+            let e = last.entry(src).or_insert(0);
+            let ok = s > *e;
+            *e = s;
+            ok
+        })
+    });
+    (reliable, source_ordered, total)
+}
+
+fn check_add_processor_under_loss() -> bool {
+    let sim = SimConfig::with_seed(0xF31).loss(LossModel::Iid { p: 0.10 });
+    let gid = GroupId(1);
+    let addr = McastAddr(100);
+    let mut net = ftmp_net::SimNet::new(sim);
+    let members: Vec<ProcessorId> = vec![ProcessorId(1), ProcessorId(2)];
+    for id in 1..=2u32 {
+        let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(7), ClockMode::Lamport);
+        e.create_group(SimTime::ZERO, gid, addr, members.clone());
+        net.add_node(id, SimProcessor::new(e));
+        net.with_node(id, |n, now, out| n.pump_at(now, out));
+    }
+    // The joiner.
+    let mut e = Processor::new(ProcessorId(3), ProtocolConfig::with_seed(7), ClockMode::Lamport);
+    e.expect_join(gid, addr);
+    net.add_node(3, SimProcessor::new(e));
+    net.with_node(3, |n, now, out| n.pump_at(now, out));
+    net.with_node(1, |n, now, out| {
+        n.engine_mut().add_processor(now, gid, ProcessorId(3));
+        n.pump_at(now, out);
+    });
+    net.run_for(SimDuration::from_millis(800));
+    (1..=3u32).all(|id| {
+        net.node(id)
+            .unwrap()
+            .engine()
+            .membership(gid)
+            .is_some_and(|m| m.len() == 3)
+    })
+}
+
+fn check_connect_under_loss() -> bool {
+    // OrbWorld::new panics if the handshake fails; run it under loss.
+    let sim = SimConfig::with_seed(0xF32).loss(LossModel::Iid { p: 0.10 });
+    let mut w = OrbWorld::new(2, 2, sim, ProtocolConfig::with_seed(11), || {
+        Box::new(ftmp_orb::Counter::default())
+    });
+    w.invoke_all("add", 1);
+    w.run_ms(300);
+    let (done, _) = w.drain_completions();
+    done.len() == 1
+}
+
+fn check_membership_under_loss() -> bool {
+    let sim = SimConfig::with_seed(0xF33).loss(LossModel::Iid { p: 0.10 });
+    let mut w = FtmpWorld::new(4, sim, ProtocolConfig::with_seed(13), ClockMode::Lamport);
+    w.run_ms(50);
+    w.net.crash(4);
+    w.run_ms(1_200);
+    (1..=3u32).all(|id| {
+        w.net
+            .node(id)
+            .unwrap()
+            .engine()
+            .membership(w.group())
+            .is_some_and(|m| m.len() == 3)
+    })
+}
+
+/// Run F3.
+pub fn run() -> Vec<Table> {
+    let (reg_rel, reg_src, reg_tot) = check_regular();
+    let add_ok = check_add_processor_under_loss();
+    let conn_ok = check_connect_under_loss();
+    let memb_ok = check_membership_under_loss();
+
+    let mut t = Table::new(
+        "f3",
+        "Message types x delivery service (Fig. 3), verified under 10% loss",
+        &["Message type", "Reliable", "Source ordered", "Totally ordered", "Evidence"],
+    );
+    let yes = |b: bool| if b { "Yes [PASS]" } else { "Yes [FAIL]" };
+    for ty in FtmpMsgType::ALL {
+        let (rel, src, tot, ev): (String, String, String, String) = match ty {
+            FtmpMsgType::Regular => (
+                yes(reg_rel).into(),
+                yes(reg_src).into(),
+                yes(reg_tot).into(),
+                "40 msgs, 3 nodes: identical gap-free sequences".into(),
+            ),
+            FtmpMsgType::RetransmitRequest | FtmpMsgType::Heartbeat | FtmpMsgType::ConnectRequest => (
+                "No".into(),
+                "No".into(),
+                "No".into(),
+                "unreliable by construction (no seq slot, never retained)".into(),
+            ),
+            FtmpMsgType::Connect => (
+                format!("Yes, except to client group [{}]", if conn_ok { "PASS" } else { "FAIL" }),
+                "Yes".into(),
+                "Yes".into(),
+                "handshake completes under loss via periodic Connect retry".into(),
+            ),
+            FtmpMsgType::AddProcessor => (
+                format!("Yes, except to new member [{}]", if add_ok { "PASS" } else { "FAIL" }),
+                "Yes".into(),
+                "Yes".into(),
+                "join completes under loss via sponsor retransmission".into(),
+            ),
+            FtmpMsgType::RemoveProcessor => (
+                "Yes".into(),
+                "Yes".into(),
+                "Yes".into(),
+                "ordered-delivery path shared with Regular (unit tests)".into(),
+            ),
+            FtmpMsgType::Suspect => (
+                yes(memb_ok).into(),
+                "Yes".into(),
+                "No".into(),
+                "crash under loss: survivors converge on the same membership".into(),
+            ),
+            FtmpMsgType::Membership => (
+                yes(memb_ok).into(),
+                "Yes".into(),
+                "No".into(),
+                "same scenario; virtual synchrony at the installation point".into(),
+            ),
+        };
+        t.row(vec![format!("{ty:?}"), rel, src, tot, ev]);
+    }
+    t.note("static columns mirror wire::FtmpMsgType::{is_reliable, is_totally_ordered}, asserted in ftmp-core unit tests");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f3_all_cells_pass() {
+        let tables = super::run();
+        let rendered = tables[0].render();
+        assert!(!rendered.contains("FAIL"), "{rendered}");
+    }
+}

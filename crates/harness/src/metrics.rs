@@ -1,0 +1,112 @@
+//! Latency statistics and small numeric helpers.
+
+use serde::Serialize;
+
+/// Summary statistics over a set of latency samples (microseconds).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Maximum, µs.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Compute statistics from raw microsecond samples.
+    pub fn from_samples(samples: &[u64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        let count = v.len();
+        let sum: u128 = v.iter().map(|&x| x as u128).sum();
+        LatencyStats {
+            count,
+            mean_us: sum as f64 / count as f64,
+            p50_us: percentile(&v, 0.50),
+            p90_us: percentile(&v, 0.90),
+            p99_us: percentile(&v, 0.99),
+            max_us: *v.last().expect("non-empty"),
+        }
+    }
+
+    /// Render the mean in milliseconds with two decimals.
+    pub fn mean_ms(&self) -> String {
+        format!("{:.3}", self.mean_us / 1000.0)
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Format a count-per-second rate with sensible precision.
+pub fn fmt_rate(count: u64, seconds: f64) -> String {
+    if seconds <= 0.0 {
+        return "-".into();
+    }
+    let r = count as f64 / seconds;
+    if r >= 1000.0 {
+        format!("{:.1}k", r / 1000.0)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_are_zero() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn stats_basic() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p90_us, 90);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7], 0.5), 7);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn stats_unsorted_input() {
+        let s = LatencyStats::from_samples(&[30, 10, 20]);
+        assert_eq!(s.p50_us, 20);
+        assert_eq!(s.max_us, 30);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(100, 2.0), "50.0");
+        assert_eq!(fmt_rate(5_000, 1.0), "5.0k");
+        assert_eq!(fmt_rate(1, 0.0), "-");
+    }
+}

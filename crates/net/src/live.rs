@@ -1,0 +1,205 @@
+//! In-process "live" transport: real threads, real time.
+//!
+//! The runnable examples want to show the protocol breathing — heartbeats on
+//! a wall clock, a replica thread crashing, the survivors reconfiguring. This
+//! module provides a multicast hub built on crossbeam channels: each endpoint
+//! holds a [`LiveHandle`] whose `send` fans a packet out to every current
+//! subscriber of the destination address (including the sender — matching IP
+//! multicast loopback and the simulator's behaviour).
+//!
+//! Loss can be injected (probability per receiver) so the examples can
+//! demonstrate NACK recovery outside the simulator too.
+
+use crate::{McastAddr, NodeId, Packet};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-address subscriber list: (node id, its inbound channel).
+type SubscriberList = Vec<(NodeId, Sender<Packet>)>;
+
+struct HubInner {
+    subs: RwLock<HashMap<McastAddr, SubscriberList>>,
+    loss: RwLock<f64>,
+    rng: parking_lot::Mutex<SmallRng>,
+}
+
+/// The shared multicast hub.
+#[derive(Clone)]
+pub struct LiveNet {
+    inner: Arc<HubInner>,
+}
+
+impl Default for LiveNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveNet {
+    /// Create a hub with no loss.
+    pub fn new() -> Self {
+        LiveNet {
+            inner: Arc::new(HubInner {
+                subs: RwLock::new(HashMap::new()),
+                loss: RwLock::new(0.0),
+                rng: parking_lot::Mutex::new(SmallRng::seed_from_u64(0x11CE)),
+            }),
+        }
+    }
+
+    /// Set the per-receiver loss probability for subsequent sends.
+    pub fn set_loss(&self, p: f64) {
+        *self.inner.loss.write() = p.clamp(0.0, 1.0);
+    }
+
+    /// Register an endpoint; returns its handle and inbound packet stream.
+    pub fn join(&self, id: NodeId) -> (LiveHandle, Receiver<Packet>) {
+        let (tx, rx) = unbounded();
+        (
+            LiveHandle {
+                id,
+                tx,
+                inner: Arc::clone(&self.inner),
+            },
+            rx,
+        )
+    }
+}
+
+/// One endpoint's connection to the hub.
+#[derive(Clone)]
+pub struct LiveHandle {
+    id: NodeId,
+    tx: Sender<Packet>,
+    inner: Arc<HubInner>,
+}
+
+impl LiveHandle {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Subscribe this endpoint to a multicast address.
+    pub fn subscribe(&self, addr: McastAddr) {
+        let mut subs = self.inner.subs.write();
+        let list = subs.entry(addr).or_default();
+        if !list.iter().any(|(id, _)| *id == self.id) {
+            list.push((self.id, self.tx.clone()));
+        }
+    }
+
+    /// Unsubscribe from an address.
+    pub fn unsubscribe(&self, addr: McastAddr) {
+        let mut subs = self.inner.subs.write();
+        if let Some(list) = subs.get_mut(&addr) {
+            list.retain(|(id, _)| *id != self.id);
+        }
+    }
+
+    /// Leave every group (endpoint shutting down).
+    pub fn leave_all(&self) {
+        let mut subs = self.inner.subs.write();
+        for list in subs.values_mut() {
+            list.retain(|(id, _)| *id != self.id);
+        }
+    }
+
+    /// Multicast a packet to every subscriber of its destination address.
+    /// The sender receives its own packet losslessly (loopback); remote
+    /// receivers are subject to the hub's loss probability.
+    pub fn send(&self, pkt: Packet) {
+        let loss = *self.inner.loss.read();
+        let subs = self.inner.subs.read();
+        if let Some(list) = subs.get(&pkt.dst) {
+            for (id, tx) in list {
+                if *id != self.id && loss > 0.0 {
+                    let drop = self.inner.rng.lock().gen_bool(loss);
+                    if drop {
+                        continue;
+                    }
+                }
+                // A disconnected receiver just means the peer is gone.
+                let _ = tx.send(pkt.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fan_out_reaches_subscribers_and_sender() {
+        let net = LiveNet::new();
+        let (h0, r0) = net.join(0);
+        let (h1, r1) = net.join(1);
+        let (_h2, r2) = net.join(2);
+        h0.subscribe(McastAddr(5));
+        h1.subscribe(McastAddr(5));
+        // node 2 not subscribed.
+        h0.send(Packet::new(0, McastAddr(5), vec![7]));
+        assert_eq!(r0.recv_timeout(Duration::from_secs(1)).unwrap().payload[0], 7);
+        assert_eq!(r1.recv_timeout(Duration::from_secs(1)).unwrap().payload[0], 7);
+        assert!(r2.try_recv().is_err());
+    }
+
+    #[test]
+    fn unsubscribe_and_leave_all() {
+        let net = LiveNet::new();
+        let (h0, _r0) = net.join(0);
+        let (h1, r1) = net.join(1);
+        h1.subscribe(McastAddr(1));
+        h1.subscribe(McastAddr(2));
+        h1.unsubscribe(McastAddr(1));
+        h0.send(Packet::new(0, McastAddr(1), vec![1]));
+        h0.send(Packet::new(0, McastAddr(2), vec![2]));
+        let got = r1.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.payload[0], 2);
+        h1.leave_all();
+        h0.send(Packet::new(0, McastAddr(2), vec![3]));
+        assert!(r1.try_recv().is_err());
+    }
+
+    #[test]
+    fn loss_drops_remote_but_never_loopback() {
+        let net = LiveNet::new();
+        net.set_loss(1.0);
+        let (h0, r0) = net.join(0);
+        let (h1, r1) = net.join(1);
+        h0.subscribe(McastAddr(9));
+        h1.subscribe(McastAddr(9));
+        h0.send(Packet::new(0, McastAddr(9), vec![1]));
+        // Loopback delivered despite 100% loss.
+        assert!(r0.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(r1.try_recv().is_err());
+    }
+
+    #[test]
+    fn threads_can_share_the_hub() {
+        let net = LiveNet::new();
+        let (h0, _r0) = net.join(0);
+        let (h1, r1) = net.join(1);
+        h1.subscribe(McastAddr(3));
+        let t = std::thread::spawn(move || {
+            for i in 0..10u8 {
+                h0.send(Packet::new(0, McastAddr(3), vec![i]));
+            }
+        });
+        t.join().unwrap();
+        let mut got = Vec::new();
+        while let Ok(p) = r1.recv_timeout(Duration::from_millis(200)) {
+            got.push(p.payload[0]);
+            if got.len() == 10 {
+                break;
+            }
+        }
+        assert_eq!(got, (0..10u8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,298 @@
+//! Network behaviour models: latency, loss, and the overall configuration.
+
+use crate::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Latency experienced by each (packet, receiver) pair.
+///
+/// Latency is sampled independently per receiver, modelling a switched LAN
+/// where multicast fan-out reaches receivers at slightly different times —
+/// the jitter that forces ROMP to actually order messages rather than rely
+/// on arrival order.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Fixed one-way delay.
+    Constant(SimDuration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Minimum one-way delay.
+        min: SimDuration,
+        /// Maximum one-way delay.
+        max: SimDuration,
+    },
+    /// `base` plus an exponentially distributed tail with the given mean —
+    /// a decent stand-in for queueing delay on a busy LAN.
+    ExpTail {
+        /// Deterministic propagation floor.
+        base: SimDuration,
+        /// Mean of the additional exponential component.
+        mean_tail: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// A 1990s-LAN-ish default: 250us floor plus a 100us mean tail.
+    pub fn lan() -> Self {
+        LatencyModel::ExpTail {
+            base: SimDuration::from_micros(250),
+            mean_tail: SimDuration::from_micros(100),
+        }
+    }
+
+    /// Sample one one-way delay.
+    pub fn sample(&self, rng: &mut SmallRng) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                debug_assert!(max >= min);
+                SimDuration(rng.gen_range(min.0..=max.0))
+            }
+            LatencyModel::ExpTail { base, mean_tail } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let tail = (-u.ln()) * mean_tail.0 as f64;
+                SimDuration(base.0 + tail as u64)
+            }
+        }
+    }
+}
+
+/// Per-receiver packet-loss model.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// No loss.
+    None,
+    /// Independent loss with probability `p` per (packet, receiver).
+    Iid {
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Gilbert–Elliott two-state burst loss. The channel flips between a
+    /// good state (loss `p_good`) and a bad state (loss `p_bad`); state
+    /// transitions are sampled per delivery attempt.
+    Burst {
+        /// Loss probability in the good state.
+        p_good: f64,
+        /// Loss probability in the bad state.
+        p_bad: f64,
+        /// P(good → bad) per attempt.
+        p_enter_bad: f64,
+        /// P(bad → good) per attempt.
+        p_exit_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// Average loss rate implied by the model (stationary, for reporting).
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Iid { p } => *p,
+            LossModel::Burst {
+                p_good,
+                p_bad,
+                p_enter_bad,
+                p_exit_bad,
+            } => {
+                let denom = p_enter_bad + p_exit_bad;
+                if denom == 0.0 {
+                    *p_good
+                } else {
+                    let frac_bad = p_enter_bad / denom;
+                    p_good * (1.0 - frac_bad) + p_bad * frac_bad
+                }
+            }
+        }
+    }
+}
+
+/// Per-receiver loss state (for burst models).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LossState {
+    in_bad: bool,
+}
+
+impl LossState {
+    /// Sample whether the next packet to this receiver is lost.
+    pub fn sample(&mut self, model: &LossModel, rng: &mut SmallRng) -> bool {
+        match model {
+            LossModel::None => false,
+            LossModel::Iid { p } => rng.gen_bool(p.clamp(0.0, 1.0)),
+            LossModel::Burst {
+                p_good,
+                p_bad,
+                p_enter_bad,
+                p_exit_bad,
+            } => {
+                if self.in_bad {
+                    if rng.gen_bool(p_exit_bad.clamp(0.0, 1.0)) {
+                        self.in_bad = false;
+                    }
+                } else if rng.gen_bool(p_enter_bad.clamp(0.0, 1.0)) {
+                    self.in_bad = true;
+                }
+                let p = if self.in_bad { *p_bad } else { *p_good };
+                rng.gen_bool(p.clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for all randomness (loss, latency, reordering).
+    pub seed: u64,
+    /// One-way latency model, sampled per (packet, receiver).
+    pub latency: LatencyModel,
+    /// Loss model, sampled per (packet, receiver).
+    pub loss: LossModel,
+    /// Loopback delay for a sender receiving its own multicast.
+    /// IP multicast loopback is kernel-local: fast and lossless.
+    pub loopback_latency: SimDuration,
+    /// Interval between `on_tick` calls for every node.
+    pub tick_interval: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xF7_4D_00_01,
+            latency: LatencyModel::lan(),
+            loss: LossModel::None,
+            loopback_latency: SimDuration::from_micros(20),
+            tick_interval: SimDuration::from_millis(1),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default config with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Replace the loss model.
+    pub fn loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Replace the latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let m = LatencyModel::Constant(SimDuration::from_micros(100));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r).as_micros(), 100);
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_micros(10),
+            max: SimDuration::from_micros(20),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r).as_micros();
+            assert!((10..=20).contains(&d));
+        }
+    }
+
+    #[test]
+    fn exp_tail_latency_at_least_base() {
+        let m = LatencyModel::lan();
+        let mut r = rng();
+        let mut sum = 0u64;
+        for _ in 0..1000 {
+            let d = m.sample(&mut r).as_micros();
+            assert!(d >= 250);
+            sum += d;
+        }
+        let mean = sum as f64 / 1000.0;
+        // base 250 + mean tail 100 => mean near 350.
+        assert!((300.0..420.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn iid_loss_rate_approximates_p() {
+        let model = LossModel::Iid { p: 0.2 };
+        let mut st = LossState::default();
+        let mut r = rng();
+        let lost = (0..10_000)
+            .filter(|_| st.sample(&model, &mut r))
+            .count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((0.17..0.23).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn burst_loss_clusters() {
+        let model = LossModel::Burst {
+            p_good: 0.001,
+            p_bad: 0.5,
+            p_enter_bad: 0.01,
+            p_exit_bad: 0.1,
+        };
+        let mut st = LossState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..20_000).map(|_| st.sample(&model, &mut r)).collect();
+        let lost = outcomes.iter().filter(|&&l| l).count();
+        // Stationary rate ~ 0.001*(10/11) + 0.5*(1/11) ≈ 0.046.
+        let rate = lost as f64 / outcomes.len() as f64;
+        assert!((0.02..0.09).contains(&rate), "rate {rate}");
+        // Burstiness: probability a loss directly follows a loss far exceeds
+        // the marginal rate.
+        let pairs = outcomes.windows(2).filter(|w| w[0]).count();
+        let loss_after_loss = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = loss_after_loss as f64 / pairs.max(1) as f64;
+        assert!(cond > 2.0 * rate, "cond {cond} rate {rate}");
+    }
+
+    #[test]
+    fn mean_rate_matches_models() {
+        assert_eq!(LossModel::None.mean_rate(), 0.0);
+        assert_eq!(LossModel::Iid { p: 0.25 }.mean_rate(), 0.25);
+        let b = LossModel::Burst {
+            p_good: 0.0,
+            p_bad: 1.0,
+            p_enter_bad: 0.1,
+            p_exit_bad: 0.3,
+        };
+        assert!((b.mean_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_samples() {
+        let m = LatencyModel::lan();
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| m.sample(&mut r).as_micros()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| m.sample(&mut r).as_micros()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

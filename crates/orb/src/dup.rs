@@ -1,0 +1,138 @@
+//! Duplicate detection and suppression (§4).
+//!
+//! Every client replica multicasts the same request with the same
+//! `(connection id, request number)`, and every server replica multicasts a
+//! reply with the same pair, so each side receives up to *k* copies of each
+//! message. The pair is unique ("request numbers are monotonically
+//! increasing over all connections between the two groups; therefore each
+//! connection identifier, request number pair is unique"), which makes
+//! suppression a set-membership test — implemented here as a per-connection
+//! low-watermark plus a window of recent numbers, so memory stays bounded
+//! without ever re-admitting a duplicate.
+
+use ftmp_core::{ConnectionId, RequestNum};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tracks which `(connection, request number)` pairs have been seen.
+#[derive(Debug, Default)]
+pub struct DuplicateDetector {
+    per_conn: BTreeMap<ConnectionId, ConnState>,
+    /// Duplicates suppressed so far (experiment E7).
+    pub suppressed: u64,
+}
+
+#[derive(Debug, Default)]
+struct ConnState {
+    /// Every number ≤ watermark has been seen.
+    watermark: u64,
+    /// Seen numbers above the watermark.
+    above: BTreeSet<u64>,
+}
+
+impl ConnState {
+    fn insert(&mut self, n: u64) -> bool {
+        if n <= self.watermark || self.above.contains(&n) {
+            return false;
+        }
+        self.above.insert(n);
+        // Advance the watermark over any now-contiguous run.
+        while self.above.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+        true
+    }
+
+    fn contains(&self, n: u64) -> bool {
+        n <= self.watermark || self.above.contains(&n)
+    }
+}
+
+impl DuplicateDetector {
+    /// Record `(conn, num)`. Returns `true` the first time (process it) and
+    /// `false` for every duplicate (suppress it).
+    pub fn first_sighting(&mut self, conn: ConnectionId, num: RequestNum) -> bool {
+        let fresh = self.per_conn.entry(conn).or_default().insert(num.0);
+        if !fresh {
+            self.suppressed += 1;
+        }
+        fresh
+    }
+
+    /// Has `(conn, num)` been seen?
+    pub fn seen(&self, conn: ConnectionId, num: RequestNum) -> bool {
+        self.per_conn
+            .get(&conn)
+            .is_some_and(|c| c.contains(num.0))
+    }
+
+    /// Numbers retained above the contiguity watermark (memory check).
+    pub fn window_size(&self, conn: ConnectionId) -> usize {
+        self.per_conn.get(&conn).map_or(0, |c| c.above.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmp_core::ObjectGroupId;
+    use proptest::prelude::*;
+
+    fn conn(n: u32) -> ConnectionId {
+        ConnectionId::new(ObjectGroupId::new(1, n), ObjectGroupId::new(2, n))
+    }
+
+    #[test]
+    fn first_then_duplicates() {
+        let mut d = DuplicateDetector::default();
+        assert!(d.first_sighting(conn(1), RequestNum(1)));
+        assert!(!d.first_sighting(conn(1), RequestNum(1)));
+        assert!(!d.first_sighting(conn(1), RequestNum(1)));
+        assert_eq!(d.suppressed, 2);
+    }
+
+    #[test]
+    fn connections_are_independent() {
+        let mut d = DuplicateDetector::default();
+        assert!(d.first_sighting(conn(1), RequestNum(5)));
+        assert!(d.first_sighting(conn(2), RequestNum(5)));
+    }
+
+    #[test]
+    fn watermark_compacts_contiguous_numbers() {
+        let mut d = DuplicateDetector::default();
+        for n in 1..=1000 {
+            assert!(d.first_sighting(conn(1), RequestNum(n)));
+        }
+        assert_eq!(d.window_size(conn(1)), 0, "contiguous run fully compacted");
+        assert!(d.seen(conn(1), RequestNum(500)));
+        assert!(!d.seen(conn(1), RequestNum(1001)));
+    }
+
+    #[test]
+    fn out_of_order_numbers_compact_when_gap_fills() {
+        let mut d = DuplicateDetector::default();
+        d.first_sighting(conn(1), RequestNum(3));
+        d.first_sighting(conn(1), RequestNum(2));
+        assert_eq!(d.window_size(conn(1)), 2);
+        d.first_sighting(conn(1), RequestNum(1));
+        assert_eq!(d.window_size(conn(1)), 0);
+        assert!(d.seen(conn(1), RequestNum(2)));
+    }
+
+    proptest! {
+        /// Exactly one sighting per distinct number, however arrivals repeat
+        /// and interleave.
+        #[test]
+        fn prop_exactly_once(arrivals in proptest::collection::vec(1u64..50, 0..300)) {
+            let mut d = DuplicateDetector::default();
+            let mut firsts = std::collections::BTreeSet::new();
+            for n in &arrivals {
+                if d.first_sighting(conn(1), RequestNum(*n)) {
+                    prop_assert!(firsts.insert(*n), "number {} admitted twice", n);
+                }
+            }
+            let distinct: std::collections::BTreeSet<u64> = arrivals.iter().copied().collect();
+            prop_assert_eq!(firsts, distinct);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! A complete replicated-CORBA endpoint for the simulator: FTMP processor
+//! below, ORB above.
+
+use crate::endpoint::{Completion, OrbEndpoint};
+use ftmp_core::{Action, ConnectionId, Delivery, Processor, ProtocolEvent, RequestNum};
+use ftmp_net::{Outbox, Packet, SimNode, SimTime};
+use std::collections::VecDeque;
+
+/// An [`ftmp_net::SimNode`] hosting an FTMP [`Processor`] and an
+/// [`OrbEndpoint`]. Deliveries flow up into the ORB; the ORB's outbound
+/// GIOP messages flow down as Regular multicasts; completions and protocol
+/// events queue for the harness.
+pub struct OrbNode {
+    proc: Processor,
+    orb: OrbEndpoint,
+    events: VecDeque<ProtocolEvent>,
+    completions: VecDeque<Completion>,
+    /// Raw deliveries (latency measurement at the harness).
+    deliveries_seen: u64,
+}
+
+impl OrbNode {
+    /// Combine a processor and an ORB endpoint.
+    pub fn new(proc: Processor, orb: OrbEndpoint) -> Self {
+        OrbNode {
+            proc,
+            orb,
+            events: VecDeque::new(),
+            completions: VecDeque::new(),
+            deliveries_seen: 0,
+        }
+    }
+
+    /// The FTMP engine.
+    pub fn proc(&self) -> &Processor {
+        &self.proc
+    }
+
+    /// Mutable FTMP engine (drive through [`ftmp_net::SimNet::with_node`]).
+    pub fn proc_mut(&mut self) -> &mut Processor {
+        &mut self.proc
+    }
+
+    /// The ORB endpoint.
+    pub fn orb(&self) -> &OrbEndpoint {
+        &self.orb
+    }
+
+    /// Mutable ORB endpoint.
+    pub fn orb_mut(&mut self) -> &mut OrbEndpoint {
+        &mut self.orb
+    }
+
+    /// Invoke an operation and pump the resulting request onto the wire.
+    /// Returns the request number to match against completions.
+    pub fn invoke(
+        &mut self,
+        now: SimTime,
+        conn: ConnectionId,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+        out: &mut Outbox,
+    ) -> RequestNum {
+        let num = self.orb.invoke(conn, object_key, operation, args);
+        self.pump(now, out);
+        num
+    }
+
+    /// Drain completed invocations.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        self.completions.drain(..).collect()
+    }
+
+    /// Drain protocol events.
+    pub fn take_events(&mut self) -> Vec<ProtocolEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Ordered deliveries observed so far.
+    pub fn deliveries_seen(&self) -> u64 {
+        self.deliveries_seen
+    }
+
+    /// Move data between the layers and the network until quiescent.
+    pub fn pump(&mut self, now: SimTime, out: &mut Outbox) {
+        loop {
+            // ORB → FTMP.
+            let outbound = self.orb.drain_outbound();
+            let had_outbound = !outbound.is_empty();
+            for ob in outbound {
+                let _ = self
+                    .proc
+                    .multicast_request(now, ob.conn, ob.request_num, ob.giop);
+            }
+            // FTMP → network + ORB.
+            let actions = self.proc.drain_actions();
+            if actions.is_empty() && !had_outbound {
+                break;
+            }
+            for action in actions {
+                match action {
+                    Action::Send { addr, payload } => {
+                        out.send(Packet::new(self.proc.id().0, addr, payload));
+                    }
+                    Action::Join(addr) => out.join(addr),
+                    Action::Leave(addr) => out.leave(addr),
+                    Action::Deliver(d) => {
+                        self.deliveries_seen += 1;
+                        self.feed_orb(&d);
+                    }
+                    Action::Event(e) => {
+                        if let ProtocolEvent::MembershipChange { members, .. } = &e {
+                            // Warm-passive groups repoint their primary (and
+                            // replay pending requests) at the membership
+                            // change, like every other survivor.
+                            self.orb.note_membership_all(members);
+                        }
+                        self.events.push_back(e);
+                    }
+                }
+            }
+        }
+        for c in self.orb.drain_completions() {
+            self.completions.push_back(c);
+        }
+    }
+
+    fn feed_orb(&mut self, d: &Delivery) {
+        self.orb.on_delivery(d);
+    }
+}
+
+impl SimNode for OrbNode {
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet, out: &mut Outbox) {
+        self.proc.handle_packet(now, pkt);
+        self.pump(now, out);
+    }
+
+    fn on_tick(&mut self, now: SimTime, out: &mut Outbox) {
+        self.proc.tick(now);
+        self.pump(now, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servant::{decode_i64_result, encode_i64_arg, BankAccount};
+    use crate::InvocationResult;
+    use ftmp_core::pgmp::ServerRegistration;
+    use ftmp_core::{
+        ClockMode, ConnectionId, GroupId, ObjectGroupId, ProcessorId, ProtocolConfig,
+    };
+    use ftmp_net::{LossModel, McastAddr, SimConfig, SimDuration, SimNet};
+
+    const DOMAIN_ADDR: McastAddr = McastAddr(500);
+    const GROUP_ADDR: McastAddr = McastAddr(600);
+
+    fn og_client() -> ObjectGroupId {
+        ObjectGroupId::new(1, 1)
+    }
+    fn og_server() -> ObjectGroupId {
+        ObjectGroupId::new(2, 7)
+    }
+    fn conn() -> ConnectionId {
+        ConnectionId::new(og_client(), og_server())
+    }
+
+    /// 2 client processors + 3 server replicas, connected through the full
+    /// ConnectRequest/Connect handshake.
+    fn build(seed: u64, loss: LossModel) -> SimNet<OrbNode> {
+        let sim_cfg = SimConfig::with_seed(seed).loss(loss);
+        let mut net = SimNet::new(sim_cfg);
+        net.set_classifier(ftmp_core::wire::classify);
+        let clients = [ProcessorId(1), ProcessorId(2)];
+        let servers = [ProcessorId(3), ProcessorId(4), ProcessorId(5)];
+        for id in 1..=5u32 {
+            let mut proc = ftmp_core::Processor::new(
+                ProcessorId(id),
+                ProtocolConfig::with_seed(seed),
+                ClockMode::Lamport,
+            );
+            let mut orb = OrbEndpoint::new();
+            if id <= 2 {
+                orb.register_client(conn());
+            } else {
+                orb.host_replica(
+                    og_server(),
+                    b"bank".to_vec(),
+                    Box::new(BankAccount::with_balance(1_000)),
+                );
+                proc.register_server(
+                    og_server(),
+                    ServerRegistration {
+                        processors: servers.to_vec(),
+                        pool: vec![(GroupId(10), GROUP_ADDR)],
+                    },
+                    DOMAIN_ADDR,
+                );
+            }
+            let node = OrbNode::new(proc, orb);
+            net.add_node(id, node);
+            // Apply the initial actions (servers join the domain address).
+            net.with_node(id, |n, now, out| n.pump(now, out));
+        }
+        // Clients open the connection.
+        for id in 1..=2u32 {
+            net.with_node(id, |n, now, out| {
+                n.proc_mut()
+                    .open_connection(now, conn(), clients.to_vec(), DOMAIN_ADDR);
+                n.pump(now, out);
+            });
+        }
+        net
+    }
+
+    fn wait_connected(net: &mut SimNet<OrbNode>) {
+        for _ in 0..200 {
+            net.run_for(SimDuration::from_millis(5));
+            let all = (1..=5u32).all(|id| {
+                net.node(id)
+                    .unwrap()
+                    .proc()
+                    .connection_group(conn())
+                    .is_some()
+            });
+            if all {
+                return;
+            }
+        }
+        panic!("connection never established on all endpoints");
+    }
+
+    #[test]
+    fn second_connection_shares_the_processor_group() {
+        // §7: "these mechanisms allow several logical connections to share
+        // the same physical connection, the same processor group and the
+        // same IP Multicast address."
+        let mut net = build(29, LossModel::None);
+        wait_connected(&mut net);
+        let g1 = net.node(1).unwrap().proc().connection_group(conn()).unwrap();
+        // A second object-group pair between the same processor sets.
+        let conn2 = ConnectionId::new(ObjectGroupId::new(1, 9), og_server());
+        for id in 1..=2u32 {
+            net.with_node(id, move |n, now, out| {
+                n.orb_mut().register_client(conn2);
+                n.proc_mut().open_connection(
+                    now,
+                    conn2,
+                    vec![ProcessorId(1), ProcessorId(2)],
+                    DOMAIN_ADDR,
+                );
+                n.pump(now, out);
+            });
+        }
+        net.run_for(SimDuration::from_millis(200));
+        for id in 1..=5u32 {
+            let g2 = net.node(id).unwrap().proc().connection_group(conn2);
+            assert_eq!(g2, Some(g1), "P{id}: conn2 shares conn1's group");
+        }
+        // Both connections carry traffic independently.
+        net.with_node(1, |n, now, out| {
+            n.invoke(now, conn(), b"bank", "deposit", &encode_i64_arg(1), out);
+        });
+        net.with_node(1, move |n, now, out| {
+            n.invoke(now, conn2, b"bank", "deposit", &encode_i64_arg(2), out);
+        });
+        net.run_for(SimDuration::from_millis(200));
+        let done = net.node_mut(1).unwrap().take_completions();
+        assert_eq!(done.len(), 2);
+        let conns: std::collections::BTreeSet<ConnectionId> =
+            done.iter().map(|c| c.conn).collect();
+        assert!(conns.contains(&conn()) && conns.contains(&conn2));
+    }
+
+    #[test]
+    fn end_to_end_connection_and_invocation() {
+        let mut net = build(21, LossModel::None);
+        wait_connected(&mut net);
+        // Both client replicas issue the same invocation (active replication).
+        for id in 1..=2u32 {
+            net.with_node(id, |n, now, out| {
+                n.invoke(now, conn(), b"bank", "deposit", &encode_i64_arg(250), out);
+            });
+        }
+        net.run_for(SimDuration::from_millis(200));
+        // Every server replica applied the deposit exactly once.
+        for id in 3..=5u32 {
+            let node = net.node(id).unwrap();
+            let servant = node.orb().servant(og_server()).unwrap();
+            let snap = servant.snapshot();
+            let balance = ftmp_cdr::CdrReader::new(&snap, ftmp_cdr::ByteOrder::Big)
+                .read_i64()
+                .unwrap();
+            assert_eq!(balance, 1_250, "server P{id} balance");
+        }
+        // Each client replica completed exactly one invocation.
+        for id in 1..=2u32 {
+            let done = net.node_mut(id).unwrap().take_completions();
+            assert_eq!(done.len(), 1, "client P{id} completions");
+            match &done[0].result {
+                InvocationResult::Ok(bytes) => {
+                    assert_eq!(decode_i64_result(bytes), Some(1_250));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Duplicate suppression did real work: 2 client replicas → 1 extra
+        // request copy suppressed at each server.
+        for id in 3..=5u32 {
+            let (req_sup, _) = net.node(id).unwrap().orb().suppression_counts();
+            assert_eq!(req_sup, 1, "server P{id} suppressed the twin request");
+        }
+    }
+
+    #[test]
+    fn invocations_survive_packet_loss() {
+        let mut net = build(22, LossModel::Iid { p: 0.15 });
+        wait_connected(&mut net);
+        for round in 0..5u64 {
+            for id in 1..=2u32 {
+                net.with_node(id, |n, now, out| {
+                    n.invoke(now, conn(), b"bank", "deposit", &encode_i64_arg(10), out);
+                });
+            }
+            let _ = round;
+            net.run_for(SimDuration::from_millis(50));
+        }
+        net.run_for(SimDuration::from_millis(500));
+        for id in 3..=5u32 {
+            let snap = net
+                .node(id)
+                .unwrap()
+                .orb()
+                .servant(og_server())
+                .unwrap()
+                .snapshot();
+            let balance = ftmp_cdr::CdrReader::new(&snap, ftmp_cdr::ByteOrder::Big)
+                .read_i64()
+                .unwrap();
+            assert_eq!(balance, 1_050, "5 rounds × 10 applied once each");
+        }
+        for id in 1..=2u32 {
+            let done = net.node_mut(id).unwrap().take_completions();
+            assert_eq!(done.len(), 5);
+        }
+        assert!(net.stats().lost > 0);
+    }
+
+    #[test]
+    fn server_replica_crash_preserves_service() {
+        let mut net = build(23, LossModel::None);
+        wait_connected(&mut net);
+        net.with_node(1, |n, now, out| {
+            n.invoke(now, conn(), b"bank", "deposit", &encode_i64_arg(100), out);
+        });
+        net.run_for(SimDuration::from_millis(100));
+        // Crash one server replica; survivors reconfigure and keep serving.
+        net.crash(5);
+        net.run_for(SimDuration::from_millis(800));
+        net.with_node(1, |n, now, out| {
+            n.invoke(now, conn(), b"bank", "withdraw", &encode_i64_arg(50), out);
+        });
+        net.run_for(SimDuration::from_millis(400));
+        let done = net.node_mut(1).unwrap().take_completions();
+        assert_eq!(done.len(), 2, "both invocations completed despite the crash");
+        for id in 3..=4u32 {
+            let snap = net
+                .node(id)
+                .unwrap()
+                .orb()
+                .servant(og_server())
+                .unwrap()
+                .snapshot();
+            let balance = ftmp_cdr::CdrReader::new(&snap, ftmp_cdr::ByteOrder::Big)
+                .read_i64()
+                .unwrap();
+            assert_eq!(balance, 1_050);
+        }
+        // The fault was reported upward.
+        let events = net.node_mut(3).unwrap().take_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ftmp_core::ProtocolEvent::FaultReport { processor, .. }
+            if *processor == ProcessorId(5)
+        )));
+    }
+}

@@ -1,0 +1,223 @@
+//! Application object interface and two reference servants.
+
+use ftmp_cdr::{ByteOrder, CdrReader, CdrWriter};
+
+/// A replicated application object.
+///
+/// Replicas of a servant form an object group. FTMP delivers the same
+/// operations in the same order to every replica, so a deterministic
+/// `invoke` keeps their states identical (active replication). `snapshot` /
+/// `restore` support activating a new or backup replica (the fault
+/// tolerance infrastructure's job after a fault report, §7.2).
+pub trait Servant: Send {
+    /// Execute one operation. `args` is the CDR-encoded GIOP Request body;
+    /// the return value is the CDR-encoded Reply body. `Err` carries a
+    /// CORBA user exception (its repository id).
+    fn invoke(&mut self, operation: &str, args: &[u8]) -> Result<Vec<u8>, String>;
+
+    /// Serialize the full object state.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replace the object state (new replica activation).
+    fn restore(&mut self, state: &[u8]);
+}
+
+/// A replicated bank account — the classic replication demo, used by the
+/// `replicated_bank` example and the E7/E8 experiments.
+///
+/// Operations (arguments and results are CDR `long long` / `unsigned long
+/// long` values, big-endian on the wire as the sender chooses):
+/// `deposit(amount) -> balance`, `withdraw(amount) -> balance` (raises
+/// `InsufficientFunds`), `balance() -> balance`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BankAccount {
+    balance: i64,
+    /// Operations applied (replica-consistency diagnostics).
+    pub ops_applied: u64,
+}
+
+impl BankAccount {
+    /// A fresh account with the given opening balance.
+    pub fn with_balance(balance: i64) -> Self {
+        BankAccount {
+            balance,
+            ops_applied: 0,
+        }
+    }
+
+    /// Current balance.
+    pub fn balance(&self) -> i64 {
+        self.balance
+    }
+
+    fn encode_balance(&self) -> Vec<u8> {
+        let mut w = CdrWriter::new(ByteOrder::Big);
+        w.write_i64(self.balance);
+        w.into_bytes()
+    }
+}
+
+fn read_i64(args: &[u8]) -> Result<i64, String> {
+    let mut r = CdrReader::new(args, ByteOrder::Big);
+    r.read_i64().map_err(|e| format!("IDL:BadParam:1.0 {e}"))
+}
+
+impl Servant for BankAccount {
+    fn invoke(&mut self, operation: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        match operation {
+            "deposit" => {
+                let amount = read_i64(args)?;
+                self.balance += amount;
+                self.ops_applied += 1;
+                Ok(self.encode_balance())
+            }
+            "withdraw" => {
+                let amount = read_i64(args)?;
+                if amount > self.balance {
+                    return Err("IDL:Bank/InsufficientFunds:1.0".into());
+                }
+                self.balance -= amount;
+                self.ops_applied += 1;
+                Ok(self.encode_balance())
+            }
+            "balance" => {
+                self.ops_applied += 1;
+                Ok(self.encode_balance())
+            }
+            other => Err(format!("IDL:CORBA/BAD_OPERATION:1.0 {other}")),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = CdrWriter::new(ByteOrder::Big);
+        w.write_i64(self.balance);
+        w.write_u64(self.ops_applied);
+        w.into_bytes()
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        let mut r = CdrReader::new(state, ByteOrder::Big);
+        self.balance = r.read_i64().unwrap_or(0);
+        self.ops_applied = r.read_u64().unwrap_or(0);
+    }
+}
+
+/// A trivial counter servant (quickstart example, throughput workloads).
+/// Operations: `add(delta) -> value`, `get() -> value`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Counter {
+    value: i64,
+}
+
+impl Counter {
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+impl Servant for Counter {
+    fn invoke(&mut self, operation: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        match operation {
+            "add" => {
+                self.value += read_i64(args)?;
+            }
+            "get" => {}
+            other => return Err(format!("IDL:CORBA/BAD_OPERATION:1.0 {other}")),
+        }
+        let mut w = CdrWriter::new(ByteOrder::Big);
+        w.write_i64(self.value);
+        Ok(w.into_bytes())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = CdrWriter::new(ByteOrder::Big);
+        w.write_i64(self.value);
+        w.into_bytes()
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        let mut r = CdrReader::new(state, ByteOrder::Big);
+        self.value = r.read_i64().unwrap_or(0);
+    }
+}
+
+/// Encode a single `long long` argument (helper for examples and tests).
+pub fn encode_i64_arg(v: i64) -> Vec<u8> {
+    let mut w = CdrWriter::new(ByteOrder::Big);
+    w.write_i64(v);
+    w.into_bytes()
+}
+
+/// Decode a single `long long` result (helper for examples and tests).
+pub fn decode_i64_result(bytes: &[u8]) -> Option<i64> {
+    let mut r = CdrReader::new(bytes, ByteOrder::Big);
+    r.read_i64().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_account_operations() {
+        let mut acct = BankAccount::with_balance(100);
+        let r = acct.invoke("deposit", &encode_i64_arg(50)).unwrap();
+        assert_eq!(decode_i64_result(&r), Some(150));
+        let r = acct.invoke("withdraw", &encode_i64_arg(30)).unwrap();
+        assert_eq!(decode_i64_result(&r), Some(120));
+        let e = acct.invoke("withdraw", &encode_i64_arg(1_000)).unwrap_err();
+        assert!(e.contains("InsufficientFunds"));
+        assert_eq!(acct.balance(), 120);
+        assert_eq!(acct.ops_applied, 2, "failed ops do not mutate state");
+    }
+
+    #[test]
+    fn bank_account_snapshot_restore() {
+        let mut a = BankAccount::with_balance(7);
+        a.invoke("deposit", &encode_i64_arg(3)).unwrap();
+        let snap = a.snapshot();
+        let mut b = BankAccount::default();
+        b.restore(&snap);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_replicas_stay_identical() {
+        let mut a = BankAccount::with_balance(0);
+        let mut b = BankAccount::with_balance(0);
+        let ops = [("deposit", 10), ("deposit", 5), ("withdraw", 7), ("balance", 0)];
+        for (op, v) in ops {
+            let ra = a.invoke(op, &encode_i64_arg(v));
+            let rb = b.invoke(op, &encode_i64_arg(v));
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_operation_raises() {
+        let mut c = Counter::default();
+        assert!(c.invoke("nope", &[]).is_err());
+        c.invoke("add", &encode_i64_arg(4)).unwrap();
+        let r = c.invoke("get", &[]).unwrap();
+        assert_eq!(decode_i64_result(&r), Some(4));
+    }
+
+    #[test]
+    fn counter_snapshot_restore() {
+        let mut a = Counter::default();
+        a.invoke("add", &encode_i64_arg(42)).unwrap();
+        let mut b = Counter::default();
+        b.restore(&a.snapshot());
+        assert_eq!(b.value(), 42);
+    }
+
+    #[test]
+    fn malformed_args_rejected_without_state_change() {
+        let mut acct = BankAccount::with_balance(5);
+        assert!(acct.invoke("deposit", &[1, 2]).is_err());
+        assert_eq!(acct.balance(), 5);
+        assert_eq!(acct.ops_applied, 0);
+    }
+}

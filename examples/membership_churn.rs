@@ -1,0 +1,131 @@
+//! Membership churn: processors join and leave a live group while traffic
+//! flows; a late joiner sees only post-join traffic; a crash triggers the
+//! fault path; every surviving member agrees on every membership.
+//!
+//! ```text
+//! cargo run --example membership_churn
+//! ```
+
+use bytes::Bytes;
+use ftmp::core::{
+    ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
+    ProtocolEvent, RequestNum, SimProcessor,
+};
+use ftmp::net::{McastAddr, SimConfig, SimDuration, SimNet, SimTime};
+
+const GROUP: GroupId = GroupId(1);
+const ADDR: McastAddr = McastAddr(100);
+
+fn conn() -> ConnectionId {
+    ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+}
+
+fn send(net: &mut SimNet<SimProcessor>, id: u32, text: &str, req: u64) {
+    let payload = Bytes::from(text.to_string());
+    net.with_node(id, move |n, now, out| {
+        let _ = n.engine_mut().multicast_request(now, conn(), RequestNum(req), payload);
+        n.pump_at(now, out);
+    });
+}
+
+fn show_membership(net: &SimNet<SimProcessor>, ids: &[u32]) {
+    for &id in ids {
+        let m = net
+            .node(id)
+            .and_then(|n| n.engine().membership(GROUP))
+            .map(|m| m.iter().map(|p| format!("P{}", p.0)).collect::<Vec<_>>().join(","))
+            .unwrap_or_else(|| "-".into());
+        println!("  P{id}: {{{m}}}");
+    }
+}
+
+fn main() {
+    let mut net = SimNet::new(SimConfig::with_seed(99));
+    net.set_classifier(ftmp::core::wire::classify);
+
+    // Founders P1, P2.
+    let founders = [ProcessorId(1), ProcessorId(2)];
+    for id in 1..=2u32 {
+        let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(99), ClockMode::Lamport);
+        e.create_group(SimTime::ZERO, GROUP, ADDR, founders);
+        e.bind_connection(conn(), GROUP);
+        net.add_node(id, SimProcessor::new(e));
+        net.with_node(id, |n, now, out| n.pump_at(now, out));
+    }
+    println!("founded group {{P1, P2}}; sending pre-join traffic …");
+    send(&mut net, 1, "pre-join message", 1);
+    net.run_for(SimDuration::from_millis(50));
+
+    // P3 joins, sponsored by P1.
+    let mut e = Processor::new(ProcessorId(3), ProtocolConfig::with_seed(99), ClockMode::Lamport);
+    e.expect_join(GROUP, ADDR);
+    e.bind_connection(conn(), GROUP);
+    net.add_node(3, SimProcessor::new(e));
+    net.with_node(3, |n, now, out| n.pump_at(now, out));
+    net.with_node(1, |n, now, out| {
+        n.engine_mut().add_processor(now, GROUP, ProcessorId(3));
+        n.pump_at(now, out);
+    });
+    net.run_for(SimDuration::from_millis(50));
+    println!("\nP3 joined (sponsored by P1):");
+    show_membership(&net, &[1, 2, 3]);
+
+    send(&mut net, 2, "post-join message", 2);
+    net.run_for(SimDuration::from_millis(50));
+
+    // P2 leaves voluntarily.
+    net.with_node(1, |n, now, out| {
+        n.engine_mut().remove_processor(now, GROUP, ProcessorId(2));
+        n.pump_at(now, out);
+    });
+    net.run_for(SimDuration::from_millis(50));
+    println!("\nP2 removed voluntarily:");
+    show_membership(&net, &[1, 2, 3]);
+
+    // P4 joins, then P1 crashes: the survivors convict it.
+    let mut e = Processor::new(ProcessorId(4), ProtocolConfig::with_seed(99), ClockMode::Lamport);
+    e.expect_join(GROUP, ADDR);
+    e.bind_connection(conn(), GROUP);
+    net.add_node(4, SimProcessor::new(e));
+    net.with_node(4, |n, now, out| n.pump_at(now, out));
+    net.with_node(3, |n, now, out| {
+        n.engine_mut().add_processor(now, GROUP, ProcessorId(4));
+        n.pump_at(now, out);
+    });
+    net.run_for(SimDuration::from_millis(50));
+    println!("\nP4 joined (sponsored by P3):");
+    show_membership(&net, &[1, 3, 4]);
+
+    println!("\ncrashing P1 …");
+    net.crash(1);
+    net.run_for(SimDuration::from_millis(800));
+    println!("survivors after fault detection and membership change:");
+    show_membership(&net, &[3, 4]);
+
+    // What did each processor see?
+    println!("\ndelivery views:");
+    for id in [2u32, 3, 4] {
+        let texts: Vec<String> = net
+            .node_mut(id)
+            .unwrap()
+            .take_deliveries()
+            .iter()
+            .map(|(_, d)| String::from_utf8_lossy(&d.giop).into_owned())
+            .collect();
+        println!("  P{id}: {texts:?}");
+    }
+    println!("\nprotocol events at P3:");
+    for (at, e) in net.node_mut(3).unwrap().take_events() {
+        match e {
+            ProtocolEvent::MembershipChange { members, .. } => println!(
+                "  [{at}] membership -> {:?}",
+                members.iter().map(|p| p.0).collect::<Vec<_>>()
+            ),
+            ProtocolEvent::FaultReport { processor, .. } => {
+                println!("  [{at}] FAULT REPORT for P{}", processor.0)
+            }
+            ProtocolEvent::JoinedGroup { .. } => println!("  [{at}] joined the group"),
+            other => println!("  [{at}] {other:?}"),
+        }
+    }
+}

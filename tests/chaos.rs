@@ -1,0 +1,261 @@
+//! Chaos integration: seeded random interleavings of sends, joins, leaves,
+//! crashes and loss, asserting the core safety properties at the end of
+//! every run — final live members agree on one total order, per-source
+//! gap-free, and memberships converge.
+
+use bytes::Bytes;
+use ftmp::core::{
+    ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
+    RequestNum, SimProcessor,
+};
+use ftmp::net::{LossModel, McastAddr, SimConfig, SimDuration, SimNet, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+const GROUP: GroupId = GroupId(1);
+const ADDR: McastAddr = McastAddr(100);
+
+fn conn() -> ConnectionId {
+    ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+}
+
+struct Chaos {
+    net: SimNet<SimProcessor>,
+    rng: SmallRng,
+    members: BTreeSet<u32>,
+    joined_ever: BTreeSet<u32>,
+    crashed: BTreeSet<u32>,
+    next_req: u64,
+    next_id: u32,
+    /// Membership operations are serialized, as the paper's §7.1 requires
+    /// of the fault tolerance infrastructure ("must ensure that any
+    /// necessary change to the membership of the processor group has been
+    /// completed" before the next change).
+    last_membership_op: ftmp::net::SimTime,
+}
+
+impl Chaos {
+    fn new(seed: u64, loss: f64) -> Self {
+        let sim = SimConfig::with_seed(seed).loss(if loss > 0.0 {
+            LossModel::Iid { p: loss }
+        } else {
+            LossModel::None
+        });
+        let mut net = SimNet::new(sim);
+        net.set_classifier(ftmp::core::wire::classify);
+        let founders: Vec<ProcessorId> = (1..=4).map(ProcessorId).collect();
+        for id in 1..=4u32 {
+            let mut e =
+                Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+            e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
+            e.bind_connection(conn(), GROUP);
+            net.add_node(id, SimProcessor::new(e));
+            net.with_node(id, |n, now, out| n.pump_at(now, out));
+        }
+        Chaos {
+            net,
+            rng: SmallRng::seed_from_u64(seed ^ 0xC4405),
+            members: (1..=4).collect(),
+            joined_ever: (1..=4).collect(),
+            crashed: BTreeSet::new(),
+            next_req: 0,
+            next_id: 5,
+            last_membership_op: ftmp::net::SimTime::ZERO,
+        }
+    }
+
+    fn membership_op_allowed(&self) -> bool {
+        self.net
+            .now()
+            .saturating_since(self.last_membership_op)
+            .as_millis()
+            >= 400
+    }
+
+    fn alive(&self) -> Vec<u32> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|id| !self.crashed.contains(id))
+            .collect()
+    }
+
+    fn pick_alive(&mut self) -> Option<u32> {
+        let alive = self.alive();
+        if alive.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..alive.len());
+        Some(alive[i])
+    }
+
+    fn step(&mut self) {
+        let action = self.rng.gen_range(0..100u32);
+        match action {
+            // 70%: someone multicasts.
+            0..=69 => {
+                if let Some(id) = self.pick_alive() {
+                    self.next_req += 1;
+                    let req = RequestNum(self.next_req);
+                    let len = self.rng.gen_range(8..256usize);
+                    self.net.with_node(id, move |n, now, out| {
+                        let _ = n.engine_mut().multicast_request(
+                            now,
+                            conn(),
+                            req,
+                            Bytes::from(vec![0u8; len]),
+                        );
+                        n.pump_at(now, out);
+                    });
+                }
+            }
+            // 12%: a new processor joins.
+            70..=81 => {
+                if self.alive().len() >= 2 && self.next_id < 12 && self.membership_op_allowed() {
+                    self.last_membership_op = self.net.now();
+                    let joiner = self.next_id;
+                    self.next_id += 1;
+                    let seed = self.rng.gen();
+                    let mut e = Processor::new(
+                        ProcessorId(joiner),
+                        ProtocolConfig::with_seed(seed),
+                        ClockMode::Lamport,
+                    );
+                    e.expect_join(GROUP, ADDR);
+                    e.bind_connection(conn(), GROUP);
+                    self.net.add_node(joiner, SimProcessor::new(e));
+                    self.net.with_node(joiner, |n, now, out| n.pump_at(now, out));
+                    let sponsor = self.pick_alive().expect("checked");
+                    self.net.with_node(sponsor, move |n, now, out| {
+                        n.engine_mut().add_processor(now, GROUP, ProcessorId(joiner));
+                        n.pump_at(now, out);
+                    });
+                    self.members.insert(joiner);
+                    self.joined_ever.insert(joiner);
+                }
+            }
+            // 10%: a voluntary leave.
+            82..=91 => {
+                let alive = self.alive();
+                if alive.len() >= 3 && self.membership_op_allowed() {
+                    self.last_membership_op = self.net.now();
+                    let idx = self.rng.gen_range(0..alive.len());
+                    let leaver = alive[idx];
+                    let sponsor = alive[(idx + 1) % alive.len()];
+                    self.net.with_node(sponsor, move |n, now, out| {
+                        n.engine_mut()
+                            .remove_processor(now, GROUP, ProcessorId(leaver));
+                        n.pump_at(now, out);
+                    });
+                    self.members.remove(&leaver);
+                }
+            }
+            // 8%: a crash — but keep a live majority of the current
+            // membership so conviction stays possible.
+            _ => {
+                let alive = self.alive();
+                if alive.len() >= 4 && self.membership_op_allowed() {
+                    self.last_membership_op = self.net.now();
+                    let idx = self.rng.gen_range(0..alive.len());
+                    let victim = alive[idx];
+                    self.net.crash(victim);
+                    self.crashed.insert(victim);
+                }
+            }
+        }
+        let pause = self.rng.gen_range(1..12u64);
+        self.net.run_for(SimDuration::from_millis(pause));
+    }
+
+    fn settle_and_check(&mut self, seed: u64) {
+        self.net.run_for(SimDuration::from_secs(5));
+        let live = self.alive();
+        assert!(!live.is_empty(), "seed {seed}: everyone died?");
+        // Memberships converge among final live processors that are still
+        // group members.
+        let mut memberships = Vec::new();
+        let mut sequences = Vec::new();
+        for &id in &live {
+            let node = self.net.node_mut(id).unwrap();
+            let m = node.engine().membership(GROUP);
+            let seq: Vec<(u64, u32, u64)> = node
+                .take_deliveries()
+                .iter()
+                .map(|(_, d)| (d.ts.0, d.source.0, d.seq.0))
+                .collect();
+            if let Some(m) = m {
+                memberships.push((id, m));
+                sequences.push((id, seq));
+            }
+        }
+        assert!(
+            !memberships.is_empty(),
+            "seed {seed}: no live processor retains membership"
+        );
+        for w in memberships.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "seed {seed}: membership divergence between P{} and P{}",
+                w[0].0, w[1].0
+            );
+        }
+        // Delivery agreement: every pair agrees on the overlap — a later
+        // joiner's sequence must be a suffix of an original member's.
+        for i in 0..sequences.len() {
+            for j in i + 1..sequences.len() {
+                let (ia, a) = &sequences[i];
+                let (ib, b) = &sequences[j];
+                let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                assert_eq!(
+                    &long[long.len() - short.len()..],
+                    &short[..],
+                    "seed {seed}: P{ia} and P{ib} disagree on the common suffix"
+                );
+            }
+        }
+        // Per-source gap-freedom on the longest view.
+        if let Some((_, longest)) = sequences.iter().max_by_key(|(_, s)| s.len()) {
+            let mut last: std::collections::BTreeMap<u32, u64> = Default::default();
+            for &(_, src, s) in longest {
+                let e = last.entry(src).or_insert(0);
+                assert!(s > *e, "seed {seed}: source order violated for P{src}");
+                *e = s;
+            }
+        }
+    }
+}
+
+fn run_chaos(seed: u64, loss: f64, steps: usize) {
+    let mut c = Chaos::new(seed, loss);
+    for _ in 0..steps {
+        c.step();
+    }
+    c.settle_and_check(seed);
+}
+
+#[test]
+fn chaos_lossless() {
+    for seed in 100..112u64 {
+        run_chaos(seed, 0.0, 80);
+    }
+}
+
+#[test]
+fn chaos_with_loss() {
+    for seed in 200..210u64 {
+        run_chaos(seed, 0.05, 60);
+    }
+}
+
+#[test]
+fn chaos_heavy_loss_short() {
+    for seed in 300..306u64 {
+        run_chaos(seed, 0.15, 40);
+    }
+}
+
+#[test]
+fn chaos_long_run() {
+    run_chaos(999, 0.08, 250);
+}

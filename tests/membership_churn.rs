@@ -1,0 +1,221 @@
+//! Integration: voluntary joins and leaves under traffic and loss (§7.1).
+
+use bytes::Bytes;
+use ftmp::core::{
+    ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
+    ProtocolEvent, RequestNum, SimProcessor,
+};
+use ftmp::net::{LossModel, McastAddr, SimConfig, SimDuration, SimNet, SimTime};
+
+const GROUP: GroupId = GroupId(1);
+const ADDR: McastAddr = McastAddr(100);
+
+fn conn() -> ConnectionId {
+    ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+}
+
+fn make_net(seed: u64, loss: f64) -> SimNet<SimProcessor> {
+    let cfg = SimConfig::with_seed(seed).loss(if loss > 0.0 {
+        LossModel::Iid { p: loss }
+    } else {
+        LossModel::None
+    });
+    let mut net = SimNet::new(cfg);
+    net.set_classifier(ftmp::core::wire::classify);
+    net
+}
+
+fn add_founder(net: &mut SimNet<SimProcessor>, id: u32, founders: &[ProcessorId], seed: u64) {
+    let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+    e.create_group(SimTime::ZERO, GROUP, ADDR, founders.to_vec());
+    e.bind_connection(conn(), GROUP);
+    net.add_node(id, SimProcessor::new(e));
+    net.with_node(id, |n, now, out| n.pump_at(now, out));
+}
+
+fn add_joiner(net: &mut SimNet<SimProcessor>, id: u32, seed: u64) {
+    let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+    e.expect_join(GROUP, ADDR);
+    e.bind_connection(conn(), GROUP);
+    net.add_node(id, SimProcessor::new(e));
+    net.with_node(id, |n, now, out| n.pump_at(now, out));
+}
+
+fn send(net: &mut SimNet<SimProcessor>, id: u32, req: u64) {
+    net.with_node(id, move |n, now, out| {
+        let _ = n
+            .engine_mut()
+            .multicast_request(now, conn(), RequestNum(req), Bytes::from(vec![req as u8]));
+        n.pump_at(now, out);
+    });
+}
+
+fn sponsor(net: &mut SimNet<SimProcessor>, sponsor_id: u32, joiner: u32) {
+    net.with_node(sponsor_id, move |n, now, out| {
+        n.engine_mut().add_processor(now, GROUP, ProcessorId(joiner));
+        n.pump_at(now, out);
+    });
+}
+
+fn membership_of(net: &SimNet<SimProcessor>, id: u32) -> Option<Vec<u32>> {
+    net.node(id)
+        .and_then(|n| n.engine().membership(GROUP))
+        .map(|m| m.iter().map(|p| p.0).collect())
+}
+
+#[test]
+fn sequential_joins_grow_the_group() {
+    let seed = 21;
+    let mut net = make_net(seed, 0.0);
+    let founders = [ProcessorId(1), ProcessorId(2)];
+    for id in 1..=2 {
+        add_founder(&mut net, id, &founders, seed);
+    }
+    for joiner in 3..=6u32 {
+        add_joiner(&mut net, joiner, seed);
+        sponsor(&mut net, 1, joiner);
+        net.run_for(SimDuration::from_millis(80));
+        for id in 1..=joiner {
+            assert_eq!(
+                membership_of(&net, id).unwrap().len(),
+                joiner as usize,
+                "P{id} after P{joiner} joined"
+            );
+        }
+    }
+}
+
+#[test]
+fn joins_complete_under_loss() {
+    let seed = 22;
+    let mut net = make_net(seed, 0.15);
+    let founders = [ProcessorId(1), ProcessorId(2), ProcessorId(3)];
+    for id in 1..=3 {
+        add_founder(&mut net, id, &founders, seed);
+    }
+    add_joiner(&mut net, 4, seed);
+    sponsor(&mut net, 2, 4);
+    net.run_for(SimDuration::from_millis(1_000));
+    for id in 1..=4u32 {
+        assert_eq!(membership_of(&net, id).unwrap().len(), 4, "P{id}");
+    }
+}
+
+#[test]
+fn leave_then_rejoin_with_fresh_state() {
+    let seed = 23;
+    let mut net = make_net(seed, 0.0);
+    let founders = [ProcessorId(1), ProcessorId(2), ProcessorId(3)];
+    for id in 1..=3 {
+        add_founder(&mut net, id, &founders, seed);
+    }
+    net.run_for(SimDuration::from_millis(20));
+    // P3 leaves.
+    net.with_node(1, |n, now, out| {
+        n.engine_mut().remove_processor(now, GROUP, ProcessorId(3));
+        n.pump_at(now, out);
+    });
+    net.run_for(SimDuration::from_millis(100));
+    assert!(membership_of(&net, 3).is_none(), "P3 left");
+    assert_eq!(membership_of(&net, 1).unwrap(), vec![1, 2]);
+    // P3 rejoins cold.
+    let mut e = Processor::new(ProcessorId(3), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+    e.expect_join(GROUP, ADDR);
+    e.bind_connection(conn(), GROUP);
+    net.revive(3, SimProcessor::new(e));
+    net.with_node(3, |n, now, out| n.pump_at(now, out));
+    sponsor(&mut net, 1, 3);
+    net.run_for(SimDuration::from_millis(200));
+    assert_eq!(membership_of(&net, 3).unwrap(), vec![1, 2, 3]);
+    let evs = net.node_mut(3).unwrap().take_events();
+    assert!(evs
+        .iter()
+        .any(|(_, e)| matches!(e, ProtocolEvent::JoinedGroup { .. })));
+}
+
+#[test]
+fn joiner_delivery_suffix_matches_founders() {
+    let seed = 24;
+    let mut net = make_net(seed, 0.05);
+    let founders = [ProcessorId(1), ProcessorId(2)];
+    for id in 1..=2 {
+        add_founder(&mut net, id, &founders, seed);
+    }
+    // Pre-join traffic.
+    for k in 0..10u64 {
+        send(&mut net, (k % 2) as u32 + 1, k);
+        net.run_for(SimDuration::from_millis(3));
+    }
+    net.run_for(SimDuration::from_millis(200));
+    add_joiner(&mut net, 3, seed);
+    sponsor(&mut net, 1, 3);
+    net.run_for(SimDuration::from_millis(200));
+    // Post-join traffic.
+    for k in 10..25u64 {
+        send(&mut net, (k % 3) as u32 + 1, k);
+        net.run_for(SimDuration::from_millis(3));
+    }
+    net.run_for(SimDuration::from_millis(800));
+    let seq_of = |net: &mut SimNet<SimProcessor>, id: u32| -> Vec<(u64, u32, u64)> {
+        net.node_mut(id)
+            .unwrap()
+            .take_deliveries()
+            .iter()
+            .map(|(_, d)| (d.ts.0, d.source.0, d.seq.0))
+            .collect()
+    };
+    let s1 = seq_of(&mut net, 1);
+    let s2 = seq_of(&mut net, 2);
+    let s3 = seq_of(&mut net, 3);
+    assert_eq!(s1, s2, "founders agree");
+    assert_eq!(s1.len(), 25, "founders saw everything");
+    assert!(!s3.is_empty() && s3.len() < 25, "joiner saw a strict suffix");
+    assert_eq!(
+        &s1[s1.len() - s3.len()..],
+        &s3[..],
+        "the joiner's view is exactly the founders' suffix"
+    );
+}
+
+#[test]
+fn concurrent_traffic_during_join_stays_ordered() {
+    let seed = 25;
+    let mut net = make_net(seed, 0.05);
+    let founders = [ProcessorId(1), ProcessorId(2), ProcessorId(3)];
+    for id in 1..=3 {
+        add_founder(&mut net, id, &founders, seed);
+    }
+    add_joiner(&mut net, 4, seed);
+    // Traffic in flight while the join happens.
+    for k in 0..5u64 {
+        send(&mut net, (k % 3) as u32 + 1, k);
+    }
+    sponsor(&mut net, 1, 4);
+    for k in 5..15u64 {
+        send(&mut net, (k % 3) as u32 + 1, k);
+        net.run_for(SimDuration::from_millis(2));
+    }
+    net.run_for(SimDuration::from_millis(800));
+    let seqs: Vec<Vec<(u64, u32, u64)>> = (1..=3u32)
+        .map(|id| {
+            net.node_mut(id)
+                .unwrap()
+                .take_deliveries()
+                .iter()
+                .map(|(_, d)| (d.ts.0, d.source.0, d.seq.0))
+                .collect()
+        })
+        .collect();
+    assert_eq!(seqs[0], seqs[1]);
+    assert_eq!(seqs[1], seqs[2]);
+    assert_eq!(seqs[0].len(), 15);
+    // The joiner's suffix is consistent too.
+    let s4: Vec<(u64, u32, u64)> = net
+        .node_mut(4)
+        .unwrap()
+        .take_deliveries()
+        .iter()
+        .map(|(_, d)| (d.ts.0, d.source.0, d.seq.0))
+        .collect();
+    assert_eq!(&seqs[0][seqs[0].len() - s4.len()..], &s4[..]);
+}

@@ -1,0 +1,173 @@
+//! Integration: replicated CORBA invocations through the whole stack —
+//! connection establishment, exactly-once execution, loss, crashes.
+
+use ftmp::core::ProtocolConfig;
+use ftmp::harness::worlds::OrbWorld;
+use ftmp::net::{LossModel, SimConfig};
+use ftmp::orb::servant::decode_i64_result;
+use ftmp::orb::InvocationResult;
+
+fn counter() -> Box<dyn ftmp::orb::Servant> {
+    Box::new(ftmp::orb::Counter::default())
+}
+
+fn counter_value(w: &OrbWorld, id: u32) -> i64 {
+    let snap = w
+        .net
+        .node(id)
+        .unwrap()
+        .orb()
+        .servant(w.conn().server)
+        .unwrap()
+        .snapshot();
+    decode_i64_result(&snap).unwrap()
+}
+
+#[test]
+fn hundred_invocations_exactly_once() {
+    let mut w = OrbWorld::new(
+        2,
+        3,
+        SimConfig::with_seed(1),
+        ProtocolConfig::with_seed(1),
+        counter,
+    );
+    for _ in 0..100 {
+        w.invoke_all("add", 1);
+        w.run_ms(10);
+    }
+    w.run_ms(500);
+    let (done, lats) = w.drain_completions();
+    assert_eq!(done.len(), 100);
+    assert_eq!(lats.len(), 100);
+    for id in w.servers.clone() {
+        assert_eq!(counter_value(&w, id), 100, "server P{id} executed each op once");
+    }
+    // 1 duplicate per server per invocation (2 clients).
+    assert_eq!(w.server_suppressed(), 100 * 3);
+}
+
+#[test]
+fn invocations_under_heavy_loss() {
+    let mut w = OrbWorld::new(
+        2,
+        2,
+        SimConfig::with_seed(2).loss(LossModel::Iid { p: 0.2 }),
+        ProtocolConfig::with_seed(2),
+        counter,
+    );
+    for _ in 0..30 {
+        w.invoke_all("add", 2);
+        w.run_ms(40);
+    }
+    w.run_ms(2_000);
+    let (done, _) = w.drain_completions();
+    assert_eq!(done.len(), 30);
+    for id in w.servers.clone() {
+        assert_eq!(counter_value(&w, id), 60);
+    }
+}
+
+#[test]
+fn results_identical_across_client_replicas() {
+    let mut w = OrbWorld::new(
+        3,
+        3,
+        SimConfig::with_seed(3),
+        ProtocolConfig::with_seed(3),
+        counter,
+    );
+    for _ in 0..10 {
+        w.invoke_all("add", 5);
+        w.run_ms(20);
+    }
+    w.run_ms(300);
+    // Every client replica completed the same set with the same results.
+    let mut views = Vec::new();
+    for id in w.clients.clone() {
+        let completions = w.net.node_mut(id).unwrap().take_completions();
+        let view: Vec<(u64, Option<i64>)> = completions
+            .iter()
+            .map(|c| {
+                let v = match &c.result {
+                    InvocationResult::Ok(b) => decode_i64_result(b),
+                    InvocationResult::Exception(_) | InvocationResult::Located { .. } => None,
+                };
+                (c.request_num.0, v)
+            })
+            .collect();
+        views.push(view);
+    }
+    assert_eq!(views[0].len(), 10);
+    assert_eq!(views[0], views[1]);
+    assert_eq!(views[1], views[2]);
+    assert_eq!(views[0].last().unwrap().1, Some(50));
+}
+
+#[test]
+fn server_crash_mid_stream_preserves_exactly_once() {
+    let mut w = OrbWorld::new(
+        1,
+        3,
+        SimConfig::with_seed(4),
+        ProtocolConfig::with_seed(4),
+        counter,
+    );
+    for _ in 0..10 {
+        w.invoke_all("add", 1);
+        w.run_ms(15);
+    }
+    let victim = *w.servers.last().unwrap();
+    w.net.crash(victim);
+    // Keep invoking while the survivors reconfigure.
+    for _ in 0..10 {
+        w.invoke_all("add", 1);
+        w.run_ms(60);
+    }
+    w.run_ms(2_000);
+    let (done, _) = w.drain_completions();
+    assert_eq!(done.len(), 20, "all invocations completed despite the crash");
+    for id in w.servers.clone() {
+        if id == victim {
+            continue;
+        }
+        assert_eq!(counter_value(&w, id), 20, "survivor P{id} state");
+    }
+}
+
+#[test]
+fn client_replica_crash_is_transparent_to_the_service() {
+    let mut w = OrbWorld::new(
+        3,
+        2,
+        SimConfig::with_seed(5),
+        ProtocolConfig::with_seed(5),
+        counter,
+    );
+    for _ in 0..5 {
+        w.invoke_all("add", 1);
+        w.run_ms(20);
+    }
+    // One client replica dies; the duplicates from the others keep the
+    // requests flowing.
+    let victim = *w.clients.last().unwrap();
+    w.net.crash(victim);
+    w.run_ms(1_000);
+    for _ in 0..5 {
+        // Only the surviving clients invoke now.
+        let conn = w.conn();
+        for &id in &w.clients.clone() {
+            if id == victim {
+                continue;
+            }
+            w.net.with_node(id, move |node, now, out| {
+                node.invoke(now, conn, b"obj", "add", &ftmp::orb::servant::encode_i64_arg(1), out);
+            });
+        }
+        w.run_ms(60);
+    }
+    w.run_ms(1_000);
+    for id in w.servers.clone() {
+        assert_eq!(counter_value(&w, id), 10, "server P{id} applied all 10 adds once");
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration: total-order guarantees through the public facade, across
+//! seeds, loss models and group sizes.
+
+use ftmp::core::{ClockMode, ProtocolConfig};
+use ftmp::harness::worlds::FtmpWorld;
+use ftmp::net::{LatencyModel, LossModel, SimConfig, SimDuration};
+use std::collections::BTreeMap;
+
+fn workload(w: &mut FtmpWorld, msgs: u64) {
+    for k in 0..msgs {
+        let id = (k % w.n as u64) as u32 + 1;
+        w.send(id, 64 + (k as usize % 256));
+        w.run_ms(1);
+    }
+    w.run_ms(500);
+}
+
+fn assert_order_properties(w: &mut FtmpWorld, expected: usize) {
+    let res = w.collect();
+    assert_eq!(res.delivered(), expected, "every message delivered");
+    assert!(res.all_agree(), "identical sequences at all members");
+    // Source order: per-source sequence numbers strictly increase.
+    for seq in &res.sequences {
+        let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+        for &(_, src, s) in seq {
+            let e = last.entry(src).or_insert(0);
+            assert!(s > *e, "source order violated for P{src}: {s} after {e}");
+            *e = s;
+        }
+    }
+    // Gap-free per source.
+    for seq in &res.sequences {
+        let mut count: BTreeMap<u32, u64> = BTreeMap::new();
+        for &(_, src, _) in seq {
+            *count.entry(src).or_insert(0) += 1;
+        }
+        let total: u64 = count.values().sum();
+        assert_eq!(total as usize, expected);
+    }
+}
+
+#[test]
+fn agreement_across_seeds_lossless() {
+    for seed in [1u64, 7, 42, 1999] {
+        let mut w = FtmpWorld::new(
+            4,
+            SimConfig::with_seed(seed),
+            ProtocolConfig::with_seed(seed),
+            ClockMode::Lamport,
+        );
+        workload(&mut w, 40);
+        assert_order_properties(&mut w, 40);
+    }
+}
+
+#[test]
+fn agreement_under_iid_loss() {
+    for seed in [3u64, 11, 2024] {
+        let sim = SimConfig::with_seed(seed).loss(LossModel::Iid { p: 0.12 });
+        let mut w = FtmpWorld::new(
+            5,
+            sim,
+            ProtocolConfig::with_seed(seed),
+            ClockMode::Lamport,
+        );
+        workload(&mut w, 60);
+        assert_order_properties(&mut w, 60);
+    }
+}
+
+#[test]
+fn agreement_under_burst_loss_and_jitter() {
+    let sim = SimConfig::with_seed(5)
+        .loss(LossModel::Burst {
+            p_good: 0.01,
+            p_bad: 0.6,
+            p_enter_bad: 0.02,
+            p_exit_bad: 0.15,
+        })
+        .latency(LatencyModel::Uniform {
+            min: SimDuration::from_micros(100),
+            max: SimDuration::from_micros(2_000),
+        });
+    let mut w = FtmpWorld::new(4, sim, ProtocolConfig::with_seed(5), ClockMode::Lamport);
+    workload(&mut w, 50);
+    assert_order_properties(&mut w, 50);
+}
+
+#[test]
+fn agreement_with_synchronized_clocks() {
+    let mut w = FtmpWorld::new(
+        4,
+        SimConfig::with_seed(8).loss(LossModel::Iid { p: 0.05 }),
+        ProtocolConfig::with_seed(8),
+        ClockMode::Synchronized { skew_us: 300 },
+    );
+    workload(&mut w, 40);
+    assert_order_properties(&mut w, 40);
+}
+
+#[test]
+fn large_group_converges() {
+    let mut w = FtmpWorld::new(
+        16,
+        SimConfig::with_seed(16),
+        ProtocolConfig::with_seed(16),
+        ClockMode::Lamport,
+    );
+    workload(&mut w, 32);
+    assert_order_properties(&mut w, 32);
+}
+
+#[test]
+fn large_payloads_survive() {
+    let mut w = FtmpWorld::new(
+        3,
+        SimConfig::with_seed(9).loss(LossModel::Iid { p: 0.05 }),
+        ProtocolConfig::with_seed(9),
+        ClockMode::Lamport,
+    );
+    for k in 0..10u64 {
+        let id = (k % 3) as u32 + 1;
+        w.send(id, 16 * 1024);
+        w.run_ms(2);
+    }
+    w.run_ms(500);
+    assert_order_properties(&mut w, 10);
+}
