@@ -363,8 +363,7 @@ impl SimNode for SequencerNode {
                 self.send_data(out, local, &payload);
             }
         }
-        if self.is_sequencer() && now.saturating_since(self.last_flush) >= self.cfg.flush_interval
-        {
+        if self.is_sequencer() && now.saturating_since(self.last_flush) >= self.cfg.flush_interval {
             self.last_flush = now;
             self.flush_orders(out);
             let mut buf = BytesMut::new();
@@ -390,7 +389,10 @@ mod tests {
         let members: Vec<NodeId> = (1..=n).collect();
         let mut net = SimNet::new(SimConfig::with_seed(seed).loss(loss));
         for id in 1..=n {
-            net.add_node(id, SequencerNode::new(id, SequencerConfig::new(addr, members.clone())));
+            net.add_node(
+                id,
+                SequencerNode::new(id, SequencerConfig::new(addr, members.clone())),
+            );
             net.subscribe(id, addr);
         }
         net

@@ -120,6 +120,11 @@ pub struct TokenRingNode {
     /// The token we last forwarded, for timeout retransmission.
     inflight_token: Option<(Token, SimTime)>,
     highest_rotation_seen: u64,
+    /// Rotation of the last token visit we processed. A predecessor may
+    /// retransmit a token we already held (its copy of our forward was
+    /// lost); re-holding it would mint a second token lineage whose global
+    /// sequence numbers collide, silently dropping messages.
+    last_held_rotation: Option<u64>,
     bootstrapped: bool,
 }
 
@@ -138,6 +143,7 @@ impl TokenRingNode {
             delivered_count: 0,
             inflight_token: None,
             highest_rotation_seen: 0,
+            last_held_rotation: None,
             bootstrapped: false,
         }
     }
@@ -238,7 +244,11 @@ impl SimNode for TokenRingNode {
                     }
                 }
                 self.highest_seen = self.highest_seen.max(token.next_global.saturating_sub(1));
-                if token.to == self.id && src != self.id {
+                if token.to == self.id
+                    && src != self.id
+                    && self.last_held_rotation.is_none_or(|r| token.rotation > r)
+                {
+                    self.last_held_rotation = Some(token.rotation);
                     self.inflight_token = None;
                     self.hold_token(now, token, out);
                 }
@@ -292,7 +302,10 @@ mod tests {
         let members: Vec<NodeId> = (1..=n).collect();
         let mut net = SimNet::new(SimConfig::with_seed(seed).loss(loss));
         for id in 1..=n {
-            net.add_node(id, TokenRingNode::new(id, RingConfig::new(addr, members.clone())));
+            net.add_node(
+                id,
+                TokenRingNode::new(id, RingConfig::new(addr, members.clone())),
+            );
             net.subscribe(id, addr);
         }
         net

@@ -58,7 +58,11 @@ impl ReliableChannel {
     fn send(&mut self, me: NodeId, now: SimTime, payload: Bytes, out: &mut Outbox) -> u64 {
         let seq = self.next_send;
         self.next_send += 1;
-        out.send(Packet::new(me, self.peer_addr, encode_seg(me, seq, &payload)));
+        out.send(Packet::new(
+            me,
+            self.peer_addr,
+            encode_seg(me, seq, &payload),
+        ));
         self.unacked.insert(seq, (payload, now));
         seq
     }
@@ -88,7 +92,11 @@ impl ReliableChannel {
         for (seq, (payload, sent)) in self.unacked.iter_mut() {
             if now.saturating_since(*sent) >= self.rto {
                 *sent = now;
-                out.send(Packet::new(me, self.peer_addr, encode_seg(me, *seq, payload)));
+                out.send(Packet::new(
+                    me,
+                    self.peer_addr,
+                    encode_seg(me, *seq, payload),
+                ));
             }
         }
     }
@@ -277,7 +285,10 @@ mod tests {
         let (ca, sa) = (McastAddr(10), McastAddr(11));
         let mut net = SimNet::new(SimConfig::with_seed(seed).loss(loss));
         net.add_node(1, UnicastEndpoint::Client(UnicastClient::new(1, ca, sa)));
-        net.add_node(2, UnicastEndpoint::Server(UnicastServer::new(2, sa, ca, echo)));
+        net.add_node(
+            2,
+            UnicastEndpoint::Server(UnicastServer::new(2, sa, ca, echo)),
+        );
         net.subscribe(1, ca);
         net.subscribe(2, sa);
         net

@@ -82,13 +82,17 @@ fn bench_giop(c: &mut Criterion) {
     let mut g = c.benchmark_group("giop");
     for payload in [0usize, 256, 4096] {
         g.throughput(Throughput::Bytes(payload as u64));
-        g.bench_with_input(BenchmarkId::new("encode_request", payload), &payload, |b, &p| {
-            b.iter(|| black_box(giop_request(p)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("encode_request", payload),
+            &payload,
+            |b, &p| b.iter(|| black_box(giop_request(p))),
+        );
         let encoded = giop_request(payload);
-        g.bench_with_input(BenchmarkId::new("decode_request", payload), &encoded, |b, e| {
-            b.iter(|| black_box(GiopMessage::decode(e).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decode_request", payload),
+            &encoded,
+            |b, e| b.iter(|| black_box(GiopMessage::decode(e).unwrap())),
+        );
     }
     g.finish();
 }
@@ -102,9 +106,11 @@ fn bench_ftmp_wire(c: &mut Criterion) {
             b.iter(|| black_box(m.encode(ByteOrder::native())))
         });
         let bytes = msg.encode(ByteOrder::native());
-        g.bench_with_input(BenchmarkId::new("decode_regular", payload), &bytes, |b, e| {
-            b.iter(|| black_box(FtmpMessage::decode(e).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decode_regular", payload),
+            &bytes,
+            |b, e| b.iter(|| black_box(FtmpMessage::decode(e).unwrap())),
+        );
     }
     let hb = FtmpMessage {
         body: FtmpBody::Heartbeat,

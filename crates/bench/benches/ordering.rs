@@ -84,11 +84,19 @@ fn bench_rmp_window(c: &mut Criterion) {
 
 fn bench_retention(c: &mut Criterion) {
     let mut g = c.benchmark_group("retention");
+    let wire = |m: &FtmpMessage| m.encode(ftmp_cdr::ByteOrder::native());
     g.bench_function("insert_reclaim_1024", |b| {
+        let frames: Vec<_> = (1..=1024u64)
+            .map(|seq| {
+                let m = msg((seq % 8) as u32 + 1, seq, seq);
+                let w = wire(&m);
+                (m, w)
+            })
+            .collect();
         b.iter(|| {
             let mut store = RetentionStore::default();
-            for seq in 1..=1024u64 {
-                store.insert(msg((seq % 8) as u32 + 1, seq, seq), 256);
+            for (m, w) in &frames {
+                store.insert(m.clone(), w.clone());
             }
             black_box(store.reclaim_stable(Timestamp(512)));
             black_box(store.len())
@@ -97,7 +105,9 @@ fn bench_retention(c: &mut Criterion) {
     g.bench_function("take_for_retransmit", |b| {
         let mut store = RetentionStore::default();
         for seq in 1..=1024u64 {
-            store.insert(msg(1, seq, seq), 256);
+            let m = msg(1, seq, seq);
+            let w = wire(&m);
+            store.insert(m, w);
         }
         let mut t = 0u64;
         b.iter(|| {

@@ -78,12 +78,8 @@ fn bench_loss_recovery(c: &mut Criterion) {
                 let sim = SimConfig::with_seed(2).loss(ftmp_net::LossModel::Iid {
                     p: f64::from(p) / 100.0,
                 });
-                let mut w = FtmpWorld::new(
-                    4,
-                    sim,
-                    ProtocolConfig::with_seed(2),
-                    ClockMode::Lamport,
-                );
+                let mut w =
+                    FtmpWorld::new(4, sim, ProtocolConfig::with_seed(2), ClockMode::Lamport);
                 for k in 0..MSGS {
                     w.send((k % 4) as u32 + 1, 128);
                     w.run_ms(1);

@@ -284,7 +284,9 @@ mod tests {
         let mut r = CdrReader::new(&bytes, ByteOrder::Big);
         let err = r.read_u32().unwrap_err();
         match err {
-            CdrError::UnexpectedEof { wanted, available, .. } => {
+            CdrError::UnexpectedEof {
+                wanted, available, ..
+            } => {
                 assert_eq!(wanted, 4);
                 assert_eq!(available, 3);
             }

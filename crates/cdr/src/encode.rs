@@ -245,10 +245,7 @@ mod tests {
         let at = w.reserve_u32();
         w.write_u8(7);
         w.patch_u32(at, 0xDEADBEEF);
-        assert_eq!(
-            w.as_bytes(),
-            &[9, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, 7]
-        );
+        assert_eq!(w.as_bytes(), &[9, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, 7]);
     }
 
     #[test]

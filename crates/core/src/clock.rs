@@ -124,7 +124,11 @@ mod tests {
     fn synchronized_negative_physical_clamps_to_lamport() {
         let mut c = Clock::new(ClockMode::Synchronized { skew_us: -10_000 });
         let t = c.stamp_send(SimTime(0));
-        assert_eq!(t, Timestamp(1), "falls back to pure Lamport when physical < 0");
+        assert_eq!(
+            t,
+            Timestamp(1),
+            "falls back to pure Lamport when physical < 0"
+        );
     }
 
     proptest! {

@@ -21,13 +21,25 @@
 //!
 //! Module map: [`wire`] holds the FTMP header and the nine message bodies
 //! (§3, §5–§7 of the paper); [`clock`] the Lamport / synchronized message
-//! timestamps (§6); [`rmp`] sequence numbers, NACKs and any-holder
-//! retransmission (§5); [`romp`] the ordering queue, delivery rule, ack
-//! timestamps and buffer reclamation (§6); [`pgmp`] connections, add/remove
-//! and the suspicion → conviction → membership-change pipeline (§7);
-//! [`processor`] ties the layers into one endpoint; [`sim_adapter`] plugs an
+//! timestamps (§6); [`rmp`] the RMP layer state machine — sequence numbers,
+//! NACKs, any-holder retention (§5); [`romp`] the ROMP layer state machine —
+//! ordering queue, delivery rule, ack timestamps, buffer reclamation (§6);
+//! [`pgmp`] the PGMP layer state machine — connections, add/remove and the
+//! suspicion → conviction → membership-change pipeline (§7); [`actions`] the
+//! emitted-effect types and the reusable [`ActionSink`](actions::ActionSink)
+//! buffer; [`stats`] the counter types, including the per-layer
+//! [`LayerCounters`](stats::LayerCounters); [`processor`] the composition
+//! shell tying the three layers into one endpoint; [`sim_adapter`] plugs an
 //! endpoint into the simulator.
+//!
+//! Each layer module exposes the same sans-io shape: a `*Layer` struct with
+//! a typed input enum consumed by `handle(...)` and a typed output enum
+//! describing what the shell must do next, plus `*Counters` the layer
+//! maintains for itself. Layers never touch the network or each other; only
+//! the shell routes outputs onward (RMP releases feed ROMP, ROMP control
+//! messages feed PGMP) and converts them to [`Action`]s.
 
+pub mod actions;
 pub mod clock;
 pub mod config;
 pub mod ids;
@@ -36,6 +48,7 @@ pub mod processor;
 pub mod rmp;
 pub mod romp;
 pub mod sim_adapter;
+pub mod stats;
 pub mod wire;
 
 pub use clock::{Clock, ClockMode};

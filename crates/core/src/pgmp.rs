@@ -1,9 +1,14 @@
 //! PGMP — the Processor Group Membership Protocol layer (§7).
 //!
-//! This module holds PGMP's bookkeeping structures; the event-driven
-//! orchestration (when to send Suspect/Membership/Connect messages) lives in
-//! [`crate::processor`].
+//! This module holds the PGMP sub-state-machine ([`PgmpGroup`]) — one per
+//! group, consuming typed [`PgmpInput`]s (suspect reports and membership
+//! proposals routed up from ROMP) and emitting typed [`PgmpOutput`]s — plus
+//! its bookkeeping structures. Cross-group orchestration (a conviction
+//! removes the processor from *all* groups, §2) and the sending of
+//! Suspect/Membership/Connect messages live in [`crate::processor`].
 //!
+//! * [`PgmpGroup`] — per-group membership, fault-detector state, the
+//!   pending reconfiguration and the join/connect retry state.
 //! * [`SuspicionMatrix`] — who suspects whom, and the quorum test that
 //!   convicts a processor "that enough processors suspect" (§7.2).
 //! * [`Reconfig`] — the survivors' reconciliation state after a conviction:
@@ -14,8 +19,9 @@
 //!   ConnectRequests, server-side registrations with their processor-group
 //!   address pools, and the conn → processor-group bindings (§4, §7).
 
-use crate::ids::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, Timestamp};
+use crate::ids::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, SeqNum, Timestamp};
 use crate::wire::SeqVector;
+use bytes::Bytes;
 use ftmp_net::{McastAddr, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -188,6 +194,270 @@ impl Reconfig {
     }
 }
 
+/// A join this processor sponsors (§7.1): the AddProcessor's
+/// retransmission-form wire bytes, resent until the joiner is heard.
+#[derive(Debug)]
+pub struct SponsorJoin {
+    /// Ready-to-send retransmission bytes of the AddProcessor.
+    pub retx: Bytes,
+    /// Next resend time.
+    pub next_retry: SimTime,
+}
+
+/// A Connect this primary retransmits until every member is heard (§7).
+#[derive(Debug)]
+pub struct ConnectRetx {
+    /// Ready-to-send retransmission bytes of the Connect.
+    pub retx: Bytes,
+    /// The fault-tolerance domain address the Connect also travels on
+    /// (members of the new group are not subscribed to it yet).
+    pub domain_addr: Option<McastAddr>,
+    /// Next resend time.
+    pub next_retry: SimTime,
+}
+
+/// Per-layer traffic counters exposed through
+/// [`crate::processor::Processor::stats`] and the harness report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PgmpCounters {
+    /// Suspect reports consumed (our own loopback included).
+    pub suspect_reports_in: u64,
+    /// Membership proposals consumed.
+    pub proposals_in: u64,
+    /// Processors newly scheduled for removal by a conviction.
+    pub convictions: u64,
+    /// Memberships installed after a fault (reconfiguration completions).
+    pub reconfigurations: u64,
+}
+
+/// Typed input consumed by [`PgmpGroup::handle`] — the control messages
+/// ROMP routes upward plus their group-local context.
+#[derive(Debug)]
+pub enum PgmpInput {
+    /// A Suspect message from `reporter` carrying its full suspect set;
+    /// `required` is the conviction quorum for the current membership.
+    SuspectReport {
+        /// The reporting member.
+        reporter: ProcessorId,
+        /// Its complete current suspect set.
+        suspects: BTreeSet<ProcessorId>,
+        /// Votes required to convict.
+        required: usize,
+    },
+    /// A Membership proposal from `from` proposing `proposed` with its
+    /// per-source contiguous sequence numbers `seqs`.
+    Proposal {
+        /// The proposing member.
+        from: ProcessorId,
+        /// The membership it proposes.
+        proposed: BTreeSet<ProcessorId>,
+        /// Its reception evidence (per-source contiguous sequence numbers).
+        seqs: Vec<(ProcessorId, u64)>,
+        /// Arrival time (starts the reconfiguration clock when this
+        /// proposal is the first sign of one).
+        now: SimTime,
+    },
+}
+
+/// Typed output emitted by [`PgmpGroup::handle`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PgmpOutput {
+    /// Input from a non-member (or a stale echo); dropped.
+    Ignored,
+    /// State updated; nothing convicted or completed yet.
+    Recorded,
+    /// The quorum convicted these processors — the shell must begin or
+    /// extend a reconfiguration in every group containing them (§2).
+    Convicted(Vec<ProcessorId>),
+    /// A proposal was folded into the (possibly just-started)
+    /// reconfiguration — the shell should surface the proposal's reception
+    /// evidence to RMP, re-announce if our proposal changed, and test for
+    /// completion.
+    ProposalNoted,
+}
+
+/// The PGMP sub-state-machine for one group: membership, fault-detector
+/// state, the pending reconfiguration, and join/connect retry state.
+///
+/// Sans-io: consumes [`PgmpInput`]s, returns [`PgmpOutput`]s. Everything
+/// that crosses groups (convictions) or produces messages (announcements,
+/// retries) is orchestrated by the [`crate::processor`] shell, which reads
+/// and writes these fields directly — PGMP is the layer whose state is
+/// inherently entangled with the shell's send decisions.
+#[derive(Debug)]
+pub struct PgmpGroup {
+    /// Current membership.
+    pub membership: BTreeSet<ProcessorId>,
+    /// Timestamp of the current membership.
+    pub membership_ts: Timestamp,
+    /// Per-member last time a fresh (non-retransmitted) packet arrived.
+    pub last_heard: BTreeMap<ProcessorId, SimTime>,
+    /// Members from which at least one packet has arrived (drives the
+    /// Connect / AddProcessor retransmission loops).
+    pub heard_any: BTreeSet<ProcessorId>,
+    /// Processors this endpoint currently suspects.
+    pub my_suspects: BTreeSet<ProcessorId>,
+    /// When our suspect set was last announced.
+    pub last_suspect_sent: SimTime,
+    /// Who suspects whom.
+    pub suspicion: SuspicionMatrix,
+    /// The running reconfiguration, if any.
+    pub reconfig: Option<Reconfig>,
+    /// Connect gate: no ordered sends until every horizon exceeds this.
+    pub gate: Option<Timestamp>,
+    /// Joins this processor sponsors, keyed by joiner.
+    pub sponsor_joins: BTreeMap<ProcessorId, SponsorJoin>,
+    /// The Connect this primary keeps retransmitting.
+    pub connect_retx: Option<ConnectRetx>,
+    /// A joiner's application-delivery floor: Regular messages ordered at
+    /// or below this position belong to the pre-join state snapshot and are
+    /// not delivered upward; membership operations below it still apply
+    /// (they bring the AddProcessor body's membership snapshot — the
+    /// sponsor's *ordered* cut — forward to the join position).
+    pub app_floor: Option<(Timestamp, ProcessorId)>,
+    /// A join is *provisional* until this joiner has ordered its own
+    /// AddProcessor: if the sponsor is convicted while the Add is in
+    /// flight, the survivors discard it at the membership-change flush and
+    /// this processor was never admitted — it must not act like a member
+    /// forever on the strength of a raw packet. `None` for founders and
+    /// confirmed members; `Some(when the join started)` while provisional.
+    pub provisional_since: Option<SimTime>,
+    /// Sequence number of our most recent Membership announcement.
+    pub last_announce_seq: Option<SeqNum>,
+    /// The Membership message that installed the current membership
+    /// (retransmission-form wire bytes), kept beyond retention reclamation:
+    /// it is re-sent (rate-limited) to any excluded processor still
+    /// transmitting to the group, so a healed minority learns of its
+    /// exclusion even after the reliable copies have been reclaimed.
+    pub membership_notice: Option<Bytes>,
+    /// Earliest time the notice may be re-sent.
+    pub notice_retx_at: SimTime,
+    /// This layer's traffic counters.
+    pub counters: PgmpCounters,
+}
+
+impl PgmpGroup {
+    /// Membership state for a group whose members are all presumed live at
+    /// `now`.
+    pub fn new(membership: BTreeSet<ProcessorId>, membership_ts: Timestamp, now: SimTime) -> Self {
+        let last_heard = membership.iter().map(|&p| (p, now)).collect();
+        PgmpGroup {
+            membership,
+            membership_ts,
+            last_heard,
+            heard_any: BTreeSet::new(),
+            my_suspects: BTreeSet::new(),
+            last_suspect_sent: SimTime::ZERO,
+            suspicion: SuspicionMatrix::default(),
+            reconfig: None,
+            gate: None,
+            sponsor_joins: BTreeMap::new(),
+            connect_retx: None,
+            app_floor: None,
+            provisional_since: None,
+            last_announce_seq: None,
+            membership_notice: None,
+            notice_retx_at: SimTime::ZERO,
+            counters: PgmpCounters::default(),
+        }
+    }
+
+    /// True while ordered sends must queue: a Connect gate is pending, a
+    /// reconfiguration is running, or our own join is still provisional.
+    pub fn blocked(&self) -> bool {
+        self.gate.is_some() || self.reconfig.is_some() || self.provisional_since.is_some()
+    }
+
+    /// True while retention reclamation is pinned (we sponsor a join and
+    /// the joiner must be able to recover the stream suffix it was cited).
+    pub fn reclaim_pinned(&self) -> bool {
+        !self.sponsor_joins.is_empty()
+    }
+
+    /// Record that a packet from `source` arrived at `now`. `fresh` is
+    /// false for retransmissions, which prove retention, not liveness.
+    pub fn note_heard(&mut self, source: ProcessorId, now: SimTime, fresh: bool) {
+        if fresh {
+            self.last_heard.insert(source, now);
+        }
+        self.heard_any.insert(source);
+    }
+
+    /// Feed one input through the layer.
+    pub fn handle(&mut self, input: PgmpInput) -> PgmpOutput {
+        match input {
+            PgmpInput::SuspectReport {
+                reporter,
+                suspects,
+                required,
+            } => {
+                if !self.membership.contains(&reporter) {
+                    return PgmpOutput::Ignored;
+                }
+                self.counters.suspect_reports_in += 1;
+                self.suspicion.record(reporter, suspects);
+                let convicted = self.suspicion.convicted(&self.membership, required);
+                if convicted.is_empty() {
+                    PgmpOutput::Recorded
+                } else {
+                    PgmpOutput::Convicted(convicted)
+                }
+            }
+            PgmpInput::Proposal {
+                from,
+                proposed,
+                seqs,
+                now,
+            } => {
+                if !self.membership.contains(&from) {
+                    return PgmpOutput::Ignored;
+                }
+                if self.reconfig.is_none() {
+                    if proposed == self.membership {
+                        return PgmpOutput::Ignored; // stale echo of the installed membership
+                    }
+                    let removed: BTreeSet<ProcessorId> =
+                        self.membership.difference(&proposed).copied().collect();
+                    self.counters.convictions += removed.len() as u64;
+                    self.reconfig = Some(Reconfig::new(removed, now));
+                }
+                self.counters.proposals_in += 1;
+                let membership = self.membership.clone();
+                let rc = self.reconfig.as_mut().expect("just ensured");
+                rc.merge_removals(&membership, &proposed);
+                rc.note_proposal(from, proposed, &seqs);
+                PgmpOutput::ProposalNoted
+            }
+        }
+    }
+
+    /// Start a reconfiguration removing `removals`, or fold them into the
+    /// running one (stale proposals built on the smaller removal set are
+    /// invalidated).
+    pub fn begin_or_extend_reconfig(&mut self, removals: BTreeSet<ProcessorId>, now: SimTime) {
+        match &mut self.reconfig {
+            Some(rc) => {
+                let before = rc.removed.len();
+                rc.removed.extend(removals.iter().copied());
+                let grew = rc.removed.len() - before;
+                if grew > 0 {
+                    self.counters.convictions += grew as u64;
+                    let keep: BTreeSet<ProcessorId> = rc.removed.clone();
+                    let membership = self.membership.clone();
+                    let _ = rc.merge_removals(
+                        &membership,
+                        &membership.difference(&keep).copied().collect(),
+                    );
+                }
+            }
+            None => {
+                self.counters.convictions += removals.len() as u64;
+                self.reconfig = Some(Reconfig::new(removals, now));
+            }
+        }
+    }
+}
+
 /// Client-side state for a connection being established.
 #[derive(Debug, Clone)]
 pub struct PendingConnect {
@@ -319,12 +589,20 @@ mod tests {
         rc.note_proposal(
             ProcessorId(1),
             proposed.clone(),
-            &vec![(ProcessorId(1), 10), (ProcessorId(2), 5), (ProcessorId(3), 7)],
+            &vec![
+                (ProcessorId(1), 10),
+                (ProcessorId(2), 5),
+                (ProcessorId(3), 7),
+            ],
         );
         rc.note_proposal(
             ProcessorId(2),
             proposed.clone(),
-            &vec![(ProcessorId(1), 8), (ProcessorId(2), 6), (ProcessorId(3), 9)],
+            &vec![
+                (ProcessorId(1), 8),
+                (ProcessorId(2), 6),
+                (ProcessorId(3), 9),
+            ],
         );
         let t = rc.targets();
         assert_eq!(t[&ProcessorId(1)], 10);
@@ -337,10 +615,13 @@ mod tests {
         let members = pset(&[1, 2, 3]);
         let mut rc = Reconfig::new(pset(&[3]), SimTime(0));
         let proposed = rc.proposed(&members);
-        let my_seqs: BTreeMap<ProcessorId, u64> =
-            [(ProcessorId(1), 10), (ProcessorId(2), 6), (ProcessorId(3), 9)]
-                .into_iter()
-                .collect();
+        let my_seqs: BTreeMap<ProcessorId, u64> = [
+            (ProcessorId(1), 10),
+            (ProcessorId(2), 6),
+            (ProcessorId(3), 9),
+        ]
+        .into_iter()
+        .collect();
         assert!(!rc.complete(&proposed, &my_seqs), "nothing announced yet");
         rc.announced = Some(proposed.clone());
         rc.note_proposal(
@@ -349,11 +630,7 @@ mod tests {
             &vec![(ProcessorId(1), 10)],
         );
         assert!(!rc.complete(&proposed, &my_seqs), "P2 missing");
-        rc.note_proposal(
-            ProcessorId(2),
-            proposed.clone(),
-            &vec![(ProcessorId(3), 9)],
-        );
+        rc.note_proposal(ProcessorId(2), proposed.clone(), &vec![(ProcessorId(3), 9)]);
         assert!(rc.complete(&proposed, &my_seqs));
         // A target we have not reached blocks completion.
         rc.note_proposal(
@@ -377,6 +654,75 @@ mod tests {
         assert_eq!(rc.agreeing(&pset(&[1, 2])), 0);
         // Merging the same removals again changes nothing.
         assert!(!rc.merge_removals(&members, &pset(&[1, 2])));
+    }
+
+    #[test]
+    fn pgmp_layer_suspicion_to_conviction_via_typed_inputs() {
+        let members = pset(&[1, 2, 3, 4, 5]);
+        let mut g = PgmpGroup::new(members, Timestamp(10), SimTime(0));
+        assert!(!g.blocked());
+        let report = |reporter: u32, suspects: &[u32]| PgmpInput::SuspectReport {
+            reporter: ProcessorId(reporter),
+            suspects: pset(suspects),
+            required: 3,
+        };
+        // A non-member's report is dropped.
+        assert_eq!(g.handle(report(9, &[5])), PgmpOutput::Ignored);
+        // Two suspicions record but stay below the quorum of three.
+        assert_eq!(g.handle(report(1, &[5])), PgmpOutput::Recorded);
+        assert_eq!(g.handle(report(2, &[5])), PgmpOutput::Recorded);
+        assert_eq!(g.counters.suspect_reports_in, 2);
+        // The third report convicts.
+        match g.handle(report(3, &[5, 4])) {
+            PgmpOutput::Convicted(c) => assert_eq!(c, vec![ProcessorId(5)]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The shell folds the conviction into a reconfiguration; ordered
+        // sends block until it completes.
+        g.begin_or_extend_reconfig(pset(&[5]), SimTime(1));
+        assert!(g.blocked());
+        assert_eq!(g.counters.convictions, 1);
+        assert_eq!(
+            g.reconfig
+                .as_ref()
+                .unwrap()
+                .proposed(&pset(&[1, 2, 3, 4, 5])),
+            pset(&[1, 2, 3, 4])
+        );
+        // Extending with an already-removed processor changes nothing.
+        g.begin_or_extend_reconfig(pset(&[5]), SimTime(2));
+        assert_eq!(g.counters.convictions, 1);
+    }
+
+    #[test]
+    fn pgmp_layer_proposal_starts_reconfig_and_ignores_stale_echo() {
+        let members = pset(&[1, 2, 3]);
+        let mut g = PgmpGroup::new(members.clone(), Timestamp(0), SimTime(0));
+        // An echo proposing the installed membership is stale.
+        assert_eq!(
+            g.handle(PgmpInput::Proposal {
+                from: ProcessorId(2),
+                proposed: members.clone(),
+                seqs: vec![],
+                now: SimTime(5),
+            }),
+            PgmpOutput::Ignored
+        );
+        assert!(g.reconfig.is_none());
+        // A genuine proposal starts the reconfiguration and records itself.
+        assert_eq!(
+            g.handle(PgmpInput::Proposal {
+                from: ProcessorId(2),
+                proposed: pset(&[1, 2]),
+                seqs: vec![(ProcessorId(3), 7)],
+                now: SimTime(6),
+            }),
+            PgmpOutput::ProposalNoted
+        );
+        let rc = g.reconfig.as_ref().unwrap();
+        assert_eq!(rc.proposed(&members), pset(&[1, 2]));
+        assert_eq!(rc.agreeing(&pset(&[1, 2])), 1);
+        assert_eq!(g.counters.proposals_in, 1);
     }
 
     #[test]

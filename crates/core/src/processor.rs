@@ -1,5 +1,5 @@
-//! One FTMP endpoint: the event-driven engine tying RMP, ROMP and PGMP
-//! together.
+//! One FTMP endpoint: the composition shell tying the RMP, ROMP and PGMP
+//! layer state machines together.
 //!
 //! A [`Processor`] is a sans-io state machine. Feed it packets
 //! ([`Processor::handle_packet`]) and timer ticks ([`Processor::tick`]), ask
@@ -7,6 +7,24 @@
 //! member), then drain the [`Action`]s it produced: datagrams to send,
 //! multicast groups to join or leave, ordered GIOP deliveries, and protocol
 //! events (membership changes, fault reports, established connections).
+//!
+//! The protocol logic itself lives in the per-layer sub-state-machines, one
+//! triple per group ([`GroupState`]):
+//!
+//! * [`RmpLayer`](crate::rmp::RmpLayer) — source order, NACKs, any-holder
+//!   retention. Typed interface: [`RmpInput`] → [`RmpOutput`].
+//! * [`RompLayer`](crate::romp::RompLayer) — total order, horizons, acks.
+//!   Typed interface: [`RompInput`] → [`RompOutput`].
+//! * [`PgmpGroup`](crate::pgmp::PgmpGroup) — membership, suspicion →
+//!   conviction, reconfiguration. Typed interface: [`PgmpInput`] →
+//!   [`PgmpOutput`].
+//!
+//! The shell decodes packets, routes them through the layers (RMP releases
+//! feed ROMP; ROMP control messages feed PGMP), turns layer outputs into
+//! [`Action`]s via the reusable [`ActionSink`], and orchestrates everything
+//! that crosses layers or groups: sending, connection establishment
+//! ([`connect`]), membership reconfiguration ([`membership`]) and timers
+//! ([`timers`]).
 //!
 //! Design notes (see DESIGN.md §4 for the full rationale):
 //!
@@ -21,13 +39,26 @@
 //! * **Reclamation pinning.** While this processor sponsors a join it stops
 //!   reclaiming its retention buffer so the joiner can always recover the
 //!   stream suffix it was promised.
+//! * **Zero-copy spine.** Payloads are `bytes::Bytes` end to end: a received
+//!   datagram's buffer is shared into retention, retransmissions reuse it
+//!   with the retransmission bit set (materialized at most once), and every
+//!   queued resend (sponsor joins, Connect retries, exclusion notices) is a
+//!   reference-counted handle, not a re-encode.
 
+use crate::actions::ActionSink;
+pub use crate::actions::{Action, Delivery, ProtocolEvent};
 use crate::clock::{Clock, ClockMode};
 use crate::config::{ProtocolConfig, RetransmitPolicy};
-use crate::ids::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp};
-use crate::pgmp::{ConnectionTable, PendingConnect, Reconfig, ServerRegistration, SuspicionMatrix};
-use crate::rmp::{RetentionStore, RxOutcome, SendState, SourceRx};
-use crate::romp::Ordering;
+use crate::ids::{
+    ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
+};
+use crate::pgmp::{
+    ConnectionTable, PendingConnect, PgmpGroup, PgmpInput, PgmpOutput, ServerRegistration,
+    SponsorJoin,
+};
+use crate::rmp::{RmpInput, RmpLayer, RmpOutput};
+use crate::romp::{RompInput, RompLayer, RompOutput};
+pub use crate::stats::{GroupMetrics, LayerCounters, ProcessorStats};
 use crate::wire::{FtmpBody, FtmpMessage, FtmpMsgType};
 use bytes::Bytes;
 use ftmp_cdr::ByteOrder;
@@ -36,84 +67,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// A totally-ordered GIOP delivery handed to the application / ORB.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Delivery {
-    /// Processor group the message was ordered in.
-    pub group: GroupId,
-    /// Logical connection it travelled on.
-    pub conn: ConnectionId,
-    /// Duplicate-detection request number.
-    pub request_num: RequestNum,
-    /// Originating processor.
-    pub source: ProcessorId,
-    /// Its sequence number from that source.
-    pub seq: SeqNum,
-    /// Its total-order timestamp.
-    pub ts: Timestamp,
-    /// The encapsulated GIOP message.
-    pub giop: Bytes,
-}
-
-/// Protocol-level upcalls.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProtocolEvent {
-    /// A group's membership changed (add, remove or fault recovery).
-    MembershipChange {
-        /// The group.
-        group: GroupId,
-        /// The new membership.
-        members: Vec<ProcessorId>,
-        /// Timestamp of the new membership.
-        ts: Timestamp,
-    },
-    /// A processor was convicted of being faulty (§7.2's fault report,
-    /// conveyed to the fault tolerance infrastructure).
-    FaultReport {
-        /// The group in which the conviction happened.
-        group: GroupId,
-        /// The convicted processor.
-        processor: ProcessorId,
-    },
-    /// A logical connection is established and bound to a processor group.
-    ConnectionEstablished {
-        /// The connection.
-        conn: ConnectionId,
-        /// The processor group now carrying it.
-        group: GroupId,
-    },
-    /// This processor finished joining a group (AddProcessor consumed).
-    JoinedGroup {
-        /// The group joined.
-        group: GroupId,
-    },
-    /// This processor left a group (RemoveProcessor named it, or it was
-    /// excluded by a membership change).
-    LeftGroup {
-        /// The group left.
-        group: GroupId,
-    },
-}
-
-/// Everything a [`Processor`] asks its host to do.
-#[derive(Debug, Clone)]
-pub enum Action {
-    /// Transmit a datagram.
-    Send {
-        /// Destination multicast address.
-        addr: McastAddr,
-        /// Encoded FTMP message.
-        payload: Bytes,
-    },
-    /// Subscribe to a multicast address.
-    Join(McastAddr),
-    /// Unsubscribe from a multicast address.
-    Leave(McastAddr),
-    /// Deliver an ordered GIOP message upward.
-    Deliver(Delivery),
-    /// Report a protocol event upward.
-    Event(ProtocolEvent),
-}
+mod connect;
+mod membership;
+mod ordered;
+#[cfg(test)]
+mod tests;
+mod timers;
 
 /// Result of asking to multicast a Regular message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,142 +98,47 @@ pub enum SendError {
     NotMember,
 }
 
-/// Per-processor protocol counters.
-#[derive(Debug, Clone, Default)]
-pub struct ProcessorStats {
-    /// Messages sent, by type.
-    pub sent: BTreeMap<FtmpMsgType, u64>,
-    /// RetransmitRequests emitted.
-    pub nacks_sent: u64,
-    /// Retransmissions answered.
-    pub retransmissions_sent: u64,
-    /// Duplicate reliable messages received (excludes our own loopback).
-    pub duplicates: u64,
-    /// Ordered GIOP deliveries made.
-    pub deliveries: u64,
-    /// Memberships installed after a fault.
-    pub reconfigurations: u64,
-    /// Messages discarded at a membership-change flush.
-    pub discarded_at_flush: u64,
-}
-
-/// Point-in-time buffer metrics for one group (experiment E6).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GroupMetrics {
-    /// Messages held for any-holder retransmission.
-    pub retention_msgs: usize,
-    /// Bytes held for any-holder retransmission.
-    pub retention_bytes: usize,
-    /// Ordered-but-undelivered messages.
-    pub ordering_queue: usize,
-    /// Out-of-order messages buffered in receive windows.
-    pub rx_buffered: usize,
-}
-
-#[derive(Debug)]
-struct SponsorJoin {
-    msg: FtmpMessage,
-    next_retry: SimTime,
-}
-
-#[derive(Debug)]
-struct ConnectRetx {
-    msg: FtmpMessage,
-    domain_addr: Option<McastAddr>,
-    next_retry: SimTime,
-}
-
+/// One group's layer triple plus the shell-owned transmission state.
 #[derive(Debug)]
 struct GroupState {
     addr: McastAddr,
-    membership: BTreeSet<ProcessorId>,
-    membership_ts: Timestamp,
-    send: SendState,
-    rx: BTreeMap<ProcessorId, SourceRx>,
-    retention: RetentionStore,
-    ordering: Ordering,
+    /// RMP: send counter, per-source receive windows, retention store.
+    rmp: RmpLayer,
+    /// ROMP: the total-order queue, horizons and acks.
+    romp: RompLayer,
+    /// PGMP: membership, fault-detector state, reconfiguration, retries.
+    pgmp: PgmpGroup,
     last_sent: SimTime,
-    last_heard: BTreeMap<ProcessorId, SimTime>,
-    /// Members from which at least one packet has arrived (drives the
-    /// Connect / AddProcessor retransmission loops).
-    heard_any: BTreeSet<ProcessorId>,
-    my_suspects: BTreeSet<ProcessorId>,
-    last_suspect_sent: SimTime,
-    suspicion: SuspicionMatrix,
-    reconfig: Option<Reconfig>,
-    /// Connect gate: no ordered sends until every horizon exceeds this.
-    gate: Option<Timestamp>,
     pending_ordered: VecDeque<(ConnectionId, RequestNum, Bytes)>,
-    sponsor_joins: BTreeMap<ProcessorId, SponsorJoin>,
-    connect_retx: Option<ConnectRetx>,
-    /// A joiner's application-delivery floor: Regular messages ordered at
-    /// or below this position belong to the pre-join state snapshot and are
-    /// not delivered upward; membership operations below it still apply
-    /// (they bring the AddProcessor body's membership snapshot — the
-    /// sponsor's *ordered* cut — forward to the join position).
-    app_floor: Option<(Timestamp, ProcessorId)>,
-    /// A join is *provisional* until this joiner has ordered its own
-    /// AddProcessor: if the sponsor is convicted while the Add is in
-    /// flight, the survivors discard it at the membership-change flush and
-    /// this processor was never admitted — it must not act like a member
-    /// forever on the strength of a raw packet. `None` for founders and
-    /// confirmed members; `Some(when the join started)` while provisional.
-    provisional_since: Option<SimTime>,
-    /// Sequence number of our most recent Membership announcement.
-    last_announce_seq: Option<SeqNum>,
-    /// The Membership message that installed the current membership, kept
-    /// beyond retention reclamation: it is re-sent (rate-limited) to any
-    /// excluded processor still transmitting to the group, so a healed
-    /// minority learns of its exclusion even after the reliable copies have
-    /// been reclaimed.
-    membership_notice: Option<FtmpMessage>,
-    notice_retx_at: SimTime,
 }
 
 impl GroupState {
     fn new(
+        self_id: ProcessorId,
         addr: McastAddr,
         members: BTreeSet<ProcessorId>,
         membership_ts: Timestamp,
-        ordering: Ordering,
+        romp: RompLayer,
         now: SimTime,
     ) -> Self {
-        let last_heard = members.iter().map(|&p| (p, now)).collect();
         GroupState {
             addr,
-            membership: members,
-            membership_ts,
-            send: SendState::default(),
-            rx: BTreeMap::new(),
-            retention: RetentionStore::default(),
-            ordering,
+            rmp: RmpLayer::new(self_id),
+            romp,
+            pgmp: PgmpGroup::new(members, membership_ts, now),
             last_sent: now,
-            last_heard,
-            heard_any: BTreeSet::new(),
-            my_suspects: BTreeSet::new(),
-            last_suspect_sent: SimTime::ZERO,
-            suspicion: SuspicionMatrix::default(),
-            reconfig: None,
-            gate: None,
             pending_ordered: VecDeque::new(),
-            sponsor_joins: BTreeMap::new(),
-            connect_retx: None,
-            app_floor: None,
-            provisional_since: None,
-            last_announce_seq: None,
-            membership_notice: None,
-            notice_retx_at: SimTime::ZERO,
         }
     }
 
     /// My contiguous reception per source (own stream included, because we
     /// self-deliver synchronously).
     fn contiguous_seqs(&self) -> BTreeMap<ProcessorId, u64> {
-        let mut out: BTreeMap<ProcessorId, u64> = BTreeMap::new();
-        for p in &self.membership {
-            out.insert(*p, self.rx.get(p).map_or(0, |r| r.contiguous()));
-        }
-        out
+        self.pgmp
+            .membership
+            .iter()
+            .map(|&p| (p, self.rmp.contiguous_of(p)))
+            .collect()
     }
 
     /// Like [`contiguous_seqs`], but covering every source ever heard —
@@ -284,8 +148,8 @@ impl GroupState {
     /// [`contiguous_seqs`]: GroupState::contiguous_seqs
     fn all_contiguous_seqs(&self) -> BTreeMap<ProcessorId, u64> {
         let mut out = self.contiguous_seqs();
-        for (p, rx) in &self.rx {
-            out.entry(*p).or_insert_with(|| rx.contiguous());
+        for (p, contig) in self.rmp.contiguous_map() {
+            out.entry(p).or_insert(contig);
         }
         out
     }
@@ -295,11 +159,15 @@ impl GroupState {
     }
 
     fn blocked(&self) -> bool {
-        self.gate.is_some() || self.reconfig.is_some() || self.provisional_since.is_some()
+        self.pgmp.blocked()
     }
 
-    fn reclaim_pinned(&self) -> bool {
-        !self.sponsor_joins.is_empty()
+    fn layer_counters(&self) -> LayerCounters {
+        LayerCounters {
+            rmp: self.rmp.counters(),
+            romp: self.romp.counters(),
+            pgmp: self.pgmp.counters,
+        }
     }
 }
 
@@ -314,14 +182,15 @@ pub struct Processor {
     conns: ConnectionTable,
     /// Groups we expect to be added to: group → its multicast address.
     expecting_joins: BTreeMap<GroupId, McastAddr>,
-    actions: Vec<Action>,
+    sink: ActionSink,
     stats: ProcessorStats,
 }
 
 impl Processor {
     /// Create an endpoint.
     pub fn new(id: ProcessorId, cfg: ProtocolConfig, clock_mode: ClockMode) -> Self {
-        let rng = SmallRng::seed_from_u64(cfg.seed ^ u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let rng =
+            SmallRng::seed_from_u64(cfg.seed ^ u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         Processor {
             id,
             cfg,
@@ -331,7 +200,7 @@ impl Processor {
             groups: BTreeMap::new(),
             conns: ConnectionTable::default(),
             expecting_joins: BTreeMap::new(),
-            actions: Vec::new(),
+            sink: ActionSink::default(),
             stats: ProcessorStats::default(),
         }
     }
@@ -350,17 +219,32 @@ impl Processor {
     pub fn membership(&self, group: GroupId) -> Option<Vec<ProcessorId>> {
         self.groups
             .get(&group)
-            .map(|g| g.membership.iter().copied().collect())
+            .map(|g| g.pgmp.membership.iter().copied().collect())
     }
 
     /// Buffer metrics for a group (experiment E6).
     pub fn group_metrics(&self, group: GroupId) -> Option<GroupMetrics> {
         self.groups.get(&group).map(|g| GroupMetrics {
-            retention_msgs: g.retention.len(),
-            retention_bytes: g.retention.bytes(),
-            ordering_queue: g.ordering.queue_len(),
-            rx_buffered: g.rx.values().map(|r| r.buffered()).sum(),
+            retention_msgs: g.rmp.retention().len(),
+            retention_bytes: g.rmp.retention().bytes(),
+            ordering_queue: g.romp.ordering().queue_len(),
+            rx_buffered: g.rmp.buffered_total(),
         })
+    }
+
+    /// The per-layer counters of one group.
+    pub fn layer_counters(&self, group: GroupId) -> Option<LayerCounters> {
+        self.groups.get(&group).map(|g| g.layer_counters())
+    }
+
+    /// The per-layer counters summed (high-water marks maxed) over every
+    /// group this processor currently belongs to.
+    pub fn layer_totals(&self) -> LayerCounters {
+        let mut total = LayerCounters::default();
+        for g in self.groups.values() {
+            total.merge(&g.layer_counters());
+        }
+        total
     }
 
     /// The processor group a connection is bound to.
@@ -370,12 +254,21 @@ impl Processor {
 
     /// True while a reconfiguration is running in `group`.
     pub fn is_reconfiguring(&self, group: GroupId) -> bool {
-        self.groups.get(&group).is_some_and(|g| g.reconfig.is_some())
+        self.groups
+            .get(&group)
+            .is_some_and(|g| g.pgmp.reconfig.is_some())
     }
 
-    /// Drain the accumulated actions.
+    /// Drain the accumulated actions into a fresh `Vec`.
     pub fn drain_actions(&mut self) -> Vec<Action> {
-        std::mem::take(&mut self.actions)
+        self.sink.take_all()
+    }
+
+    /// Drain the accumulated actions into a caller-owned scratch vector;
+    /// both buffers keep their capacity (see the [`ActionSink`] contract in
+    /// [`crate::actions`]). Prefer this in pump loops.
+    pub fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
+        self.sink.drain_into(out);
     }
 
     // --- bootstrap & FT-infrastructure API ---------------------------------
@@ -391,16 +284,18 @@ impl Processor {
     ) {
         let members: BTreeSet<ProcessorId> = members.into_iter().collect();
         debug_assert!(members.contains(&self.id), "creator must be a member");
-        let ordering = Ordering::new(members.iter().copied(), Timestamp(0));
-        self.groups
-            .insert(group, GroupState::new(addr, members, Timestamp(0), ordering, now));
-        self.actions.push(Action::Join(addr));
+        let romp = RompLayer::new(members.iter().copied(), Timestamp(0));
+        self.groups.insert(
+            group,
+            GroupState::new(self.id, addr, members, Timestamp(0), romp, now),
+        );
+        self.sink.push(Action::Join(addr));
     }
 
     /// Prepare to be added to `group` (subscribe and wait for AddProcessor).
     pub fn expect_join(&mut self, group: GroupId, addr: McastAddr) {
         self.expecting_joins.insert(group, addr);
-        self.actions.push(Action::Join(addr));
+        self.sink.push(Action::Join(addr));
     }
 
     /// Sponsor the addition of `new_member` to `group` (§7.1). The sponsor
@@ -410,10 +305,10 @@ impl Processor {
         let Some(g) = self.groups.get(&group) else {
             return;
         };
-        if g.membership.contains(&new_member)
-            || g.sponsor_joins.contains_key(&new_member)
-            || g.reconfig.is_some()
-            || g.provisional_since.is_some()
+        if g.pgmp.membership.contains(&new_member)
+            || g.pgmp.sponsor_joins.contains_key(&new_member)
+            || g.pgmp.reconfig.is_some()
+            || g.pgmp.provisional_since.is_some()
         {
             return; // the FT infrastructure retries after the membership settles
         }
@@ -422,7 +317,7 @@ impl Processor {
         // cut — including membership operations not yet reflected in the
         // membership snapshot below — are exactly what the joiner will
         // receive and order for itself, so snapshot and stream agree.
-        let queued_min = g.ordering.min_queued_seq_per_source();
+        let queued_min = g.romp.ordering().min_queued_seq_per_source();
         let seqs: Vec<(ProcessorId, u64)> = g
             .contiguous_seqs()
             .into_iter()
@@ -434,23 +329,23 @@ impl Processor {
             })
             .collect();
         let body = FtmpBody::AddProcessor {
-            membership_ts: g.membership_ts,
-            membership: g.membership.iter().copied().collect(),
+            membership_ts: g.pgmp.membership_ts,
+            membership: g.pgmp.membership.iter().copied().collect(),
             seqs,
             new_member,
         };
         let seq = self.send_reliable(now, group, body);
         let g = self.groups.get_mut(&group).expect("group exists");
-        let msg = g
-            .retention
-            .get(self.id, seq.0)
-            .expect("just sent and retained")
-            .clone();
-        g.heard_any.remove(&new_member);
-        g.sponsor_joins.insert(
+        let retx = g
+            .rmp
+            .retention_mut()
+            .retx_bytes(self.id, seq.0)
+            .expect("just sent and retained");
+        g.pgmp.heard_any.remove(&new_member);
+        g.pgmp.sponsor_joins.insert(
             new_member,
             SponsorJoin {
-                msg,
+                retx,
                 next_retry: now + self.cfg.join_retry,
             },
         );
@@ -459,15 +354,11 @@ impl Processor {
     /// Remove a non-faulty `member` from `group` (§7.1); takes effect when
     /// the RemoveProcessor message is ordered.
     pub fn remove_processor(&mut self, now: SimTime, group: GroupId, member: ProcessorId) {
-        if self
-            .groups
-            .get(&group)
-            .is_some_and(|g| {
-                g.membership.contains(&member)
-                    && g.reconfig.is_none()
-                    && g.provisional_since.is_none()
-            })
-        {
+        if self.groups.get(&group).is_some_and(|g| {
+            g.pgmp.membership.contains(&member)
+                && g.pgmp.reconfig.is_none()
+                && g.pgmp.provisional_since.is_none()
+        }) {
             self.send_reliable(now, group, FtmpBody::RemoveProcessor { member });
         }
     }
@@ -485,7 +376,7 @@ impl Processor {
         if self.conns.group_of(conn).is_some() {
             return;
         }
-        self.actions.push(Action::Join(domain_addr));
+        self.sink.push(Action::Join(domain_addr));
         self.conns.pending.insert(
             conn,
             PendingConnect {
@@ -506,7 +397,7 @@ impl Processor {
         registration: ServerRegistration,
         domain_addr: McastAddr,
     ) {
-        self.actions.push(Action::Join(domain_addr));
+        self.sink.push(Action::Join(domain_addr));
         self.conns.servers.insert(og, registration);
         self.conns.server_domain_addrs.insert(og, domain_addr);
     }
@@ -544,8 +435,8 @@ impl Processor {
             conn,
             group: new_group,
             mcast_addr: new_addr.0,
-            membership_ts: g.membership_ts,
-            membership: g.membership.iter().copied().collect(),
+            membership_ts: g.pgmp.membership_ts,
+            membership: g.pgmp.membership.iter().copied().collect(),
         };
         self.send_reliable(now, old, body);
     }
@@ -578,12 +469,13 @@ impl Processor {
 
     // --- event inputs -------------------------------------------------------
 
-    /// Feed one received datagram.
+    /// Feed one received datagram. The packet's payload buffer is shared
+    /// (not copied) into the retention store.
     pub fn handle_packet(&mut self, now: SimTime, pkt: &Packet) {
         let Ok(msg) = FtmpMessage::decode(&pkt.payload) else {
             return; // not FTMP or corrupt; ignore
         };
-        self.process_message(now, msg, pkt.payload.len(), false);
+        self.process_message(now, msg, pkt.payload.clone(), false);
     }
 
     /// Timer tick: heartbeats, NACKs, retries, the fault detector.
@@ -595,34 +487,14 @@ impl Processor {
         self.tick_provisional_joins(now);
     }
 
-    /// Abort provisional joins whose AddProcessor never reached its ordered
-    /// position (the sponsor died with the Add in flight and the survivors
-    /// discarded it): stop impersonating a member; the fault tolerance
-    /// infrastructure can retry the join.
-    fn tick_provisional_joins(&mut self, now: SimTime) {
-        let limit = SimDuration::from_micros(self.cfg.fail_timeout.as_micros() * 4);
-        let orphaned: Vec<GroupId> = self
-            .groups
-            .iter()
-            .filter(|(_, g)| {
-                g.provisional_since
-                    .is_some_and(|t| now.saturating_since(t) > limit)
-            })
-            .map(|(gid, _)| *gid)
-            .collect();
-        for gid in orphaned {
-            self.leave_group(gid);
-        }
-    }
-
     // --- send helpers -------------------------------------------------------
 
     fn send_reliable(&mut self, now: SimTime, group: GroupId, body: FtmpBody) -> SeqNum {
         let (msg, addr, encoded) = {
             let g = self.groups.get_mut(&group).expect("send to known group");
-            let seq = g.send.allocate();
+            let seq = g.rmp.allocate_seq();
             let ts = self.clock.stamp_send(now);
-            let ack_ts = g.ordering.ack_ts();
+            let ack_ts = g.romp.ordering().ack_ts();
             let msg = FtmpMessage {
                 retransmission: false,
                 source: self.id,
@@ -637,14 +509,12 @@ impl Processor {
             (msg, g.addr, encoded)
         };
         *self.stats.sent.entry(msg.msg_type()).or_insert(0) += 1;
-        self.actions.push(Action::Send {
-            addr,
-            payload: encoded.clone(),
-        });
+        self.sink.send(addr, encoded.clone());
         let seq = msg.seq;
         // Synchronous self-delivery: we are an ordinary member of our own
-        // groups; the loopback copy will dedupe.
-        self.process_message(now, msg, encoded.len(), true);
+        // groups; the loopback copy will dedupe. The `encoded` handle shares
+        // the datagram buffer with the Send action above.
+        self.process_message(now, msg, encoded, true);
         seq
     }
 
@@ -656,9 +526,9 @@ impl Processor {
             retransmission: false,
             source: self.id,
             group,
-            seq: g.send.last(),
+            seq: g.rmp.last_seq(),
             ts: self.clock.stamp_send(now),
-            ack_ts: g.ordering.ack_ts(),
+            ack_ts: g.romp.ordering().ack_ts(),
             body,
         };
         let addr = g.addr;
@@ -667,12 +537,9 @@ impl Processor {
         }
         *self.stats.sent.entry(msg.msg_type()).or_insert(0) += 1;
         let encoded = msg.encode(self.order);
-        self.actions.push(Action::Send {
-            addr,
-            payload: encoded,
-        });
+        self.sink.send(addr, encoded.clone());
         // Self-process so our own horizon tracks our own liveness.
-        self.process_message(now, msg, 0, true);
+        self.process_message(now, msg, encoded, true);
     }
 
     fn send_connect_request(
@@ -695,17 +562,18 @@ impl Processor {
                 client_processors: client_processors.to_vec(),
             },
         };
-        *self.stats.sent.entry(FtmpMsgType::ConnectRequest).or_insert(0) += 1;
-        self.actions.push(Action::Send {
-            addr: domain_addr,
-            payload: msg.encode(self.order),
-        });
+        *self
+            .stats
+            .sent
+            .entry(FtmpMsgType::ConnectRequest)
+            .or_insert(0) += 1;
+        self.sink.send(domain_addr, msg.encode(self.order));
         let _ = now;
     }
 
     // --- receive pipeline ---------------------------------------------------
 
-    fn process_message(&mut self, now: SimTime, msg: FtmpMessage, wire_len: usize, own: bool) {
+    fn process_message(&mut self, now: SimTime, msg: FtmpMessage, wire: Bytes, own: bool) {
         match msg.msg_type() {
             FtmpMsgType::ConnectRequest => {
                 if !own {
@@ -718,32 +586,34 @@ impl Processor {
                     self.handle_retransmit_request(now, &msg);
                 }
             }
-            _ => self.handle_reliable(now, msg, wire_len, own),
+            _ => self.handle_reliable(now, msg, wire, own),
         }
     }
 
     /// Heartbeats and RetransmitRequests: no delivery, but their headers
-    /// carry the sender's last sequence number (gap evidence), timestamp
-    /// (horizon, if contiguous) and ack (stability).
+    /// carry the sender's last sequence number (gap evidence for RMP),
+    /// timestamp (horizon, if contiguous) and ack (stability) for ROMP.
     fn handle_unreliable_header(&mut self, now: SimTime, msg: &FtmpMessage, own: bool) {
         let Some(g) = self.groups.get_mut(&msg.group) else {
             return;
         };
         if !own {
             self.clock.observe(msg.ts);
-            g.last_heard.insert(msg.source, now);
-            g.heard_any.insert(msg.source);
+            g.pgmp.note_heard(msg.source, now, true);
         }
-        let rx = g
-            .rx
-            .entry(msg.source)
-            .or_insert_with(|| SourceRx::starting_at(1));
-        rx.note_header_seq(msg.seq);
-        let contiguous = rx.contiguous();
-        if contiguous >= msg.seq.0 {
-            g.ordering.advance_horizon(msg.source, msg.ts);
-        }
-        g.ordering.record_ack(msg.source, msg.ack_ts);
+        let contiguous = match g.rmp.handle(RmpInput::HeaderSeq {
+            source: msg.source,
+            seq: msg.seq,
+        }) {
+            RmpOutput::Noted { contiguous } => contiguous,
+            _ => unreachable!("HeaderSeq input yields Noted"),
+        };
+        g.romp.handle(RompInput::Evidence {
+            source: msg.source,
+            ts: msg.ts,
+            ack_ts: msg.ack_ts,
+            advance: contiguous >= msg.seq.0,
+        });
         if !own {
             self.maybe_send_exclusion_notice(now, msg.group, msg.source);
         }
@@ -755,36 +625,35 @@ impl Processor {
     /// (rate-limited): the excluded processor may have been partitioned
     /// through the change and cannot recover the original reliable copies.
     fn maybe_send_exclusion_notice(&mut self, now: SimTime, gid: GroupId, source: ProcessorId) {
-        let order = self.order;
         let retry = self.cfg.join_retry;
         let Some(g) = self.groups.get_mut(&gid) else {
             return;
         };
-        if g.membership.contains(&source) || g.reconfig.is_some() {
+        if g.pgmp.membership.contains(&source) || g.pgmp.reconfig.is_some() {
             return;
         }
-        let Some(notice) = &g.membership_notice else {
+        let Some(notice) = &g.pgmp.membership_notice else {
             return;
         };
-        if now < g.notice_retx_at {
+        if now < g.pgmp.notice_retx_at {
             return;
         }
-        g.notice_retx_at = now + retry;
-        let payload = notice.as_retransmission(order);
+        let payload = notice.clone();
+        g.pgmp.notice_retx_at = now + retry;
         let addr = g.addr;
         self.stats.retransmissions_sent += 1;
-        self.actions.push(Action::Send { addr, payload });
+        self.sink.send(addr, payload);
     }
 
-    fn handle_reliable(&mut self, now: SimTime, msg: FtmpMessage, wire_len: usize, own: bool) {
+    fn handle_reliable(&mut self, now: SimTime, msg: FtmpMessage, wire: Bytes, own: bool) {
         let gid = msg.group;
         if !self.groups.contains_key(&gid) {
             // Not (yet) a member: PGMP handles Connect/AddProcessor that
             // create or join groups; everything else is not for us.
             match &msg.body {
-                FtmpBody::Connect { .. } => self.handle_connect_as_outsider(now, msg, wire_len),
+                FtmpBody::Connect { .. } => self.handle_connect_as_outsider(now, msg, wire),
                 FtmpBody::AddProcessor { new_member, .. } if *new_member == self.id => {
-                    self.handle_add_as_joiner(now, msg, wire_len)
+                    self.handle_add_as_joiner(now, msg, wire)
                 }
                 _ => {}
             }
@@ -809,8 +678,8 @@ impl Processor {
                 // The epoch guard (membership_ts) keeps a joiner from being
                 // "excluded" by replayed proposals that predate the
                 // membership which admitted it.
-                if membership_ts >= g.membership_ts
-                    && g.membership.contains(&msg.source)
+                if membership_ts >= g.pgmp.membership_ts
+                    && g.pgmp.membership.contains(&msg.source)
                     && membership.contains(&self.id)
                     && !new_membership.contains(&self.id)
                     && new_membership.len() >= quorum
@@ -820,34 +689,24 @@ impl Processor {
                 }
             }
         }
-        let g = self.groups.get_mut(&gid).expect("checked");
         if !own {
             self.clock.observe(msg.ts);
-            if !msg.retransmission {
-                g.last_heard.insert(msg.source, now);
-            }
-            g.heard_any.insert(msg.source);
+            let g = self.groups.get_mut(&gid).expect("checked");
+            g.pgmp.note_heard(msg.source, now, !msg.retransmission);
             self.maybe_send_exclusion_notice(now, gid, msg.source);
         }
-        let g = self.groups.get_mut(&gid).expect("checked");
-        let mut stored = msg.clone();
-        stored.retransmission = false; // retain the canonical form
-        g.retention.insert(stored, wire_len.max(crate::wire::FTMP_HEADER_LEN));
         let from_self = msg.source == self.id;
-        let rx = g
-            .rx
-            .entry(msg.source)
-            .or_insert_with(|| SourceRx::starting_at(1));
-        match rx.on_reliable(msg) {
-            RxOutcome::Duplicate => {
+        let g = self.groups.get_mut(&gid).expect("checked");
+        match g.rmp.handle(RmpInput::Reliable { msg, wire, own }) {
+            RmpOutput::Duplicate => {
                 // Our own loopback copy is an expected duplicate, not a
                 // retransmission anomaly.
                 if !own && !from_self {
                     self.stats.duplicates += 1;
                 }
             }
-            RxOutcome::Buffered => {}
-            RxOutcome::Delivered(run) => {
+            RmpOutput::Buffered => {}
+            RmpOutput::Released(run) => {
                 for m in run {
                     if !self.groups.contains_key(&gid) {
                         break; // an earlier message in the run made us leave
@@ -855,25 +714,20 @@ impl Processor {
                     self.source_ordered(now, gid, m);
                 }
             }
+            RmpOutput::Noted { .. } => unreachable!("Reliable input never yields Noted"),
         }
         self.try_deliver(now, gid);
     }
 
-    /// RMP delivered `m` in source order: update ROMP state and route by
-    /// ordering class (Fig. 3).
+    /// RMP released `m` in source order: feed it to ROMP and route the
+    /// control messages ROMP rejects from total order up to PGMP (Fig. 3).
     fn source_ordered(&mut self, now: SimTime, gid: GroupId, m: FtmpMessage) {
-        {
-            let Some(g) = self.groups.get_mut(&gid) else {
-                return;
-            };
-            g.ordering.record_ack(m.source, m.ack_ts);
-            g.ordering.advance_horizon(m.source, m.ts);
-        }
-        if m.msg_type().is_totally_ordered() {
-            let g = self.groups.get_mut(&gid).expect("group still exists");
-            g.ordering.enqueue(m);
-        } else {
-            match m.body {
+        let Some(g) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        match g.romp.handle(RompInput::SourceOrdered(m)) {
+            RompOutput::Enqueued => {}
+            RompOutput::Control(m) => match m.body {
                 FtmpBody::Suspect { ref suspects, .. } => {
                     let set: BTreeSet<ProcessorId> = suspects.iter().copied().collect();
                     self.on_suspect_report(now, gid, m.source, set);
@@ -901,7 +755,8 @@ impl Processor {
                     }
                 }
                 _ => unreachable!("only Suspect/Membership are reliable unordered"),
-            }
+            },
+            RompOutput::Noted => unreachable!("SourceOrdered never yields Noted"),
         }
     }
 
@@ -912,7 +767,7 @@ impl Processor {
             let Some(g) = self.groups.get_mut(&gid) else {
                 return;
             };
-            let batch = g.ordering.deliverable();
+            let batch = g.romp.deliverable();
             if batch.is_empty() {
                 break;
             }
@@ -923,555 +778,22 @@ impl Processor {
         let Some(g) = self.groups.get_mut(&gid) else {
             return;
         };
-        if !g.reclaim_pinned() {
-            let stable = g.ordering.stable_ts();
-            g.retention.reclaim_stable(stable);
+        if !g.pgmp.reclaim_pinned() {
+            let stable = g.romp.ordering().stable_ts();
+            g.rmp.retention_mut().reclaim_stable(stable);
         }
-        if let Some(gate) = g.gate {
-            if g.ordering.gate_released(gate) {
-                g.gate = None;
+        if let Some(gate) = g.pgmp.gate {
+            if g.romp.ordering().gate_released(gate) {
+                g.pgmp.gate = None;
                 self.flush_pending(now, gid);
             }
         }
         self.maybe_complete_reconfig(now, gid);
     }
 
-    /// A message reached its total-order position.
-    fn handle_ordered(&mut self, now: SimTime, gid: GroupId, m: FtmpMessage) {
-        match m.body {
-            FtmpBody::Regular {
-                conn,
-                request_num,
-                ref giop,
-            } => {
-                if self
-                    .groups
-                    .get(&gid)
-                    .and_then(|g| g.app_floor)
-                    .is_some_and(|floor| (m.ts, m.source) <= floor)
-                {
-                    // Pre-join traffic at a joiner: covered by the state
-                    // snapshot, ordered here only to reach the join point.
-                } else if self.conns.group_of(conn) == Some(gid) {
-                    self.stats.deliveries += 1;
-                    self.actions.push(Action::Deliver(Delivery {
-                        group: gid,
-                        conn,
-                        request_num,
-                        source: m.source,
-                        seq: m.seq,
-                        ts: m.ts,
-                        giop: giop.clone(),
-                    }));
-                } else if m.source == self.id {
-                    // The connection was re-addressed under this message
-                    // (§7): retransmit on the new binding.
-                    let giop = giop.clone();
-                    let _ = self.multicast_request(now, conn, request_num, giop);
-                }
-            }
-            FtmpBody::Connect {
-                conn,
-                group: target,
-                mcast_addr,
-                ref membership,
-                ..
-            } => {
-                if target == gid {
-                    // Connection sharing this (existing) group.
-                    self.conns.bind(conn, gid);
-                    self.actions.push(Action::Event(ProtocolEvent::ConnectionEstablished {
-                        conn,
-                        group: gid,
-                    }));
-                } else {
-                    // Re-addressing: migrate the connection to a new group.
-                    let members: BTreeSet<ProcessorId> = membership.iter().copied().collect();
-                    if members.contains(&self.id) && !self.groups.contains_key(&target) {
-                        let ordering = Ordering::new(members.iter().copied(), Timestamp(0));
-                        let mut gs = GroupState::new(
-                            McastAddr(mcast_addr),
-                            members,
-                            m.ts,
-                            ordering,
-                            now,
-                        );
-                        gs.gate = Some(m.ts);
-                        self.groups.insert(target, gs);
-                        self.actions.push(Action::Join(McastAddr(mcast_addr)));
-                    }
-                    if self.groups.contains_key(&target) {
-                        self.conns.bind(conn, target);
-                        self.actions.push(Action::Event(
-                            ProtocolEvent::ConnectionEstablished {
-                                conn,
-                                group: target,
-                            },
-                        ));
-                    }
-                }
-            }
-            FtmpBody::AddProcessor { new_member, .. } => {
-                // The group may be gone if an earlier message in the same
-                // ordered batch removed us; the remaining batch is moot.
-                let Some(g) = self.groups.get_mut(&gid) else {
-                    return;
-                };
-                if new_member == self.id && g.provisional_since.take().is_some() {
-                    // Our own AddProcessor reached its total-order position:
-                    // the group committed the join.
-                    self.actions
-                        .push(Action::Event(ProtocolEvent::JoinedGroup { group: gid }));
-                    self.flush_pending(now, gid);
-                    return;
-                }
-                if new_member != self.id && g.membership.insert(new_member) {
-                    g.membership_ts = m.ts;
-                    g.ordering.add_member(new_member, m.ts);
-                    g.last_heard.insert(new_member, now);
-                    let members: Vec<ProcessorId> = g.membership.iter().copied().collect();
-                    let ts = g.membership_ts;
-                    self.actions.push(Action::Event(ProtocolEvent::MembershipChange {
-                        group: gid,
-                        members,
-                        ts,
-                    }));
-                }
-            }
-            FtmpBody::RemoveProcessor { member } => {
-                if member == self.id {
-                    self.leave_group(gid);
-                } else {
-                    let Some(g) = self.groups.get_mut(&gid) else {
-                        return;
-                    };
-                    if g.membership.remove(&member) {
-                        g.membership_ts = m.ts;
-                        g.ordering.remove_member(member);
-                        g.last_heard.remove(&member);
-                        g.my_suspects.remove(&member);
-                        let membership = g.membership.clone();
-                        g.suspicion.retain_members(&membership);
-                        let members: Vec<ProcessorId> = membership.iter().copied().collect();
-                        let ts = g.membership_ts;
-                        self.actions.push(Action::Event(
-                            ProtocolEvent::MembershipChange {
-                                group: gid,
-                                members,
-                                ts,
-                            },
-                        ));
-                    }
-                }
-            }
-            _ => unreachable!("only ordered types reach handle_ordered"),
-        }
-    }
-
-    fn leave_group(&mut self, gid: GroupId) {
-        if let Some(g) = self.groups.remove(&gid) {
-            self.actions.push(Action::Leave(g.addr));
-            self.actions
-                .push(Action::Event(ProtocolEvent::LeftGroup { group: gid }));
-        }
-    }
-
-    fn flush_pending(&mut self, now: SimTime, gid: GroupId) {
-        loop {
-            let Some(g) = self.groups.get_mut(&gid) else {
-                return;
-            };
-            if g.blocked() {
-                return;
-            }
-            let Some((conn, request_num, giop)) = g.pending_ordered.pop_front() else {
-                return;
-            };
-            let _ = self.multicast_request(now, conn, request_num, giop);
-        }
-    }
-
-    // --- PGMP: suspicion, conviction, membership change ---------------------
-
-    fn on_suspect_report(
-        &mut self,
-        now: SimTime,
-        gid: GroupId,
-        reporter: ProcessorId,
-        suspects: BTreeSet<ProcessorId>,
-    ) {
-        let convicted = {
-            let g = self.groups.get_mut(&gid).expect("group exists");
-            if !g.membership.contains(&reporter) {
-                return;
-            }
-            g.suspicion.record(reporter, suspects);
-            let required = self.cfg.suspect_quorum.required(g.membership.len());
-            g.suspicion.convicted(&g.membership, required)
-        };
-        if !convicted.is_empty() {
-            self.convict(now, &convicted);
-        }
-    }
-
-    /// §2: "The protocol removes a processor that has been convicted of
-    /// being faulty from all processor groups of which it is a member."
-    fn convict(&mut self, now: SimTime, convicted: &[ProcessorId]) {
-        let affected: Vec<GroupId> = self
-            .groups
-            .iter()
-            .filter(|(_, g)| convicted.iter().any(|c| g.membership.contains(c)))
-            .map(|(gid, _)| *gid)
-            .collect();
-        for gid in affected {
-            let removals: BTreeSet<ProcessorId> = {
-                let g = self.groups.get(&gid).expect("listed");
-                convicted
-                    .iter()
-                    .copied()
-                    .filter(|c| g.membership.contains(c))
-                    .collect()
-            };
-            self.begin_or_extend_reconfig(now, gid, removals);
-        }
-    }
-
-    fn begin_or_extend_reconfig(
-        &mut self,
-        now: SimTime,
-        gid: GroupId,
-        removals: BTreeSet<ProcessorId>,
-    ) {
-        {
-            let g = self.groups.get_mut(&gid).expect("group exists");
-            match &mut g.reconfig {
-                Some(rc) => {
-                    let before = rc.removed.len();
-                    rc.removed.extend(removals.iter().copied());
-                    if rc.removed.len() > before {
-                        // Proposals built on the smaller set are stale.
-                        let keep: BTreeSet<ProcessorId> = rc.removed.clone();
-                        let membership = g.membership.clone();
-                        let _ = rc.merge_removals(
-                            &membership,
-                            &membership.difference(&keep).copied().collect(),
-                        );
-                    }
-                }
-                None => {
-                    g.reconfig = Some(Reconfig::new(removals, now));
-                }
-            }
-        }
-        self.announce_membership(now, gid);
-        self.maybe_complete_reconfig(now, gid);
-    }
-
-    /// Multicast our Membership proposal if it changed (§7.2).
-    fn announce_membership(&mut self, now: SimTime, gid: GroupId) {
-        let body = {
-            let g = self.groups.get_mut(&gid).expect("group exists");
-            let Some(rc) = &mut g.reconfig else {
-                return;
-            };
-            let proposed = rc.proposed(&g.membership);
-            if rc.announced.as_ref() == Some(&proposed) {
-                return;
-            }
-            rc.announced = Some(proposed.clone());
-            FtmpBody::Membership {
-                membership_ts: g.membership_ts,
-                membership: g.membership.iter().copied().collect(),
-                seqs: g.seq_vector(),
-                new_membership: proposed.into_iter().collect(),
-            }
-        };
-        let seq = self.send_reliable(now, gid, body);
-        if let Some(g) = self.groups.get_mut(&gid) {
-            g.last_announce_seq = Some(seq);
-        }
-    }
-
-    fn on_membership_proposal(
-        &mut self,
-        now: SimTime,
-        gid: GroupId,
-        from: ProcessorId,
-        proposed: BTreeSet<ProcessorId>,
-        seqs: Vec<(ProcessorId, u64)>,
-    ) {
-        {
-            let g = self.groups.get_mut(&gid).expect("group exists");
-            if !g.membership.contains(&from) {
-                return;
-            }
-            if g.reconfig.is_none() {
-                if proposed == g.membership {
-                    return; // stale echo of an already-installed membership
-                }
-                let removed: BTreeSet<ProcessorId> =
-                    g.membership.difference(&proposed).copied().collect();
-                g.reconfig = Some(Reconfig::new(removed, now));
-            }
-            let membership = g.membership.clone();
-            let rc = g.reconfig.as_mut().expect("just ensured");
-            rc.merge_removals(&membership, &proposed);
-            rc.note_proposal(from, proposed, &seqs);
-            // Make the peer's reception evidence visible to RMP so NACKs
-            // recover anything it has that we lack.
-            for (src, seq) in &seqs {
-                g.rx
-                    .entry(*src)
-                    .or_insert_with(|| SourceRx::starting_at(1))
-                    .note_header_seq(SeqNum(*seq));
-            }
-        }
-        self.announce_membership(now, gid);
-        self.maybe_complete_reconfig(now, gid);
-    }
-
-    fn maybe_complete_reconfig(&mut self, now: SimTime, gid: GroupId) {
-        let (proposed, targets) = {
-            let Some(g) = self.groups.get(&gid) else {
-                return;
-            };
-            let Some(rc) = &g.reconfig else {
-                return;
-            };
-            let proposed = rc.proposed(&g.membership);
-            if !proposed.contains(&self.id) {
-                // The survivors excluded us; leave.
-                self.leave_group(gid);
-                return;
-            }
-            if !rc.complete(&proposed, &g.all_contiguous_seqs()) {
-                return;
-            }
-            (proposed, rc.targets())
-        };
-        // Virtual synchrony established: flush, install, resume.
-        let (delivered, events) = {
-            let g = self.groups.get_mut(&gid).expect("group exists");
-            let rc = g.reconfig.take().expect("checked");
-            let (delivered, discarded) = g.ordering.flush_with_targets(&targets, &rc.removed);
-            self.stats.discarded_at_flush += discarded as u64;
-            let removed: Vec<ProcessorId> = rc.removed.iter().copied().collect();
-            for r in &removed {
-                g.ordering.remove_member(*r);
-                g.last_heard.remove(r);
-                g.my_suspects.remove(r);
-                if let Some(t) = targets.get(r) {
-                    g.retention.drop_beyond(*r, *t);
-                }
-            }
-            g.membership = proposed;
-            let flushed_ts = delivered.last().map(|m| m.ts).unwrap_or(Timestamp(0));
-            g.membership_ts =
-                Timestamp(flushed_ts.0.max(g.membership_ts.0).max(g.ordering.last_delivered().0 .0) + 1);
-            let membership = g.membership.clone();
-            g.suspicion.retain_members(&membership);
-            for p in &membership {
-                g.last_heard.insert(*p, now);
-            }
-            if let Some(seq) = g.last_announce_seq {
-                g.membership_notice = g.retention.get(self.id, seq.0).cloned();
-            }
-            self.stats.reconfigurations += 1;
-            let mut events = Vec::new();
-            for r in removed {
-                events.push(ProtocolEvent::FaultReport {
-                    group: gid,
-                    processor: r,
-                });
-            }
-            events.push(ProtocolEvent::MembershipChange {
-                group: gid,
-                members: membership.iter().copied().collect(),
-                ts: g.membership_ts,
-            });
-            (delivered, events)
-        };
-        for m in delivered {
-            self.handle_ordered(now, gid, m);
-        }
-        for e in events {
-            self.actions.push(Action::Event(e));
-        }
-        self.flush_pending(now, gid);
-        self.try_deliver(now, gid);
-    }
-
-    // --- PGMP: connections --------------------------------------------------
-
-    fn handle_connect_request(&mut self, now: SimTime, msg: &FtmpMessage) {
-        let FtmpBody::ConnectRequest {
-            conn,
-            ref client_processors,
-        } = msg.body
-        else {
-            return;
-        };
-        let Some(reg) = self.conns.servers.get(&conn.server) else {
-            return;
-        };
-        if reg.primary() != Some(self.id) {
-            return;
-        }
-        if let Some(group) = self.conns.group_of(conn).or(self.conns.promised.get(&conn).copied()) {
-            // Already established or in progress: nudge the Connect
-            // retransmission instead of allocating again (§7: "the server
-            // should ignore such requests" — but a lost Connect must still
-            // be recoverable, which the retransmission loop provides).
-            let _ = group;
-            return;
-        }
-        let domain_addr = self.conns.server_domain_addrs.get(&conn.server).copied();
-        let union: BTreeSet<ProcessorId> = reg
-            .processors
-            .iter()
-            .chain(client_processors.iter())
-            .copied()
-            .collect();
-        // Reuse an instantiated pool group with exactly this membership
-        // (several logical connections share one processor group, §7).
-        let reuse = reg.pool.iter().copied().find(|(gid, _)| {
-            self.groups
-                .get(gid)
-                .is_some_and(|g| g.membership == union)
-        });
-        if let Some((gid, _)) = reuse {
-            self.conns.promised.insert(conn, gid);
-            let g = self.groups.get(&gid).expect("instantiated");
-            let body = FtmpBody::Connect {
-                conn,
-                group: gid,
-                mcast_addr: g.addr.0,
-                membership_ts: g.membership_ts,
-                membership: g.membership.iter().copied().collect(),
-            };
-            self.send_reliable(now, gid, body);
-            return;
-        }
-        // Allocate a fresh pool entry.
-        let fresh = reg
-            .pool
-            .iter()
-            .copied()
-            .find(|(gid, _)| !self.groups.contains_key(gid) && !self.conns.promised.values().any(|g| g == gid));
-        let Some((gid, addr)) = fresh else {
-            return; // pool exhausted; the client will keep retrying
-        };
-        self.conns.promised.insert(conn, gid);
-        let ordering = Ordering::new(union.iter().copied(), Timestamp(0));
-        self.groups
-            .insert(gid, GroupState::new(addr, union, Timestamp(0), ordering, now));
-        self.actions.push(Action::Join(addr));
-        let body = {
-            let g = self.groups.get(&gid).expect("just inserted");
-            FtmpBody::Connect {
-                conn,
-                group: gid,
-                mcast_addr: addr.0,
-                membership_ts: Timestamp(0),
-                membership: g.membership.iter().copied().collect(),
-            }
-        };
-        let seq = self.send_reliable(now, gid, body);
-        let g = self.groups.get_mut(&gid).expect("just inserted");
-        g.gate = Some(self.clock.current());
-        let connect_msg = g
-            .retention
-            .get(self.id, seq.0)
-            .expect("just retained")
-            .clone();
-        g.connect_retx = Some(ConnectRetx {
-            msg: connect_msg.clone(),
-            domain_addr,
-            next_retry: now + self.cfg.join_retry,
-        });
-        // The new group's other members are not subscribed yet: the Connect
-        // must also travel on the domain address they all listen to.
-        if let Some(da) = domain_addr {
-            self.actions.push(Action::Send {
-                addr: da,
-                payload: connect_msg.encode(self.order),
-            });
-        }
-    }
-
-    /// A Connect arrived for a group we are not in (via the domain address).
-    fn handle_connect_as_outsider(&mut self, now: SimTime, msg: FtmpMessage, wire_len: usize) {
-        let FtmpBody::Connect {
-            conn,
-            group: gid,
-            mcast_addr,
-            ref membership,
-            ..
-        } = msg.body
-        else {
-            return;
-        };
-        let members: BTreeSet<ProcessorId> = membership.iter().copied().collect();
-        if !members.contains(&self.id) {
-            return;
-        }
-        self.clock.observe(msg.ts);
-        let ordering = Ordering::new(members.iter().copied(), Timestamp(0));
-        let mut gs = GroupState::new(McastAddr(mcast_addr), members, Timestamp(0), ordering, now);
-        gs.gate = Some(msg.ts);
-        self.groups.insert(gid, gs);
-        self.actions.push(Action::Join(McastAddr(mcast_addr)));
-        self.conns.pending.remove(&conn);
-        self.conns.promised.insert(conn, gid);
-        // Run the Connect itself through the normal reliable path so the
-        // primary's stream state (seq 1) is accounted for and the binding
-        // happens at the message's ordered position.
-        self.handle_reliable(now, msg, wire_len, false);
-    }
-
-    /// An AddProcessor naming us arrived while we awaited a join (§7.1).
-    fn handle_add_as_joiner(&mut self, now: SimTime, msg: FtmpMessage, wire_len: usize) {
-        let FtmpBody::AddProcessor {
-            ref membership,
-            ref seqs,
-            new_member,
-            ..
-        } = msg.body
-        else {
-            return;
-        };
-        debug_assert_eq!(new_member, self.id);
-        let gid = msg.group;
-        let Some(addr) = self.expecting_joins.remove(&gid) else {
-            return; // not expecting this join
-        };
-        self.clock.observe(msg.ts);
-        let mut members: BTreeSet<ProcessorId> = membership.iter().copied().collect();
-        members.insert(self.id);
-        // The cited cut is the sponsor's ordered prefix; everything after it
-        // must be received and *ordered by us too* — including membership
-        // operations positioned before the AddProcessor itself (they carry
-        // the snapshot membership forward to the join position). Horizons
-        // therefore start at zero and ordering runs normally; only Regular
-        // deliveries at or below the join position are suppressed, because
-        // the application state snapshot covers them.
-        let ordering = Ordering::with_floor_key(
-            members.iter().copied(),
-            Timestamp(0),
-            (Timestamp(0), ProcessorId(u32::MAX)),
-        );
-        let mut gs = GroupState::new(addr, members, msg.ts, ordering, now);
-        gs.app_floor = Some((msg.ts, msg.source));
-        gs.provisional_since = Some(now);
-        for (src, cited) in seqs {
-            gs.rx.insert(*src, SourceRx::starting_at(cited + 1));
-        }
-        self.groups.insert(gid, gs);
-        // Consume the AddProcessor itself through the normal path (it is the
-        // sponsor's next message after its cited sequence number).
-        self.handle_reliable(now, msg, wire_len, false);
-    }
-
+    /// Answer a peer's RetransmitRequest from RMP's retention store; the
+    /// retransmission bytes are reference-counted handles built at most
+    /// once per retained message.
     fn handle_retransmit_request(&mut self, now: SimTime, msg: &FtmpMessage) {
         let FtmpBody::RetransmitRequest {
             missing_from,
@@ -1485,18 +807,31 @@ impl Processor {
         if !self.groups.contains_key(&gid) {
             return;
         }
-        let span_cap = self.cfg.max_nack_span.min(stop_seq.saturating_sub(start_seq) + 1);
+        let span_cap = self
+            .cfg
+            .max_nack_span
+            .min(stop_seq.saturating_sub(start_seq) + 1);
         for seq in start_seq..start_seq + span_cap {
             // During a membership change every holder must answer: the
             // reconciliation targets may name messages whose original sender
             // is the convicted processor (E9 measures the policies' cost in
             // the failure-free path; correctness of virtual synchrony cannot
-            // hinge on a dead sender).
-            let in_reconfig = self
+            // hinge on a dead sender). The same override applies after the
+            // sender has been removed — a peer still reconciling can ask for
+            // a dead member's message after this holder already installed
+            // the new membership.
+            let (in_reconfig, sender_is_member) = self
                 .groups
                 .get(&gid)
-                .is_some_and(|g| g.reconfig.is_some());
+                .map(|g| {
+                    (
+                        g.pgmp.reconfig.is_some(),
+                        g.pgmp.membership.contains(&missing_from),
+                    )
+                })
+                .unwrap_or((false, true));
             let respond = in_reconfig
+                || !sender_is_member
                 || match self.cfg.retransmit_policy {
                     RetransmitPolicy::OriginalSenderOnly => missing_from == self.id,
                     RetransmitPolicy::AllHolders => true,
@@ -1507,769 +842,13 @@ impl Processor {
             if !respond {
                 continue;
             }
+            let suppress = self.cfg.retransmit_suppress;
             let g = self.groups.get_mut(&gid).expect("checked");
-            if let Some(m) = g.retention.take_for_retransmit(
-                missing_from,
-                seq,
-                now,
-                self.cfg.retransmit_suppress,
-            ) {
+            if let Some(payload) = g.rmp.answer_retransmit(missing_from, seq, now, suppress) {
                 let addr = g.addr;
                 self.stats.retransmissions_sent += 1;
-                self.actions.push(Action::Send {
-                    addr,
-                    payload: m.as_retransmission(self.order),
-                });
+                self.sink.send(addr, payload);
             }
         }
-    }
-
-    // --- timers --------------------------------------------------------------
-
-    fn tick_heartbeats(&mut self, now: SimTime) {
-        let due: Vec<GroupId> = self
-            .groups
-            .iter()
-            .filter(|(_, g)| now.saturating_since(g.last_sent) >= self.cfg.heartbeat_interval)
-            .map(|(gid, _)| *gid)
-            .collect();
-        for gid in due {
-            self.send_unreliable(now, gid, FtmpBody::Heartbeat);
-        }
-    }
-
-    fn tick_nacks(&mut self, now: SimTime) {
-        let jitter_max = self.cfg.nack_delay.as_micros().max(1);
-        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
-        for gid in gids {
-            let mut requests: Vec<(ProcessorId, u64, u64)> = Vec::new();
-            {
-                let g = self.groups.get_mut(&gid).expect("listed");
-                let sources: Vec<ProcessorId> = g.rx.keys().copied().collect();
-                for src in sources {
-                    if src == self.id {
-                        continue;
-                    }
-                    let jitter = SimDuration::from_micros(self.rng.gen_range(0..=jitter_max));
-                    let rx = g.rx.get_mut(&src).expect("listed");
-                    if rx.nack_due(now, jitter, self.cfg.nack_retry) {
-                        for (a, b) in rx.missing_ranges(self.cfg.max_nack_span) {
-                            requests.push((src, a, b));
-                        }
-                    }
-                }
-            }
-            for (src, a, b) in requests {
-                self.stats.nacks_sent += 1;
-                self.send_unreliable(
-                    now,
-                    gid,
-                    FtmpBody::RetransmitRequest {
-                        missing_from: src,
-                        start_seq: a,
-                        stop_seq: b,
-                    },
-                );
-            }
-        }
-    }
-
-    fn tick_fault_detector(&mut self, now: SimTime) {
-        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
-        for gid in gids {
-            let (newly, resend_due): (Vec<ProcessorId>, bool) = {
-                let g = self.groups.get(&gid).expect("listed");
-                let newly = g
-                    .membership
-                    .iter()
-                    .copied()
-                    .filter(|&p| {
-                        p != self.id
-                            && !g.my_suspects.contains(&p)
-                            && g.last_heard
-                                .get(&p)
-                                .is_some_and(|&t| now.saturating_since(t) > self.cfg.fail_timeout)
-                    })
-                    .collect();
-                // Standing suspicions are re-announced periodically so a
-                // peer that discarded an earlier report (stale epoch, or a
-                // quorum that was one vote short) still converges.
-                let resend_due = !g.my_suspects.is_empty()
-                    && now.saturating_since(g.last_suspect_sent).as_micros()
-                        > self.cfg.fail_timeout.as_micros() / 2;
-                (newly, resend_due)
-            };
-            if newly.is_empty() && !resend_due {
-                continue;
-            }
-            let body = {
-                let g = self.groups.get_mut(&gid).expect("listed");
-                g.my_suspects.extend(newly.iter().copied());
-                g.last_suspect_sent = now;
-                FtmpBody::Suspect {
-                    membership_ts: g.membership_ts,
-                    suspects: g.my_suspects.iter().copied().collect(),
-                }
-            };
-            // Reliable: occupies a sequence slot and reaches everyone; our
-            // own copy feeds the suspicion matrix via self-delivery.
-            self.send_reliable(now, gid, body);
-        }
-    }
-
-    fn tick_retries(&mut self, now: SimTime) {
-        // Client ConnectRequest retries.
-        let retries: Vec<(ConnectionId, Vec<ProcessorId>, McastAddr)> = self
-            .conns
-            .pending
-            .iter()
-            .filter(|(_, p)| now >= p.next_retry)
-            .map(|(c, p)| (*c, p.client_processors.clone(), p.domain_addr))
-            .collect();
-        for (conn, procs, addr) in retries {
-            if let Some(p) = self.conns.pending.get_mut(&conn) {
-                p.next_retry = now + self.cfg.connect_retry;
-            }
-            self.send_connect_request(now, conn, &procs, addr);
-        }
-        // Sponsor AddProcessor retransmissions until the joiner is heard.
-        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
-        for gid in gids {
-            let mut resend: Vec<Bytes> = Vec::new();
-            {
-                let g = self.groups.get_mut(&gid).expect("listed");
-                let heard: Vec<ProcessorId> = g
-                    .sponsor_joins
-                    .keys()
-                    .copied()
-                    .filter(|j| g.heard_any.contains(j))
-                    .collect();
-                for j in heard {
-                    g.sponsor_joins.remove(&j);
-                }
-                let order = self.order;
-                for sj in g.sponsor_joins.values_mut() {
-                    if now >= sj.next_retry {
-                        sj.next_retry = now + self.cfg.join_retry;
-                        resend.push(sj.msg.as_retransmission(order));
-                    }
-                }
-                // Primary Connect retransmissions until all members heard.
-                let all_heard = g
-                    .membership
-                    .iter()
-                    .all(|p| *p == self.id || g.heard_any.contains(p));
-                if all_heard {
-                    g.connect_retx = None;
-                } else if let Some(cr) = &mut g.connect_retx {
-                    if now >= cr.next_retry {
-                        cr.next_retry = now + self.cfg.join_retry;
-                        let bytes = cr.msg.as_retransmission(order);
-                        resend.push(bytes.clone());
-                        if let Some(da) = cr.domain_addr {
-                            self.actions.push(Action::Send {
-                                addr: da,
-                                payload: bytes,
-                            });
-                        }
-                    }
-                }
-                let addr = g.addr;
-                for bytes in &resend {
-                    self.actions.push(Action::Send {
-                        addr,
-                        payload: bytes.clone(),
-                    });
-                }
-            }
-        }
-    }
-}
-
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::Quorum;
-
-    pub(super) fn conn_ab() -> ConnectionId {
-        ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
-    }
-
-    /// A tiny in-test network: lossless instant fan-out (including loopback)
-    /// with per-processor sinks for deliveries and events. Loss is injected
-    /// by dropping chosen sends before calling `flush`.
-    pub(super) struct MiniNet {
-        procs: Vec<Processor>,
-        delivered: Vec<Vec<Delivery>>,
-        events: Vec<Vec<ProtocolEvent>>,
-    }
-
-    impl MiniNet {
-        pub(super) fn new(n: u32, cfg: ProtocolConfig) -> Self {
-            let procs: Vec<Processor> = (1..=n)
-                .map(|id| Processor::new(ProcessorId(id), cfg.clone(), ClockMode::Lamport))
-                .collect();
-            MiniNet {
-                delivered: vec![Vec::new(); procs.len()],
-                events: vec![Vec::new(); procs.len()],
-                procs,
-            }
-        }
-
-        pub(super) fn bootstrap_group(&mut self, gid: GroupId, addr: McastAddr) {
-            let members: Vec<ProcessorId> = self.procs.iter().map(|p| p.id()).collect();
-            for p in &mut self.procs {
-                p.create_group(SimTime(0), gid, addr, members.clone());
-                p.bind_connection(conn_ab(), gid);
-            }
-            self.flush(SimTime(0));
-        }
-
-        pub(super) fn p(&mut self, id: u32) -> &mut Processor {
-            &mut self.procs[(id - 1) as usize]
-        }
-
-        /// Drain every processor's actions repeatedly, fanning Sends out to
-        /// every processor (loopback included), until quiescent.
-        pub(super) fn flush(&mut self, now: SimTime) {
-            loop {
-                let mut packets: Vec<(u32, McastAddr, Bytes)> = Vec::new();
-                for (i, p) in self.procs.iter_mut().enumerate() {
-                    for a in p.drain_actions() {
-                        match a {
-                            Action::Send { addr, payload } => {
-                                packets.push((i as u32 + 1, addr, payload));
-                            }
-                            Action::Deliver(d) => self.delivered[i].push(d),
-                            Action::Event(e) => self.events[i].push(e),
-                            Action::Join(_) | Action::Leave(_) => {}
-                        }
-                    }
-                }
-                if packets.is_empty() {
-                    break;
-                }
-                for (src, addr, payload) in packets {
-                    for p in self.procs.iter_mut() {
-                        p.handle_packet(now, &Packet::new(src, addr, payload.clone()));
-                    }
-                }
-            }
-        }
-
-        /// Like flush, but drop sends matching `drop`.
-        pub(super) fn flush_lossy(&mut self, now: SimTime, drop: &mut dyn FnMut(u32, &Bytes) -> bool) {
-            loop {
-                let mut packets: Vec<(u32, McastAddr, Bytes)> = Vec::new();
-                for (i, p) in self.procs.iter_mut().enumerate() {
-                    for a in p.drain_actions() {
-                        match a {
-                            Action::Send { addr, payload } => {
-                                packets.push((i as u32 + 1, addr, payload));
-                            }
-                            Action::Deliver(d) => self.delivered[i].push(d),
-                            Action::Event(e) => self.events[i].push(e),
-                            Action::Join(_) | Action::Leave(_) => {}
-                        }
-                    }
-                }
-                if packets.is_empty() {
-                    break;
-                }
-                for (src, addr, payload) in packets {
-                    for (j, p) in self.procs.iter_mut().enumerate() {
-                        // Loopback always arrives (kernel-local).
-                        if j as u32 + 1 != src && drop(src, &payload) {
-                            continue;
-                        }
-                        p.handle_packet(now, &Packet::new(src, addr, payload.clone()));
-                    }
-                }
-            }
-        }
-
-        pub(super) fn tick_all(&mut self, now: SimTime) {
-            for p in &mut self.procs {
-                p.tick(now);
-            }
-            self.flush(now);
-        }
-
-        pub(super) fn deliveries(&self, id: u32) -> &[Delivery] {
-            &self.delivered[(id - 1) as usize]
-        }
-
-        pub(super) fn events_of(&self, id: u32) -> &[ProtocolEvent] {
-            &self.events[(id - 1) as usize]
-        }
-    }
-
-    pub(super) fn pair() -> (MiniNet, GroupId) {
-        let gid = GroupId(1);
-        let mut net = MiniNet::new(2, ProtocolConfig::with_seed(42));
-        net.bootstrap_group(gid, McastAddr(100));
-        (net, gid)
-    }
-
-    #[test]
-    fn regular_message_delivered_in_total_order_on_both() {
-        let (mut net, _gid) = pair();
-        let now = SimTime(1_000);
-        let giop = Bytes::from_static(b"fake-giop");
-        let out = net
-            .p(1)
-            .multicast_request(now, conn_ab(), RequestNum(1), giop.clone())
-            .unwrap();
-        assert!(matches!(out, SendOutcome::Sent { .. }));
-        net.flush(now);
-        // Not deliverable yet: P2's horizon is stale.
-        assert!(net.deliveries(1).is_empty());
-        assert!(net.deliveries(2).is_empty());
-        // Heartbeats advance horizons.
-        net.tick_all(SimTime(20_000));
-        assert_eq!(net.deliveries(1).len(), 1);
-        assert_eq!(net.deliveries(2).len(), 1);
-        assert_eq!(net.deliveries(1)[0].giop, giop);
-        assert_eq!(net.deliveries(2)[0].request_num, RequestNum(1));
-        assert_eq!(net.deliveries(2)[0].source, ProcessorId(1));
-    }
-
-    #[test]
-    fn send_on_unbound_connection_fails() {
-        let mut a = Processor::new(
-            ProcessorId(1),
-            ProtocolConfig::with_seed(42),
-            ClockMode::Lamport,
-        );
-        let err = a
-            .multicast_request(SimTime(0), conn_ab(), RequestNum(1), Bytes::new())
-            .unwrap_err();
-        assert_eq!(err, SendError::NotConnected);
-    }
-
-    #[test]
-    fn lost_message_recovered_via_nack() {
-        let (mut net, gid) = pair();
-        let now = SimTime(1_000);
-        // First Regular from P1 is lost on its way to P2.
-        let mut first = true;
-        net.p(1)
-            .multicast_request(now, conn_ab(), RequestNum(1), Bytes::from_static(b"m1"))
-            .unwrap();
-        net.flush_lossy(now, &mut |src, payload| {
-            let is_regular = crate::wire::classify(payload)
-                == Some(FtmpMsgType::Regular as u8);
-            if src == 1 && is_regular && first {
-                first = false;
-                true
-            } else {
-                false
-            }
-        });
-        net.p(1)
-            .multicast_request(now, conn_ab(), RequestNum(2), Bytes::from_static(b"m2"))
-            .unwrap();
-        net.flush(now);
-        assert!(
-            net.p(2).group_metrics(gid).unwrap().rx_buffered > 0,
-            "m2 buffered behind the gap"
-        );
-        // The NACK fires within jitter + a tick, the retransmission follows.
-        net.tick_all(SimTime(1_000 + 3_000));
-        net.tick_all(SimTime(1_000 + 12_000));
-        assert!(net.p(2).stats().nacks_sent >= 1);
-        assert!(net.p(1).stats().retransmissions_sent >= 1);
-        assert_eq!(net.p(2).group_metrics(gid).unwrap().rx_buffered, 0);
-        // Both messages eventually deliver in order at both.
-        net.tick_all(SimTime(40_000));
-        let d2: Vec<&'static str> = net
-            .deliveries(2)
-            .iter()
-            .map(|d| if d.giop.as_ref() == b"m1" { "m1" } else { "m2" })
-            .collect();
-        assert_eq!(d2, vec!["m1", "m2"]);
-    }
-
-    #[test]
-    fn heartbeats_emitted_when_idle() {
-        let (mut net, _gid) = pair();
-        net.tick_all(SimTime(50_000));
-        assert!(
-            net.p(1)
-                .stats()
-                .sent
-                .get(&FtmpMsgType::Heartbeat)
-                .copied()
-                .unwrap_or(0)
-                >= 1
-        );
-    }
-
-    #[test]
-    fn heartbeat_suppressed_by_recent_traffic() {
-        let (mut net, _gid) = pair();
-        net.p(1)
-            .multicast_request(SimTime(9_500), conn_ab(), RequestNum(1), Bytes::new())
-            .unwrap();
-        net.flush(SimTime(9_500));
-        net.p(1).tick(SimTime(10_000)); // 0.5ms after the Regular
-        assert_eq!(
-            net.p(1)
-                .stats()
-                .sent
-                .get(&FtmpMsgType::Heartbeat)
-                .copied()
-                .unwrap_or(0),
-            0
-        );
-    }
-
-    #[test]
-    fn fault_detection_convicts_and_reconfigures_singleton() {
-        // Quorum Fixed(1): P1 alone convicts the silent P2.
-        let gid = GroupId(1);
-        let cfg = ProtocolConfig::with_seed(1).quorum(Quorum::Fixed(1));
-        let mut a = Processor::new(ProcessorId(1), cfg, ClockMode::Lamport);
-        a.create_group(SimTime(0), gid, McastAddr(100), [ProcessorId(1), ProcessorId(2)]);
-        a.drain_actions();
-        let t = SimTime(300_000);
-        a.tick(t);
-        assert_eq!(a.membership(gid).unwrap(), vec![ProcessorId(1)]);
-        let acts = a.drain_actions();
-        assert!(acts.iter().any(|x| matches!(
-            x,
-            Action::Event(ProtocolEvent::FaultReport { processor, .. })
-                if *processor == ProcessorId(2)
-        )));
-        assert!(acts
-            .iter()
-            .any(|x| matches!(x, Action::Event(ProtocolEvent::MembershipChange { .. }))));
-        assert_eq!(a.stats().reconfigurations, 1);
-    }
-
-    #[test]
-    fn ordering_stalls_during_fault_then_resumes_after_removal() {
-        let gid = GroupId(1);
-        let cfg = ProtocolConfig::with_seed(1).quorum(Quorum::Fixed(2));
-        let mut net = MiniNet::new(2, cfg);
-        // Group believes it has three members; P3 never exists.
-        let members = [ProcessorId(1), ProcessorId(2), ProcessorId(3)];
-        for i in 1..=2u32 {
-            net.p(i).create_group(SimTime(0), gid, McastAddr(100), members);
-            net.p(i).bind_connection(conn_ab(), gid);
-        }
-        net.flush(SimTime(0));
-        let now = SimTime(1_000);
-        net.p(1)
-            .multicast_request(now, conn_ab(), RequestNum(1), Bytes::from_static(b"x"))
-            .unwrap();
-        net.flush(now);
-        net.tick_all(SimTime(30_000));
-        assert!(net.deliveries(1).is_empty(), "P3's silence stalls ordering");
-        assert!(net.deliveries(2).is_empty());
-        // Past fail_timeout both suspect P3; quorum 2 convicts; they
-        // exchange Membership proposals and install {P1, P2}.
-        net.tick_all(SimTime(300_000));
-        net.tick_all(SimTime(320_000));
-        assert_eq!(
-            net.p(1).membership(gid).unwrap(),
-            vec![ProcessorId(1), ProcessorId(2)]
-        );
-        assert_eq!(
-            net.p(2).membership(gid).unwrap(),
-            vec![ProcessorId(1), ProcessorId(2)]
-        );
-        assert_eq!(net.deliveries(1).len(), 1, "stalled message flushed");
-        assert_eq!(net.deliveries(2).len(), 1);
-        assert_eq!(
-            (net.deliveries(1)[0].ts, net.deliveries(1)[0].source),
-            (net.deliveries(2)[0].ts, net.deliveries(2)[0].source)
-        );
-    }
-
-    #[test]
-    fn remove_processor_leaves_group_at_removed_member() {
-        let (mut net, gid) = pair();
-        net.p(1).remove_processor(SimTime(1_000), gid, ProcessorId(2));
-        net.flush(SimTime(1_000));
-        net.tick_all(SimTime(30_000));
-        assert_eq!(net.p(1).membership(gid).unwrap(), vec![ProcessorId(1)]);
-        assert!(net.p(2).membership(gid).is_none(), "P2 left the group");
-        assert!(net
-            .events_of(2)
-            .iter()
-            .any(|e| matches!(e, ProtocolEvent::LeftGroup { .. })));
-    }
-
-    #[test]
-    fn add_processor_joins_third_member() {
-        let gid = GroupId(1);
-        let mut net = MiniNet::new(3, ProtocolConfig::with_seed(42));
-        // Only P1 and P2 found the group; P3 waits to join.
-        let founders = [ProcessorId(1), ProcessorId(2)];
-        for i in 1..=2u32 {
-            net.p(i).create_group(SimTime(0), gid, McastAddr(100), founders);
-            net.p(i).bind_connection(conn_ab(), gid);
-        }
-        net.p(3).expect_join(gid, McastAddr(100));
-        net.p(3).bind_connection(conn_ab(), gid);
-        net.flush(SimTime(0));
-        net.p(1).add_processor(SimTime(1_000), gid, ProcessorId(3));
-        net.flush(SimTime(1_000));
-        // P3 initialized immediately from the AddProcessor (provisionally:
-        // JoinedGroup only fires once the Add reaches its ordered position).
-        assert_eq!(net.p(3).membership(gid).unwrap().len(), 3);
-        // P1/P2 add P3 once the AddProcessor is ordered; P3 confirms.
-        net.tick_all(SimTime(30_000));
-        assert_eq!(net.p(1).membership(gid).unwrap().len(), 3);
-        assert_eq!(net.p(2).membership(gid).unwrap().len(), 3);
-        assert!(net
-            .events_of(3)
-            .iter()
-            .any(|e| matches!(e, ProtocolEvent::JoinedGroup { .. })));
-        // Sponsor's retransmission state clears once P3 is heard.
-        net.tick_all(SimTime(60_000));
-        assert!(net.p(1).groups.get(&gid).unwrap().sponsor_joins.is_empty());
-    }
-
-    #[test]
-    fn joiner_does_not_deliver_pre_join_traffic() {
-        let gid = GroupId(1);
-        let mut net = MiniNet::new(3, ProtocolConfig::with_seed(42));
-        let founders = [ProcessorId(1), ProcessorId(2)];
-        for i in 1..=2u32 {
-            net.p(i).create_group(SimTime(0), gid, McastAddr(100), founders);
-            net.p(i).bind_connection(conn_ab(), gid);
-        }
-        net.flush(SimTime(0));
-        // Pre-join traffic, fully delivered at the founders.
-        net.p(1)
-            .multicast_request(SimTime(1_000), conn_ab(), RequestNum(1), Bytes::from_static(b"old"))
-            .unwrap();
-        net.flush(SimTime(1_000));
-        net.tick_all(SimTime(25_000));
-        assert_eq!(net.deliveries(1).len(), 1);
-        // P3 joins.
-        net.p(3).expect_join(gid, McastAddr(100));
-        net.p(3).bind_connection(conn_ab(), gid);
-        net.p(1).add_processor(SimTime(30_000), gid, ProcessorId(3));
-        net.flush(SimTime(30_000));
-        // Post-join traffic.
-        let _ = net
-            .p(2)
-            .multicast_request(SimTime(40_000), conn_ab(), RequestNum(2), Bytes::from_static(b"new"));
-        net.flush(SimTime(40_000));
-        net.tick_all(SimTime(55_000));
-        net.tick_all(SimTime(70_000));
-        let d3: Vec<&[u8]> = net
-            .deliveries(3)
-            .iter()
-            .map(|d| d.giop.as_ref())
-            .collect();
-        assert_eq!(d3, vec![b"new".as_ref()], "joiner sees only post-join traffic");
-        // Founders see both, joiner's suffix matches theirs.
-        let d1: Vec<&[u8]> = net.deliveries(1).iter().map(|d| d.giop.as_ref()).collect();
-        assert_eq!(d1, vec![b"old".as_ref(), b"new".as_ref()]);
-    }
-
-    #[test]
-    fn duplicate_loopback_not_counted_as_duplicate_stat() {
-        let (mut net, _gid) = pair();
-        net.p(1)
-            .multicast_request(SimTime(1_000), conn_ab(), RequestNum(1), Bytes::new())
-            .unwrap();
-        net.flush(SimTime(1_000));
-        assert_eq!(net.p(1).stats().duplicates, 0);
-        // A genuine duplicate from a peer *is* counted.
-        net.p(2)
-            .multicast_request(SimTime(2_000), conn_ab(), RequestNum(2), Bytes::new())
-            .unwrap();
-        let packets: Vec<(McastAddr, Bytes)> = net
-            .p(2)
-            .drain_actions()
-            .into_iter()
-            .filter_map(|a| match a {
-                Action::Send { addr, payload } => Some((addr, payload)),
-                _ => None,
-            })
-            .collect();
-        for (addr, payload) in &packets {
-            net.p(1).handle_packet(SimTime(2_000), &Packet::new(2, *addr, payload.clone()));
-            net.p(1).handle_packet(SimTime(2_100), &Packet::new(2, *addr, payload.clone()));
-        }
-        assert_eq!(net.p(1).stats().duplicates, 1);
-    }
-
-    #[test]
-    fn corrupt_packet_ignored() {
-        let (mut net, _gid) = pair();
-        net.p(1)
-            .handle_packet(SimTime(0), &Packet::new(9, McastAddr(100), vec![1, 2, 3]));
-        assert!(net.p(1).drain_actions().is_empty());
-    }
-
-    #[test]
-    fn queued_sends_flush_after_reconfiguration() {
-        let gid = GroupId(1);
-        let cfg = ProtocolConfig::with_seed(9).quorum(Quorum::Fixed(1));
-        let mut a = Processor::new(ProcessorId(1), cfg, ClockMode::Lamport);
-        a.create_group(SimTime(0), gid, McastAddr(1), [ProcessorId(1), ProcessorId(2)]);
-        a.bind_connection(conn_ab(), gid);
-        a.drain_actions();
-        // Force a suspicion → reconfig; P2 silent. During the (instant,
-        // single-survivor) reconfig a send arrives. After completion the
-        // queued send must have been transmitted.
-        a.tick(SimTime(200_000));
-        assert_eq!(a.membership(gid).unwrap(), vec![ProcessorId(1)]);
-        let r = a
-            .multicast_request(SimTime(210_000), conn_ab(), RequestNum(1), Bytes::new())
-            .unwrap();
-        assert!(matches!(r, SendOutcome::Sent { .. }));
-        // Single member: own horizon suffices; message delivers.
-        let acts = a.drain_actions();
-        assert!(acts.iter().any(|x| matches!(x, Action::Deliver(_))));
-    }
-}
-
-#[cfg(test)]
-mod rebind_tests {
-    use super::tests::*;
-    use super::*;
-    use crate::config::Quorum;
-
-    #[test]
-    fn rebind_moves_the_connection_atomically() {
-        let (mut net, _gid) = pair();
-        let new_gid = GroupId(2);
-        let new_addr = McastAddr(200);
-        // P1 initiates the re-addressing; the Connect orders in G1.
-        net.p(1).rebind_connection(SimTime(1_000), conn_ab(), new_gid, new_addr);
-        net.flush(SimTime(1_000));
-        net.tick_all(SimTime(20_000)); // horizons cover the Connect
-        for i in 1..=2u32 {
-            assert_eq!(
-                net.p(i).connection_group(conn_ab()),
-                Some(new_gid),
-                "P{i} rebound"
-            );
-            assert!(net.p(i).membership(new_gid).is_some(), "P{i} joined G2");
-        }
-        // Traffic now flows (and delivers) on the new group.
-        net.tick_all(SimTime(40_000)); // release the Connect gate
-        let r = net
-            .p(1)
-            .multicast_request(SimTime(41_000), conn_ab(), RequestNum(9), Bytes::from_static(b"x"))
-            .unwrap();
-        match r {
-            SendOutcome::Sent { group, .. } => assert_eq!(group, new_gid),
-            SendOutcome::Queued => {} // gate may still hold; flushes below
-        }
-        net.flush(SimTime(41_000));
-        net.tick_all(SimTime(60_000));
-        net.tick_all(SimTime(80_000));
-        let d: Vec<_> = net
-            .deliveries(2)
-            .iter()
-            .map(|d| (d.group, d.request_num))
-            .collect();
-        assert_eq!(d, vec![(new_gid, RequestNum(9))]);
-    }
-
-    #[test]
-    fn in_flight_message_is_retransmitted_on_the_new_group() {
-        let (mut net, old_gid) = pair();
-        let new_gid = GroupId(2);
-        let new_addr = McastAddr(200);
-        // P1 sends the rebind Connect but P2, not yet having seen it,
-        // multicasts a Regular on the old group.
-        net.p(1).rebind_connection(SimTime(1_000), conn_ab(), new_gid, new_addr);
-        let r = net
-            .p(2)
-            .multicast_request(SimTime(1_000), conn_ab(), RequestNum(5), Bytes::from_static(b"y"))
-            .unwrap();
-        assert!(matches!(r, SendOutcome::Sent { group, .. } if group == old_gid));
-        net.flush(SimTime(1_000));
-        for t in [20_000u64, 40_000, 60_000, 80_000] {
-            net.tick_all(SimTime(t));
-        }
-        // Both members deliver the message exactly once, on the new group
-        // (the old-group ordering position was ignored and the sender
-        // re-multicast it after the switch).
-        for i in 1..=2u32 {
-            let d: Vec<_> = net
-                .deliveries(i)
-                .iter()
-                .filter(|d| d.request_num == RequestNum(5))
-                .map(|d| d.group)
-                .collect();
-            assert_eq!(d, vec![new_gid], "P{i} delivered once on the new group");
-        }
-    }
-
-    #[test]
-    fn conviction_removes_processor_from_all_groups() {
-        // One silent processor (P3) shares two groups with P1/P2; one
-        // conviction must reconfigure both (§2: "removes a processor that
-        // has been convicted … from all processor groups").
-        let cfg = ProtocolConfig::with_seed(31).quorum(Quorum::Fixed(2));
-        let mut net = MiniNet::new(2, cfg);
-        let members = [ProcessorId(1), ProcessorId(2), ProcessorId(3)];
-        for i in 1..=2u32 {
-            net.p(i).create_group(SimTime(0), GroupId(1), McastAddr(100), members);
-            net.p(i).create_group(SimTime(0), GroupId(2), McastAddr(101), members);
-        }
-        net.flush(SimTime(0));
-        net.tick_all(SimTime(300_000));
-        net.tick_all(SimTime(320_000));
-        for i in 1..=2u32 {
-            for gid in [GroupId(1), GroupId(2)] {
-                assert_eq!(
-                    net.p(i).membership(gid).unwrap(),
-                    vec![ProcessorId(1), ProcessorId(2)],
-                    "P{i} {gid}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn groups_order_independently() {
-        // Traffic in one group does not wait on the other group's members.
-        let cfg = ProtocolConfig::with_seed(32);
-        let mut net = MiniNet::new(3, cfg);
-        let g1 = GroupId(1);
-        let g2 = GroupId(2);
-        let c2 = ConnectionId::new(ObjectGroupId::new(9, 1), ObjectGroupId::new(9, 2));
-        // G1: {P1,P2,P3} bound to conn_ab; G2: {P1,P2} bound to c2.
-        for i in 1..=3u32 {
-            net.p(i).create_group(
-                SimTime(0),
-                g1,
-                McastAddr(100),
-                [ProcessorId(1), ProcessorId(2), ProcessorId(3)],
-            );
-            net.p(i).bind_connection(conn_ab(), g1);
-        }
-        for i in 1..=2u32 {
-            net.p(i)
-                .create_group(SimTime(0), g2, McastAddr(101), [ProcessorId(1), ProcessorId(2)]);
-            net.p(i).bind_connection(c2, g2);
-        }
-        net.flush(SimTime(0));
-        net.p(1)
-            .multicast_request(SimTime(1_000), c2, RequestNum(1), Bytes::from_static(b"g2"))
-            .unwrap();
-        net.p(1)
-            .multicast_request(SimTime(1_000), conn_ab(), RequestNum(2), Bytes::from_static(b"g1"))
-            .unwrap();
-        net.flush(SimTime(1_000));
-        net.tick_all(SimTime(30_000));
-        let groups: Vec<GroupId> = net.deliveries(2).iter().map(|d| d.group).collect();
-        assert!(groups.contains(&g1));
-        assert!(groups.contains(&g2));
-        // P3 sees only G1 traffic.
-        let g3: Vec<GroupId> = net.deliveries(3).iter().map(|d| d.group).collect();
-        assert_eq!(g3, vec![g1]);
     }
 }

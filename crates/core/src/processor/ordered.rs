@@ -1,0 +1,156 @@
+//! What happens when a message reaches its total-order position: GIOP
+//! delivery (with joiner floor suppression), connection binding and
+//! re-addressing, and the membership operations AddProcessor /
+//! RemoveProcessor taking effect at their ordered position.
+
+use super::*;
+
+impl Processor {
+    /// A message reached its total-order position.
+    pub(super) fn handle_ordered(&mut self, now: SimTime, gid: GroupId, m: FtmpMessage) {
+        match m.body {
+            FtmpBody::Regular {
+                conn,
+                request_num,
+                ref giop,
+            } => {
+                if self
+                    .groups
+                    .get(&gid)
+                    .and_then(|g| g.pgmp.app_floor)
+                    .is_some_and(|floor| (m.ts, m.source) <= floor)
+                {
+                    // Pre-join traffic at a joiner: covered by the state
+                    // snapshot, ordered here only to reach the join point.
+                } else if self.conns.group_of(conn) == Some(gid) {
+                    self.stats.deliveries += 1;
+                    self.sink.deliver(Delivery {
+                        group: gid,
+                        conn,
+                        request_num,
+                        source: m.source,
+                        seq: m.seq,
+                        ts: m.ts,
+                        giop: giop.clone(),
+                    });
+                } else if m.source == self.id {
+                    // The connection was re-addressed under this message
+                    // (§7): retransmit on the new binding.
+                    let giop = giop.clone();
+                    let _ = self.multicast_request(now, conn, request_num, giop);
+                }
+            }
+            FtmpBody::Connect {
+                conn,
+                group: target,
+                mcast_addr,
+                ref membership,
+                ..
+            } => {
+                if target == gid {
+                    // Connection sharing this (existing) group.
+                    self.conns.bind(conn, gid);
+                    self.sink
+                        .event(ProtocolEvent::ConnectionEstablished { conn, group: gid });
+                } else {
+                    // Re-addressing: migrate the connection to a new group.
+                    let members: BTreeSet<ProcessorId> = membership.iter().copied().collect();
+                    if members.contains(&self.id) && !self.groups.contains_key(&target) {
+                        let romp = RompLayer::new(members.iter().copied(), Timestamp(0));
+                        let mut gs = GroupState::new(
+                            self.id,
+                            McastAddr(mcast_addr),
+                            members,
+                            m.ts,
+                            romp,
+                            now,
+                        );
+                        gs.pgmp.gate = Some(m.ts);
+                        self.groups.insert(target, gs);
+                        self.sink.push(Action::Join(McastAddr(mcast_addr)));
+                    }
+                    if self.groups.contains_key(&target) {
+                        self.conns.bind(conn, target);
+                        self.sink.event(ProtocolEvent::ConnectionEstablished {
+                            conn,
+                            group: target,
+                        });
+                    }
+                }
+            }
+            FtmpBody::AddProcessor { new_member, .. } => {
+                // The group may be gone if an earlier message in the same
+                // ordered batch removed us; the remaining batch is moot.
+                let Some(g) = self.groups.get_mut(&gid) else {
+                    return;
+                };
+                if new_member == self.id && g.pgmp.provisional_since.take().is_some() {
+                    // Our own AddProcessor reached its total-order position:
+                    // the group committed the join.
+                    self.sink.event(ProtocolEvent::JoinedGroup { group: gid });
+                    self.flush_pending(now, gid);
+                    return;
+                }
+                if new_member != self.id && g.pgmp.membership.insert(new_member) {
+                    g.pgmp.membership_ts = m.ts;
+                    g.romp.ordering_mut().add_member(new_member, m.ts);
+                    g.pgmp.last_heard.insert(new_member, now);
+                    let members: Vec<ProcessorId> = g.pgmp.membership.iter().copied().collect();
+                    let ts = g.pgmp.membership_ts;
+                    self.sink.event(ProtocolEvent::MembershipChange {
+                        group: gid,
+                        members,
+                        ts,
+                    });
+                }
+            }
+            FtmpBody::RemoveProcessor { member } => {
+                if member == self.id {
+                    self.leave_group(gid);
+                } else {
+                    let Some(g) = self.groups.get_mut(&gid) else {
+                        return;
+                    };
+                    if g.pgmp.membership.remove(&member) {
+                        g.pgmp.membership_ts = m.ts;
+                        g.romp.ordering_mut().remove_member(member);
+                        g.pgmp.last_heard.remove(&member);
+                        g.pgmp.my_suspects.remove(&member);
+                        let membership = g.pgmp.membership.clone();
+                        g.pgmp.suspicion.retain_members(&membership);
+                        let members: Vec<ProcessorId> = membership.iter().copied().collect();
+                        let ts = g.pgmp.membership_ts;
+                        self.sink.event(ProtocolEvent::MembershipChange {
+                            group: gid,
+                            members,
+                            ts,
+                        });
+                    }
+                }
+            }
+            _ => unreachable!("only ordered types reach handle_ordered"),
+        }
+    }
+
+    pub(super) fn leave_group(&mut self, gid: GroupId) {
+        if let Some(g) = self.groups.remove(&gid) {
+            self.sink.push(Action::Leave(g.addr));
+            self.sink.event(ProtocolEvent::LeftGroup { group: gid });
+        }
+    }
+
+    pub(super) fn flush_pending(&mut self, now: SimTime, gid: GroupId) {
+        loop {
+            let Some(g) = self.groups.get_mut(&gid) else {
+                return;
+            };
+            if g.blocked() {
+                return;
+            }
+            let Some((conn, request_num, giop)) = g.pending_ordered.pop_front() else {
+                return;
+            };
+            let _ = self.multicast_request(now, conn, request_num, giop);
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! Shell-level tests: whole-protocol scenarios driven through the public
+//! `Processor` API over a tiny in-memory network.
+
+use super::*;
+use crate::config::Quorum;
+
+pub(super) fn conn_ab() -> ConnectionId {
+    ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+}
+
+/// A tiny in-test network: lossless instant fan-out (including loopback)
+/// with per-processor sinks for deliveries and events. Loss is injected
+/// by dropping chosen sends before calling `flush`.
+pub(super) struct MiniNet {
+    procs: Vec<Processor>,
+    delivered: Vec<Vec<Delivery>>,
+    events: Vec<Vec<ProtocolEvent>>,
+}
+
+impl MiniNet {
+    pub(super) fn new(n: u32, cfg: ProtocolConfig) -> Self {
+        let procs: Vec<Processor> = (1..=n)
+            .map(|id| Processor::new(ProcessorId(id), cfg.clone(), ClockMode::Lamport))
+            .collect();
+        MiniNet {
+            delivered: vec![Vec::new(); procs.len()],
+            events: vec![Vec::new(); procs.len()],
+            procs,
+        }
+    }
+
+    pub(super) fn bootstrap_group(&mut self, gid: GroupId, addr: McastAddr) {
+        let members: Vec<ProcessorId> = self.procs.iter().map(|p| p.id()).collect();
+        for p in &mut self.procs {
+            p.create_group(SimTime(0), gid, addr, members.clone());
+            p.bind_connection(conn_ab(), gid);
+        }
+        self.flush(SimTime(0));
+    }
+
+    pub(super) fn p(&mut self, id: u32) -> &mut Processor {
+        &mut self.procs[(id - 1) as usize]
+    }
+
+    /// Drain every processor's actions repeatedly, fanning Sends out to
+    /// every processor (loopback included), until quiescent.
+    pub(super) fn flush(&mut self, now: SimTime) {
+        loop {
+            let mut packets: Vec<(u32, McastAddr, Bytes)> = Vec::new();
+            for (i, p) in self.procs.iter_mut().enumerate() {
+                for a in p.drain_actions() {
+                    match a {
+                        Action::Send { addr, payload } => {
+                            packets.push((i as u32 + 1, addr, payload));
+                        }
+                        Action::Deliver(d) => self.delivered[i].push(d),
+                        Action::Event(e) => self.events[i].push(e),
+                        Action::Join(_) | Action::Leave(_) => {}
+                    }
+                }
+            }
+            if packets.is_empty() {
+                break;
+            }
+            for (src, addr, payload) in packets {
+                for p in self.procs.iter_mut() {
+                    p.handle_packet(now, &Packet::new(src, addr, payload.clone()));
+                }
+            }
+        }
+    }
+
+    /// Like flush, but drop sends matching `drop`.
+    pub(super) fn flush_lossy(&mut self, now: SimTime, drop: &mut dyn FnMut(u32, &Bytes) -> bool) {
+        loop {
+            let mut packets: Vec<(u32, McastAddr, Bytes)> = Vec::new();
+            for (i, p) in self.procs.iter_mut().enumerate() {
+                for a in p.drain_actions() {
+                    match a {
+                        Action::Send { addr, payload } => {
+                            packets.push((i as u32 + 1, addr, payload));
+                        }
+                        Action::Deliver(d) => self.delivered[i].push(d),
+                        Action::Event(e) => self.events[i].push(e),
+                        Action::Join(_) | Action::Leave(_) => {}
+                    }
+                }
+            }
+            if packets.is_empty() {
+                break;
+            }
+            for (src, addr, payload) in packets {
+                for (j, p) in self.procs.iter_mut().enumerate() {
+                    // Loopback always arrives (kernel-local).
+                    if j as u32 + 1 != src && drop(src, &payload) {
+                        continue;
+                    }
+                    p.handle_packet(now, &Packet::new(src, addr, payload.clone()));
+                }
+            }
+        }
+    }
+
+    pub(super) fn tick_all(&mut self, now: SimTime) {
+        for p in &mut self.procs {
+            p.tick(now);
+        }
+        self.flush(now);
+    }
+
+    pub(super) fn deliveries(&self, id: u32) -> &[Delivery] {
+        &self.delivered[(id - 1) as usize]
+    }
+
+    pub(super) fn events_of(&self, id: u32) -> &[ProtocolEvent] {
+        &self.events[(id - 1) as usize]
+    }
+}
+
+pub(super) fn pair() -> (MiniNet, GroupId) {
+    let gid = GroupId(1);
+    let mut net = MiniNet::new(2, ProtocolConfig::with_seed(42));
+    net.bootstrap_group(gid, McastAddr(100));
+    (net, gid)
+}
+
+#[test]
+fn regular_message_delivered_in_total_order_on_both() {
+    let (mut net, _gid) = pair();
+    let now = SimTime(1_000);
+    let giop = Bytes::from_static(b"fake-giop");
+    let out = net
+        .p(1)
+        .multicast_request(now, conn_ab(), RequestNum(1), giop.clone())
+        .unwrap();
+    assert!(matches!(out, SendOutcome::Sent { .. }));
+    net.flush(now);
+    // Not deliverable yet: P2's horizon is stale.
+    assert!(net.deliveries(1).is_empty());
+    assert!(net.deliveries(2).is_empty());
+    // Heartbeats advance horizons.
+    net.tick_all(SimTime(20_000));
+    assert_eq!(net.deliveries(1).len(), 1);
+    assert_eq!(net.deliveries(2).len(), 1);
+    assert_eq!(net.deliveries(1)[0].giop, giop);
+    assert_eq!(net.deliveries(2)[0].request_num, RequestNum(1));
+    assert_eq!(net.deliveries(2)[0].source, ProcessorId(1));
+}
+
+#[test]
+fn send_on_unbound_connection_fails() {
+    let mut a = Processor::new(
+        ProcessorId(1),
+        ProtocolConfig::with_seed(42),
+        ClockMode::Lamport,
+    );
+    let err = a
+        .multicast_request(SimTime(0), conn_ab(), RequestNum(1), Bytes::new())
+        .unwrap_err();
+    assert_eq!(err, SendError::NotConnected);
+}
+
+#[test]
+fn lost_message_recovered_via_nack() {
+    let (mut net, gid) = pair();
+    let now = SimTime(1_000);
+    // First Regular from P1 is lost on its way to P2.
+    let mut first = true;
+    net.p(1)
+        .multicast_request(now, conn_ab(), RequestNum(1), Bytes::from_static(b"m1"))
+        .unwrap();
+    net.flush_lossy(now, &mut |src, payload| {
+        let is_regular = crate::wire::classify(payload) == Some(FtmpMsgType::Regular as u8);
+        if src == 1 && is_regular && first {
+            first = false;
+            true
+        } else {
+            false
+        }
+    });
+    net.p(1)
+        .multicast_request(now, conn_ab(), RequestNum(2), Bytes::from_static(b"m2"))
+        .unwrap();
+    net.flush(now);
+    assert!(
+        net.p(2).group_metrics(gid).unwrap().rx_buffered > 0,
+        "m2 buffered behind the gap"
+    );
+    // The NACK fires within jitter + a tick, the retransmission follows.
+    net.tick_all(SimTime(1_000 + 3_000));
+    net.tick_all(SimTime(1_000 + 12_000));
+    assert!(net.p(2).stats().nacks_sent >= 1);
+    assert!(net.p(1).stats().retransmissions_sent >= 1);
+    assert_eq!(net.p(2).group_metrics(gid).unwrap().rx_buffered, 0);
+    // Both messages eventually deliver in order at both.
+    net.tick_all(SimTime(40_000));
+    let d2: Vec<&'static str> = net
+        .deliveries(2)
+        .iter()
+        .map(|d| if d.giop.as_ref() == b"m1" { "m1" } else { "m2" })
+        .collect();
+    assert_eq!(d2, vec!["m1", "m2"]);
+}
+
+#[test]
+fn heartbeats_emitted_when_idle() {
+    let (mut net, _gid) = pair();
+    net.tick_all(SimTime(50_000));
+    assert!(
+        net.p(1)
+            .stats()
+            .sent
+            .get(&FtmpMsgType::Heartbeat)
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+#[test]
+fn heartbeat_suppressed_by_recent_traffic() {
+    let (mut net, _gid) = pair();
+    net.p(1)
+        .multicast_request(SimTime(9_500), conn_ab(), RequestNum(1), Bytes::new())
+        .unwrap();
+    net.flush(SimTime(9_500));
+    net.p(1).tick(SimTime(10_000)); // 0.5ms after the Regular
+    assert_eq!(
+        net.p(1)
+            .stats()
+            .sent
+            .get(&FtmpMsgType::Heartbeat)
+            .copied()
+            .unwrap_or(0),
+        0
+    );
+}
+
+#[test]
+fn fault_detection_convicts_and_reconfigures_singleton() {
+    // Quorum Fixed(1): P1 alone convicts the silent P2.
+    let gid = GroupId(1);
+    let cfg = ProtocolConfig::with_seed(1).quorum(Quorum::Fixed(1));
+    let mut a = Processor::new(ProcessorId(1), cfg, ClockMode::Lamport);
+    a.create_group(
+        SimTime(0),
+        gid,
+        McastAddr(100),
+        [ProcessorId(1), ProcessorId(2)],
+    );
+    a.drain_actions();
+    let t = SimTime(300_000);
+    a.tick(t);
+    assert_eq!(a.membership(gid).unwrap(), vec![ProcessorId(1)]);
+    let acts = a.drain_actions();
+    assert!(acts.iter().any(|x| matches!(
+        x,
+        Action::Event(ProtocolEvent::FaultReport { processor, .. })
+            if *processor == ProcessorId(2)
+    )));
+    assert!(acts
+        .iter()
+        .any(|x| matches!(x, Action::Event(ProtocolEvent::MembershipChange { .. }))));
+    assert_eq!(a.stats().reconfigurations, 1);
+}
+
+#[test]
+fn ordering_stalls_during_fault_then_resumes_after_removal() {
+    let gid = GroupId(1);
+    let cfg = ProtocolConfig::with_seed(1).quorum(Quorum::Fixed(2));
+    let mut net = MiniNet::new(2, cfg);
+    // Group believes it has three members; P3 never exists.
+    let members = [ProcessorId(1), ProcessorId(2), ProcessorId(3)];
+    for i in 1..=2u32 {
+        net.p(i)
+            .create_group(SimTime(0), gid, McastAddr(100), members);
+        net.p(i).bind_connection(conn_ab(), gid);
+    }
+    net.flush(SimTime(0));
+    let now = SimTime(1_000);
+    net.p(1)
+        .multicast_request(now, conn_ab(), RequestNum(1), Bytes::from_static(b"x"))
+        .unwrap();
+    net.flush(now);
+    net.tick_all(SimTime(30_000));
+    assert!(net.deliveries(1).is_empty(), "P3's silence stalls ordering");
+    assert!(net.deliveries(2).is_empty());
+    // Past fail_timeout both suspect P3; quorum 2 convicts; they
+    // exchange Membership proposals and install {P1, P2}.
+    net.tick_all(SimTime(300_000));
+    net.tick_all(SimTime(320_000));
+    assert_eq!(
+        net.p(1).membership(gid).unwrap(),
+        vec![ProcessorId(1), ProcessorId(2)]
+    );
+    assert_eq!(
+        net.p(2).membership(gid).unwrap(),
+        vec![ProcessorId(1), ProcessorId(2)]
+    );
+    assert_eq!(net.deliveries(1).len(), 1, "stalled message flushed");
+    assert_eq!(net.deliveries(2).len(), 1);
+    assert_eq!(
+        (net.deliveries(1)[0].ts, net.deliveries(1)[0].source),
+        (net.deliveries(2)[0].ts, net.deliveries(2)[0].source)
+    );
+}
+
+#[test]
+fn remove_processor_leaves_group_at_removed_member() {
+    let (mut net, gid) = pair();
+    net.p(1)
+        .remove_processor(SimTime(1_000), gid, ProcessorId(2));
+    net.flush(SimTime(1_000));
+    net.tick_all(SimTime(30_000));
+    assert_eq!(net.p(1).membership(gid).unwrap(), vec![ProcessorId(1)]);
+    assert!(net.p(2).membership(gid).is_none(), "P2 left the group");
+    assert!(net
+        .events_of(2)
+        .iter()
+        .any(|e| matches!(e, ProtocolEvent::LeftGroup { .. })));
+}
+
+#[test]
+fn add_processor_joins_third_member() {
+    let gid = GroupId(1);
+    let mut net = MiniNet::new(3, ProtocolConfig::with_seed(42));
+    // Only P1 and P2 found the group; P3 waits to join.
+    let founders = [ProcessorId(1), ProcessorId(2)];
+    for i in 1..=2u32 {
+        net.p(i)
+            .create_group(SimTime(0), gid, McastAddr(100), founders);
+        net.p(i).bind_connection(conn_ab(), gid);
+    }
+    net.p(3).expect_join(gid, McastAddr(100));
+    net.p(3).bind_connection(conn_ab(), gid);
+    net.flush(SimTime(0));
+    net.p(1).add_processor(SimTime(1_000), gid, ProcessorId(3));
+    net.flush(SimTime(1_000));
+    // P3 initialized immediately from the AddProcessor (provisionally:
+    // JoinedGroup only fires once the Add reaches its ordered position).
+    assert_eq!(net.p(3).membership(gid).unwrap().len(), 3);
+    // P1/P2 add P3 once the AddProcessor is ordered; P3 confirms.
+    net.tick_all(SimTime(30_000));
+    assert_eq!(net.p(1).membership(gid).unwrap().len(), 3);
+    assert_eq!(net.p(2).membership(gid).unwrap().len(), 3);
+    assert!(net
+        .events_of(3)
+        .iter()
+        .any(|e| matches!(e, ProtocolEvent::JoinedGroup { .. })));
+    // Sponsor's retransmission state clears once P3 is heard.
+    net.tick_all(SimTime(60_000));
+    assert!(net
+        .p(1)
+        .groups
+        .get(&gid)
+        .unwrap()
+        .pgmp
+        .sponsor_joins
+        .is_empty());
+}
+
+#[test]
+fn joiner_does_not_deliver_pre_join_traffic() {
+    let gid = GroupId(1);
+    let mut net = MiniNet::new(3, ProtocolConfig::with_seed(42));
+    let founders = [ProcessorId(1), ProcessorId(2)];
+    for i in 1..=2u32 {
+        net.p(i)
+            .create_group(SimTime(0), gid, McastAddr(100), founders);
+        net.p(i).bind_connection(conn_ab(), gid);
+    }
+    net.flush(SimTime(0));
+    // Pre-join traffic, fully delivered at the founders.
+    net.p(1)
+        .multicast_request(
+            SimTime(1_000),
+            conn_ab(),
+            RequestNum(1),
+            Bytes::from_static(b"old"),
+        )
+        .unwrap();
+    net.flush(SimTime(1_000));
+    net.tick_all(SimTime(25_000));
+    assert_eq!(net.deliveries(1).len(), 1);
+    // P3 joins.
+    net.p(3).expect_join(gid, McastAddr(100));
+    net.p(3).bind_connection(conn_ab(), gid);
+    net.p(1).add_processor(SimTime(30_000), gid, ProcessorId(3));
+    net.flush(SimTime(30_000));
+    // Post-join traffic.
+    let _ = net.p(2).multicast_request(
+        SimTime(40_000),
+        conn_ab(),
+        RequestNum(2),
+        Bytes::from_static(b"new"),
+    );
+    net.flush(SimTime(40_000));
+    net.tick_all(SimTime(55_000));
+    net.tick_all(SimTime(70_000));
+    let d3: Vec<&[u8]> = net.deliveries(3).iter().map(|d| d.giop.as_ref()).collect();
+    assert_eq!(
+        d3,
+        vec![b"new".as_ref()],
+        "joiner sees only post-join traffic"
+    );
+    // Founders see both, joiner's suffix matches theirs.
+    let d1: Vec<&[u8]> = net.deliveries(1).iter().map(|d| d.giop.as_ref()).collect();
+    assert_eq!(d1, vec![b"old".as_ref(), b"new".as_ref()]);
+}
+
+#[test]
+fn duplicate_loopback_not_counted_as_duplicate_stat() {
+    let (mut net, _gid) = pair();
+    net.p(1)
+        .multicast_request(SimTime(1_000), conn_ab(), RequestNum(1), Bytes::new())
+        .unwrap();
+    net.flush(SimTime(1_000));
+    assert_eq!(net.p(1).stats().duplicates, 0);
+    // A genuine duplicate from a peer *is* counted.
+    net.p(2)
+        .multicast_request(SimTime(2_000), conn_ab(), RequestNum(2), Bytes::new())
+        .unwrap();
+    let packets: Vec<(McastAddr, Bytes)> = net
+        .p(2)
+        .drain_actions()
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::Send { addr, payload } => Some((addr, payload)),
+            _ => None,
+        })
+        .collect();
+    for (addr, payload) in &packets {
+        net.p(1)
+            .handle_packet(SimTime(2_000), &Packet::new(2, *addr, payload.clone()));
+        net.p(1)
+            .handle_packet(SimTime(2_100), &Packet::new(2, *addr, payload.clone()));
+    }
+    assert_eq!(net.p(1).stats().duplicates, 1);
+}
+
+#[test]
+fn corrupt_packet_ignored() {
+    let (mut net, _gid) = pair();
+    net.p(1)
+        .handle_packet(SimTime(0), &Packet::new(9, McastAddr(100), vec![1, 2, 3]));
+    assert!(net.p(1).drain_actions().is_empty());
+}
+
+#[test]
+fn queued_sends_flush_after_reconfiguration() {
+    let gid = GroupId(1);
+    let cfg = ProtocolConfig::with_seed(9).quorum(Quorum::Fixed(1));
+    let mut a = Processor::new(ProcessorId(1), cfg, ClockMode::Lamport);
+    a.create_group(
+        SimTime(0),
+        gid,
+        McastAddr(1),
+        [ProcessorId(1), ProcessorId(2)],
+    );
+    a.bind_connection(conn_ab(), gid);
+    a.drain_actions();
+    // Force a suspicion → reconfig; P2 silent. During the (instant,
+    // single-survivor) reconfig a send arrives. After completion the
+    // queued send must have been transmitted.
+    a.tick(SimTime(200_000));
+    assert_eq!(a.membership(gid).unwrap(), vec![ProcessorId(1)]);
+    let r = a
+        .multicast_request(SimTime(210_000), conn_ab(), RequestNum(1), Bytes::new())
+        .unwrap();
+    assert!(matches!(r, SendOutcome::Sent { .. }));
+    // Single member: own horizon suffices; message delivers.
+    let acts = a.drain_actions();
+    assert!(acts.iter().any(|x| matches!(x, Action::Deliver(_))));
+}
+
+mod rebind_tests {
+    use super::*;
+    use crate::config::Quorum;
+
+    #[test]
+    fn rebind_moves_the_connection_atomically() {
+        let (mut net, _gid) = pair();
+        let new_gid = GroupId(2);
+        let new_addr = McastAddr(200);
+        // P1 initiates the re-addressing; the Connect orders in G1.
+        net.p(1)
+            .rebind_connection(SimTime(1_000), conn_ab(), new_gid, new_addr);
+        net.flush(SimTime(1_000));
+        net.tick_all(SimTime(20_000)); // horizons cover the Connect
+        for i in 1..=2u32 {
+            assert_eq!(
+                net.p(i).connection_group(conn_ab()),
+                Some(new_gid),
+                "P{i} rebound"
+            );
+            assert!(net.p(i).membership(new_gid).is_some(), "P{i} joined G2");
+        }
+        // Traffic now flows (and delivers) on the new group.
+        net.tick_all(SimTime(40_000)); // release the Connect gate
+        let r = net
+            .p(1)
+            .multicast_request(
+                SimTime(41_000),
+                conn_ab(),
+                RequestNum(9),
+                Bytes::from_static(b"x"),
+            )
+            .unwrap();
+        match r {
+            SendOutcome::Sent { group, .. } => assert_eq!(group, new_gid),
+            SendOutcome::Queued => {} // gate may still hold; flushes below
+        }
+        net.flush(SimTime(41_000));
+        net.tick_all(SimTime(60_000));
+        net.tick_all(SimTime(80_000));
+        let d: Vec<_> = net
+            .deliveries(2)
+            .iter()
+            .map(|d| (d.group, d.request_num))
+            .collect();
+        assert_eq!(d, vec![(new_gid, RequestNum(9))]);
+    }
+
+    #[test]
+    fn in_flight_message_is_retransmitted_on_the_new_group() {
+        let (mut net, old_gid) = pair();
+        let new_gid = GroupId(2);
+        let new_addr = McastAddr(200);
+        // P1 sends the rebind Connect but P2, not yet having seen it,
+        // multicasts a Regular on the old group.
+        net.p(1)
+            .rebind_connection(SimTime(1_000), conn_ab(), new_gid, new_addr);
+        let r = net
+            .p(2)
+            .multicast_request(
+                SimTime(1_000),
+                conn_ab(),
+                RequestNum(5),
+                Bytes::from_static(b"y"),
+            )
+            .unwrap();
+        assert!(matches!(r, SendOutcome::Sent { group, .. } if group == old_gid));
+        net.flush(SimTime(1_000));
+        for t in [20_000u64, 40_000, 60_000, 80_000] {
+            net.tick_all(SimTime(t));
+        }
+        // Both members deliver the message exactly once, on the new group
+        // (the old-group ordering position was ignored and the sender
+        // re-multicast it after the switch).
+        for i in 1..=2u32 {
+            let d: Vec<_> = net
+                .deliveries(i)
+                .iter()
+                .filter(|d| d.request_num == RequestNum(5))
+                .map(|d| d.group)
+                .collect();
+            assert_eq!(d, vec![new_gid], "P{i} delivered once on the new group");
+        }
+    }
+
+    #[test]
+    fn conviction_removes_processor_from_all_groups() {
+        // One silent processor (P3) shares two groups with P1/P2; one
+        // conviction must reconfigure both (§2: "removes a processor that
+        // has been convicted … from all processor groups").
+        let cfg = ProtocolConfig::with_seed(31).quorum(Quorum::Fixed(2));
+        let mut net = MiniNet::new(2, cfg);
+        let members = [ProcessorId(1), ProcessorId(2), ProcessorId(3)];
+        for i in 1..=2u32 {
+            net.p(i)
+                .create_group(SimTime(0), GroupId(1), McastAddr(100), members);
+            net.p(i)
+                .create_group(SimTime(0), GroupId(2), McastAddr(101), members);
+        }
+        net.flush(SimTime(0));
+        net.tick_all(SimTime(300_000));
+        net.tick_all(SimTime(320_000));
+        for i in 1..=2u32 {
+            for gid in [GroupId(1), GroupId(2)] {
+                assert_eq!(
+                    net.p(i).membership(gid).unwrap(),
+                    vec![ProcessorId(1), ProcessorId(2)],
+                    "P{i} {gid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn groups_order_independently() {
+        // Traffic in one group does not wait on the other group's members.
+        let cfg = ProtocolConfig::with_seed(32);
+        let mut net = MiniNet::new(3, cfg);
+        let g1 = GroupId(1);
+        let g2 = GroupId(2);
+        let c2 = ConnectionId::new(ObjectGroupId::new(9, 1), ObjectGroupId::new(9, 2));
+        // G1: {P1,P2,P3} bound to conn_ab; G2: {P1,P2} bound to c2.
+        for i in 1..=3u32 {
+            net.p(i).create_group(
+                SimTime(0),
+                g1,
+                McastAddr(100),
+                [ProcessorId(1), ProcessorId(2), ProcessorId(3)],
+            );
+            net.p(i).bind_connection(conn_ab(), g1);
+        }
+        for i in 1..=2u32 {
+            net.p(i).create_group(
+                SimTime(0),
+                g2,
+                McastAddr(101),
+                [ProcessorId(1), ProcessorId(2)],
+            );
+            net.p(i).bind_connection(c2, g2);
+        }
+        net.flush(SimTime(0));
+        net.p(1)
+            .multicast_request(SimTime(1_000), c2, RequestNum(1), Bytes::from_static(b"g2"))
+            .unwrap();
+        net.p(1)
+            .multicast_request(
+                SimTime(1_000),
+                conn_ab(),
+                RequestNum(2),
+                Bytes::from_static(b"g1"),
+            )
+            .unwrap();
+        net.flush(SimTime(1_000));
+        net.tick_all(SimTime(30_000));
+        let groups: Vec<GroupId> = net.deliveries(2).iter().map(|d| d.group).collect();
+        assert!(groups.contains(&g1));
+        assert!(groups.contains(&g2));
+        // P3 sees only G1 traffic.
+        let g3: Vec<GroupId> = net.deliveries(3).iter().map(|d| d.group).collect();
+        assert_eq!(g3, vec![g1]);
+    }
+}

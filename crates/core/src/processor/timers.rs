@@ -1,0 +1,176 @@
+//! Timer-driven duties, fanned out from [`Processor::tick`]: heartbeats,
+//! NACK solicitation (RMP), the fault detector (PGMP), handshake retries and
+//! the provisional-join watchdog.
+//!
+//! Every resend here is a `Bytes` handle prepared when the message was first
+//! sent — ticking never re-encodes.
+
+use super::*;
+
+impl Processor {
+    pub(super) fn tick_heartbeats(&mut self, now: SimTime) {
+        let due: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| now.saturating_since(g.last_sent) >= self.cfg.heartbeat_interval)
+            .map(|(gid, _)| *gid)
+            .collect();
+        for gid in due {
+            self.send_unreliable(now, gid, FtmpBody::Heartbeat);
+        }
+    }
+
+    pub(super) fn tick_nacks(&mut self, now: SimTime) {
+        let jitter_max = self.cfg.nack_delay.as_micros().max(1);
+        let retry = self.cfg.nack_retry;
+        let max_span = self.cfg.max_nack_span;
+        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for gid in gids {
+            let requests = {
+                let g = self.groups.get_mut(&gid).expect("listed");
+                let rng = &mut self.rng;
+                g.rmp.nack_requests(now, retry, max_span, || {
+                    SimDuration::from_micros(rng.gen_range(0..=jitter_max))
+                })
+            };
+            for (src, ranges) in requests {
+                for (a, b) in ranges {
+                    self.stats.nacks_sent += 1;
+                    self.send_unreliable(
+                        now,
+                        gid,
+                        FtmpBody::RetransmitRequest {
+                            missing_from: src,
+                            start_seq: a,
+                            stop_seq: b,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    pub(super) fn tick_fault_detector(&mut self, now: SimTime) {
+        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for gid in gids {
+            let (newly, resend_due): (Vec<ProcessorId>, bool) = {
+                let g = self.groups.get(&gid).expect("listed");
+                let newly =
+                    g.pgmp
+                        .membership
+                        .iter()
+                        .copied()
+                        .filter(|&p| {
+                            p != self.id
+                                && !g.pgmp.my_suspects.contains(&p)
+                                && g.pgmp.last_heard.get(&p).is_some_and(|&t| {
+                                    now.saturating_since(t) > self.cfg.fail_timeout
+                                })
+                        })
+                        .collect();
+                // Standing suspicions are re-announced periodically so a
+                // peer that discarded an earlier report (stale epoch, or a
+                // quorum that was one vote short) still converges.
+                let resend_due = !g.pgmp.my_suspects.is_empty()
+                    && now.saturating_since(g.pgmp.last_suspect_sent).as_micros()
+                        > self.cfg.fail_timeout.as_micros() / 2;
+                (newly, resend_due)
+            };
+            if newly.is_empty() && !resend_due {
+                continue;
+            }
+            let body = {
+                let g = self.groups.get_mut(&gid).expect("listed");
+                g.pgmp.my_suspects.extend(newly.iter().copied());
+                g.pgmp.last_suspect_sent = now;
+                FtmpBody::Suspect {
+                    membership_ts: g.pgmp.membership_ts,
+                    suspects: g.pgmp.my_suspects.iter().copied().collect(),
+                }
+            };
+            // Reliable: occupies a sequence slot and reaches everyone; our
+            // own copy feeds the suspicion matrix via self-delivery.
+            self.send_reliable(now, gid, body);
+        }
+    }
+
+    pub(super) fn tick_retries(&mut self, now: SimTime) {
+        // Client ConnectRequest retries.
+        let retries: Vec<(ConnectionId, Vec<ProcessorId>, McastAddr)> = self
+            .conns
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.next_retry)
+            .map(|(c, p)| (*c, p.client_processors.clone(), p.domain_addr))
+            .collect();
+        for (conn, procs, addr) in retries {
+            if let Some(p) = self.conns.pending.get_mut(&conn) {
+                p.next_retry = now + self.cfg.connect_retry;
+            }
+            self.send_connect_request(now, conn, &procs, addr);
+        }
+        // Sponsor AddProcessor retransmissions until the joiner is heard.
+        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for gid in gids {
+            let g = self.groups.get_mut(&gid).expect("listed");
+            let mut resend: Vec<Bytes> = Vec::new();
+            let heard: Vec<ProcessorId> = g
+                .pgmp
+                .sponsor_joins
+                .keys()
+                .copied()
+                .filter(|j| g.pgmp.heard_any.contains(j))
+                .collect();
+            for j in heard {
+                g.pgmp.sponsor_joins.remove(&j);
+            }
+            for sj in g.pgmp.sponsor_joins.values_mut() {
+                if now >= sj.next_retry {
+                    sj.next_retry = now + self.cfg.join_retry;
+                    resend.push(sj.retx.clone());
+                }
+            }
+            // Primary Connect retransmissions until all members heard.
+            let all_heard = g
+                .pgmp
+                .membership
+                .iter()
+                .all(|p| *p == self.id || g.pgmp.heard_any.contains(p));
+            if all_heard {
+                g.pgmp.connect_retx = None;
+            } else if let Some(cr) = &mut g.pgmp.connect_retx {
+                if now >= cr.next_retry {
+                    cr.next_retry = now + self.cfg.join_retry;
+                    resend.push(cr.retx.clone());
+                    if let Some(da) = cr.domain_addr {
+                        self.sink.send(da, cr.retx.clone());
+                    }
+                }
+            }
+            let addr = g.addr;
+            for bytes in resend {
+                self.sink.send(addr, bytes);
+            }
+        }
+    }
+
+    /// A provisional join that never commits (the sponsor died before our
+    /// AddProcessor was ordered and no member adopted us) must not wedge the
+    /// processor forever.
+    pub(super) fn tick_provisional_joins(&mut self, now: SimTime) {
+        let limit = SimDuration::from_micros(self.cfg.fail_timeout.as_micros() * 4);
+        let orphaned: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| {
+                g.pgmp
+                    .provisional_since
+                    .is_some_and(|t| now.saturating_since(t) > limit)
+            })
+            .map(|(gid, _)| *gid)
+            .collect();
+        for gid in orphaned {
+            self.leave_group(gid);
+        }
+    }
+}

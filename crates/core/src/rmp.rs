@@ -8,14 +8,25 @@
 //! message may answer a NACK — the *any-holder* retransmission that
 //! distinguishes FTMP from sender-based ARQ.
 //!
-//! This module holds the per-source receive window ([`SourceRx`]), the send
-//! counter ([`SendState`]) and the any-holder [`RetentionStore`]; the
-//! [`crate::processor`] module wires them to the clock and the network.
+//! This module holds the RMP sub-state-machine ([`RmpLayer`]): the
+//! per-source receive windows ([`SourceRx`]), the send counter
+//! ([`SendState`]) and the any-holder [`RetentionStore`]. The layer consumes
+//! typed [`RmpInput`]s (reliable messages and header sequence evidence) and
+//! emits typed [`RmpOutput`]s upward to ROMP; the
+//! [`crate::processor`] shell wires it to the clock and the network.
+//!
+//! **Zero-copy retransmission.** The retention store keeps each message's
+//! original wire bytes (an [`Bytes`] handle sharing the received datagram's
+//! buffer). A retransmission differs from the original only in one header
+//! flag bit, so the retransmission form is materialized at most once per
+//! message and every NACK answer after that is a reference-counted handle
+//! clone — no re-encoding, no buffer copy.
 //!
 //! [`wire::FtmpBody::RetransmitRequest`]: crate::wire::FtmpBody::RetransmitRequest
 
 use crate::ids::{ProcessorId, SeqNum, Timestamp};
 use crate::wire::FtmpMessage;
+use bytes::Bytes;
 use ftmp_net::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -149,7 +160,12 @@ impl SourceRx {
     /// NACK scheduler: called on gap detection and on ticks. Returns true
     /// when a RetransmitRequest should be emitted now; reschedules itself
     /// with period `retry`.
-    pub fn nack_due(&mut self, now: SimTime, initial_jitter: SimDuration, retry: SimDuration) -> bool {
+    pub fn nack_due(
+        &mut self,
+        now: SimTime,
+        initial_jitter: SimDuration,
+        retry: SimDuration,
+    ) -> bool {
         if !self.has_gap() {
             self.nack_at = None;
             return false;
@@ -193,6 +209,12 @@ impl SendState {
 /// Every reliable message — ours or anyone's — is retained until the ack
 /// timestamps prove every member has it (§6 buffer management). While
 /// retained, it can answer a RetransmitRequest from any processor.
+///
+/// Each entry keeps the message's original wire bytes (sharing the received
+/// datagram's buffer — no copy on insert) and lazily materializes the
+/// retransmission form (same bytes with the retransmission flag bit set) at
+/// most once; subsequent retransmissions are reference-counted clones of
+/// that one buffer.
 #[derive(Debug, Default)]
 pub struct RetentionStore {
     msgs: BTreeMap<(ProcessorId, u64), Retained>,
@@ -203,20 +225,56 @@ pub struct RetentionStore {
 #[derive(Debug)]
 struct Retained {
     msg: FtmpMessage,
-    size: usize,
+    /// The message exactly as it crossed (or will cross) the wire.
+    wire: Bytes,
+    /// Cached retransmission form: `wire` with the retransmission flag bit
+    /// set. Built on first use; cheap handle clones after that.
+    retx: Option<Bytes>,
     /// Last time we retransmitted it (implosion suppression).
     last_retransmit: Option<SimTime>,
 }
 
+/// Byte offset of the flags octet in the FTMP header.
+const FLAGS_OFFSET: usize = 5;
+/// Retransmission flag bit within the flags octet.
+const RETRANSMISSION_BIT: u8 = 0x02;
+
+impl Retained {
+    /// The retransmission form of the wire bytes, built at most once.
+    fn retx_bytes(&mut self) -> Bytes {
+        if let Some(b) = &self.retx {
+            return b.clone();
+        }
+        let b = if self
+            .wire
+            .get(FLAGS_OFFSET)
+            .is_some_and(|f| f & RETRANSMISSION_BIT != 0)
+        {
+            // Received as a retransmission already: the wire form IS the
+            // retransmission form; share the same buffer.
+            self.wire.clone()
+        } else {
+            let mut v = self.wire.to_vec();
+            if let Some(f) = v.get_mut(FLAGS_OFFSET) {
+                *f |= RETRANSMISSION_BIT;
+            }
+            Bytes::from(v)
+        };
+        self.retx = Some(b.clone());
+        b
+    }
+}
+
 impl RetentionStore {
-    /// Retain a message (idempotent).
-    pub fn insert(&mut self, msg: FtmpMessage, encoded_size: usize) {
+    /// Retain a message together with its encoded wire bytes (idempotent).
+    pub fn insert(&mut self, msg: FtmpMessage, wire: Bytes) {
         let key = (msg.source, msg.seq.0);
         self.msgs.entry(key).or_insert_with(|| {
-            self.bytes += encoded_size;
+            self.bytes += wire.len();
             Retained {
                 msg,
-                size: encoded_size,
+                wire,
+                retx: None,
                 last_retransmit: None,
             }
         });
@@ -227,15 +285,29 @@ impl RetentionStore {
         self.msgs.get(&(source, seq)).map(|r| &r.msg)
     }
 
+    /// The retransmission-form wire bytes of a retained message, without
+    /// touching the suppression window (used for proactive resends such as
+    /// sponsor-join and membership-notice retries).
+    pub fn retx_bytes(&mut self, source: ProcessorId, seq: u64) -> Option<Bytes> {
+        self.msgs.get_mut(&(source, seq)).map(|r| r.retx_bytes())
+    }
+
+    /// The original (non-retransmission) wire bytes of a retained message —
+    /// a shared handle, no copy.
+    pub fn wire_bytes(&self, source: ProcessorId, seq: u64) -> Option<Bytes> {
+        self.msgs.get(&(source, seq)).map(|r| r.wire.clone())
+    }
+
     /// Check the suppression window and, if clear, mark a retransmission of
-    /// `(source, seq)` at `now` and return the message to resend.
+    /// `(source, seq)` at `now` and return the ready-to-send wire bytes
+    /// (retransmission flag set, buffer shared — no copy in steady state).
     pub fn take_for_retransmit(
         &mut self,
         source: ProcessorId,
         seq: u64,
         now: SimTime,
         suppress: SimDuration,
-    ) -> Option<FtmpMessage> {
+    ) -> Option<Bytes> {
         let r = self.msgs.get_mut(&(source, seq))?;
         if let Some(last) = r.last_retransmit {
             if now.saturating_since(last) < suppress {
@@ -243,7 +315,7 @@ impl RetentionStore {
             }
         }
         r.last_retransmit = Some(now);
-        Some(r.msg.clone())
+        Some(r.retx_bytes())
     }
 
     /// Reclaim every message with timestamp ≤ `stable`: all members have
@@ -254,7 +326,7 @@ impl RetentionStore {
         let bytes = &mut self.bytes;
         self.msgs.retain(|_, r| {
             if r.msg.ts <= stable {
-                *bytes -= r.size;
+                *bytes -= r.wire.len();
                 false
             } else {
                 true
@@ -269,7 +341,7 @@ impl RetentionStore {
         let bytes = &mut self.bytes;
         self.msgs.retain(|(s, seq), r| {
             if *s == source && *seq > beyond {
-                *bytes -= r.size;
+                *bytes -= r.wire.len();
                 false
             } else {
                 true
@@ -293,11 +365,234 @@ impl RetentionStore {
     }
 }
 
+/// Per-layer traffic counters exposed through
+/// [`crate::processor::Processor::stats`] and the harness report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RmpCounters {
+    /// Reliable messages offered to the layer (including own loopbacks).
+    pub msgs_in: u64,
+    /// Messages released upward in source order.
+    pub msgs_out: u64,
+    /// Duplicate arrivals discarded (own loopbacks excluded).
+    pub duplicates: u64,
+    /// RetransmitRequests answered from the retention store.
+    pub retransmits_answered: u64,
+    /// High-water mark of out-of-order messages buffered at once.
+    pub reorder_depth_max: u64,
+}
+
+/// Typed input consumed by [`RmpLayer::handle`].
+#[derive(Debug)]
+pub enum RmpInput {
+    /// A decoded reliable message together with the wire bytes it arrived
+    /// in (shared with the datagram buffer — retained without copying).
+    /// `own` marks the loopback of a message this processor sent.
+    Reliable {
+        /// The decoded message.
+        msg: FtmpMessage,
+        /// Its encoded form exactly as received or sent.
+        wire: Bytes,
+        /// True for the synchronous loopback of our own send.
+        own: bool,
+    },
+    /// Sequence-number evidence carried by an unreliable header (Heartbeat
+    /// or RetransmitRequest): proof of how far `source` has sent.
+    HeaderSeq {
+        /// The source the header came from.
+        source: ProcessorId,
+        /// The last-sent sequence number it cited.
+        seq: SeqNum,
+    },
+}
+
+/// Typed output emitted upward by [`RmpLayer::handle`] for ROMP to consume.
+#[derive(Debug)]
+pub enum RmpOutput {
+    /// A contiguous source-ordered run released for total ordering.
+    Released(Vec<FtmpMessage>),
+    /// Out of order; buffered awaiting a gap fill. NACKs are scheduled.
+    Buffered,
+    /// Already held; dropped.
+    Duplicate,
+    /// Header evidence noted; `contiguous` is the source's highest
+    /// contiguously received sequence number after the note.
+    Noted {
+        /// Highest contiguous sequence number from that source.
+        contiguous: u64,
+    },
+}
+
+/// The RMP sub-state-machine for one group: send counter, per-source
+/// receive windows and the any-holder retention store.
+///
+/// Sans-io: consumes [`RmpInput`]s, returns [`RmpOutput`]s; the composition
+/// shell turns NACK schedules and retransmission answers into datagrams.
+#[derive(Debug)]
+pub struct RmpLayer {
+    self_id: ProcessorId,
+    send: SendState,
+    rx: BTreeMap<ProcessorId, SourceRx>,
+    retention: RetentionStore,
+    counters: RmpCounters,
+}
+
+impl RmpLayer {
+    /// A fresh layer for a group this processor (`self_id`) belongs to.
+    pub fn new(self_id: ProcessorId) -> Self {
+        RmpLayer {
+            self_id,
+            send: SendState::default(),
+            rx: BTreeMap::new(),
+            retention: RetentionStore::default(),
+            counters: RmpCounters::default(),
+        }
+    }
+
+    /// Allocate the next send sequence number (first is 1).
+    pub fn allocate_seq(&mut self) -> SeqNum {
+        self.send.allocate()
+    }
+
+    /// The sequence number of our most recent reliable send.
+    pub fn last_seq(&self) -> SeqNum {
+        self.send.last()
+    }
+
+    /// Feed one input through the layer.
+    pub fn handle(&mut self, input: RmpInput) -> RmpOutput {
+        match input {
+            RmpInput::Reliable { msg, wire, own } => {
+                self.counters.msgs_in += 1;
+                let source = msg.source;
+                // Retain first: any-holder retransmission must cover
+                // buffered and duplicate arrivals too (idempotent).
+                self.retention.insert(msg.clone(), wire);
+                let rx = self
+                    .rx
+                    .entry(source)
+                    .or_insert_with(|| SourceRx::starting_at(1));
+                match rx.on_reliable(msg) {
+                    RxOutcome::Duplicate => {
+                        if !own && source != self.self_id {
+                            self.counters.duplicates += 1;
+                        }
+                        RmpOutput::Duplicate
+                    }
+                    RxOutcome::Buffered => {
+                        let depth: u64 = self.rx.values().map(|r| r.buffered() as u64).sum();
+                        self.counters.reorder_depth_max =
+                            self.counters.reorder_depth_max.max(depth);
+                        RmpOutput::Buffered
+                    }
+                    RxOutcome::Delivered(run) => {
+                        self.counters.msgs_out += run.len() as u64;
+                        RmpOutput::Released(run)
+                    }
+                }
+            }
+            RmpInput::HeaderSeq { source, seq } => {
+                let rx = self
+                    .rx
+                    .entry(source)
+                    .or_insert_with(|| SourceRx::starting_at(1));
+                rx.note_header_seq(seq);
+                RmpOutput::Noted {
+                    contiguous: rx.contiguous(),
+                }
+            }
+        }
+    }
+
+    /// Seed a receive window for `source` expecting the stream to start at
+    /// `first_seq` (joiner reconciliation, §7.1).
+    pub fn seed_window(&mut self, source: ProcessorId, first_seq: u64) {
+        self.rx.insert(source, SourceRx::starting_at(first_seq));
+    }
+
+    /// Highest contiguously received sequence number from `source` (0 when
+    /// nothing is known about it).
+    pub fn contiguous_of(&self, source: ProcessorId) -> u64 {
+        self.rx.get(&source).map(|rx| rx.contiguous()).unwrap_or(0)
+    }
+
+    /// Total out-of-order messages buffered across all sources.
+    pub fn buffered_total(&self) -> usize {
+        self.rx.values().map(|rx| rx.buffered()).sum()
+    }
+
+    /// Highest contiguous sequence number for every source ever heard.
+    pub fn contiguous_map(&self) -> BTreeMap<ProcessorId, u64> {
+        self.rx
+            .iter()
+            .map(|(&p, rx)| (p, rx.contiguous()))
+            .collect()
+    }
+
+    /// Run the NACK schedulers for every remote source and collect the
+    /// missing ranges whose RetransmitRequests are due now. `jitter` is
+    /// sampled once per firing source (randomness stays in the shell).
+    pub fn nack_requests(
+        &mut self,
+        now: SimTime,
+        retry: SimDuration,
+        max_span: u64,
+        mut jitter: impl FnMut() -> SimDuration,
+    ) -> Vec<(ProcessorId, Vec<(u64, u64)>)> {
+        let self_id = self.self_id;
+        let mut due = Vec::new();
+        for (&source, rx) in self.rx.iter_mut() {
+            if source == self_id {
+                continue;
+            }
+            if rx.nack_due(now, jitter(), retry) {
+                let ranges = rx.missing_ranges(max_span);
+                if !ranges.is_empty() {
+                    due.push((source, ranges));
+                }
+            }
+        }
+        due
+    }
+
+    /// Answer a RetransmitRequest for `(source, seq)` from the retention
+    /// store, honoring the implosion-suppression window. Returns the
+    /// ready-to-send retransmission bytes.
+    pub fn answer_retransmit(
+        &mut self,
+        source: ProcessorId,
+        seq: u64,
+        now: SimTime,
+        suppress: SimDuration,
+    ) -> Option<Bytes> {
+        let b = self
+            .retention
+            .take_for_retransmit(source, seq, now, suppress)?;
+        self.counters.retransmits_answered += 1;
+        Some(b)
+    }
+
+    /// The any-holder retention store (reclamation and notice lookups).
+    pub fn retention(&self) -> &RetentionStore {
+        &self.retention
+    }
+
+    /// Mutable access to the retention store.
+    pub fn retention_mut(&mut self) -> &mut RetentionStore {
+        &mut self.retention
+    }
+
+    /// This layer's traffic counters.
+    pub fn counters(&self) -> RmpCounters {
+        self.counters
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ids::GroupId;
-    use crate::wire::FtmpBody;
+    use crate::wire::{FtmpBody, FTMP_HEADER_LEN};
+    use ftmp_cdr::ByteOrder;
     use proptest::prelude::*;
 
     fn msg(src: u32, seq: u64, ts: u64) -> FtmpMessage {
@@ -310,6 +605,10 @@ mod tests {
             ack_ts: Timestamp(0),
             body: FtmpBody::Heartbeat, // body type irrelevant to RMP tests
         }
+    }
+
+    fn wire_of(m: &FtmpMessage) -> Bytes {
+        m.encode(ByteOrder::Big)
     }
 
     #[test]
@@ -423,27 +722,32 @@ mod tests {
     #[test]
     fn retention_insert_get_reclaim() {
         let mut store = RetentionStore::default();
-        store.insert(msg(1, 1, 10), 100);
-        store.insert(msg(1, 2, 20), 100);
-        store.insert(msg(2, 1, 15), 100);
+        for m in [msg(1, 1, 10), msg(1, 2, 20), msg(2, 1, 15)] {
+            let w = wire_of(&m);
+            store.insert(m, w);
+        }
         assert_eq!(store.len(), 3);
-        assert_eq!(store.bytes(), 300);
+        assert_eq!(store.bytes(), 3 * FTMP_HEADER_LEN);
         assert!(store.get(ProcessorId(1), 2).is_some());
         // Idempotent insert does not double count.
-        store.insert(msg(1, 1, 10), 100);
-        assert_eq!(store.bytes(), 300);
+        let dup = msg(1, 1, 10);
+        let w = wire_of(&dup);
+        store.insert(dup, w);
+        assert_eq!(store.bytes(), 3 * FTMP_HEADER_LEN);
         // Stability at ts 15 reclaims ts 10 and 15.
         let n = store.reclaim_stable(Timestamp(15));
         assert_eq!(n, 2);
         assert_eq!(store.len(), 1);
-        assert_eq!(store.bytes(), 100);
+        assert_eq!(store.bytes(), FTMP_HEADER_LEN);
         assert!(store.get(ProcessorId(1), 2).is_some());
     }
 
     #[test]
     fn retransmit_suppression_window() {
         let mut store = RetentionStore::default();
-        store.insert(msg(1, 1, 10), 50);
+        let m = msg(1, 1, 10);
+        let w = wire_of(&m);
+        store.insert(m, w);
         let sup = SimDuration::from_millis(4);
         assert!(store
             .take_for_retransmit(ProcessorId(1), 1, SimTime(0), sup)
@@ -466,15 +770,145 @@ mod tests {
     fn drop_beyond_discards_tail() {
         let mut store = RetentionStore::default();
         for seq in 1..=5 {
-            store.insert(msg(1, seq, seq * 10), 10);
+            let m = msg(1, seq, seq * 10);
+            let w = wire_of(&m);
+            store.insert(m, w);
         }
-        store.insert(msg(2, 1, 10), 10);
+        let m = msg(2, 1, 10);
+        let w = wire_of(&m);
+        store.insert(m, w);
         store.drop_beyond(ProcessorId(1), 3);
         assert_eq!(store.len(), 4);
         assert!(store.get(ProcessorId(1), 3).is_some());
         assert!(store.get(ProcessorId(1), 4).is_none());
         assert!(store.get(ProcessorId(2), 1).is_some());
-        assert_eq!(store.bytes(), 40);
+        assert_eq!(store.bytes(), 4 * FTMP_HEADER_LEN);
+    }
+
+    #[test]
+    fn retransmission_bytes_built_once_then_shared() {
+        let mut store = RetentionStore::default();
+        let m = msg(1, 1, 10);
+        let w = wire_of(&m);
+        assert_eq!(w[FLAGS_OFFSET] & RETRANSMISSION_BIT, 0);
+        store.insert(m, w);
+        let sup = SimDuration::from_millis(0);
+        let b1 = store
+            .take_for_retransmit(ProcessorId(1), 1, SimTime(0), sup)
+            .unwrap();
+        assert_ne!(b1[FLAGS_OFFSET] & RETRANSMISSION_BIT, 0);
+        // Round-trips as the same message with the retransmission flag.
+        let decoded = FtmpMessage::decode(&b1).unwrap();
+        assert!(decoded.retransmission);
+        assert_eq!(decoded.seq, SeqNum(1));
+        // The second answer is the SAME buffer — pointer-equal, no copy.
+        let b2 = store
+            .take_for_retransmit(ProcessorId(1), 1, SimTime(10_000), sup)
+            .unwrap();
+        assert_eq!(b1.as_ref().as_ptr(), b2.as_ref().as_ptr());
+        let b3 = store.retx_bytes(ProcessorId(1), 1).unwrap();
+        assert_eq!(b1.as_ref().as_ptr(), b3.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn received_retransmission_reuses_wire_buffer_directly() {
+        let mut store = RetentionStore::default();
+        let mut m = msg(1, 1, 10);
+        m.retransmission = true;
+        let w = m.encode(ByteOrder::Big);
+        assert_ne!(w[FLAGS_OFFSET] & RETRANSMISSION_BIT, 0);
+        let wire_ptr = w.as_ref().as_ptr();
+        store.insert(m, w);
+        let b = store.retx_bytes(ProcessorId(1), 1).unwrap();
+        // Already in retransmission form: zero materialization, shares the
+        // received datagram's buffer.
+        assert_eq!(b.as_ref().as_ptr(), wire_ptr);
+    }
+
+    #[test]
+    fn rmp_layer_gap_fill_releases_in_source_order() {
+        let mut layer = RmpLayer::new(ProcessorId(9));
+        let offer = |layer: &mut RmpLayer, m: FtmpMessage| {
+            let wire = wire_of(&m);
+            layer.handle(RmpInput::Reliable {
+                msg: m,
+                wire,
+                own: false,
+            })
+        };
+        assert!(matches!(
+            offer(&mut layer, msg(1, 2, 20)),
+            RmpOutput::Buffered
+        ));
+        assert!(matches!(
+            offer(&mut layer, msg(1, 3, 30)),
+            RmpOutput::Buffered
+        ));
+        // Header evidence shows seq 3 exists; contiguous is still 0.
+        match layer.handle(RmpInput::HeaderSeq {
+            source: ProcessorId(1),
+            seq: SeqNum(3),
+        }) {
+            RmpOutput::Noted { contiguous } => assert_eq!(contiguous, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The gap fill releases the whole run in source order.
+        match offer(&mut layer, msg(1, 1, 10)) {
+            RmpOutput::Released(run) => {
+                let seqs: Vec<u64> = run.iter().map(|m| m.seq.0).collect();
+                assert_eq!(seqs, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            offer(&mut layer, msg(1, 2, 20)),
+            RmpOutput::Duplicate
+        ));
+        let c = layer.counters();
+        assert_eq!(c.msgs_in, 4);
+        assert_eq!(c.msgs_out, 3);
+        assert_eq!(c.duplicates, 1);
+        assert_eq!(c.reorder_depth_max, 2);
+    }
+
+    #[test]
+    fn rmp_layer_nacks_then_answers_retransmit() {
+        let mut layer = RmpLayer::new(ProcessorId(2));
+        let m = msg(1, 1, 10);
+        let w = wire_of(&m);
+        layer.handle(RmpInput::Reliable {
+            msg: m,
+            wire: w,
+            own: false,
+        });
+        let m3 = msg(1, 3, 30);
+        let w3 = wire_of(&m3);
+        layer.handle(RmpInput::Reliable {
+            msg: m3,
+            wire: w3,
+            own: false,
+        });
+        let retry = SimDuration::from_millis(8);
+        let zero_jitter = || SimDuration::from_millis(0);
+        // First pass arms the per-source NACK timer.
+        assert!(layer
+            .nack_requests(SimTime(0), retry, 64, zero_jitter)
+            .is_empty());
+        // Second pass fires: seq 2 is missing.
+        let due = layer.nack_requests(SimTime(1), retry, 64, zero_jitter);
+        assert_eq!(due, vec![(ProcessorId(1), vec![(2, 2)])]);
+        // Any holder answers from retention, counting the retransmit.
+        let sup = SimDuration::from_millis(4);
+        let b = layer
+            .answer_retransmit(ProcessorId(1), 1, SimTime(2), sup)
+            .unwrap();
+        assert!(FtmpMessage::decode(&b).unwrap().retransmission);
+        assert_eq!(layer.counters().retransmits_answered, 1);
+        // Suppression window blocks an immediate second answer.
+        assert!(layer
+            .answer_retransmit(ProcessorId(1), 1, SimTime(3), sup)
+            .is_none());
+        assert_eq!(layer.counters().retransmits_answered, 1);
     }
 
     proptest! {

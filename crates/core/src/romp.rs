@@ -109,11 +109,7 @@ impl Ordering {
     /// The ack timestamp to stamp on outgoing messages: the minimum horizon
     /// across members (we have everything ≤ this from everyone).
     pub fn ack_ts(&self) -> Timestamp {
-        self.horizon
-            .values()
-            .copied()
-            .min()
-            .unwrap_or(Timestamp(0))
+        self.horizon.values().copied().min().unwrap_or(Timestamp(0))
     }
 
     /// The stability point: every member has acknowledged everything at or
@@ -182,9 +178,7 @@ impl Ordering {
         let keys: Vec<OrderKey> = self.queue.keys().copied().collect();
         for key in keys {
             let msg = self.queue.get(&key).expect("key just listed");
-            let within = target
-                .get(&msg.source)
-                .is_some_and(|&t| msg.seq.0 <= t);
+            let within = target.get(&msg.source).is_some_and(|&t| msg.seq.0 <= t);
             if within {
                 let msg = self.queue.remove(&key).expect("present");
                 self.last_delivered = self.last_delivered.max(key);
@@ -229,6 +223,157 @@ impl Ordering {
     /// has received from every member a message with a higher timestamp").
     pub fn gate_released(&self, gate: Timestamp) -> bool {
         !self.horizon.is_empty() && self.horizon.values().all(|&h| h > gate)
+    }
+}
+
+/// Per-layer traffic counters exposed through
+/// [`crate::processor::Processor::stats`] and the harness report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RompCounters {
+    /// Source-ordered messages consumed from RMP.
+    pub msgs_in: u64,
+    /// Messages delivered by the normal total-order delivery rule.
+    pub delivered: u64,
+    /// Messages delivered by a membership-change flush (§7.2).
+    pub flushed: u64,
+    /// Messages discarded at a flush (removed source, beyond target).
+    pub discarded_at_flush: u64,
+    /// High-water mark of the ordering queue.
+    pub queue_high_water: u64,
+}
+
+/// Typed input consumed by [`RompLayer::handle`].
+#[derive(Debug)]
+pub enum RompInput {
+    /// A reliable message released by RMP in source order.
+    SourceOrdered(FtmpMessage),
+    /// Horizon/ack evidence from an unreliable header: `advance` is true
+    /// when the cited sequence number is contiguously covered (gap-free
+    /// Heartbeat), letting the horizon move to `ts`.
+    Evidence {
+        /// The header's source.
+        source: ProcessorId,
+        /// The header's timestamp.
+        ts: Timestamp,
+        /// The ack timestamp the header carried.
+        ack_ts: Timestamp,
+        /// Whether the horizon may advance (no gap revealed).
+        advance: bool,
+    },
+}
+
+/// Typed output emitted by [`RompLayer::handle`].
+#[derive(Debug)]
+pub enum RompOutput {
+    /// A totally-ordered message was queued at its delivery position; call
+    /// [`RompLayer::deliverable`] to pop whatever the rule now allows.
+    Enqueued,
+    /// A source-ordered control message (Suspect, Membership) that bypasses
+    /// total order — hand it up to PGMP.
+    Control(FtmpMessage),
+    /// Evidence noted.
+    Noted,
+}
+
+/// The ROMP sub-state-machine for one group: wraps [`Ordering`] with the
+/// layer interface and delivery counters.
+///
+/// Sans-io: consumes [`RompInput`]s from RMP, returns [`RompOutput`]s; the
+/// shell pops [`RompLayer::deliverable`] messages and routes
+/// [`RompOutput::Control`] messages to PGMP.
+#[derive(Debug)]
+pub struct RompLayer {
+    ordering: Ordering,
+    counters: RompCounters,
+}
+
+impl RompLayer {
+    /// Ordering state for founding members with a creation floor.
+    pub fn new(members: impl IntoIterator<Item = ProcessorId>, floor: Timestamp) -> Self {
+        RompLayer {
+            ordering: Ordering::new(members, floor),
+            counters: RompCounters::default(),
+        }
+    }
+
+    /// Ordering state whose delivery floor is an exact total-order position
+    /// (joiner, §7.1).
+    pub fn with_floor_key(
+        members: impl IntoIterator<Item = ProcessorId>,
+        horizon_floor: Timestamp,
+        floor_key: OrderKey,
+    ) -> Self {
+        RompLayer {
+            ordering: Ordering::with_floor_key(members, horizon_floor, floor_key),
+            counters: RompCounters::default(),
+        }
+    }
+
+    /// Feed one input through the layer.
+    pub fn handle(&mut self, input: RompInput) -> RompOutput {
+        match input {
+            RompInput::SourceOrdered(msg) => {
+                self.counters.msgs_in += 1;
+                self.ordering.record_ack(msg.source, msg.ack_ts);
+                self.ordering.advance_horizon(msg.source, msg.ts);
+                if msg.msg_type().is_totally_ordered() {
+                    self.ordering.enqueue(msg);
+                    self.counters.queue_high_water = self
+                        .counters
+                        .queue_high_water
+                        .max(self.ordering.queue_len() as u64);
+                    RompOutput::Enqueued
+                } else {
+                    RompOutput::Control(msg)
+                }
+            }
+            RompInput::Evidence {
+                source,
+                ts,
+                ack_ts,
+                advance,
+            } => {
+                if advance {
+                    self.ordering.advance_horizon(source, ts);
+                }
+                self.ordering.record_ack(source, ack_ts);
+                RompOutput::Noted
+            }
+        }
+    }
+
+    /// Pop every message the delivery rule now allows, in total order.
+    pub fn deliverable(&mut self) -> Vec<FtmpMessage> {
+        let out = self.ordering.deliverable();
+        self.counters.delivered += out.len() as u64;
+        out
+    }
+
+    /// Membership-change flush (§7.2); see [`Ordering::flush_with_targets`].
+    pub fn flush_with_targets(
+        &mut self,
+        target: &BTreeMap<ProcessorId, u64>,
+        removed: &std::collections::BTreeSet<ProcessorId>,
+    ) -> (Vec<FtmpMessage>, usize) {
+        let (delivered, discarded) = self.ordering.flush_with_targets(target, removed);
+        self.counters.flushed += delivered.len() as u64;
+        self.counters.discarded_at_flush += discarded as u64;
+        (delivered, discarded)
+    }
+
+    /// The wrapped [`Ordering`] (horizons, acks, floors).
+    pub fn ordering(&self) -> &Ordering {
+        &self.ordering
+    }
+
+    /// Mutable access to the wrapped [`Ordering`] (membership changes).
+    pub fn ordering_mut(&mut self) -> &mut Ordering {
+        &mut self.ordering
+    }
+
+    /// This layer's traffic counters.
+    pub fn counters(&self) -> RompCounters {
+        self.counters
     }
 }
 
@@ -427,6 +572,76 @@ mod tests {
         assert!(!ord.gate_released(Timestamp(10)));
         ord.advance_horizon(ProcessorId(2), Timestamp(12));
         assert!(ord.gate_released(Timestamp(10)));
+    }
+
+    #[test]
+    fn romp_layer_gates_delivery_until_all_horizons_cover() {
+        use crate::ids::{ConnectionId, ObjectGroupId, RequestNum};
+        let regular = |src: u32, seq: u64, ts: u64| FtmpMessage {
+            retransmission: false,
+            source: ProcessorId(src),
+            group: GroupId(1),
+            seq: SeqNum(seq),
+            ts: Timestamp(ts),
+            ack_ts: Timestamp(0),
+            body: FtmpBody::Regular {
+                conn: ConnectionId::new(ObjectGroupId::new(1, 7), ObjectGroupId::new(1, 8)),
+                request_num: RequestNum(seq),
+                giop: bytes::Bytes::new(),
+            },
+        };
+        let mut layer = RompLayer::new(members(3), Timestamp(0));
+        // A Regular message queues at its total-order position.
+        assert!(matches!(
+            layer.handle(RompInput::SourceOrdered(regular(1, 1, 10))),
+            RompOutput::Enqueued
+        ));
+        assert!(layer.deliverable().is_empty(), "P2 and P3 not heard");
+        // Gap-free heartbeat evidence from P2 advances its horizon.
+        layer.handle(RompInput::Evidence {
+            source: ProcessorId(2),
+            ts: Timestamp(15),
+            ack_ts: Timestamp(0),
+            advance: true,
+        });
+        assert!(layer.deliverable().is_empty(), "P3 still below ts 10");
+        // Evidence from P3 that revealed a gap must NOT advance its horizon.
+        layer.handle(RompInput::Evidence {
+            source: ProcessorId(3),
+            ts: Timestamp(40),
+            ack_ts: Timestamp(0),
+            advance: false,
+        });
+        assert!(
+            layer.deliverable().is_empty(),
+            "gapped heartbeat is no cover"
+        );
+        // Gap-free evidence finally releases the delivery.
+        layer.handle(RompInput::Evidence {
+            source: ProcessorId(3),
+            ts: Timestamp(12),
+            ack_ts: Timestamp(0),
+            advance: true,
+        });
+        let d = layer.deliverable();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ts, Timestamp(10));
+        // A reliable control message (Suspect) bypasses total order.
+        let suspect = FtmpMessage {
+            body: FtmpBody::Suspect {
+                membership_ts: Timestamp(0),
+                suspects: vec![ProcessorId(3)],
+            },
+            ..regular(2, 2, 20)
+        };
+        assert!(matches!(
+            layer.handle(RompInput::SourceOrdered(suspect)),
+            RompOutput::Control(_)
+        ));
+        let c = layer.counters();
+        assert_eq!(c.msgs_in, 2);
+        assert_eq!(c.delivered, 1);
+        assert_eq!(c.queue_high_water, 1);
     }
 
     #[test]

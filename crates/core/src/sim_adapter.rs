@@ -112,7 +112,11 @@ mod tests {
     }
 
     /// Build an n-member simulated group with a pre-bound connection.
-    pub(crate) fn build_net(n: u32, sim_cfg: SimConfig, cfg: ProtocolConfig) -> SimNet<SimProcessor> {
+    pub(crate) fn build_net(
+        n: u32,
+        sim_cfg: SimConfig,
+        cfg: ProtocolConfig,
+    ) -> SimNet<SimProcessor> {
         let gid = GroupId(1);
         let addr = McastAddr(100);
         let members: Vec<ProcessorId> = (1..=n).map(ProcessorId).collect();
@@ -198,7 +202,10 @@ mod tests {
         assert_eq!(all[0].len(), 20, "every message delivered despite loss");
         assert_eq!(all[0], all[1]);
         assert_eq!(all[1], all[2]);
-        assert!(net.stats().lost > 0, "the loss model actually dropped packets");
+        assert!(
+            net.stats().lost > 0,
+            "the loss model actually dropped packets"
+        );
     }
 
     #[test]

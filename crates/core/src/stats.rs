@@ -1,0 +1,98 @@
+//! Protocol counters: per-processor totals, per-group buffer snapshots and
+//! the per-layer counters each sub-state-machine maintains for itself.
+
+use crate::pgmp::PgmpCounters;
+use crate::rmp::RmpCounters;
+use crate::romp::RompCounters;
+use crate::wire::FtmpMsgType;
+use std::collections::BTreeMap;
+
+/// Per-processor protocol counters.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessorStats {
+    /// Messages sent, by type.
+    pub sent: BTreeMap<FtmpMsgType, u64>,
+    /// RetransmitRequests emitted.
+    pub nacks_sent: u64,
+    /// Retransmissions answered.
+    pub retransmissions_sent: u64,
+    /// Duplicate reliable messages received (excludes our own loopback).
+    pub duplicates: u64,
+    /// Ordered GIOP deliveries made.
+    pub deliveries: u64,
+    /// Memberships installed after a fault.
+    pub reconfigurations: u64,
+    /// Messages discarded at a membership-change flush.
+    pub discarded_at_flush: u64,
+}
+
+/// Point-in-time buffer metrics for one group (experiment E6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupMetrics {
+    /// Messages held for any-holder retransmission.
+    pub retention_msgs: usize,
+    /// Bytes held for any-holder retransmission.
+    pub retention_bytes: usize,
+    /// Ordered-but-undelivered messages.
+    pub ordering_queue: usize,
+    /// Out-of-order messages buffered in receive windows.
+    pub rx_buffered: usize,
+}
+
+/// The three layers' own counters for one group (or summed across groups by
+/// [`Processor::layer_totals`]).
+///
+/// [`Processor::layer_totals`]: crate::processor::Processor::layer_totals
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerCounters {
+    /// RMP: reliable reception, duplicates, retransmissions.
+    pub rmp: RmpCounters,
+    /// ROMP: ordering-queue traffic, deliveries, flushes.
+    pub romp: RompCounters,
+    /// PGMP: suspicion, convictions, reconfigurations.
+    pub pgmp: PgmpCounters,
+}
+
+impl LayerCounters {
+    /// Accumulate another group's counters into this one. High-water marks
+    /// combine by maximum, everything else by sum.
+    pub fn merge(&mut self, other: &LayerCounters) {
+        self.rmp.msgs_in += other.rmp.msgs_in;
+        self.rmp.msgs_out += other.rmp.msgs_out;
+        self.rmp.duplicates += other.rmp.duplicates;
+        self.rmp.retransmits_answered += other.rmp.retransmits_answered;
+        self.rmp.reorder_depth_max = self.rmp.reorder_depth_max.max(other.rmp.reorder_depth_max);
+        self.romp.msgs_in += other.romp.msgs_in;
+        self.romp.delivered += other.romp.delivered;
+        self.romp.flushed += other.romp.flushed;
+        self.romp.discarded_at_flush += other.romp.discarded_at_flush;
+        self.romp.queue_high_water = self.romp.queue_high_water.max(other.romp.queue_high_water);
+        self.pgmp.suspect_reports_in += other.pgmp.suspect_reports_in;
+        self.pgmp.proposals_in += other.pgmp.proposals_in;
+        self.pgmp.convictions += other.pgmp.convictions;
+        self.pgmp.reconfigurations += other.pgmp.reconfigurations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counts_and_maxes_high_water() {
+        let mut a = LayerCounters::default();
+        a.rmp.msgs_in = 3;
+        a.rmp.reorder_depth_max = 5;
+        a.romp.queue_high_water = 2;
+        let mut b = LayerCounters::default();
+        b.rmp.msgs_in = 4;
+        b.rmp.reorder_depth_max = 2;
+        b.romp.queue_high_water = 7;
+        b.pgmp.convictions = 1;
+        a.merge(&b);
+        assert_eq!(a.rmp.msgs_in, 7);
+        assert_eq!(a.rmp.reorder_depth_max, 5);
+        assert_eq!(a.romp.queue_high_water, 7);
+        assert_eq!(a.pgmp.convictions, 1);
+    }
+}

@@ -81,7 +81,10 @@ impl fmt::Display for WireError {
                 write!(f, "truncated FTMP message: wanted {wanted}, have {have}")
             }
             WireError::SizeMismatch { declared, actual } => {
-                write!(f, "FTMP size mismatch: declared {declared}, actual {actual}")
+                write!(
+                    f,
+                    "FTMP size mismatch: declared {declared}, actual {actual}"
+                )
             }
             WireError::Body(e) => write!(f, "FTMP body: {e}"),
         }
@@ -541,10 +544,7 @@ impl FtmpBody {
         }
     }
 
-    fn decode(
-        msg_type: FtmpMsgType,
-        r: &mut CdrReader<'_>,
-    ) -> Result<FtmpBody, CdrError> {
+    fn decode(msg_type: FtmpMsgType, r: &mut CdrReader<'_>) -> Result<FtmpBody, CdrError> {
         Ok(match msg_type {
             FtmpMsgType::Regular => FtmpBody::Regular {
                 conn: ConnectionId::decode(r)?,
@@ -618,12 +618,16 @@ impl FtmpMessage {
 
     /// Encode as header + body in the given byte order.
     pub fn encode(&self, order: ByteOrder) -> Bytes {
+        self.encode_with_flag(order, self.retransmission)
+    }
+
+    fn encode_with_flag(&self, order: ByteOrder, retransmission: bool) -> Bytes {
         let mut body_w = CdrWriter::new(order);
         self.body.encode(&mut body_w);
         let body = body_w.into_bytes();
         let header = FtmpHeader {
             order,
-            retransmission: self.retransmission,
+            retransmission,
             msg_type: self.msg_type(),
             size: (FTMP_HEADER_LEN + body.len()) as u32,
             source: self.source,
@@ -657,11 +661,12 @@ impl FtmpMessage {
 
     /// Re-encode as a retransmission: identical message, retransmission
     /// flag set (§5: "the retransmitted message is identical to the
-    /// original").
+    /// original"). No clone of the message (or its payload) is made; when
+    /// the original wire bytes are still at hand, prefer
+    /// [`crate::rmp::RetentionStore::retx_bytes`], which flips the flag on a
+    /// shared copy of the received buffer instead of re-encoding at all.
     pub fn as_retransmission(&self, order: ByteOrder) -> Bytes {
-        let mut m = self.clone();
-        m.retransmission = true;
-        m.encode(order)
+        self.encode_with_flag(order, true)
     }
 }
 
@@ -773,7 +778,14 @@ mod tests {
     fn fig3_guarantee_matrix() {
         use FtmpMsgType::*;
         // Reliable column (with the paper's exceptions handled at PGMP).
-        for t in [Regular, Connect, AddProcessor, RemoveProcessor, Suspect, Membership] {
+        for t in [
+            Regular,
+            Connect,
+            AddProcessor,
+            RemoveProcessor,
+            Suspect,
+            Membership,
+        ] {
             assert!(t.is_reliable(), "{t:?} must be reliable");
         }
         for t in [RetransmitRequest, Heartbeat, ConnectRequest] {
@@ -783,7 +795,13 @@ mod tests {
         for t in [Regular, Connect, AddProcessor, RemoveProcessor] {
             assert!(t.is_totally_ordered(), "{t:?} must be totally ordered");
         }
-        for t in [RetransmitRequest, Heartbeat, ConnectRequest, Suspect, Membership] {
+        for t in [
+            RetransmitRequest,
+            Heartbeat,
+            ConnectRequest,
+            Suspect,
+            Membership,
+        ] {
             assert!(!t.is_totally_ordered(), "{t:?} must not be totally ordered");
         }
     }
@@ -809,7 +827,10 @@ mod tests {
         });
         let bytes = m.encode(ByteOrder::Big);
         assert_eq!(classify(&bytes), Some(FtmpMsgType::Suspect as u8));
-        assert_eq!(classify(b"GIOPnotftmp_and_long_enough_to_reach_44_bytes!!!"), None);
+        assert_eq!(
+            classify(b"GIOPnotftmp_and_long_enough_to_reach_44_bytes!!!"),
+            None
+        );
         assert_eq!(classify(&[]), None);
     }
 
@@ -871,10 +892,11 @@ mod tests {
             body: vec![1, 2, 3],
         }
         .encode(ByteOrder::Big);
+        let giop = Bytes::from(giop);
         let m = msg(FtmpBody::Regular {
             conn: conn(),
             request_num: RequestNum(1),
-            giop: Bytes::from(giop.clone()),
+            giop: giop.clone(),
         });
         let bytes = m.encode(ByteOrder::Big);
         let giop_pos = bytes
@@ -975,13 +997,16 @@ mod body_proptests {
 
     fn body_strategy() -> impl Strategy<Value = FtmpBody> {
         prop_oneof![
-            (conn_strategy(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
-                |(conn, rn, giop)| FtmpBody::Regular {
+            (
+                conn_strategy(),
+                any::<u64>(),
+                proptest::collection::vec(any::<u8>(), 0..64)
+            )
+                .prop_map(|(conn, rn, giop)| FtmpBody::Regular {
                     conn,
                     request_num: RequestNum(rn),
                     giop: Bytes::from(giop),
-                }
-            ),
+                }),
             (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(p, a, b)| {
                 FtmpBody::RetransmitRequest {
                     missing_from: ProcessorId(p),
@@ -996,15 +1021,20 @@ mod body_proptests {
                     client_processors,
                 }
             }),
-            (conn_strategy(), any::<u32>(), any::<u32>(), any::<u64>(), pids(8)).prop_map(
-                |(conn, g, addr, ts, membership)| FtmpBody::Connect {
+            (
+                conn_strategy(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u64>(),
+                pids(8)
+            )
+                .prop_map(|(conn, g, addr, ts, membership)| FtmpBody::Connect {
                     conn,
                     group: GroupId(g),
                     mcast_addr: addr,
                     membership_ts: Timestamp(ts),
                     membership,
-                }
-            ),
+                }),
             (any::<u64>(), pids(8), seqs(8), any::<u32>()).prop_map(
                 |(ts, membership, seqs, nm)| FtmpBody::AddProcessor {
                     membership_ts: Timestamp(ts),

@@ -282,7 +282,9 @@ mod tests {
     fn interleaved_senders_reassemble_independently() {
         let m1 = big_request(3000);
         let m2 = big_request(2000);
-        let f1 = Fragmenter::new(512).split(&m1.encode(ByteOrder::Big)).unwrap();
+        let f1 = Fragmenter::new(512)
+            .split(&m1.encode(ByteOrder::Big))
+            .unwrap();
         let f2 = Fragmenter::new(512)
             .split(&m2.encode(ByteOrder::Little))
             .unwrap();

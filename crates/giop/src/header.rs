@@ -226,7 +226,10 @@ mod tests {
         let bytes = w.into_bytes(); // no body at all
         assert!(matches!(
             GiopHeader::decode(&bytes).unwrap_err(),
-            GiopError::SizeMismatch { declared: 10, actual: 0 }
+            GiopError::SizeMismatch {
+                declared: 10,
+                actual: 0
+            }
         ));
     }
 

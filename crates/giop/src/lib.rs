@@ -25,8 +25,8 @@ pub use header::{GiopHeader, GiopVersion, MsgType, GIOP_HEADER_LEN, GIOP_MAGIC};
 pub use ior::{FtmpProfile, IiopProfile, Ior, TaggedProfile};
 pub use message::GiopMessage;
 pub use request::{
-    LocateReplyHeader, LocateRequestHeader, LocateStatus, ReplyHeader, ReplyStatus,
-    RequestHeader, ServiceContext,
+    LocateReplyHeader, LocateRequestHeader, LocateStatus, ReplyHeader, ReplyStatus, RequestHeader,
+    ServiceContext,
 };
 
 use std::fmt;
@@ -68,7 +68,10 @@ impl fmt::Display for GiopError {
             GiopError::BadVersion(maj, min) => write!(f, "unsupported GIOP version {maj}.{min}"),
             GiopError::BadMsgType(t) => write!(f, "unknown GIOP message type {t}"),
             GiopError::SizeMismatch { declared, actual } => {
-                write!(f, "GIOP size mismatch: header says {declared}, have {actual}")
+                write!(
+                    f,
+                    "GIOP size mismatch: header says {declared}, have {actual}"
+                )
             }
             GiopError::OrphanFragment(id) => write!(f, "fragment for unknown request {id}"),
             GiopError::FragmentOverflow { request_id, limit } => {

@@ -136,8 +136,8 @@ impl GiopMessage {
         Ok(match hdr.msg_type {
             MsgType::Request => {
                 let mut r = ftmp_cdr::CdrReader::with_base(body, order, GIOP_HEADER_LEN);
-                let header =
-                    <RequestHeader as ftmp_cdr::CdrDecode>::decode(&mut r).map_err(GiopError::Cdr)?;
+                let header = <RequestHeader as ftmp_cdr::CdrDecode>::decode(&mut r)
+                    .map_err(GiopError::Cdr)?;
                 let consumed = r.position() - GIOP_HEADER_LEN;
                 GiopMessage::Request {
                     header,

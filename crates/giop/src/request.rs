@@ -341,7 +341,10 @@ mod tests {
         let bytes = to_bytes(&7u32, ByteOrder::Big);
         assert!(matches!(
             from_bytes::<ReplyStatus>(&bytes, ByteOrder::Big),
-            Err(CdrError::InvalidEnum { type_name: "ReplyStatus", value: 7 })
+            Err(CdrError::InvalidEnum {
+                type_name: "ReplyStatus",
+                value: 7
+            })
         ));
     }
 

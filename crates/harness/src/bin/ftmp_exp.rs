@@ -35,7 +35,10 @@ fn main() {
                 i += 1;
                 let Some(v) = args.get(i) else { usage() };
                 if v == "all" {
-                    exps = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+                    exps = experiments::all_ids()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
                 } else {
                     exps.extend(v.split(',').map(|s| s.trim().to_string()));
                 }

@@ -53,7 +53,11 @@ fn run_style(passive: bool, m: u32, seed: u64) -> Outcome {
         if id == 1 {
             orb.register_client(conn());
         } else {
-            orb.host_replica(og_server(), b"acct".to_vec(), Box::new(BankAccount::with_balance(0)));
+            orb.host_replica(
+                og_server(),
+                b"acct".to_vec(),
+                Box::new(BankAccount::with_balance(0)),
+            );
             if passive {
                 orb.set_warm_passive(og_server(), ProcessorId(id), servers.clone());
             }
@@ -70,7 +74,8 @@ fn run_style(passive: bool, m: u32, seed: u64) -> Outcome {
         net.with_node(id, |n, now, out| n.pump(now, out));
     }
     net.with_node(1, |n, now, out| {
-        n.proc_mut().open_connection(now, conn(), vec![ProcessorId(1)], DOMAIN);
+        n.proc_mut()
+            .open_connection(now, conn(), vec![ProcessorId(1)], DOMAIN);
         n.pump(now, out);
     });
     net.run_for(SimDuration::from_millis(100));
@@ -85,9 +90,7 @@ fn run_style(passive: bool, m: u32, seed: u64) -> Outcome {
         });
         for _ in 0..200 {
             net.run_for(SimDuration::from_micros(200));
-            let done = net
-                .with_node(1, |n, _, _| n.take_completions())
-                .unwrap();
+            let done = net.with_node(1, |n, _, _| n.take_completions()).unwrap();
             if !done.is_empty() {
                 completed += done.len();
                 lats.push(net.now().saturating_since(t0).as_micros());
@@ -100,13 +103,7 @@ fn run_style(passive: bool, m: u32, seed: u64) -> Outcome {
     // multicasts its own reply; the duplicate detector suppresses all but
     // the first, so completed + suppressed = total replies on the wire —
     // i.e. the number of replicas that executed each request.
-    let replies = completed as u64
-        + net
-            .node(1)
-            .unwrap()
-            .orb()
-            .suppression_counts()
-            .1;
+    let replies = completed as u64 + net.node(1).unwrap().orb().suppression_counts().1;
     // Failover: crash the smallest server (the passive primary), invoke 3
     // more times, count completions within the window.
     net.crash(2);
@@ -150,7 +147,11 @@ pub fn run() -> Vec<Table> {
         for &passive in &[false, true] {
             let o = run_style(passive, m, 0xE10 + m as u64 + u64::from(passive));
             t.row(vec![
-                if passive { "warm-passive".into() } else { "active".to_string() },
+                if passive {
+                    "warm-passive".into()
+                } else {
+                    "active".to_string()
+                },
                 m.to_string(),
                 format!("{} ms", o.rtt.mean_ms()),
                 format!("{:.2} ms", o.rtt.p99_us as f64 / 1000.0),
@@ -174,13 +175,15 @@ mod tests {
         let tables = super::run();
         let rows = &tables[0].rows;
         let replies = |style: &str, m: &str| -> u64 {
-            rows.iter()
-                .find(|r| r[0] == style && r[1] == m)
-                .unwrap()[4]
+            rows.iter().find(|r| r[0] == style && r[1] == m).unwrap()[4]
                 .parse()
                 .unwrap()
         };
-        assert_eq!(replies("active", "3"), 90, "3 replicas each replied to 30 requests");
+        assert_eq!(
+            replies("active", "3"),
+            90,
+            "3 replicas each replied to 30 requests"
+        );
         assert_eq!(replies("warm-passive", "3"), 30, "only the primary replied");
         // Everything completes, including through the failover.
         for r in rows {

@@ -64,9 +64,7 @@ mod tests {
     fn e1_shows_the_compromise() {
         let tables = super::run();
         let rows = &tables[0].rows;
-        let mean_ms = |r: &Vec<String>| -> f64 {
-            r[1].trim_end_matches(" ms").parse().unwrap()
-        };
+        let mean_ms = |r: &Vec<String>| -> f64 { r[1].trim_end_matches(" ms").parse().unwrap() };
         let first = mean_ms(&rows[0]); // 1 ms heartbeats
         let last = mean_ms(rows.last().unwrap()); // 100 ms heartbeats
         assert!(

@@ -101,8 +101,7 @@ fn ring_run(n: u32) -> (LatencyStats, f64, bool) {
 }
 
 fn ftmp_sparse(n: u32, hb_ms: u64) -> LatencyStats {
-    let proto =
-        ProtocolConfig::with_seed(0xE2B).heartbeat(SimDuration::from_millis(hb_ms));
+    let proto = ProtocolConfig::with_seed(0xE2B).heartbeat(SimDuration::from_millis(hb_ms));
     let mut w = FtmpWorld::new(n, SimConfig::with_seed(0xE2B), proto, ClockMode::Lamport);
     for _ in 0..ROUNDS {
         w.send(1, PAYLOAD);
@@ -147,9 +146,8 @@ pub fn run() -> Vec<Table> {
         let (s, st, sok) = seq_run(n);
         let (r, rt, rok) = ring_run(n);
         all_ok &= fok && sok && rok;
-        let ms = |x: &LatencyStats| {
-            format!("{:.2}/{:.2}", x.mean_us / 1000.0, x.p99_us as f64 / 1000.0)
-        };
+        let ms =
+            |x: &LatencyStats| format!("{:.2}/{:.2}", x.mean_us / 1000.0, x.p99_us as f64 / 1000.0);
         t.row(vec![
             n.to_string(),
             ms(&f),

@@ -33,7 +33,7 @@ fn run_mode(mode: ClockMode, skews: &[i64]) -> (LatencyStats, bool) {
 }
 
 fn build_skewed(proto: ProtocolConfig, skews: &[i64]) -> FtmpWorld {
-    use ftmp_core::{GroupId, ProcessorId, Processor, SimProcessor};
+    use ftmp_core::{GroupId, Processor, ProcessorId, SimProcessor};
     use ftmp_net::{McastAddr, SimNet, SimTime};
     let group = GroupId(1);
     let addr = McastAddr(100);

@@ -16,6 +16,7 @@ struct Outcome {
     reconfig_ms: f64,
     stall_ms: f64,
     survivors_agree: bool,
+    layers: ftmp_core::processor::LayerCounters,
 }
 
 fn run_one(n: u32, fail_timeout_ms: u64, seed: u64) -> Outcome {
@@ -34,7 +35,7 @@ fn run_one(n: u32, fail_timeout_ms: u64, seed: u64) -> Outcome {
     let _ = w.collect();
     let crash_at = w.net.now();
     w.net.crash(n); // highest id dies
-    // Keep load flowing from survivors.
+                    // Keep load flowing from survivors.
     for _ in 0..200 {
         w.send(1, 64);
         w.run_ms(5);
@@ -56,16 +57,12 @@ fn run_one(n: u32, fail_timeout_ms: u64, seed: u64) -> Outcome {
     let res = w.collect();
     // Ordering stall: the largest gap between consecutive deliveries at
     // node 1 in the post-crash window.
-    let stall = res
-        .latencies_us
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let stall = res.latencies_us.iter().copied().max().unwrap_or(0);
     Outcome {
         reconfig_ms: done_at.map_or(f64::NAN, |us| us as f64 / 1000.0),
         stall_ms: stall as f64 / 1000.0,
         survivors_agree: res.all_agree(),
+        layers: w.layer_totals(),
     }
 }
 
@@ -80,6 +77,11 @@ pub fn run() -> Vec<Table> {
             "reconfig time (ms)",
             "max delivery stall (ms)",
             "survivors agree",
+            "suspect rx",
+            "proposals rx",
+            "convictions",
+            "reconfigs",
+            "flush discards",
         ],
     );
     for &n in &[3u32, 5, 7, 9] {
@@ -90,12 +92,22 @@ pub fn run() -> Vec<Table> {
                 format!("{ft} ms"),
                 format!("{:.1}", o.reconfig_ms),
                 format!("{:.1}", o.stall_ms),
-                if o.survivors_agree { "PASS".into() } else { "FAIL".into() },
+                if o.survivors_agree {
+                    "PASS".into()
+                } else {
+                    "FAIL".into()
+                },
+                o.layers.pgmp.suspect_reports_in.to_string(),
+                o.layers.pgmp.proposals_in.to_string(),
+                o.layers.pgmp.convictions.to_string(),
+                o.layers.pgmp.reconfigurations.to_string(),
+                o.layers.romp.discarded_at_flush.to_string(),
             ]);
         }
     }
     t.note("reconfig time = crash -> last survivor installs the (n-1)-membership; dominated by fail_timeout, plus a few ms of Suspect/Membership exchange");
     t.note("ordering stalls while the dead member gates the horizons, then the flush releases the backlog (virtual synchrony)");
+    t.note("PGMP columns sum the survivors' per-layer counters: suspect/proposal traffic in, quorum convictions and installed reconfigurations");
     vec![t]
 }
 

@@ -28,9 +28,13 @@ pub fn run() -> Vec<Table> {
     );
     for &(k, m) in &[(1u32, 1u32), (1, 3), (2, 2), (3, 1), (3, 3), (4, 4)] {
         let seed = 0xE7 + (k * 10 + m) as u64;
-        let mut w = OrbWorld::new(k, m, SimConfig::with_seed(seed), ProtocolConfig::with_seed(seed), || {
-            Box::new(ftmp_orb::Counter::default())
-        });
+        let mut w = OrbWorld::new(
+            k,
+            m,
+            SimConfig::with_seed(seed),
+            ProtocolConfig::with_seed(seed),
+            || Box::new(ftmp_orb::Counter::default()),
+        );
         let rounds = 25;
         for _ in 0..rounds {
             w.invoke_all("add", 1);
@@ -41,7 +45,14 @@ pub fn run() -> Vec<Table> {
         // Exactly-once execution: every server's counter equals rounds.
         let og = w.conn().server;
         let exec_ok = w.servers.clone().iter().all(|&id| {
-            let snap = w.net.node(id).unwrap().orb().servant(og).unwrap().snapshot();
+            let snap = w
+                .net
+                .node(id)
+                .unwrap()
+                .orb()
+                .servant(og)
+                .unwrap()
+                .snapshot();
             ftmp_cdr::from_bytes::<i64>(&snap, ftmp_cdr::ByteOrder::Big).unwrap() == rounds as i64
         });
         let req_sup = w.server_suppressed();
@@ -57,7 +68,11 @@ pub fn run() -> Vec<Table> {
             k.to_string(),
             req_sup.to_string(),
             reply_sup.to_string(),
-            if exec_ok { "PASS".into() } else { "FAIL".into() },
+            if exec_ok {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
             format!("{}/{rounds}", done.len()),
         ]);
     }

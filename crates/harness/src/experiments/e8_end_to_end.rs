@@ -24,7 +24,10 @@ fn run_unicast(loss: LossModel, seed: u64) -> (LatencyStats, usize) {
     let (ca, sa) = (McastAddr(10), McastAddr(11));
     let mut net: SimNet<UnicastEndpoint> = SimNet::new(SimConfig::with_seed(seed).loss(loss));
     net.add_node(1, UnicastEndpoint::Client(UnicastClient::new(1, ca, sa)));
-    net.add_node(2, UnicastEndpoint::Server(UnicastServer::new(2, sa, ca, unicast_echo)));
+    net.add_node(
+        2,
+        UnicastEndpoint::Server(UnicastServer::new(2, sa, ca, unicast_echo)),
+    );
     net.subscribe(1, ca);
     net.subscribe(2, sa);
     let mut sent_at: Vec<SimTime> = Vec::new();
@@ -135,7 +138,11 @@ mod tests {
         let tables = super::run();
         let rendered = tables[0].render();
         for row in &tables[0].rows {
-            assert_eq!(row[4], format!("{}/{}", super::ROUNDS, super::ROUNDS), "{rendered}");
+            assert_eq!(
+                row[4],
+                format!("{}/{}", super::ROUNDS, super::ROUNDS),
+                "{rendered}"
+            );
         }
     }
 }

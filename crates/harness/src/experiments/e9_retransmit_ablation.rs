@@ -125,7 +125,11 @@ pub fn run() -> Vec<Table> {
     let mut t2 = Table::new(
         "e9b",
         "Sender crashes right after multicasting (25% loss): who recovers the message?",
-        &["policy", "delivered at all survivors", "worst delivery latency (ms)"],
+        &[
+            "policy",
+            "delivered at all survivors",
+            "worst delivery latency (ms)",
+        ],
     );
     for &p in &policies {
         let (ok, last) = run_sender_crash(p);
@@ -147,7 +151,11 @@ mod tests {
     #[test]
     fn e9_all_policies_eventually_complete() {
         let tables = run();
-        assert!(!tables[0].render().contains("FAIL"), "{}", tables[0].render());
+        assert!(
+            !tables[0].render().contains("FAIL"),
+            "{}",
+            tables[0].render()
+        );
         assert!(!tables[1].render().contains("NO"), "{}", tables[1].render());
     }
 
@@ -156,9 +164,7 @@ mod tests {
         let tables = run();
         let rows = &tables[0].rows;
         let retrans = |label: &str, loss: &str| -> u64 {
-            rows.iter()
-                .find(|r| r[0] == label && r[1] == loss)
-                .unwrap()[5]
+            rows.iter().find(|r| r[0] == label && r[1] == loss).unwrap()[5]
                 .parse()
                 .unwrap()
         };

@@ -9,9 +9,7 @@ use crate::report::Table;
 use bytes::Bytes;
 use ftmp_cdr::ByteOrder;
 use ftmp_core::wire::{FtmpBody, FtmpMessage, FTMP_HEADER_LEN};
-use ftmp_core::{
-    ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
-};
+use ftmp_core::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp};
 use ftmp_giop::{GiopMessage, RequestHeader, GIOP_HEADER_LEN};
 
 /// Assumed IP + UDP header size for the overhead column (IPv4 20 + UDP 8).
@@ -72,7 +70,10 @@ pub fn run() -> Vec<Table> {
             giop.len().to_string(),
             ftmp.to_string(),
             wire.to_string(),
-            format!("{overhead} B ({:.1}%)", 100.0 * overhead as f64 / wire as f64),
+            format!(
+                "{overhead} B ({:.1}%)",
+                100.0 * overhead as f64 / wire as f64
+            ),
         ]);
     }
     t.note(format!(
@@ -120,7 +121,10 @@ pub fn run() -> Vec<Table> {
             "CloseConnection",
             GiopMessage::CloseConnection.encode(ByteOrder::Big),
         ),
-        ("MessageError", GiopMessage::MessageError.encode(ByteOrder::Big)),
+        (
+            "MessageError",
+            GiopMessage::MessageError.encode(ByteOrder::Big),
+        ),
         (
             "Fragment",
             GiopMessage::Fragment {

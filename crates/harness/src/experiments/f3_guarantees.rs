@@ -17,7 +17,7 @@
 use crate::report::Table;
 use crate::worlds::{FtmpWorld, OrbWorld};
 use ftmp_core::wire::FtmpMsgType;
-use ftmp_core::{ClockMode, GroupId, ProcessorId, ProtocolConfig, Processor, SimProcessor};
+use ftmp_core::{ClockMode, GroupId, Processor, ProcessorId, ProtocolConfig, SimProcessor};
 use ftmp_net::{LossModel, McastAddr, SimConfig, SimDuration, SimTime};
 
 fn check_regular() -> (bool, bool, bool) {
@@ -52,13 +52,21 @@ fn check_add_processor_under_loss() -> bool {
     let mut net = ftmp_net::SimNet::new(sim);
     let members: Vec<ProcessorId> = vec![ProcessorId(1), ProcessorId(2)];
     for id in 1..=2u32 {
-        let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(7), ClockMode::Lamport);
+        let mut e = Processor::new(
+            ProcessorId(id),
+            ProtocolConfig::with_seed(7),
+            ClockMode::Lamport,
+        );
         e.create_group(SimTime::ZERO, gid, addr, members.clone());
         net.add_node(id, SimProcessor::new(e));
         net.with_node(id, |n, now, out| n.pump_at(now, out));
     }
     // The joiner.
-    let mut e = Processor::new(ProcessorId(3), ProtocolConfig::with_seed(7), ClockMode::Lamport);
+    let mut e = Processor::new(
+        ProcessorId(3),
+        ProtocolConfig::with_seed(7),
+        ClockMode::Lamport,
+    );
     e.expect_join(gid, addr);
     net.add_node(3, SimProcessor::new(e));
     net.with_node(3, |n, now, out| n.pump_at(now, out));
@@ -114,7 +122,13 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "f3",
         "Message types x delivery service (Fig. 3), verified under 10% loss",
-        &["Message type", "Reliable", "Source ordered", "Totally ordered", "Evidence"],
+        &[
+            "Message type",
+            "Reliable",
+            "Source ordered",
+            "Totally ordered",
+            "Evidence",
+        ],
     );
     let yes = |b: bool| if b { "Yes [PASS]" } else { "Yes [FAIL]" };
     for ty in FtmpMsgType::ALL {
@@ -125,20 +139,28 @@ pub fn run() -> Vec<Table> {
                 yes(reg_tot).into(),
                 "40 msgs, 3 nodes: identical gap-free sequences".into(),
             ),
-            FtmpMsgType::RetransmitRequest | FtmpMsgType::Heartbeat | FtmpMsgType::ConnectRequest => (
+            FtmpMsgType::RetransmitRequest
+            | FtmpMsgType::Heartbeat
+            | FtmpMsgType::ConnectRequest => (
                 "No".into(),
                 "No".into(),
                 "No".into(),
                 "unreliable by construction (no seq slot, never retained)".into(),
             ),
             FtmpMsgType::Connect => (
-                format!("Yes, except to client group [{}]", if conn_ok { "PASS" } else { "FAIL" }),
+                format!(
+                    "Yes, except to client group [{}]",
+                    if conn_ok { "PASS" } else { "FAIL" }
+                ),
                 "Yes".into(),
                 "Yes".into(),
                 "handshake completes under loss via periodic Connect retry".into(),
             ),
             FtmpMsgType::AddProcessor => (
-                format!("Yes, except to new member [{}]", if add_ok { "PASS" } else { "FAIL" }),
+                format!(
+                    "Yes, except to new member [{}]",
+                    if add_ok { "PASS" } else { "FAIL" }
+                ),
                 "Yes".into(),
                 "Yes".into(),
                 "join completes under loss via sponsor retransmission".into(),

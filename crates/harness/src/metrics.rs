@@ -1,9 +1,7 @@
 //! Latency statistics and small numeric helpers.
 
-use serde::Serialize;
-
 /// Summary statistics over a set of latency samples (microseconds).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: usize,

@@ -1,11 +1,10 @@
 //! Experiment result tables: aligned text output + JSON dumps.
 
-use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
 
 /// One experiment's result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (`f1` … `e9`).
     pub id: String,
@@ -82,14 +81,69 @@ impl Table {
         println!("{}", self.render());
     }
 
+    /// Render as a pretty-printed JSON object (no external dependency —
+    /// the build environment is offline, so the harness emits JSON by
+    /// hand; every value is a string, array or object, so escaping is
+    /// the only subtlety).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            json_str_array(&self.columns)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_str_array(row));
+        }
+        if self.rows.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str(&format!("  \"notes\": {}\n", json_str_array(&self.notes)));
+        out.push('}');
+        out
+    }
+
     /// Write `<dir>/<id>.json`.
     pub fn dump_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(path)?;
-        let s = serde_json::to_string_pretty(self).expect("table serializes");
-        f.write_all(s.as_bytes())
+        f.write_all(self.to_json().as_bytes())
     }
+}
+
+/// Escape and quote one JSON string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a JSON array of strings on one line.
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 #[cfg(test)]
@@ -121,12 +175,25 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
+    fn json_dump_is_well_formed() {
         let dir = std::env::temp_dir().join("ftmp_table_test");
         sample().dump_json(&dir).unwrap();
         let s = std::fs::read_to_string(dir.join("e0.json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
-        assert_eq!(v["id"], "e0");
-        assert_eq!(v["rows"][1][0], "333");
+        assert!(s.contains("\"id\": \"e0\""));
+        assert!(s.contains("[\"333\", \"4\"]"));
+        assert!(s.contains("\"notes\": [\"hello\"]"));
+        // Balanced delimiters (every value here is a flat string).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert_eq!(s.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut t = Table::new("esc", "Quote \" and \\ and\nnewline", &["c"]);
+        t.row(vec!["tab\there".into()]);
+        let s = t.to_json();
+        assert!(s.contains(r#""Quote \" and \\ and\nnewline""#));
+        assert!(s.contains(r#""tab\there""#));
     }
 }

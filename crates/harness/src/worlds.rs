@@ -1,12 +1,12 @@
 //! Pre-wired simulation worlds the experiments sweep over.
 
 use bytes::Bytes;
+use ftmp_baselines::TotalOrderNode;
 use ftmp_core::pgmp::ServerRegistration;
 use ftmp_core::{
-    ClockMode, ConnectionId, GroupId, ObjectGroupId, ProcessorId, Processor, ProtocolConfig,
+    ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
     RequestNum, SendOutcome, SimProcessor,
 };
-use ftmp_baselines::TotalOrderNode;
 use ftmp_net::{McastAddr, NodeId, SimConfig, SimDuration, SimNet, SimNode, SimTime};
 use ftmp_orb::{OrbEndpoint, OrbNode};
 use std::collections::HashMap;
@@ -139,6 +139,16 @@ impl FtmpWorld {
             res.sequences.push(seq);
         }
         res
+    }
+
+    /// Aggregate the per-layer counters (RMP/ROMP/PGMP) across all live
+    /// members; counts sum, high-water marks max.
+    pub fn layer_totals(&self) -> ftmp_core::processor::LayerCounters {
+        let mut total = ftmp_core::processor::LayerCounters::default();
+        for (_, node) in self.net.nodes() {
+            total.merge(&node.engine().layer_totals());
+        }
+        total
     }
 
     /// Aggregate protocol stats across members: (nacks, retransmissions,
@@ -333,14 +343,11 @@ impl OrbWorld {
     }
 
     fn connected(&self) -> bool {
-        self.clients
-            .iter()
-            .chain(self.servers.iter())
-            .all(|&id| {
-                self.net
-                    .node(id)
-                    .is_some_and(|n| n.proc().connection_group(self.conn).is_some())
-            })
+        self.clients.iter().chain(self.servers.iter()).all(|&id| {
+            self.net
+                .node(id)
+                .is_some_and(|n| n.proc().connection_group(self.conn).is_some())
+        })
     }
 
     /// Every client replica issues the same invocation (active replication).
@@ -397,7 +404,11 @@ impl OrbWorld {
     pub fn server_suppressed(&self) -> u64 {
         self.servers
             .iter()
-            .map(|&id| self.net.node(id).map_or(0, |n| n.orb().suppression_counts().0))
+            .map(|&id| {
+                self.net
+                    .node(id)
+                    .map_or(0, |n| n.orb().suppression_counts().0)
+            })
             .sum()
     }
 
@@ -405,7 +416,11 @@ impl OrbWorld {
     pub fn client_suppressed(&self) -> u64 {
         self.clients
             .iter()
-            .map(|&id| self.net.node(id).map_or(0, |n| n.orb().suppression_counts().1))
+            .map(|&id| {
+                self.net
+                    .node(id)
+                    .map_or(0, |n| n.orb().suppression_counts().1)
+            })
             .sum()
     }
 }

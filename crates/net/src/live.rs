@@ -145,8 +145,14 @@ mod tests {
         h1.subscribe(McastAddr(5));
         // node 2 not subscribed.
         h0.send(Packet::new(0, McastAddr(5), vec![7]));
-        assert_eq!(r0.recv_timeout(Duration::from_secs(1)).unwrap().payload[0], 7);
-        assert_eq!(r1.recv_timeout(Duration::from_secs(1)).unwrap().payload[0], 7);
+        assert_eq!(
+            r0.recv_timeout(Duration::from_secs(1)).unwrap().payload[0],
+            7
+        );
+        assert_eq!(
+            r1.recv_timeout(Duration::from_secs(1)).unwrap().payload[0],
+            7
+        );
         assert!(r2.try_recv().is_err());
     }
 

@@ -239,9 +239,7 @@ mod tests {
         let model = LossModel::Iid { p: 0.2 };
         let mut st = LossState::default();
         let mut r = rng();
-        let lost = (0..10_000)
-            .filter(|_| st.sample(&model, &mut r))
-            .count();
+        let lost = (0..10_000).filter(|_| st.sample(&model, &mut r)).count();
         let rate = lost as f64 / 10_000.0;
         assert!((0.17..0.23).contains(&rate), "rate {rate}");
     }

@@ -131,7 +131,14 @@ impl<N: SimNode> SimNet<N> {
         self.trace.as_ref()
     }
 
-    fn trace_event(&mut self, src: NodeId, dst: McastAddr, len: usize, kind: Option<u8>, event: TraceEvent) {
+    fn trace_event(
+        &mut self,
+        src: NodeId,
+        dst: McastAddr,
+        len: usize,
+        kind: Option<u8>,
+        event: TraceEvent,
+    ) {
         if let Some(t) = &mut self.trace {
             t.push(TraceRecord {
                 at: self.now,
@@ -226,12 +233,7 @@ impl<N: SimNode> SimNet<N> {
     /// Split the network into isolated cells; traffic crosses cells only
     /// after [`heal`](SimNet::heal).
     pub fn partition(&mut self, cells: Vec<Vec<NodeId>>) {
-        self.partition = Some(
-            cells
-                .into_iter()
-                .map(|c| c.into_iter().collect())
-                .collect(),
-        );
+        self.partition = Some(cells.into_iter().map(|c| c.into_iter().collect()).collect());
     }
 
     /// Remove any partition.
@@ -272,12 +274,24 @@ impl<N: SimNode> SimNet<N> {
         for rcv in receivers {
             if self.crashed.contains(&rcv) {
                 self.stats.to_crashed += 1;
-                self.trace_event(pkt.src, pkt.dst, pkt.len(), kind, TraceEvent::ToCrashed(rcv));
+                self.trace_event(
+                    pkt.src,
+                    pkt.dst,
+                    pkt.len(),
+                    kind,
+                    TraceEvent::ToCrashed(rcv),
+                );
                 continue;
             }
             if !self.can_reach(pkt.src, rcv) {
                 self.stats.partitioned += 1;
-                self.trace_event(pkt.src, pkt.dst, pkt.len(), kind, TraceEvent::Partition(rcv));
+                self.trace_event(
+                    pkt.src,
+                    pkt.dst,
+                    pkt.len(),
+                    kind,
+                    TraceEvent::Partition(rcv),
+                );
                 continue;
             }
             let delay = if rcv == pkt.src {
@@ -378,7 +392,11 @@ impl<N: SimNode> SimNet<N> {
 
     /// Give the harness a way to call into a node and transmit whatever it
     /// produces, at the current virtual time.
-    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, SimTime, &mut Outbox) -> R) -> Option<R> {
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, SimTime, &mut Outbox) -> R,
+    ) -> Option<R> {
         let now = self.now;
         let mut out = Outbox::default();
         let r = {
@@ -431,7 +449,13 @@ mod tests {
         };
         let mut net = SimNet::new(cfg);
         for id in 0..3u32 {
-            net.add_node(id, Echo { id, ..Echo::default() });
+            net.add_node(
+                id,
+                Echo {
+                    id,
+                    ..Echo::default()
+                },
+            );
             net.subscribe(id, McastAddr(1));
         }
         net
@@ -480,7 +504,13 @@ mod tests {
         let mut net = echo_net(LossModel::None);
         net.crash(2);
         net.run_for(SimDuration::from_millis(2));
-        net.revive(2, Echo { id: 2, ..Echo::default() });
+        net.revive(
+            2,
+            Echo {
+                id: 2,
+                ..Echo::default()
+            },
+        );
         net.run_for(SimDuration::from_millis(5));
         assert!(net.node(2).unwrap().ticks > 0);
         assert!(!net.is_crashed(2));
@@ -513,21 +543,32 @@ mod tests {
             };
             let mut net = SimNet::new(cfg);
             for id in 0..2u32 {
-                net.add_node(id, Echo { id, ..Echo::default() });
+                net.add_node(
+                    id,
+                    Echo {
+                        id,
+                        ..Echo::default()
+                    },
+                );
                 net.subscribe(id, McastAddr(1));
             }
             for i in 0..100u8 {
                 net.inject(Packet::new(0, McastAddr(1), vec![i]));
             }
             net.run_for(SimDuration::from_millis(10));
-            net.node(1).unwrap().seen.len()
+            // The surviving payload pattern, not just the count: two seeds
+            // can easily drop the same *number* of packets at p=0.5, but
+            // the same 100-packet survival pattern is vanishingly unlikely.
+            let node = net.node(1).unwrap();
+            let pattern: Vec<Vec<u8>> = node.seen.iter().map(|(_, p)| p.payload.to_vec()).collect();
+            pattern
         };
         let a = run(9);
         let b = run(9);
         let c = run(10);
         assert_eq!(a, b, "same seed must replay identically");
-        assert!(a < 100, "some loss expected");
-        assert!(a > 10, "not everything lost");
+        assert!(a.len() < 100, "some loss expected");
+        assert!(a.len() > 10, "not everything lost");
         // Different seed, near-certainly different trajectory.
         assert_ne!(a, c);
     }
@@ -574,7 +615,13 @@ mod tests {
         };
         let mut net = SimNet::new(cfg);
         for id in 0..2u32 {
-            net.add_node(id, Echo { id, ..Echo::default() });
+            net.add_node(
+                id,
+                Echo {
+                    id,
+                    ..Echo::default()
+                },
+            );
             net.subscribe(id, McastAddr(1));
         }
         net.inject(Packet::new(0, McastAddr(1), vec![1]));

@@ -74,7 +74,6 @@ impl SimDuration {
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1_000_000.0
     }
-
 }
 
 impl std::ops::Mul<u64> for SimDuration {

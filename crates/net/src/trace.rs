@@ -103,10 +103,7 @@ impl Trace {
     pub fn dump(&self, kind_name: impl Fn(u8) -> String) -> String {
         let mut out = String::new();
         for r in &self.ring {
-            let kind = r
-                .kind
-                .map(&kind_name)
-                .unwrap_or_else(|| "?".to_string());
+            let kind = r.kind.map(&kind_name).unwrap_or_else(|| "?".to_string());
             let ev = match r.event {
                 TraceEvent::Send => "send".to_string(),
                 TraceEvent::Deliver(n) => format!("-> N{n}"),

@@ -60,9 +60,7 @@ impl DuplicateDetector {
 
     /// Has `(conn, num)` been seen?
     pub fn seen(&self, conn: ConnectionId, num: RequestNum) -> bool {
-        self.per_conn
-            .get(&conn)
-            .is_some_and(|c| c.contains(num.0))
+        self.per_conn.get(&conn).is_some_and(|c| c.contains(num.0))
     }
 
     /// Numbers retained above the contiguity watermark (memory check).

@@ -270,7 +270,12 @@ impl OrbEndpoint {
     /// Crate-internal alias of [`push_outbound`] for the passive module.
     ///
     /// [`push_outbound`]: OrbEndpoint::push_outbound
-    pub(crate) fn push_state_outbound(&mut self, conn: ConnectionId, num: RequestNum, giop: Vec<u8>) {
+    pub(crate) fn push_state_outbound(
+        &mut self,
+        conn: ConnectionId,
+        num: RequestNum,
+        giop: Vec<u8>,
+    ) {
         self.push_outbound(conn, num, giop);
     }
 
@@ -306,8 +311,8 @@ impl OrbEndpoint {
             Ok(Some(msg)) => {
                 // When the completing datagram was a Fragment, the replay
                 // log must hold the reassembled message, not the tail piece.
-                let reassembled = d.giop.len() > 7
-                    && d.giop[7] == ftmp_giop::MsgType::Fragment as u8;
+                let reassembled =
+                    d.giop.len() > 7 && d.giop[7] == ftmp_giop::MsgType::Fragment as u8;
                 let log_bytes = if reassembled {
                     Bytes::from(msg.encode(ftmp_cdr::ByteOrder::native()))
                 } else {
@@ -481,14 +486,19 @@ mod tests {
 
     pub(super) fn server_endpoint() -> OrbEndpoint {
         let mut e = OrbEndpoint::new();
-        e.host_replica(og_server(), b"bank".to_vec(), Box::new(BankAccount::with_balance(100)));
+        e.host_replica(
+            og_server(),
+            b"bank".to_vec(),
+            Box::new(BankAccount::with_balance(100)),
+        );
         e
     }
 
     #[test]
     fn request_executes_once_despite_replica_duplicates() {
         let mut server = server_endpoint();
-        let giop = giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(10), true);
+        let giop =
+            giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(10), true);
         // Three client replicas multicast the same request.
         for (src, ts) in [(1, 10), (2, 10), (3, 10)] {
             server.on_delivery(&delivery(1, src, ts, giop.clone()));
@@ -561,7 +571,8 @@ mod tests {
         // execute requests.
         let mut client = OrbEndpoint::new();
         client.register_client(conn());
-        let giop = giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(1), true);
+        let giop =
+            giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(1), true);
         client.on_delivery(&delivery(1, 1, 10, giop));
         assert!(client.drain_outbound().is_empty());
         assert_eq!(client.log.len(), 1, "logged for replay");
@@ -619,16 +630,21 @@ mod tests {
         // replica, so no replica executes.
         let mut server = server_endpoint();
         let cancel = giop_map::make_cancel(RequestNum(1));
-        let req = giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(10), true);
+        let req =
+            giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(10), true);
         server.on_delivery(&delivery(1, 1, 10, cancel));
         server.on_delivery(&delivery(1, 1, 11, req));
-        assert!(server.drain_outbound().is_empty(), "cancelled request produces no reply");
+        assert!(
+            server.drain_outbound().is_empty(),
+            "cancelled request produces no reply"
+        );
     }
 
     #[test]
     fn cancel_after_request_is_a_no_op() {
         let mut server = server_endpoint();
-        let req = giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(10), true);
+        let req =
+            giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(10), true);
         let cancel = giop_map::make_cancel(RequestNum(1));
         server.on_delivery(&delivery(1, 1, 10, req));
         server.on_delivery(&delivery(1, 1, 11, cancel));
@@ -688,8 +704,13 @@ mod tests {
         let mut s1 = server_endpoint();
         let mut s2 = server_endpoint();
         for num in 1..=5u64 {
-            let giop =
-                giop_map::make_request(RequestNum(num), b"bank", "deposit", &encode_i64_arg(num as i64), true);
+            let giop = giop_map::make_request(
+                RequestNum(num),
+                b"bank",
+                "deposit",
+                &encode_i64_arg(num as i64),
+                true,
+            );
             s1.on_delivery(&delivery(num, 1, num * 10, giop.clone()));
             s2.on_delivery(&delivery(num, 1, num * 10, giop));
         }
@@ -709,9 +730,11 @@ mod close_tests {
     #[test]
     fn requests_after_an_ordered_close_are_dropped_everywhere() {
         let mut server = server_endpoint();
-        let before = giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(5), true);
+        let before =
+            giop_map::make_request(RequestNum(1), b"bank", "deposit", &encode_i64_arg(5), true);
         let close = giop_map::make_close();
-        let after = giop_map::make_request(RequestNum(3), b"bank", "deposit", &encode_i64_arg(7), true);
+        let after =
+            giop_map::make_request(RequestNum(3), b"bank", "deposit", &encode_i64_arg(7), true);
         server.on_delivery(&delivery(1, 1, 10, before));
         server.on_delivery(&delivery(2, 1, 11, close));
         server.on_delivery(&delivery(3, 1, 12, after));

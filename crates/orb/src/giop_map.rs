@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn reply_round_trip() {
         let bytes = make_reply(RequestNum(9), &[7, 7]);
-        assert_eq!(parse(&bytes).unwrap(), Inbound::Reply { result: vec![7, 7] });
+        assert_eq!(
+            parse(&bytes).unwrap(),
+            Inbound::Reply { result: vec![7, 7] }
+        );
     }
 
     #[test]

@@ -149,9 +149,7 @@ mod tests {
     use crate::servant::{decode_i64_result, encode_i64_arg, BankAccount};
     use crate::InvocationResult;
     use ftmp_core::pgmp::ServerRegistration;
-    use ftmp_core::{
-        ClockMode, ConnectionId, GroupId, ObjectGroupId, ProcessorId, ProtocolConfig,
-    };
+    use ftmp_core::{ClockMode, ConnectionId, GroupId, ObjectGroupId, ProcessorId, ProtocolConfig};
     use ftmp_net::{LossModel, McastAddr, SimConfig, SimDuration, SimNet};
 
     const DOMAIN_ADDR: McastAddr = McastAddr(500);
@@ -239,7 +237,12 @@ mod tests {
         // same IP Multicast address."
         let mut net = build(29, LossModel::None);
         wait_connected(&mut net);
-        let g1 = net.node(1).unwrap().proc().connection_group(conn()).unwrap();
+        let g1 = net
+            .node(1)
+            .unwrap()
+            .proc()
+            .connection_group(conn())
+            .unwrap();
         // A second object-group pair between the same processor sets.
         let conn2 = ConnectionId::new(ObjectGroupId::new(1, 9), og_server());
         for id in 1..=2u32 {
@@ -269,8 +272,7 @@ mod tests {
         net.run_for(SimDuration::from_millis(200));
         let done = net.node_mut(1).unwrap().take_completions();
         assert_eq!(done.len(), 2);
-        let conns: std::collections::BTreeSet<ConnectionId> =
-            done.iter().map(|c| c.conn).collect();
+        let conns: std::collections::BTreeSet<ConnectionId> = done.iter().map(|c| c.conn).collect();
         assert!(conns.contains(&conn()) && conns.contains(&conn2));
     }
 
@@ -364,7 +366,11 @@ mod tests {
         });
         net.run_for(SimDuration::from_millis(400));
         let done = net.node_mut(1).unwrap().take_completions();
-        assert_eq!(done.len(), 2, "both invocations completed despite the crash");
+        assert_eq!(
+            done.len(),
+            2,
+            "both invocations completed despite the crash"
+        );
         for id in 3..=4u32 {
             let snap = net
                 .node(id)

@@ -186,7 +186,12 @@ mod tests {
     fn deterministic_replicas_stay_identical() {
         let mut a = BankAccount::with_balance(0);
         let mut b = BankAccount::with_balance(0);
-        let ops = [("deposit", 10), ("deposit", 5), ("withdraw", 7), ("balance", 0)];
+        let ops = [
+            ("deposit", 10),
+            ("deposit", 5),
+            ("withdraw", 7),
+            ("balance", 0),
+        ];
         for (op, v) in ops {
             let ra = a.invoke(op, &encode_i64_arg(v));
             let rb = b.invoke(op, &encode_i64_arg(v));

@@ -44,7 +44,11 @@ fn main() {
         ByteOrder::Big,
     );
     let ior_string = ior.to_ior_string(ByteOrder::Big);
-    println!("published IOR ({} chars):\n  {}…\n", ior_string.len(), &ior_string[..72]);
+    println!(
+        "published IOR ({} chars):\n  {}…\n",
+        ior_string.len(),
+        &ior_string[..72]
+    );
 
     // 2. A client parses the IOR and learns where to solicit the connection.
     let parsed = Ior::from_ior_string(&ior_string).expect("IOR parses");
@@ -59,13 +63,21 @@ fn main() {
     net.set_classifier(ftmp::core::wire::classify);
     let servers = [ProcessorId(2), ProcessorId(3)];
     for id in 1..=3u32 {
-        let mut proc = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(5), ClockMode::Lamport);
+        let mut proc = Processor::new(
+            ProcessorId(id),
+            ProtocolConfig::with_seed(5),
+            ClockMode::Lamport,
+        );
         let mut orb = OrbEndpoint::new();
         orb.enable_fragmentation(512);
         if id == 1 {
             orb.register_client(conn);
         } else {
-            orb.host_replica(og_server, profile.object_key.clone(), Box::new(ftmp::orb::Counter::default()));
+            orb.host_replica(
+                og_server,
+                profile.object_key.clone(),
+                Box::new(ftmp::orb::Counter::default()),
+            );
             proc.register_server(
                 og_server,
                 ServerRegistration {
@@ -125,19 +137,36 @@ fn main() {
     //    e.g. from another replica — deterministically suppresses it at
     //    every server instead; the unit tests exercise that interleaving.)
     net.with_node(1, move |n, now, out| {
-        let num = n.orb_mut().invoke(conn, b"counter", "add", &encode_i64_arg(100));
+        let num = n
+            .orb_mut()
+            .invoke(conn, b"counter", "add", &encode_i64_arg(100));
         n.orb_mut().cancel(conn, num);
         println!("\ninvoked add(100) as request {num:?} and cancelled it immediately");
         n.pump(now, out);
     });
     net.run_for(SimDuration::from_millis(150));
-    let snap2 = net.node(2).unwrap().orb().servant(og_server).unwrap().snapshot();
-    let snap3 = net.node(3).unwrap().orb().servant(og_server).unwrap().snapshot();
+    let snap2 = net
+        .node(2)
+        .unwrap()
+        .orb()
+        .servant(og_server)
+        .unwrap()
+        .snapshot();
+    let snap3 = net
+        .node(3)
+        .unwrap()
+        .orb()
+        .servant(og_server)
+        .unwrap()
+        .snapshot();
     assert_eq!(snap2, snap3, "replicas agree");
     let value = ftmp::orb::servant::decode_i64_result(&snap2).unwrap();
     println!(
         "replica counters after the late cancel: {value} (identical on both replicas; \
          the trailing cancel could not overtake its own request)"
     );
-    assert_eq!(value, 101, "request executed everywhere; cancel was deterministically late");
+    assert_eq!(
+        value, 101,
+        "request executed everywhere; cancel was deterministically late"
+    );
 }

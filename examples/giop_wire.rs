@@ -8,7 +8,9 @@
 use bytes::Bytes;
 use ftmp::cdr::ByteOrder;
 use ftmp::core::wire::{FtmpBody, FtmpMessage, FTMP_HEADER_LEN};
-use ftmp::core::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp};
+use ftmp::core::{
+    ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
+};
 use ftmp::giop::{GiopMessage, RequestHeader, GIOP_HEADER_LEN};
 
 fn hexdump(bytes: &[u8], highlight: &[(usize, usize, &str)]) {
@@ -16,7 +18,13 @@ fn hexdump(bytes: &[u8], highlight: &[(usize, usize, &str)]) {
         let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
         let ascii: String = chunk
             .iter()
-            .map(|&b| if (0x20..0x7f).contains(&b) { b as char } else { '.' })
+            .map(|&b| {
+                if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                }
+            })
             .collect();
         let base = off * 16;
         let label = highlight
@@ -88,11 +96,19 @@ fn main() {
     // Round-trip sanity.
     let back = FtmpMessage::decode(&wire).expect("decodes");
     match back.body {
-        FtmpBody::Regular { giop: g, request_num, .. } => {
+        FtmpBody::Regular {
+            giop: g,
+            request_num,
+            ..
+        } => {
             assert_eq!(g.as_ref(), &giop[..]);
             assert_eq!(request_num, RequestNum(9));
             let parsed = GiopMessage::decode(&g).expect("GIOP decodes");
-            println!("\ndecoded back: {:?} request_id={:?}", parsed.msg_type(), parsed.request_id());
+            println!(
+                "\ndecoded back: {:?} request_id={:?}",
+                parsed.msg_type(),
+                parsed.request_id()
+            );
         }
         _ => unreachable!(),
     }

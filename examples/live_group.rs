@@ -55,8 +55,11 @@ fn main() {
         let stop = Arc::clone(&stop);
         let report = report_tx.clone();
         handles.push(std::thread::spawn(move || {
-            let mut engine =
-                Processor::new(ProcessorId(id), ProtocolConfig::with_seed(7), ClockMode::Lamport);
+            let mut engine = Processor::new(
+                ProcessorId(id),
+                ProtocolConfig::with_seed(7),
+                ClockMode::Lamport,
+            );
             let now = || SimTime(start.elapsed().as_micros() as u64);
             engine.create_group(now(), GROUP, ADDR, members);
             engine.bind_connection(conn(), GROUP);

@@ -23,7 +23,9 @@ fn conn() -> ConnectionId {
 fn send(net: &mut SimNet<SimProcessor>, id: u32, text: &str, req: u64) {
     let payload = Bytes::from(text.to_string());
     net.with_node(id, move |n, now, out| {
-        let _ = n.engine_mut().multicast_request(now, conn(), RequestNum(req), payload);
+        let _ = n
+            .engine_mut()
+            .multicast_request(now, conn(), RequestNum(req), payload);
         n.pump_at(now, out);
     });
 }
@@ -33,7 +35,12 @@ fn show_membership(net: &SimNet<SimProcessor>, ids: &[u32]) {
         let m = net
             .node(id)
             .and_then(|n| n.engine().membership(GROUP))
-            .map(|m| m.iter().map(|p| format!("P{}", p.0)).collect::<Vec<_>>().join(","))
+            .map(|m| {
+                m.iter()
+                    .map(|p| format!("P{}", p.0))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
             .unwrap_or_else(|| "-".into());
         println!("  P{id}: {{{m}}}");
     }
@@ -46,7 +53,11 @@ fn main() {
     // Founders P1, P2.
     let founders = [ProcessorId(1), ProcessorId(2)];
     for id in 1..=2u32 {
-        let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(99), ClockMode::Lamport);
+        let mut e = Processor::new(
+            ProcessorId(id),
+            ProtocolConfig::with_seed(99),
+            ClockMode::Lamport,
+        );
         e.create_group(SimTime::ZERO, GROUP, ADDR, founders);
         e.bind_connection(conn(), GROUP);
         net.add_node(id, SimProcessor::new(e));
@@ -57,7 +68,11 @@ fn main() {
     net.run_for(SimDuration::from_millis(50));
 
     // P3 joins, sponsored by P1.
-    let mut e = Processor::new(ProcessorId(3), ProtocolConfig::with_seed(99), ClockMode::Lamport);
+    let mut e = Processor::new(
+        ProcessorId(3),
+        ProtocolConfig::with_seed(99),
+        ClockMode::Lamport,
+    );
     e.expect_join(GROUP, ADDR);
     e.bind_connection(conn(), GROUP);
     net.add_node(3, SimProcessor::new(e));
@@ -83,7 +98,11 @@ fn main() {
     show_membership(&net, &[1, 2, 3]);
 
     // P4 joins, then P1 crashes: the survivors convict it.
-    let mut e = Processor::new(ProcessorId(4), ProtocolConfig::with_seed(99), ClockMode::Lamport);
+    let mut e = Processor::new(
+        ProcessorId(4),
+        ProtocolConfig::with_seed(99),
+        ClockMode::Lamport,
+    );
     e.expect_join(GROUP, ADDR);
     e.bind_connection(conn(), GROUP);
     net.add_node(4, SimProcessor::new(e));

@@ -35,12 +35,20 @@ fn main() {
     net.set_classifier(ftmp::core::wire::classify);
     let server_pids: Vec<ProcessorId> = servers.iter().map(|&i| ProcessorId(i)).collect();
     for id in 1..=5u32 {
-        let mut proc = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(7), ClockMode::Lamport);
+        let mut proc = Processor::new(
+            ProcessorId(id),
+            ProtocolConfig::with_seed(7),
+            ClockMode::Lamport,
+        );
         let mut orb = OrbEndpoint::new();
         if clients.contains(&id) {
             orb.register_client(conn);
         } else {
-            orb.host_replica(og_server, b"bank".to_vec(), Box::new(BankAccount::with_balance(1_000)));
+            orb.host_replica(
+                og_server,
+                b"bank".to_vec(),
+                Box::new(BankAccount::with_balance(1_000)),
+            );
             proc.register_server(
                 og_server,
                 ServerRegistration {
@@ -56,17 +64,16 @@ fn main() {
     // Clients solicit the connection; the server primary answers.
     for &id in &clients {
         net.with_node(id, move |n, now, out| {
-            n.proc_mut().open_connection(
-                now,
-                conn,
-                vec![ProcessorId(1), ProcessorId(2)],
-                DOMAIN,
-            );
+            n.proc_mut()
+                .open_connection(now, conn, vec![ProcessorId(1), ProcessorId(2)], DOMAIN);
             n.pump(now, out);
         });
     }
     net.run_for(SimDuration::from_millis(100));
-    println!("connection established: {}", net.node(1).unwrap().proc().connection_group(conn).is_some());
+    println!(
+        "connection established: {}",
+        net.node(1).unwrap().proc().connection_group(conn).is_some()
+    );
 
     let invoke = |net: &mut SimNet<OrbNode>, op: &str, amount: i64| {
         for &id in &clients {
@@ -103,9 +110,15 @@ fn main() {
 
     println!("\nfinal replica states:");
     for &id in &servers[..2] {
-        println!("  server P{id}: balance {}", balance_of(&net, id, og_server));
+        println!(
+            "  server P{id}: balance {}",
+            balance_of(&net, id, og_server)
+        );
     }
-    assert_eq!(balance_of(&net, 3, og_server), balance_of(&net, 4, og_server));
+    assert_eq!(
+        balance_of(&net, 3, og_server),
+        balance_of(&net, 4, og_server)
+    );
     let events = net.node_mut(3).unwrap().take_events();
     let fault_reported = events.iter().any(|e| {
         matches!(e, ftmp::core::ProtocolEvent::FaultReport { processor, .. } if *processor == ProcessorId(5))

@@ -1,0 +1,35 @@
+# Developer entry points. `just` runs `check`; `just ci` is what the
+# GitHub Actions workflow runs.
+
+default: check
+
+# Fast compile check of the whole workspace.
+check:
+    cargo check --workspace --all-targets
+
+# Format check (no rewrite).
+fmt:
+    cargo fmt --all --check
+
+# Lints, warnings denied.
+clippy:
+    cargo clippy --all-targets -- -D warnings
+
+# Tier-1 tests: the root integration suites.
+test:
+    cargo test -q
+
+# Everything, including per-crate unit tests.
+test-all:
+    cargo test --workspace -q
+
+# The full CI gate.
+ci: fmt clippy test
+
+# Regenerate every experiment table (see EXPERIMENTS.md).
+experiments:
+    cargo run --release -p ftmp-harness --bin ftmp_exp
+
+# Criterion microbenches.
+bench:
+    cargo bench -p ftmp-bench

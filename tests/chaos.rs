@@ -46,8 +46,11 @@ impl Chaos {
         net.set_classifier(ftmp::core::wire::classify);
         let founders: Vec<ProcessorId> = (1..=4).map(ProcessorId).collect();
         for id in 1..=4u32 {
-            let mut e =
-                Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+            let mut e = Processor::new(
+                ProcessorId(id),
+                ProtocolConfig::with_seed(seed),
+                ClockMode::Lamport,
+            );
             e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
             e.bind_connection(conn(), GROUP);
             net.add_node(id, SimProcessor::new(e));
@@ -125,10 +128,12 @@ impl Chaos {
                     e.expect_join(GROUP, ADDR);
                     e.bind_connection(conn(), GROUP);
                     self.net.add_node(joiner, SimProcessor::new(e));
-                    self.net.with_node(joiner, |n, now, out| n.pump_at(now, out));
+                    self.net
+                        .with_node(joiner, |n, now, out| n.pump_at(now, out));
                     let sponsor = self.pick_alive().expect("checked");
                     self.net.with_node(sponsor, move |n, now, out| {
-                        n.engine_mut().add_processor(now, GROUP, ProcessorId(joiner));
+                        n.engine_mut()
+                            .add_processor(now, GROUP, ProcessorId(joiner));
                         n.pump_at(now, out);
                     });
                     self.members.insert(joiner);

@@ -37,8 +37,11 @@ fn run_live(n: u32, publishes: u64, loss: f64, seed: u64) -> Vec<Vec<(u32, u64)>
         let stop = Arc::clone(&stop);
         let report = report_tx.clone();
         handles.push(std::thread::spawn(move || {
-            let mut engine =
-                Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+            let mut engine = Processor::new(
+                ProcessorId(id),
+                ProtocolConfig::with_seed(seed),
+                ClockMode::Lamport,
+            );
             let now = || SimTime(start.elapsed().as_micros() as u64);
             engine.create_group(now(), GROUP, ADDR, members);
             engine.bind_connection(conn(), GROUP);
@@ -99,7 +102,11 @@ fn live_threads_agree_lossless() {
 #[test]
 fn live_threads_agree_under_loss() {
     let views = run_live(3, 6, 0.10, 13);
-    assert_eq!(views[0].len(), 18, "NACK recovery works on real threads too");
+    assert_eq!(
+        views[0].len(),
+        18,
+        "NACK recovery works on real threads too"
+    );
     assert_eq!(views[0], views[1]);
     assert_eq!(views[1], views[2]);
 }

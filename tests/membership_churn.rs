@@ -26,7 +26,11 @@ fn make_net(seed: u64, loss: f64) -> SimNet<SimProcessor> {
 }
 
 fn add_founder(net: &mut SimNet<SimProcessor>, id: u32, founders: &[ProcessorId], seed: u64) {
-    let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+    let mut e = Processor::new(
+        ProcessorId(id),
+        ProtocolConfig::with_seed(seed),
+        ClockMode::Lamport,
+    );
     e.create_group(SimTime::ZERO, GROUP, ADDR, founders.to_vec());
     e.bind_connection(conn(), GROUP);
     net.add_node(id, SimProcessor::new(e));
@@ -34,7 +38,11 @@ fn add_founder(net: &mut SimNet<SimProcessor>, id: u32, founders: &[ProcessorId]
 }
 
 fn add_joiner(net: &mut SimNet<SimProcessor>, id: u32, seed: u64) {
-    let mut e = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+    let mut e = Processor::new(
+        ProcessorId(id),
+        ProtocolConfig::with_seed(seed),
+        ClockMode::Lamport,
+    );
     e.expect_join(GROUP, ADDR);
     e.bind_connection(conn(), GROUP);
     net.add_node(id, SimProcessor::new(e));
@@ -43,16 +51,20 @@ fn add_joiner(net: &mut SimNet<SimProcessor>, id: u32, seed: u64) {
 
 fn send(net: &mut SimNet<SimProcessor>, id: u32, req: u64) {
     net.with_node(id, move |n, now, out| {
-        let _ = n
-            .engine_mut()
-            .multicast_request(now, conn(), RequestNum(req), Bytes::from(vec![req as u8]));
+        let _ = n.engine_mut().multicast_request(
+            now,
+            conn(),
+            RequestNum(req),
+            Bytes::from(vec![req as u8]),
+        );
         n.pump_at(now, out);
     });
 }
 
 fn sponsor(net: &mut SimNet<SimProcessor>, sponsor_id: u32, joiner: u32) {
     net.with_node(sponsor_id, move |n, now, out| {
-        n.engine_mut().add_processor(now, GROUP, ProcessorId(joiner));
+        n.engine_mut()
+            .add_processor(now, GROUP, ProcessorId(joiner));
         n.pump_at(now, out);
     });
 }
@@ -119,7 +131,11 @@ fn leave_then_rejoin_with_fresh_state() {
     assert!(membership_of(&net, 3).is_none(), "P3 left");
     assert_eq!(membership_of(&net, 1).unwrap(), vec![1, 2]);
     // P3 rejoins cold.
-    let mut e = Processor::new(ProcessorId(3), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+    let mut e = Processor::new(
+        ProcessorId(3),
+        ProtocolConfig::with_seed(seed),
+        ClockMode::Lamport,
+    );
     e.expect_join(GROUP, ADDR);
     e.bind_connection(conn(), GROUP);
     net.revive(3, SimProcessor::new(e));
@@ -169,7 +185,10 @@ fn joiner_delivery_suffix_matches_founders() {
     let s3 = seq_of(&mut net, 3);
     assert_eq!(s1, s2, "founders agree");
     assert_eq!(s1.len(), 25, "founders saw everything");
-    assert!(!s3.is_empty() && s3.len() < 25, "joiner saw a strict suffix");
+    assert!(
+        !s3.is_empty() && s3.len() < 25,
+        "joiner saw a strict suffix"
+    );
     assert_eq!(
         &s1[s1.len() - s3.len()..],
         &s3[..],

@@ -41,7 +41,11 @@ fn hundred_invocations_exactly_once() {
     assert_eq!(done.len(), 100);
     assert_eq!(lats.len(), 100);
     for id in w.servers.clone() {
-        assert_eq!(counter_value(&w, id), 100, "server P{id} executed each op once");
+        assert_eq!(
+            counter_value(&w, id),
+            100,
+            "server P{id} executed each op once"
+        );
     }
     // 1 duplicate per server per invocation (2 clients).
     assert_eq!(w.server_suppressed(), 100 * 3);
@@ -126,7 +130,11 @@ fn server_crash_mid_stream_preserves_exactly_once() {
     }
     w.run_ms(2_000);
     let (done, _) = w.drain_completions();
-    assert_eq!(done.len(), 20, "all invocations completed despite the crash");
+    assert_eq!(
+        done.len(),
+        20,
+        "all invocations completed despite the crash"
+    );
     for id in w.servers.clone() {
         if id == victim {
             continue;
@@ -161,13 +169,24 @@ fn client_replica_crash_is_transparent_to_the_service() {
                 continue;
             }
             w.net.with_node(id, move |node, now, out| {
-                node.invoke(now, conn, b"obj", "add", &ftmp::orb::servant::encode_i64_arg(1), out);
+                node.invoke(
+                    now,
+                    conn,
+                    b"obj",
+                    "add",
+                    &ftmp::orb::servant::encode_i64_arg(1),
+                    out,
+                );
             });
         }
         w.run_ms(60);
     }
     w.run_ms(1_000);
     for id in w.servers.clone() {
-        assert_eq!(counter_value(&w, id), 10, "server P{id} applied all 10 adds once");
+        assert_eq!(
+            counter_value(&w, id),
+            10,
+            "server P{id} applied all 10 adds once"
+        );
     }
 }

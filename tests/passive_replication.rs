@@ -28,12 +28,20 @@ fn build(seed: u64) -> SimNet<OrbNode> {
     net.set_classifier(ftmp::core::wire::classify);
     let servers: Vec<ProcessorId> = (2..=4).map(ProcessorId).collect();
     for id in 1..=4u32 {
-        let mut proc = Processor::new(ProcessorId(id), ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+        let mut proc = Processor::new(
+            ProcessorId(id),
+            ProtocolConfig::with_seed(seed),
+            ClockMode::Lamport,
+        );
         let mut orb = OrbEndpoint::new();
         if id == 1 {
             orb.register_client(conn());
         } else {
-            orb.host_replica(og_server(), b"acct".to_vec(), Box::new(BankAccount::with_balance(1_000)));
+            orb.host_replica(
+                og_server(),
+                b"acct".to_vec(),
+                Box::new(BankAccount::with_balance(1_000)),
+            );
             orb.set_warm_passive(og_server(), ProcessorId(id), servers.clone());
             proc.register_server(
                 og_server(),
@@ -54,7 +62,11 @@ fn build(seed: u64) -> SimNet<OrbNode> {
     });
     net.run_for(SimDuration::from_millis(100));
     assert!(
-        net.node(1).unwrap().proc().connection_group(conn()).is_some(),
+        net.node(1)
+            .unwrap()
+            .proc()
+            .connection_group(conn())
+            .is_some(),
         "connection established"
     );
     net
@@ -80,7 +92,14 @@ fn only_the_primary_executes_and_backups_track_state() {
     let mut net = build(81);
     for i in 0..10i64 {
         net.with_node(1, move |n, now, out| {
-            n.invoke(now, conn(), b"acct", "deposit", &encode_i64_arg(10 + i), out);
+            n.invoke(
+                now,
+                conn(),
+                b"acct",
+                "deposit",
+                &encode_i64_arg(10 + i),
+                out,
+            );
         });
         net.run_for(SimDuration::from_millis(20));
     }
@@ -187,7 +206,10 @@ fn double_failover_survives() {
     });
     net.run_for(SimDuration::from_millis(300));
     let (b4, _) = account_of(&net, 4);
-    assert_eq!(b4, 1_021, "three deposits applied exactly once across two failovers");
+    assert_eq!(
+        b4, 1_021,
+        "three deposits applied exactly once across two failovers"
+    );
     let done = net.node_mut(1).unwrap().take_completions();
     assert_eq!(done.len(), 3);
 }

@@ -134,13 +134,7 @@ fn crashed_replica_replaced_via_snapshot_and_log_replay() {
         n.pump(now, out);
     });
     w.run_ms(500);
-    let members = w
-        .net
-        .node(donor)
-        .unwrap()
-        .proc()
-        .membership(group)
-        .unwrap();
+    let members = w.net.node(donor).unwrap().proc().membership(group).unwrap();
     assert!(
         members.contains(&ProcessorId(new_id)),
         "replacement joined: {members:?}"

@@ -57,12 +57,7 @@ fn agreement_across_seeds_lossless() {
 fn agreement_under_iid_loss() {
     for seed in [3u64, 11, 2024] {
         let sim = SimConfig::with_seed(seed).loss(LossModel::Iid { p: 0.12 });
-        let mut w = FtmpWorld::new(
-            5,
-            sim,
-            ProtocolConfig::with_seed(seed),
-            ClockMode::Lamport,
-        );
+        let mut w = FtmpWorld::new(5, sim, ProtocolConfig::with_seed(seed), ClockMode::Lamport);
         workload(&mut w, 60);
         assert_order_properties(&mut w, 60);
     }

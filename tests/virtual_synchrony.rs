@@ -45,7 +45,10 @@ fn crash_scenario(seed: u64, n: u32, loss: f64, crash_after_ms: u64) {
         .iter()
         .filter(|&&(_, src, _)| src != victim)
         .count() as u64;
-    let survivor_sent = sent - (0..crash_after_ms).filter(|s| (s % n as u64) + 1 == victim as u64).count() as u64;
+    let survivor_sent = sent
+        - (0..crash_after_ms)
+            .filter(|s| (s % n as u64) + 1 == victim as u64)
+            .count() as u64;
     assert_eq!(
         survivor_msgs, survivor_sent,
         "seed {seed}: survivor messages lost"
@@ -59,10 +62,15 @@ fn crash_scenario(seed: u64, n: u32, loss: f64, crash_after_ms: u64) {
             .engine()
             .membership(w.group())
             .unwrap();
-        assert_eq!(members.len(), (n - 1) as usize, "seed {seed}: P{id} membership");
+        assert_eq!(
+            members.len(),
+            (n - 1) as usize,
+            "seed {seed}: P{id} membership"
+        );
         let evs = w.net.node_mut(id).unwrap().take_events();
         assert!(
-            evs.iter().any(|(_, e)| matches!(e, ProtocolEvent::FaultReport { .. })),
+            evs.iter()
+                .any(|(_, e)| matches!(e, ProtocolEvent::FaultReport { .. })),
             "seed {seed}: P{id} no fault report"
         );
     }
@@ -109,10 +117,19 @@ fn two_sequential_crashes() {
     w.net.crash(4);
     w.run_ms(1_500);
     let res = w.collect();
-    assert!(res.all_agree(), "after two crashes the three survivors agree");
+    assert!(
+        res.all_agree(),
+        "after two crashes the three survivors agree"
+    );
     for id in 1..=3u32 {
         assert_eq!(
-            w.net.node(id).unwrap().engine().membership(w.group()).unwrap().len(),
+            w.net
+                .node(id)
+                .unwrap()
+                .engine()
+                .membership(w.group())
+                .unwrap()
+                .len(),
             3,
             "P{id} sees the 3-member group"
         );
@@ -135,14 +152,30 @@ fn majority_partition_makes_progress_and_minority_stalls() {
     w.run_ms(2_000);
     // Majority side convicts 4 and 5 and resumes.
     for id in 1..=3u32 {
-        let members = w.net.node(id).unwrap().engine().membership(w.group()).unwrap();
+        let members = w
+            .net
+            .node(id)
+            .unwrap()
+            .engine()
+            .membership(w.group())
+            .unwrap();
         assert_eq!(members.len(), 3, "majority side reconfigured at P{id}");
     }
     // Minority side cannot reach the conviction quorum (3 of 5): it stays
     // in the old membership (possibly still reconfiguring), stalled.
     for id in 4..=5u32 {
-        let members = w.net.node(id).unwrap().engine().membership(w.group()).unwrap();
-        assert_eq!(members.len(), 5, "minority side must not install a split-brain membership at P{id}");
+        let members = w
+            .net
+            .node(id)
+            .unwrap()
+            .engine()
+            .membership(w.group())
+            .unwrap();
+        assert_eq!(
+            members.len(),
+            5,
+            "minority side must not install a split-brain membership at P{id}"
+        );
     }
     // Progress on the majority side only.
     w.send(1, 64);
@@ -171,7 +204,13 @@ fn healed_minority_learns_of_its_exclusion_and_leaves() {
     w.run_ms(2_000);
     for id in 1..=3u32 {
         assert_eq!(
-            w.net.node(id).unwrap().engine().membership(w.group()).unwrap().len(),
+            w.net
+                .node(id)
+                .unwrap()
+                .engine()
+                .membership(w.group())
+                .unwrap()
+                .len(),
             3
         );
     }
@@ -188,7 +227,8 @@ fn healed_minority_learns_of_its_exclusion_and_leaves() {
         );
         let evs = w.net.node_mut(id).unwrap().take_events();
         assert!(
-            evs.iter().any(|(_, e)| matches!(e, ProtocolEvent::LeftGroup { .. })),
+            evs.iter()
+                .any(|(_, e)| matches!(e, ProtocolEvent::LeftGroup { .. })),
             "P{id} raised LeftGroup"
         );
     }

@@ -1,0 +1,72 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draw one uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for any [`Arbitrary`] type; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.f64() as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII, occasionally wider BMP scalars.
+        if rng.below(10) < 8 {
+            char::from(0x20 + rng.below(0x5F) as u8)
+        } else {
+            char::from_u32(0xA0 + rng.below(0x2000) as u32).unwrap_or('¤')
+        }
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (A::arbitrary(rng), B::arbitrary(rng))
+    }
+}

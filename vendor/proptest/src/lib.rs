@@ -1,0 +1,103 @@
+//! Offline vendored subset of the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `proptest` to this implementation. It keeps the API surface the test
+//! suites use — the [`proptest!`] macro, [`prop_assert!`]/
+//! [`prop_assert_eq!`], `any::<T>()`, range/tuple/`&str`-regex strategies,
+//! `prop_map`/`prop_shuffle`, [`prop_oneof!`], `collection::{vec,
+//! btree_set}` and `sample::subsequence` — but replaces the engine with a
+//! simple deterministic random-case runner: each property runs
+//! [`test_runner::CASES`] cases seeded from the test's module path, with
+//! no shrinking. Failures therefore reproduce across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Define property tests. Each function body runs [`test_runner::CASES`]
+/// times with freshly generated inputs.
+///
+/// Supported argument forms: `pattern in strategy` and `name: Type`
+/// (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($args:tt)*) $body:block)+) => {
+        $( $crate::__proptest_one!{ $(#[$attr])* fn $name ($($args)*) $body } )+
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ($(#[$attr:meta])* fn $name:ident($($args:tt)*) $body:block) => {
+        $(#[$attr])*
+        fn $name() {
+            let mut __rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..$crate::test_runner::CASES {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng, ($($args)*) $body);
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, () $body:block) => { $body };
+    ($rng:ident, ($p:pat in $s:expr) $body:block) => {{
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $body
+    }};
+    ($rng:ident, ($p:pat in $s:expr, $($rest:tt)*) $body:block) => {{
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($rest)*) $body)
+    }};
+    ($rng:ident, ($i:ident : $t:ty) $body:block) => {{
+        let $i: $t =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$t>(), &mut $rng);
+        $body
+    }};
+    ($rng:ident, ($i:ident : $t:ty, $($rest:tt)*) $body:block) => {{
+        let $i: $t =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$t>(), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($rest)*) $body)
+    }};
+}
+
+/// Assert a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert two expressions differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Union::arm($arm) ),+
+        ])
+    };
+}

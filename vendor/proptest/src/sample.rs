@@ -1,0 +1,71 @@
+//! Sampling strategies over explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing an order-preserving subsequence; see [`subsequence`].
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    amount: usize,
+}
+
+/// Pick `amount` distinct elements of `values`, preserving their original
+/// relative order.
+pub fn subsequence<T: Clone>(values: Vec<T>, amount: usize) -> Subsequence<T> {
+    assert!(
+        amount <= values.len(),
+        "subsequence amount {} exceeds {} values",
+        amount,
+        values.len()
+    );
+    Subsequence { values, amount }
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        // Floyd's algorithm for a uniform k-of-n index sample.
+        let n = self.values.len();
+        let k = self.amount;
+        let mut chosen = vec![false; n];
+        for j in (n - k)..n {
+            let t = rng.below(j + 1);
+            if chosen[t] {
+                chosen[j] = true;
+            } else {
+                chosen[t] = true;
+            }
+        }
+        self.values
+            .iter()
+            .zip(&chosen)
+            .filter(|(_, &c)| c)
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = rng_for("subsequence_preserves_order_and_size");
+        let s = subsequence((1u32..=10).collect::<Vec<_>>(), 4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v.len(), 4);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn full_subsequence_is_identity() {
+        let mut rng = rng_for("full_subsequence_is_identity");
+        let all: Vec<u64> = (1..=20).collect();
+        let s = subsequence(all.clone(), 20);
+        assert_eq!(s.generate(&mut rng), all);
+    }
+}

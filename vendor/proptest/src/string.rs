@@ -1,0 +1,270 @@
+//! `&str` regex strategies (character-class subset).
+//!
+//! A pattern is a sequence of atoms, each a character class `[...]` or a
+//! literal character, optionally followed by `{n}` or `{m,n}`. Classes
+//! support literals, ranges (`a-z`), leading `^` negation, `\u{..}`
+//! escapes and `&&[...]` intersection — the subset this workspace's test
+//! suites actually use (e.g. `"[a-z]{1,12}"`, `"[ -~&&[^\u{0}]]{0,40}"`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct CharClass {
+    negated: bool,
+    ranges: Vec<(char, char)>,
+    /// `&&[...]` intersection, applied as an extra membership predicate.
+    and: Option<Box<CharClass>>,
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        let in_ranges = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        let base = in_ranges != self.negated;
+        base && self.and.as_ref().map_or(true, |a| a.matches(c))
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        if !self.negated && !self.ranges.is_empty() {
+            // Pick from the union of ranges; reject on the intersection.
+            let total: u64 = self
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            for _ in 0..200 {
+                let mut ix = rng.next_u64() % total;
+                for &(lo, hi) in &self.ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if ix < span {
+                        if let Some(c) = char::from_u32(lo as u32 + ix as u32) {
+                            if self.matches(c) {
+                                return c;
+                            }
+                        }
+                        break;
+                    }
+                    ix -= span;
+                }
+            }
+        } else {
+            // Negated (or empty) class: draw mostly printable ASCII with a
+            // sprinkling of wider scalars, rejecting non-members.
+            for _ in 0..500 {
+                let c = match rng.below(20) {
+                    0..=15 => char::from(0x20 + rng.below(0x5F) as u8),
+                    16..=17 => char::from(0x01 + rng.below(0x1F) as u8),
+                    _ => char::from_u32(0xA0 + rng.below(0x1000) as u32).unwrap_or('¤'),
+                };
+                if self.matches(c) {
+                    return c;
+                }
+            }
+        }
+        // Deterministic fallback: first printable member.
+        (0x20u32..0xFFFF)
+            .filter_map(char::from_u32)
+            .find(|&c| self.matches(c))
+            .expect("character class matches no sampleable character")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => parse_class(&chars, &mut i),
+            '\\' => {
+                let c = parse_escape(&chars, &mut i);
+                CharClass {
+                    negated: false,
+                    ranges: vec![(c, c)],
+                    and: None,
+                }
+            }
+            c => {
+                i += 1;
+                CharClass {
+                    negated: false,
+                    ranges: vec![(c, c)],
+                    and: None,
+                }
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            parse_repeat(&chars, &mut i)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+/// Parse `[...]` starting at `chars[*i] == '['`; leaves `*i` past `]`.
+fn parse_class(chars: &[char], i: &mut usize) -> CharClass {
+    assert_eq!(chars[*i], '[', "expected '['");
+    *i += 1;
+    let negated = chars.get(*i) == Some(&'^');
+    if negated {
+        *i += 1;
+    }
+    let mut ranges = Vec::new();
+    let mut and = None;
+    while *i < chars.len() && chars[*i] != ']' {
+        if chars[*i] == '&' && chars.get(*i + 1) == Some(&'&') {
+            *i += 2;
+            and = Some(Box::new(parse_class(chars, i)));
+            continue;
+        }
+        let lo = if chars[*i] == '\\' {
+            parse_escape(chars, i)
+        } else {
+            let c = chars[*i];
+            *i += 1;
+            c
+        };
+        // A `-` between two members forms a range (not at class end).
+        if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&c| c != ']') {
+            *i += 1;
+            let hi = if chars[*i] == '\\' {
+                parse_escape(chars, i)
+            } else {
+                let c = chars[*i];
+                *i += 1;
+                c
+            };
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert_eq!(chars.get(*i), Some(&']'), "unterminated character class");
+    *i += 1;
+    CharClass {
+        negated,
+        ranges,
+        and,
+    }
+}
+
+/// Parse an escape starting at `chars[*i] == '\\'`; leaves `*i` past it.
+fn parse_escape(chars: &[char], i: &mut usize) -> char {
+    assert_eq!(chars[*i], '\\');
+    *i += 1;
+    let c = chars[*i];
+    *i += 1;
+    match c {
+        'u' => {
+            assert_eq!(chars[*i], '{', "expected \\u{{..}}");
+            *i += 1;
+            let mut v: u32 = 0;
+            while chars[*i] != '}' {
+                v = v * 16 + chars[*i].to_digit(16).expect("hex digit in \\u{..}");
+                *i += 1;
+            }
+            *i += 1;
+            char::from_u32(v).expect("valid scalar in \\u{..}")
+        }
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parse `{n}` or `{m,n}` starting at `chars[*i] == '{'`.
+fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+    assert_eq!(chars[*i], '{');
+    *i += 1;
+    let mut first = 0usize;
+    while chars[*i].is_ascii_digit() {
+        first = first * 10 + chars[*i].to_digit(10).unwrap() as usize;
+        *i += 1;
+    }
+    let second = if chars[*i] == ',' {
+        *i += 1;
+        let mut n = 0usize;
+        while chars[*i].is_ascii_digit() {
+            n = n * 10 + chars[*i].to_digit(10).unwrap() as usize;
+            *i += 1;
+        }
+        n
+    } else {
+        first
+    };
+    assert_eq!(chars[*i], '}', "unterminated repetition");
+    *i += 1;
+    (first, second)
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.between(atom.min, atom.max);
+            for _ in 0..n {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn simple_class_with_repeat() {
+        let mut rng = rng_for("simple_class_with_repeat");
+        for _ in 0..100 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_with_intersection() {
+        let mut rng = rng_for("printable_with_intersection");
+        for _ in 0..100 {
+            let s = "[ -~&&[^\u{0}]]{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn leading_literal_class_then_repeat() {
+        let mut rng = rng_for("leading_literal_class_then_repeat");
+        for _ in 0..100 {
+            let s = "[a-zA-Z_][a-zA-Z0-9_]{0,24}".generate(&mut rng);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(s.chars().count() <= 25);
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes_nul() {
+        let mut rng = rng_for("negated_class_excludes_nul");
+        for _ in 0..100 {
+            let s = "[^\u{0}]{0,64}".generate(&mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(!s.contains('\u{0}'));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic case runner: a SplitMix64 generator seeded from the test
+//! name, so every run of a property test sees the same case sequence.
+
+/// Number of random cases each `proptest!` body runs.
+pub const CASES: usize = 64;
+
+/// The generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform draw from `lo..=hi`.
+    pub fn between(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "between({lo}, {hi})");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seed a [`TestRng`] deterministically from a test's name.
+pub fn rng_for(name: &str) -> TestRng {
+    // FNV-1a over the name keeps runs reproducible without global state.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(h)
+}
