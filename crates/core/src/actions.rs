@@ -101,6 +101,12 @@ pub enum Action {
     Deliver(Delivery),
     /// Report a protocol event upward.
     Event(ProtocolEvent),
+    /// The send window closed: stop submitting ordered sends for this group
+    /// until [`Action::SendReady`]; submissions meanwhile fail with
+    /// [`crate::processor::SendError::Backpressured`].
+    Backpressure(GroupId),
+    /// The send window reopened: queued work may be submitted again.
+    SendReady(GroupId),
 }
 
 /// The reusable action buffer threaded through the layer state machines.

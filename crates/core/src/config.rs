@@ -43,6 +43,62 @@ impl Quorum {
     }
 }
 
+/// How timer values are derived at runtime.
+///
+/// The paper's Heartbeats exist "to measure latency" (§5); under
+/// [`TimerPolicy::Adaptive`] the stack actually uses that measurement —
+/// NACK jitter/retry, retransmission suppression and the fail timeout all
+/// track the estimators in [`crate::adaptive`]. Under the default
+/// [`TimerPolicy::Fixed`] every timer is the configured constant,
+/// bit-for-bit the historical behaviour, so existing experiments reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimerPolicy {
+    /// Every timer is the configured constant (historical behaviour).
+    #[default]
+    Fixed,
+    /// Timers derived from measured RTT and heartbeat interarrival, clamped
+    /// to `[configured, configured × MAX_SCALE]`.
+    Adaptive,
+}
+
+/// Ack-timestamp-driven send-window flow control.
+///
+/// When enabled, a processor stops admitting new ordered sends once its own
+/// unstable retention (messages it sent that some member has not yet acked
+/// past) reaches `high_water` messages, and reopens at `low_water`. The
+/// window edges surface as `Action::Backpressure` / `Action::SendReady` so
+/// the ORB can queue and shed instead of growing buffers without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowControl {
+    /// Whether the send window is enforced at all.
+    pub enabled: bool,
+    /// Close the window when own unstable retention reaches this count.
+    pub high_water: usize,
+    /// Reopen the window when own unstable retention falls to this count.
+    pub low_water: usize,
+}
+
+impl Default for FlowControl {
+    fn default() -> Self {
+        FlowControl {
+            enabled: false,
+            high_water: 64,
+            low_water: 16,
+        }
+    }
+}
+
+impl FlowControl {
+    /// An enabled window with the given high/low marks.
+    pub fn window(high_water: usize, low_water: usize) -> Self {
+        FlowControl {
+            enabled: true,
+            high_water: high_water.max(1),
+            low_water: low_water.min(high_water.saturating_sub(1)),
+        }
+    }
+}
+
 /// All FTMP protocol tunables, with defaults sized for the simulated LAN.
 #[derive(Debug, Clone)]
 pub struct ProtocolConfig {
@@ -74,6 +130,10 @@ pub struct ProtocolConfig {
     pub max_nack_span: u64,
     /// Seed for protocol-level randomness (NACK jitter, any-holder coin).
     pub seed: u64,
+    /// Fixed constants or measurement-derived timers.
+    pub timer_policy: TimerPolicy,
+    /// Bounded send window (disabled by default).
+    pub flow_control: FlowControl,
 }
 
 impl Default for ProtocolConfig {
@@ -90,6 +150,8 @@ impl Default for ProtocolConfig {
             suspect_quorum: Quorum::Majority,
             max_nack_span: 64,
             seed: 0xF7F7_0001,
+            timer_policy: TimerPolicy::Fixed,
+            flow_control: FlowControl::default(),
         }
     }
 }
@@ -118,6 +180,54 @@ impl ProtocolConfig {
     /// Builder-style quorum override.
     pub fn quorum(mut self, q: Quorum) -> Self {
         self.suspect_quorum = q;
+        self
+    }
+
+    /// Builder-style NACK initial-jitter window override.
+    pub fn nack_delay(mut self, d: SimDuration) -> Self {
+        self.nack_delay = d;
+        self
+    }
+
+    /// Builder-style NACK re-issue delay override.
+    pub fn nack_retry(mut self, d: SimDuration) -> Self {
+        self.nack_retry = d;
+        self
+    }
+
+    /// Builder-style retransmission-suppression window override.
+    pub fn retransmit_suppress(mut self, d: SimDuration) -> Self {
+        self.retransmit_suppress = d;
+        self
+    }
+
+    /// Builder-style client ConnectRequest retry interval override.
+    pub fn connect_retry(mut self, d: SimDuration) -> Self {
+        self.connect_retry = d;
+        self
+    }
+
+    /// Builder-style sponsor join retry interval override.
+    pub fn join_retry(mut self, d: SimDuration) -> Self {
+        self.join_retry = d;
+        self
+    }
+
+    /// Builder-style maximum per-RetransmitRequest span override.
+    pub fn max_nack_span(mut self, span: u64) -> Self {
+        self.max_nack_span = span.max(1);
+        self
+    }
+
+    /// Builder-style timer policy override.
+    pub fn timer_policy(mut self, p: TimerPolicy) -> Self {
+        self.timer_policy = p;
+        self
+    }
+
+    /// Builder-style flow-control override.
+    pub fn flow_control(mut self, fc: FlowControl) -> Self {
+        self.flow_control = fc;
         self
     }
 }
@@ -152,9 +262,36 @@ mod tests {
     fn builders_override() {
         let c = ProtocolConfig::with_seed(7)
             .heartbeat(SimDuration::from_millis(3))
-            .quorum(Quorum::Fixed(1));
+            .quorum(Quorum::Fixed(1))
+            .nack_delay(SimDuration::from_millis(1))
+            .nack_retry(SimDuration::from_millis(5))
+            .retransmit_suppress(SimDuration::from_millis(2))
+            .connect_retry(SimDuration::from_millis(30))
+            .join_retry(SimDuration::from_millis(40))
+            .max_nack_span(16)
+            .timer_policy(TimerPolicy::Adaptive)
+            .flow_control(FlowControl::window(32, 8));
         assert_eq!(c.seed, 7);
         assert_eq!(c.heartbeat_interval.as_millis(), 3);
         assert_eq!(c.suspect_quorum, Quorum::Fixed(1));
+        assert_eq!(c.nack_delay.as_millis(), 1);
+        assert_eq!(c.nack_retry.as_millis(), 5);
+        assert_eq!(c.retransmit_suppress.as_millis(), 2);
+        assert_eq!(c.connect_retry.as_millis(), 30);
+        assert_eq!(c.join_retry.as_millis(), 40);
+        assert_eq!(c.max_nack_span, 16);
+        assert_eq!(c.timer_policy, TimerPolicy::Adaptive);
+        assert!(c.flow_control.enabled);
+        assert_eq!(c.flow_control.high_water, 32);
+        assert_eq!(c.flow_control.low_water, 8);
+    }
+
+    #[test]
+    fn flow_control_window_sanitizes_marks() {
+        let fc = FlowControl::window(0, 10);
+        assert!(fc.enabled);
+        assert_eq!(fc.high_water, 1);
+        assert!(fc.low_water < fc.high_water);
+        assert!(!FlowControl::default().enabled);
     }
 }

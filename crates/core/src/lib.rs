@@ -27,7 +27,8 @@
 //! [`pgmp`] the PGMP layer state machine — connections, add/remove and the
 //! suspicion → conviction → membership-change pipeline (§7); [`actions`] the
 //! emitted-effect types and the reusable [`ActionSink`](actions::ActionSink)
-//! buffer; [`stats`] the counter types, including the per-layer
+//! buffer; [`adaptive`] the RTT/interarrival estimators and the derived
+//! adaptive-timer policy; [`stats`] the counter types, including the per-layer
 //! [`LayerCounters`](stats::LayerCounters); [`processor`] the composition
 //! shell tying the three layers into one endpoint; [`sim_adapter`] plugs an
 //! endpoint into the simulator.
@@ -40,6 +41,7 @@
 //! messages feed PGMP) and converts them to [`Action`]s.
 
 pub mod actions;
+pub mod adaptive;
 pub mod clock;
 pub mod config;
 pub mod ids;
@@ -51,8 +53,9 @@ pub mod sim_adapter;
 pub mod stats;
 pub mod wire;
 
+pub use adaptive::{Interarrival, RttEstimator};
 pub use clock::{Clock, ClockMode};
-pub use config::{ProtocolConfig, Quorum, RetransmitPolicy};
+pub use config::{FlowControl, ProtocolConfig, Quorum, RetransmitPolicy, TimerPolicy};
 pub use ids::{
     ConnectionId, FtDomainId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };

@@ -19,6 +19,7 @@
 //!   ConnectRequests, server-side registrations with their processor-group
 //!   address pools, and the conn → processor-group bindings (§4, §7).
 
+use crate::adaptive::Interarrival;
 use crate::ids::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, SeqNum, Timestamp};
 use crate::wire::SeqVector;
 use bytes::Bytes;
@@ -332,6 +333,10 @@ pub struct PgmpGroup {
     pub membership_notice: Option<Bytes>,
     /// Earliest time the notice may be re-sent.
     pub notice_retx_at: SimTime,
+    /// Per-member fresh-packet interarrival envelope (heartbeat cadence plus
+    /// jitter); under adaptive timers the fail timeout floors at a multiple
+    /// of it, so latency spikes widen suspicion instead of convicting.
+    pub arrivals: BTreeMap<ProcessorId, Interarrival>,
     /// This layer's traffic counters.
     pub counters: PgmpCounters,
 }
@@ -358,6 +363,7 @@ impl PgmpGroup {
             last_announce_seq: None,
             membership_notice: None,
             notice_retx_at: SimTime::ZERO,
+            arrivals: BTreeMap::new(),
             counters: PgmpCounters::default(),
         }
     }
@@ -379,8 +385,15 @@ impl PgmpGroup {
     pub fn note_heard(&mut self, source: ProcessorId, now: SimTime, fresh: bool) {
         if fresh {
             self.last_heard.insert(source, now);
+            self.arrivals.entry(source).or_default().observe(now);
         }
         self.heard_any.insert(source);
+    }
+
+    /// The fresh-packet interarrival estimator for `peer` (a default,
+    /// unwarmed estimator when nothing has been heard yet).
+    pub fn arrivals_of(&self, peer: ProcessorId) -> Interarrival {
+        self.arrivals.get(&peer).copied().unwrap_or_default()
     }
 
     /// Feed one input through the layer.

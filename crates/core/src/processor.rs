@@ -47,8 +47,9 @@
 
 use crate::actions::ActionSink;
 pub use crate::actions::{Action, Delivery, ProtocolEvent};
+use crate::adaptive::{self, RttEstimator};
 use crate::clock::{Clock, ClockMode};
-use crate::config::{ProtocolConfig, RetransmitPolicy};
+use crate::config::{FlowControl, ProtocolConfig, RetransmitPolicy};
 use crate::ids::{
     ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };
@@ -57,7 +58,7 @@ use crate::pgmp::{
     SponsorJoin,
 };
 use crate::rmp::{RmpInput, RmpLayer, RmpOutput};
-use crate::romp::{RompInput, RompLayer, RompOutput};
+use crate::romp::{RompInput, RompLayer, RompOutput, WindowEdge};
 pub use crate::stats::{GroupMetrics, LayerCounters, ProcessorStats};
 use crate::wire::{FtmpBody, FtmpMessage, FtmpMsgType};
 use bytes::Bytes;
@@ -96,6 +97,9 @@ pub enum SendError {
     NotConnected,
     /// This processor is not a member of the bound group.
     NotMember,
+    /// The flow-control send window is closed (own unstable backlog at the
+    /// high-water mark); retry after [`Action::SendReady`].
+    Backpressured,
 }
 
 /// One group's layer triple plus the shell-owned transmission state.
@@ -108,6 +112,9 @@ struct GroupState {
     romp: RompLayer,
     /// PGMP: membership, fault-detector state, reconfiguration, retries.
     pgmp: PgmpGroup,
+    /// NACK→retransmission round-trip estimator (Karn-filtered samples fed
+    /// by the shell; drives the adaptive NACK/suppression timers).
+    rtt: RttEstimator,
     last_sent: SimTime,
     pending_ordered: VecDeque<(ConnectionId, RequestNum, Bytes)>,
 }
@@ -118,14 +125,17 @@ impl GroupState {
         addr: McastAddr,
         members: BTreeSet<ProcessorId>,
         membership_ts: Timestamp,
-        romp: RompLayer,
+        mut romp: RompLayer,
         now: SimTime,
+        fc: FlowControl,
     ) -> Self {
+        romp.set_flow_control(fc);
         GroupState {
             addr,
             rmp: RmpLayer::new(self_id),
             romp,
             pgmp: PgmpGroup::new(members, membership_ts, now),
+            rtt: RttEstimator::default(),
             last_sent: now,
             pending_ordered: VecDeque::new(),
         }
@@ -287,7 +297,15 @@ impl Processor {
         let romp = RompLayer::new(members.iter().copied(), Timestamp(0));
         self.groups.insert(
             group,
-            GroupState::new(self.id, addr, members, Timestamp(0), romp, now),
+            GroupState::new(
+                self.id,
+                addr,
+                members,
+                Timestamp(0),
+                romp,
+                now,
+                self.cfg.flow_control,
+            ),
         );
         self.sink.push(Action::Join(addr));
     }
@@ -451,6 +469,10 @@ impl Processor {
     ) -> Result<SendOutcome, SendError> {
         let group = self.conns.group_of(conn).ok_or(SendError::NotConnected)?;
         let g = self.groups.get_mut(&group).ok_or(SendError::NotMember)?;
+        if !g.romp.window().is_open() {
+            self.stats.sends_refused += 1;
+            return Err(SendError::Backpressured);
+        }
         if g.blocked() {
             g.pending_ordered.push_back((conn, request_num, giop));
             return Ok(SendOutcome::Queued);
@@ -464,6 +486,7 @@ impl Processor {
                 giop,
             },
         );
+        self.update_send_window(group);
         Ok(SendOutcome::Sent { group, seq })
     }
 
@@ -697,6 +720,16 @@ impl Processor {
         }
         let from_self = msg.source == self.id;
         let g = self.groups.get_mut(&gid).expect("checked");
+        // A retransmission answering our own single outstanding NACK is an
+        // RTT sample (Karn's rule enforced by the receive window).
+        if msg.retransmission && !own && !from_self {
+            if let Some(sample) = g.rmp.rtt_sample_for(msg.source, now) {
+                g.rtt.observe(sample);
+                self.stats.rtt_samples += 1;
+                self.stats.srtt_us = g.rtt.srtt().map(|d| d.as_micros()).unwrap_or(0);
+                self.stats.rttvar_us = g.rtt.rttvar().map(|d| d.as_micros()).unwrap_or(0);
+            }
+        }
         match g.rmp.handle(RmpInput::Reliable { msg, wire, own }) {
             RmpOutput::Duplicate => {
                 // Our own loopback copy is an expected duplicate, not a
@@ -788,7 +821,32 @@ impl Processor {
                 self.flush_pending(now, gid);
             }
         }
+        // Stability may have drained our unstable backlog: let the send
+        // window reopen and tell the application.
+        self.update_send_window(gid);
         self.maybe_complete_reconfig(now, gid);
+    }
+
+    /// Feed this group's own unstable-retention occupancy (messages we sent
+    /// that are not yet stable everywhere — what the members' ack
+    /// timestamps bound) into the flow-control window, surfacing edges as
+    /// [`Action::Backpressure`] / [`Action::SendReady`].
+    fn update_send_window(&mut self, gid: GroupId) {
+        let Some(g) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        let occupancy = g.rmp.retention().held_by(self.id);
+        match g.romp.update_window(occupancy) {
+            Some(WindowEdge::Closed) => {
+                self.stats.backpressure_closes += 1;
+                self.sink.push(Action::Backpressure(gid));
+            }
+            Some(WindowEdge::Reopened) => {
+                self.stats.backpressure_opens += 1;
+                self.sink.push(Action::SendReady(gid));
+            }
+            None => {}
+        }
     }
 
     /// Answer a peer's RetransmitRequest from RMP's retention store; the
@@ -842,8 +900,8 @@ impl Processor {
             if !respond {
                 continue;
             }
-            let suppress = self.cfg.retransmit_suppress;
             let g = self.groups.get_mut(&gid).expect("checked");
+            let suppress = adaptive::suppress_window(&self.cfg, &g.rtt);
             if let Some(payload) = g.rmp.answer_retransmit(missing_from, seq, now, suppress) {
                 let addr = g.addr;
                 self.stats.retransmissions_sent += 1;

@@ -73,7 +73,15 @@ impl Processor {
         let romp = RompLayer::new(union.iter().copied(), Timestamp(0));
         self.groups.insert(
             gid,
-            GroupState::new(self.id, addr, union, Timestamp(0), romp, now),
+            GroupState::new(
+                self.id,
+                addr,
+                union,
+                Timestamp(0),
+                romp,
+                now,
+                self.cfg.flow_control,
+            ),
         );
         self.sink.push(Action::Join(addr));
         let body = {
@@ -143,6 +151,7 @@ impl Processor {
             Timestamp(0),
             romp,
             now,
+            self.cfg.flow_control,
         );
         gs.pgmp.gate = Some(msg.ts);
         self.groups.insert(gid, gs);
@@ -186,7 +195,15 @@ impl Processor {
             Timestamp(0),
             (Timestamp(0), ProcessorId(u32::MAX)),
         );
-        let mut gs = GroupState::new(self.id, addr, members, msg.ts, romp, now);
+        let mut gs = GroupState::new(
+            self.id,
+            addr,
+            members,
+            msg.ts,
+            romp,
+            now,
+            self.cfg.flow_control,
+        );
         gs.pgmp.app_floor = Some((msg.ts, msg.source));
         gs.pgmp.provisional_since = Some(now);
         for (src, cited) in seqs {

@@ -155,6 +155,7 @@ impl Processor {
                 g.romp.ordering_mut().remove_member(*r);
                 g.pgmp.last_heard.remove(r);
                 g.pgmp.my_suspects.remove(r);
+                g.pgmp.arrivals.remove(r);
                 if let Some(t) = targets.get(r) {
                     g.rmp.retention_mut().drop_beyond(*r, *t);
                 }

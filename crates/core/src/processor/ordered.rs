@@ -64,6 +64,7 @@ impl Processor {
                             m.ts,
                             romp,
                             now,
+                            self.cfg.flow_control,
                         );
                         gs.pgmp.gate = Some(m.ts);
                         self.groups.insert(target, gs);
@@ -116,6 +117,7 @@ impl Processor {
                         g.romp.ordering_mut().remove_member(member);
                         g.pgmp.last_heard.remove(&member);
                         g.pgmp.my_suspects.remove(&member);
+                        g.pgmp.arrivals.remove(&member);
                         let membership = g.pgmp.membership.clone();
                         g.pgmp.suspicion.retain_members(&membership);
                         let members: Vec<ProcessorId> = membership.iter().copied().collect();

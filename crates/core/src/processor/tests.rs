@@ -55,7 +55,10 @@ impl MiniNet {
                         }
                         Action::Deliver(d) => self.delivered[i].push(d),
                         Action::Event(e) => self.events[i].push(e),
-                        Action::Join(_) | Action::Leave(_) => {}
+                        Action::Join(_)
+                        | Action::Leave(_)
+                        | Action::Backpressure(_)
+                        | Action::SendReady(_) => {}
                     }
                 }
             }
@@ -82,7 +85,10 @@ impl MiniNet {
                         }
                         Action::Deliver(d) => self.delivered[i].push(d),
                         Action::Event(e) => self.events[i].push(e),
-                        Action::Join(_) | Action::Leave(_) => {}
+                        Action::Join(_)
+                        | Action::Leave(_)
+                        | Action::Backpressure(_)
+                        | Action::SendReady(_) => {}
                     }
                 }
             }

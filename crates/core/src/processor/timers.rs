@@ -6,6 +6,7 @@
 //! sent — ticking never re-encodes.
 
 use super::*;
+use crate::adaptive;
 
 impl Processor {
     pub(super) fn tick_heartbeats(&mut self, now: SimTime) {
@@ -21,17 +22,26 @@ impl Processor {
     }
 
     pub(super) fn tick_nacks(&mut self, now: SimTime) {
-        let jitter_max = self.cfg.nack_delay.as_micros().max(1);
-        let retry = self.cfg.nack_retry;
         let max_span = self.cfg.max_nack_span;
         let gids: Vec<GroupId> = self.groups.keys().copied().collect();
         for gid in gids {
             let requests = {
                 let g = self.groups.get_mut(&gid).expect("listed");
+                // Under adaptive timers the jitter window tracks SRTT and
+                // re-issues back off exponentially per unanswered attempt;
+                // under fixed timers both are the configured constants.
+                let jitter_max = adaptive::nack_jitter_max(&self.cfg, &g.rtt)
+                    .as_micros()
+                    .max(1);
+                let cfg = &self.cfg;
+                let rtt = g.rtt;
                 let rng = &mut self.rng;
-                g.rmp.nack_requests(now, retry, max_span, || {
-                    SimDuration::from_micros(rng.gen_range(0..=jitter_max))
-                })
+                g.rmp.nack_requests(
+                    now,
+                    max_span,
+                    || SimDuration::from_micros(rng.gen_range(0..=jitter_max)),
+                    |attempts| adaptive::nack_retry_after(cfg, &rtt, attempts),
+                )
             };
             for (src, ranges) in requests {
                 for (a, b) in ranges {
@@ -55,19 +65,26 @@ impl Processor {
         for gid in gids {
             let (newly, resend_due): (Vec<ProcessorId>, bool) = {
                 let g = self.groups.get(&gid).expect("listed");
-                let newly =
-                    g.pgmp
-                        .membership
-                        .iter()
-                        .copied()
-                        .filter(|&p| {
-                            p != self.id
-                                && !g.pgmp.my_suspects.contains(&p)
-                                && g.pgmp.last_heard.get(&p).is_some_and(|&t| {
-                                    now.saturating_since(t) > self.cfg.fail_timeout
-                                })
-                        })
-                        .collect();
+                let newly = g
+                    .pgmp
+                    .membership
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        // Per-peer timeout: under adaptive timers the
+                        // configured constant is stretched to cover the
+                        // peer's observed interarrival envelope, so a
+                        // latency spike widens suspicion instead of
+                        // convicting a healthy member.
+                        let timeout = adaptive::fail_timeout_for(&self.cfg, &g.pgmp.arrivals_of(p));
+                        p != self.id
+                            && !g.pgmp.my_suspects.contains(&p)
+                            && g.pgmp
+                                .last_heard
+                                .get(&p)
+                                .is_some_and(|&t| now.saturating_since(t) > timeout)
+                    })
+                    .collect();
                 // Standing suspicions are re-announced periodically so a
                 // peer that discarded an earlier report (stale epoch, or a
                 // quorum that was one vote short) still converges.

@@ -54,6 +54,13 @@ pub struct SourceRx {
     highest_seen: u64,
     /// When the next RetransmitRequest for this source's gaps is due.
     nack_at: Option<SimTime>,
+    /// RetransmitRequests issued for the current gap episode (resets when
+    /// the stream goes contiguous again); drives exponential backoff.
+    nack_attempts: u32,
+    /// When the *first* RetransmitRequest of the episode was sent. Cleared
+    /// on re-issue: per Karn's rule a round-trip measured across more than
+    /// one outstanding request is ambiguous and must be discarded.
+    nack_sent_at: Option<SimTime>,
 }
 
 impl SourceRx {
@@ -65,6 +72,8 @@ impl SourceRx {
             buffer: BTreeMap::new(),
             highest_seen: first_seq.saturating_sub(1),
             nack_at: None,
+            nack_attempts: 0,
+            nack_sent_at: None,
         }
     }
 
@@ -108,6 +117,7 @@ impl SourceRx {
         }
         if !self.has_gap() {
             self.nack_at = None;
+            self.nack_attempts = 0;
         }
         RxOutcome::Delivered(run)
     }
@@ -168,6 +178,7 @@ impl SourceRx {
     ) -> bool {
         if !self.has_gap() {
             self.nack_at = None;
+            self.nack_attempts = 0;
             return false;
         }
         match self.nack_at {
@@ -177,10 +188,37 @@ impl SourceRx {
             }
             Some(at) if now >= at => {
                 self.nack_at = Some(now + retry);
+                self.nack_attempts += 1;
+                // Karn's rule: time only the first request of the episode;
+                // a re-issue makes any later answer ambiguous.
+                self.nack_sent_at = if self.nack_attempts == 1 {
+                    Some(now)
+                } else {
+                    None
+                };
                 true
             }
             Some(_) => false,
         }
+    }
+
+    /// RetransmitRequests issued for the current gap episode.
+    pub fn nack_attempts(&self) -> u32 {
+        self.nack_attempts
+    }
+
+    /// Offer an RTT sample: a retransmission addressed at this window's gap
+    /// arrived at `now`. Returns the NACK→retransmission round-trip only
+    /// when exactly one request is outstanding (Karn's rule) and the gap is
+    /// still open (the retransmission answers *this* episode, not a
+    /// suppression-window echo of someone else's). Consumes the sample.
+    pub fn rtt_sample(&mut self, now: SimTime) -> Option<SimDuration> {
+        if !self.has_gap() || self.nack_attempts != 1 {
+            return None;
+        }
+        self.nack_sent_at
+            .take()
+            .map(|sent| now.saturating_since(sent))
     }
 }
 
@@ -347,6 +385,12 @@ impl RetentionStore {
                 true
             }
         });
+    }
+
+    /// Number of retained messages originated by `source` — for our own id
+    /// this is the unstable send backlog the flow-control window bounds.
+    pub fn held_by(&self, source: ProcessorId) -> usize {
+        self.msgs.range((source, 0)..=(source, u64::MAX)).count()
     }
 
     /// Number of retained messages.
@@ -530,13 +574,15 @@ impl RmpLayer {
 
     /// Run the NACK schedulers for every remote source and collect the
     /// missing ranges whose RetransmitRequests are due now. `jitter` is
-    /// sampled once per firing source (randomness stays in the shell).
+    /// sampled once per firing source (randomness stays in the shell);
+    /// `retry` maps the window's current attempt count to its next re-issue
+    /// delay, which is how the shell injects exponential backoff.
     pub fn nack_requests(
         &mut self,
         now: SimTime,
-        retry: SimDuration,
         max_span: u64,
         mut jitter: impl FnMut() -> SimDuration,
+        mut retry: impl FnMut(u32) -> SimDuration,
     ) -> Vec<(ProcessorId, Vec<(u64, u64)>)> {
         let self_id = self.self_id;
         let mut due = Vec::new();
@@ -544,7 +590,8 @@ impl RmpLayer {
             if source == self_id {
                 continue;
             }
-            if rx.nack_due(now, jitter(), retry) {
+            let r = retry(rx.nack_attempts());
+            if rx.nack_due(now, jitter(), r) {
                 let ranges = rx.missing_ranges(max_span);
                 if !ranges.is_empty() {
                     due.push((source, ranges));
@@ -552,6 +599,12 @@ impl RmpLayer {
             }
         }
         due
+    }
+
+    /// Offer an RTT sample for a retransmission just received from
+    /// `source`'s stream (see [`SourceRx::rtt_sample`]).
+    pub fn rtt_sample_for(&mut self, source: ProcessorId, now: SimTime) -> Option<SimDuration> {
+        self.rx.get_mut(&source)?.rtt_sample(now)
     }
 
     /// Answer a RetransmitRequest for `(source, seq)` from the retention
@@ -708,6 +761,61 @@ mod tests {
         rx.on_reliable(msg(1, 2, 2));
         rx.on_reliable(msg(1, 3, 3));
         assert!(!rx.nack_due(SimTime(30_000), jitter, retry));
+    }
+
+    #[test]
+    fn karn_rule_samples_only_single_outstanding_nack() {
+        let jitter = SimDuration::from_millis(0);
+        let retry = SimDuration::from_millis(8);
+        // One outstanding request: the answer is an unambiguous sample.
+        let mut rx = SourceRx::starting_at(1);
+        rx.note_header_seq(SeqNum(2));
+        assert!(!rx.nack_due(SimTime(0), jitter, retry)); // arm
+        assert!(rx.nack_due(SimTime(1_000), jitter, retry)); // fire #1
+        let s = rx.rtt_sample(SimTime(4_500)).expect("one NACK outstanding");
+        assert_eq!(s.as_micros(), 3_500);
+        // The sample is consumed: a second retransmission gives nothing.
+        assert!(rx.rtt_sample(SimTime(5_000)).is_none());
+
+        // Two outstanding requests: ambiguous, Karn discards.
+        let mut rx = SourceRx::starting_at(1);
+        rx.note_header_seq(SeqNum(2));
+        assert!(!rx.nack_due(SimTime(0), jitter, retry));
+        assert!(rx.nack_due(SimTime(1_000), jitter, retry)); // fire #1
+        assert!(rx.nack_due(SimTime(20_000), jitter, retry)); // fire #2
+        assert!(rx.rtt_sample(SimTime(21_000)).is_none());
+
+        // No gap (suppression-window echo of someone else's NACK): no sample.
+        let mut rx = SourceRx::starting_at(1);
+        rx.on_reliable(msg(1, 1, 1));
+        assert!(rx.rtt_sample(SimTime(9_000)).is_none());
+    }
+
+    #[test]
+    fn nack_attempts_reset_when_gap_closes() {
+        let jitter = SimDuration::from_millis(0);
+        let retry = SimDuration::from_millis(8);
+        let mut rx = SourceRx::starting_at(1);
+        rx.note_header_seq(SeqNum(2));
+        assert!(!rx.nack_due(SimTime(0), jitter, retry));
+        assert!(rx.nack_due(SimTime(1_000), jitter, retry));
+        assert!(rx.nack_due(SimTime(20_000), jitter, retry));
+        assert_eq!(rx.nack_attempts(), 2);
+        rx.on_reliable(msg(1, 1, 1));
+        rx.on_reliable(msg(1, 2, 2));
+        assert_eq!(rx.nack_attempts(), 0);
+    }
+
+    #[test]
+    fn retention_held_by_counts_per_source() {
+        let mut store = RetentionStore::default();
+        for m in [msg(1, 1, 10), msg(1, 2, 20), msg(2, 1, 15)] {
+            let w = wire_of(&m);
+            store.insert(m, w);
+        }
+        assert_eq!(store.held_by(ProcessorId(1)), 2);
+        assert_eq!(store.held_by(ProcessorId(2)), 1);
+        assert_eq!(store.held_by(ProcessorId(3)), 0);
     }
 
     #[test]
@@ -888,14 +996,14 @@ mod tests {
             wire: w3,
             own: false,
         });
-        let retry = SimDuration::from_millis(8);
+        let retry = |_attempts: u32| SimDuration::from_millis(8);
         let zero_jitter = || SimDuration::from_millis(0);
         // First pass arms the per-source NACK timer.
         assert!(layer
-            .nack_requests(SimTime(0), retry, 64, zero_jitter)
+            .nack_requests(SimTime(0), 64, zero_jitter, retry)
             .is_empty());
         // Second pass fires: seq 2 is missing.
-        let due = layer.nack_requests(SimTime(1), retry, 64, zero_jitter);
+        let due = layer.nack_requests(SimTime(1), 64, zero_jitter, retry);
         assert_eq!(due, vec![(ProcessorId(1), vec![(2, 2)])]);
         // Any holder answers from retention, counting the retransmit.
         let sup = SimDuration::from_millis(4);

@@ -18,6 +18,7 @@
 //! acks is the stability point: messages at or below it can never be asked
 //! for again and leave the retention buffer (§6 buffer management).
 
+use crate::config::FlowControl;
 use crate::ids::{ProcessorId, Timestamp};
 use crate::wire::FtmpMessage;
 use std::collections::BTreeMap;
@@ -226,6 +227,64 @@ impl Ordering {
     }
 }
 
+/// A send-window edge reported by [`SendWindow::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowEdge {
+    /// Occupancy reached the high-water mark: stop admitting ordered sends.
+    Closed,
+    /// Occupancy drained to the low-water mark: admission may resume.
+    Reopened,
+}
+
+/// The ack-timestamp-driven send window: a hysteresis gate over the
+/// sender's *own unstable retention* (messages it sent that are not yet
+/// stable at every member — exactly the backlog ROMP's ack timestamps
+/// bound). Closes at `high_water`, reopens at `low_water`, so admission
+/// doesn't flap at the boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct SendWindow {
+    fc: FlowControl,
+    open: bool,
+}
+
+impl Default for SendWindow {
+    fn default() -> Self {
+        SendWindow {
+            fc: FlowControl::default(),
+            open: true,
+        }
+    }
+}
+
+impl SendWindow {
+    /// A window enforcing the given policy (starts open).
+    pub fn new(fc: FlowControl) -> Self {
+        SendWindow { fc, open: true }
+    }
+
+    /// True when ordered sends may be admitted.
+    pub fn is_open(&self) -> bool {
+        !self.fc.enabled || self.open
+    }
+
+    /// Feed the current unstable-retention occupancy; returns an edge when
+    /// the window just closed or reopened.
+    pub fn update(&mut self, occupancy: usize) -> Option<WindowEdge> {
+        if !self.fc.enabled {
+            return None;
+        }
+        if self.open && occupancy >= self.fc.high_water {
+            self.open = false;
+            Some(WindowEdge::Closed)
+        } else if !self.open && occupancy <= self.fc.low_water {
+            self.open = true;
+            Some(WindowEdge::Reopened)
+        } else {
+            None
+        }
+    }
+}
+
 /// Per-layer traffic counters exposed through
 /// [`crate::processor::Processor::stats`] and the harness report.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -285,6 +344,7 @@ pub enum RompOutput {
 pub struct RompLayer {
     ordering: Ordering,
     counters: RompCounters,
+    window: SendWindow,
 }
 
 impl RompLayer {
@@ -293,6 +353,7 @@ impl RompLayer {
         RompLayer {
             ordering: Ordering::new(members, floor),
             counters: RompCounters::default(),
+            window: SendWindow::default(),
         }
     }
 
@@ -306,7 +367,23 @@ impl RompLayer {
         RompLayer {
             ordering: Ordering::with_floor_key(members, horizon_floor, floor_key),
             counters: RompCounters::default(),
+            window: SendWindow::default(),
         }
+    }
+
+    /// Install the flow-control policy (resets the window to open).
+    pub fn set_flow_control(&mut self, fc: FlowControl) {
+        self.window = SendWindow::new(fc);
+    }
+
+    /// The send window gating ordered-send admission.
+    pub fn window(&self) -> &SendWindow {
+        &self.window
+    }
+
+    /// Feed the current unstable-retention occupancy into the send window.
+    pub fn update_window(&mut self, occupancy: usize) -> Option<WindowEdge> {
+        self.window.update(occupancy)
     }
 
     /// Feed one input through the layer.
@@ -398,6 +475,25 @@ mod tests {
 
     fn members(n: u32) -> Vec<ProcessorId> {
         (1..=n).map(ProcessorId).collect()
+    }
+
+    #[test]
+    fn send_window_hysteresis() {
+        let mut w = SendWindow::new(FlowControl::window(4, 1));
+        assert!(w.is_open());
+        assert_eq!(w.update(3), None);
+        assert_eq!(w.update(4), Some(WindowEdge::Closed));
+        assert!(!w.is_open());
+        // Between the marks: still closed, no repeated edge.
+        assert_eq!(w.update(3), None);
+        assert_eq!(w.update(2), None);
+        assert!(!w.is_open());
+        assert_eq!(w.update(1), Some(WindowEdge::Reopened));
+        assert!(w.is_open());
+        // Disabled flow control never closes.
+        let mut off = SendWindow::default();
+        assert_eq!(off.update(10_000), None);
+        assert!(off.is_open());
     }
 
     #[test]

@@ -5,15 +5,21 @@
 //! the [`Outbox`], and its Deliver/Event actions are queued for the test or
 //! experiment harness to drain between simulation steps.
 
+use crate::ids::GroupId;
 use crate::processor::{Action, Delivery, Processor, ProtocolEvent};
 use ftmp_net::{Outbox, Packet, SimNode, SimTime};
 use std::collections::VecDeque;
+
+/// A flow-control window edge observed by the adapter: `true` means the
+/// window closed (backpressure on), `false` that it reopened.
+pub type WindowEvent = (SimTime, GroupId, bool);
 
 /// A simulator-hosted FTMP endpoint.
 pub struct SimProcessor {
     engine: Processor,
     deliveries: VecDeque<(SimTime, Delivery)>,
     events: VecDeque<(SimTime, ProtocolEvent)>,
+    window_events: VecDeque<WindowEvent>,
     last_now: SimTime,
 }
 
@@ -24,6 +30,7 @@ impl SimProcessor {
             engine,
             deliveries: VecDeque::new(),
             events: VecDeque::new(),
+            window_events: VecDeque::new(),
             last_now: SimTime::ZERO,
         }
     }
@@ -51,6 +58,12 @@ impl SimProcessor {
         self.events.drain(..).collect()
     }
 
+    /// Drain flow-control window edges (`true` = closed, `false` =
+    /// reopened), stamped with the virtual time they surfaced.
+    pub fn take_window_events(&mut self) -> Vec<WindowEvent> {
+        self.window_events.drain(..).collect()
+    }
+
     /// Peek at queued deliveries without draining.
     pub fn deliveries(&self) -> impl Iterator<Item = &(SimTime, Delivery)> {
         self.deliveries.iter()
@@ -74,6 +87,8 @@ impl SimProcessor {
                 Action::Leave(addr) => out.leave(addr),
                 Action::Deliver(d) => self.deliveries.push_back((now, d)),
                 Action::Event(e) => self.events.push_back((now, e)),
+                Action::Backpressure(g) => self.window_events.push_back((now, g, true)),
+                Action::SendReady(g) => self.window_events.push_back((now, g, false)),
             }
         }
     }

@@ -24,6 +24,19 @@ pub struct ProcessorStats {
     pub reconfigurations: u64,
     /// Messages discarded at a membership-change flush.
     pub discarded_at_flush: u64,
+    /// NACK→retransmission round-trips accepted under Karn's rule.
+    pub rtt_samples: u64,
+    /// Smoothed round-trip time in microseconds, as of the most recent
+    /// accepted sample (0 until the first).
+    pub srtt_us: u64,
+    /// Smoothed round-trip variance in microseconds, ditto.
+    pub rttvar_us: u64,
+    /// Times the flow-control send window closed.
+    pub backpressure_closes: u64,
+    /// Times the flow-control send window reopened.
+    pub backpressure_opens: u64,
+    /// Ordered sends refused with `SendError::Backpressured`.
+    pub sends_refused: u64,
 }
 
 /// Point-in-time buffer metrics for one group (experiment E6).

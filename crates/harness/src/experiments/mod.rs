@@ -4,6 +4,7 @@
 //! dispatches by id; `all_ids` lists them in presentation order.
 
 pub mod e10_replication_styles;
+pub mod e11_adaptivity;
 pub mod e1_heartbeat;
 pub mod e2_group_size;
 pub mod e3_loss;
@@ -22,7 +23,7 @@ use crate::report::Table;
 /// All experiment ids in presentation order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+        "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
     ]
 }
 
@@ -42,6 +43,7 @@ pub fn run(id: &str) -> Option<Vec<Table>> {
         "e8" => e8_end_to_end::run(),
         "e9" => e9_retransmit_ablation::run(),
         "e10" => e10_replication_styles::run(),
+        "e11" => e11_adaptivity::run(),
         _ => return None,
     })
 }

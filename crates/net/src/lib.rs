@@ -25,7 +25,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use models::{LatencyModel, LossModel, SimConfig};
+pub use models::{LatencyModel, LinkDegrade, LinkSelector, LossModel, SimConfig};
 pub use sim::{Outbox, SimNet, SimNode};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,8 @@
-//! Network behaviour models: latency, loss, and the overall configuration.
+//! Network behaviour models: latency, loss, scheduled link degradation,
+//! and the overall configuration.
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -138,6 +140,85 @@ impl LossState {
     }
 }
 
+/// Which (src → dst) links a [`LinkDegrade`] applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkSelector {
+    /// Every link (a network-wide event such as a switch stall).
+    All,
+    /// Only links *into* the listed receivers (an overloaded or
+    /// poorly-connected host).
+    To(Vec<NodeId>),
+    /// Only links *out of* the listed senders (a congested uplink).
+    From(Vec<NodeId>),
+}
+
+impl LinkSelector {
+    /// Does the selector cover the `src → dst` link?
+    pub fn covers(&self, src: NodeId, dst: NodeId) -> bool {
+        match self {
+            LinkSelector::All => true,
+            LinkSelector::To(dsts) => dsts.contains(&dst),
+            LinkSelector::From(srcs) => srcs.contains(&src),
+        }
+    }
+}
+
+/// A scheduled, time-windowed degradation of selected links: the
+/// fault-injection surface for latency-spike and overload experiments
+/// (E11) and the chaos suite. While active, the sampled one-way latency on
+/// covered links is multiplied by `latency_factor` and packets are
+/// additionally dropped with probability `extra_loss` (independently of
+/// the configured [`LossModel`]).
+#[derive(Debug, Clone)]
+pub struct LinkDegrade {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Links covered.
+    pub links: LinkSelector,
+    /// Multiplier applied to the sampled latency (1.0 = unchanged). This
+    /// scales the whole sample, so under a jittery [`LatencyModel`] it
+    /// amplifies deviation as well as mean — a real congestion signature.
+    pub latency_factor: f64,
+    /// Additional independent drop probability on covered links.
+    pub extra_loss: f64,
+}
+
+impl LinkDegrade {
+    /// A latency-spike window over the given links.
+    pub fn spike(from: SimTime, until: SimTime, links: LinkSelector, latency_factor: f64) -> Self {
+        LinkDegrade {
+            from,
+            until,
+            links,
+            latency_factor,
+            extra_loss: 0.0,
+        }
+    }
+
+    /// A lossy window over the given links (latency untouched).
+    pub fn lossy(from: SimTime, until: SimTime, links: LinkSelector, extra_loss: f64) -> Self {
+        LinkDegrade {
+            from,
+            until,
+            links,
+            latency_factor: 1.0,
+            extra_loss,
+        }
+    }
+
+    /// Is the window active at `now`?
+    pub fn active(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    /// Is the window active at `now` *and* covering `src → dst`?
+    pub fn applies(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        self.active(now) && self.links.covers(src, dst)
+    }
+}
+
 /// Complete simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -152,6 +233,8 @@ pub struct SimConfig {
     pub loopback_latency: SimDuration,
     /// Interval between `on_tick` calls for every node.
     pub tick_interval: SimDuration,
+    /// Scheduled link degradations (latency spikes, lossy windows).
+    pub degrades: Vec<LinkDegrade>,
 }
 
 impl Default for SimConfig {
@@ -162,6 +245,7 @@ impl Default for SimConfig {
             loss: LossModel::None,
             loopback_latency: SimDuration::from_micros(20),
             tick_interval: SimDuration::from_millis(1),
+            degrades: Vec::new(),
         }
     }
 }
@@ -184,6 +268,12 @@ impl SimConfig {
     /// Replace the latency model.
     pub fn latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Add a scheduled link degradation.
+    pub fn degrade(mut self, d: LinkDegrade) -> Self {
+        self.degrades.push(d);
         self
     }
 }
@@ -278,6 +368,27 @@ mod tests {
             p_exit_bad: 0.3,
         };
         assert!((b.mean_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_degrade_window_and_selector() {
+        use crate::time::SimTime;
+        let d = LinkDegrade::spike(
+            SimTime(1_000),
+            SimTime(2_000),
+            LinkSelector::To(vec![4]),
+            8.0,
+        );
+        assert!(!d.active(SimTime(999)));
+        assert!(d.active(SimTime(1_000)));
+        assert!(d.active(SimTime(1_999)));
+        assert!(!d.active(SimTime(2_000)), "end is exclusive");
+        assert!(d.applies(SimTime(1_500), 1, 4));
+        assert!(!d.applies(SimTime(1_500), 4, 1), "To() keys on receiver");
+        let from = LinkDegrade::lossy(SimTime(0), SimTime(10), LinkSelector::From(vec![2]), 0.5);
+        assert!(from.applies(SimTime(5), 2, 9));
+        assert!(!from.applies(SimTime(5), 3, 9));
+        assert!(LinkSelector::All.covers(7, 8));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent, TraceRecord};
 use crate::{McastAddr, NodeId, Packet};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 
@@ -241,6 +241,12 @@ impl<N: SimNode> SimNet<N> {
         self.partition = None;
     }
 
+    /// Schedule a link degradation at runtime (in addition to any windows
+    /// configured up front in [`SimConfig::degrade`]).
+    pub fn add_degrade(&mut self, d: crate::LinkDegrade) {
+        self.cfg.degrades.push(d);
+    }
+
     fn can_reach(&self, a: NodeId, b: NodeId) -> bool {
         match &self.partition {
             None => true,
@@ -308,7 +314,32 @@ impl<N: SimNode> SimNet<N> {
                     self.trace_event(pkt.src, pkt.dst, pkt.len(), kind, TraceEvent::Lose(rcv));
                     continue;
                 }
-                self.cfg.latency.sample(&mut self.rng)
+                // Scheduled degradations: active windows covering this link
+                // stack multiplicatively on latency and drop independently.
+                let mut latency_factor = 1.0f64;
+                let mut dropped = false;
+                for d in &self.cfg.degrades {
+                    if !d.applies(self.now, pkt.src, rcv) {
+                        continue;
+                    }
+                    latency_factor *= d.latency_factor.max(0.0);
+                    if d.extra_loss > 0.0 && self.rng.gen_bool(d.extra_loss.clamp(0.0, 1.0)) {
+                        dropped = true;
+                    }
+                }
+                if dropped {
+                    self.stats.lost += 1;
+                    self.trace_event(pkt.src, pkt.dst, pkt.len(), kind, TraceEvent::Lose(rcv));
+                    continue;
+                }
+                let base = self.cfg.latency.sample(&mut self.rng);
+                if latency_factor == 1.0 {
+                    base
+                } else {
+                    crate::SimDuration::from_micros(
+                        (base.as_micros() as f64 * latency_factor).round() as u64,
+                    )
+                }
             };
             let at = self.now + delay;
             self.trace_event(pkt.src, pkt.dst, pkt.len(), kind, TraceEvent::Deliver(rcv));
@@ -531,6 +562,49 @@ mod tests {
         net.inject(Packet::new(0, McastAddr(1), vec![2]));
         net.run_for(SimDuration::from_millis(5));
         assert!(!net.node(1).unwrap().seen.is_empty());
+    }
+
+    #[test]
+    fn degrade_window_multiplies_latency_on_selected_links() {
+        use crate::models::{LinkDegrade, LinkSelector};
+        let mut net = echo_net(LossModel::None);
+        net.add_degrade(LinkDegrade::spike(
+            SimTime(0),
+            SimTime(1_000_000),
+            LinkSelector::To(vec![1]),
+            4.0,
+        ));
+        net.inject(Packet::new(0, McastAddr(1), vec![1]));
+        net.run_for(SimDuration::from_millis(10));
+        // Into node 1: 500µs × 4; into node 2: untouched.
+        assert_eq!(net.node(1).unwrap().seen[0].0.as_micros(), 2_000);
+        assert_eq!(net.node(2).unwrap().seen[0].0.as_micros(), 500);
+    }
+
+    #[test]
+    fn degrade_window_expires_and_drops_with_extra_loss() {
+        use crate::models::{LinkDegrade, LinkSelector};
+        let mut net = echo_net(LossModel::None);
+        net.add_degrade(LinkDegrade {
+            from: SimTime(0),
+            until: SimTime(2_000),
+            links: LinkSelector::All,
+            latency_factor: 10.0,
+            extra_loss: 1.0,
+        });
+        // During the window: every non-loopback copy is dropped.
+        net.inject(Packet::new(0, McastAddr(1), vec![1]));
+        net.run_for(SimDuration::from_millis(1));
+        assert!(net.node(1).unwrap().seen.is_empty());
+        assert!(net.stats().lost >= 2);
+        // After the window: normal latency again.
+        net.run_for(SimDuration::from_millis(2));
+        let before = net.stats().lost;
+        net.inject(Packet::new(0, McastAddr(1), vec![2]));
+        net.run_for(SimDuration::from_millis(10));
+        assert_eq!(net.stats().lost, before);
+        let n1 = net.node(1).unwrap();
+        assert!(n1.seen.iter().any(|(_, p)| p.payload.as_ref() == [2]));
     }
 
     #[test]

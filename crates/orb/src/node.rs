@@ -1,10 +1,19 @@
 //! A complete replicated-CORBA endpoint for the simulator: FTMP processor
 //! below, ORB above.
 
-use crate::endpoint::{Completion, OrbEndpoint};
-use ftmp_core::{Action, ConnectionId, Delivery, Processor, ProtocolEvent, RequestNum};
+use crate::endpoint::{Completion, InvocationResult, OrbEndpoint, OutboundMsg};
+use ftmp_core::{Action, ConnectionId, Delivery, Processor, ProtocolEvent, RequestNum, SendError};
 use ftmp_net::{Outbox, Packet, SimNode, SimTime};
 use std::collections::VecDeque;
+
+/// Outbound GIOP messages parked while the processor reports backpressure.
+/// Past this, further work is shed with a typed CORBA `TRANSIENT` exception
+/// instead of growing the queue without bound.
+const DEFERRED_CAP: usize = 64;
+
+/// Repository id completing a shed invocation — the standard CORBA "try
+/// again later" system exception.
+const TRANSIENT_REPO_ID: &str = "IDL:omg.org/CORBA/TRANSIENT:1.0";
 
 /// An [`ftmp_net::SimNode`] hosting an FTMP [`Processor`] and an
 /// [`OrbEndpoint`]. Deliveries flow up into the ORB; the ORB's outbound
@@ -17,6 +26,12 @@ pub struct OrbNode {
     completions: VecDeque<Completion>,
     /// Raw deliveries (latency measurement at the harness).
     deliveries_seen: u64,
+    /// Outbound messages awaiting `Action::SendReady` (bounded).
+    deferred: VecDeque<OutboundMsg>,
+    /// True between `Action::Backpressure` and `Action::SendReady`.
+    blocked: bool,
+    /// Invocations shed with `TRANSIENT` because the deferred queue was full.
+    shed: u64,
 }
 
 impl OrbNode {
@@ -28,6 +43,9 @@ impl OrbNode {
             events: VecDeque::new(),
             completions: VecDeque::new(),
             deliveries_seen: 0,
+            deferred: VecDeque::new(),
+            blocked: false,
+            shed: 0,
         }
     }
 
@@ -82,16 +100,60 @@ impl OrbNode {
         self.deliveries_seen
     }
 
+    /// Outbound messages currently parked behind backpressure.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Invocations shed with `TRANSIENT` since construction.
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// True between `Action::Backpressure` and `Action::SendReady`.
+    pub fn is_backpressured(&self) -> bool {
+        self.blocked
+    }
+
+    /// Park an outbound message, or shed it with a typed `TRANSIENT`
+    /// completion when the parking lot is full.
+    fn defer_or_shed(&mut self, ob: OutboundMsg) {
+        if self.deferred.len() < DEFERRED_CAP {
+            self.deferred.push_back(ob);
+        } else {
+            self.shed += 1;
+            self.completions.push_back(Completion {
+                conn: ob.conn,
+                request_num: ob.request_num,
+                result: InvocationResult::Exception(TRANSIENT_REPO_ID.to_string()),
+            });
+        }
+    }
+
     /// Move data between the layers and the network until quiescent.
     pub fn pump(&mut self, now: SimTime, out: &mut Outbox) {
         loop {
-            // ORB → FTMP.
-            let outbound = self.orb.drain_outbound();
-            let had_outbound = !outbound.is_empty();
-            for ob in outbound {
-                let _ = self
-                    .proc
-                    .multicast_request(now, ob.conn, ob.request_num, ob.giop);
+            // ORB → FTMP: deferred work first (FIFO across backpressure
+            // episodes), then fresh outbound — but only submit while the
+            // window is open, so a closed window parks instead of spinning.
+            let mut to_send: Vec<OutboundMsg> = Vec::new();
+            if !self.blocked {
+                to_send.extend(self.deferred.drain(..));
+            }
+            to_send.extend(self.orb.drain_outbound());
+            let had_outbound = !to_send.is_empty();
+            for ob in to_send {
+                if self.blocked {
+                    self.defer_or_shed(ob);
+                    continue;
+                }
+                if let Err(SendError::Backpressured) =
+                    self.proc
+                        .multicast_request(now, ob.conn, ob.request_num, ob.giop.clone())
+                {
+                    self.blocked = true;
+                    self.defer_or_shed(ob);
+                }
             }
             // FTMP → network + ORB.
             let actions = self.proc.drain_actions();
@@ -118,6 +180,9 @@ impl OrbNode {
                         }
                         self.events.push_back(e);
                     }
+                    Action::Backpressure(_) => self.blocked = true,
+                    // Deferred work is retried on the next loop iteration.
+                    Action::SendReady(_) => self.blocked = false,
                 }
             }
         }
@@ -168,17 +233,18 @@ mod tests {
     /// 2 client processors + 3 server replicas, connected through the full
     /// ConnectRequest/Connect handshake.
     fn build(seed: u64, loss: LossModel) -> SimNet<OrbNode> {
+        build_with(seed, loss, ProtocolConfig::with_seed(seed))
+    }
+
+    fn build_with(seed: u64, loss: LossModel, cfg: ProtocolConfig) -> SimNet<OrbNode> {
         let sim_cfg = SimConfig::with_seed(seed).loss(loss);
         let mut net = SimNet::new(sim_cfg);
         net.set_classifier(ftmp_core::wire::classify);
         let clients = [ProcessorId(1), ProcessorId(2)];
         let servers = [ProcessorId(3), ProcessorId(4), ProcessorId(5)];
         for id in 1..=5u32 {
-            let mut proc = ftmp_core::Processor::new(
-                ProcessorId(id),
-                ProtocolConfig::with_seed(seed),
-                ClockMode::Lamport,
-            );
+            let mut proc =
+                ftmp_core::Processor::new(ProcessorId(id), cfg.clone(), ClockMode::Lamport);
             let mut orb = OrbEndpoint::new();
             if id <= 2 {
                 orb.register_client(conn());
@@ -348,6 +414,48 @@ mod tests {
             assert_eq!(done.len(), 5);
         }
         assert!(net.stats().lost > 0);
+    }
+
+    #[test]
+    fn backpressure_defers_then_sheds_with_transient() {
+        let cfg = ftmp_core::ProtocolConfig::with_seed(31)
+            .flow_control(ftmp_core::FlowControl::window(4, 1));
+        let mut net = build_with(31, LossModel::None, cfg);
+        wait_connected(&mut net);
+        // Flood far past the send window and the deferred queue from one
+        // client in a single instant.
+        const FLOOD: usize = 100;
+        net.with_node(1, |n, now, out| {
+            for _ in 0..FLOOD {
+                n.invoke(now, conn(), b"bank", "deposit", &encode_i64_arg(1), out);
+            }
+        });
+        let node = net.node(1).unwrap();
+        assert!(node.is_backpressured(), "window closed under the flood");
+        assert!(node.deferred_len() > 0, "work parked rather than dropped");
+        assert!(node.shed_count() > 0, "overflow shed, not queued unbounded");
+        let shed = node.shed_count() as usize;
+        let stats = node.proc().stats();
+        assert!(stats.backpressure_closes >= 1);
+        // Let acks circulate: the window reopens and parked work drains.
+        net.run_for(SimDuration::from_millis(5_000));
+        let node = net.node_mut(1).unwrap();
+        assert_eq!(node.deferred_len(), 0, "deferred queue fully drained");
+        let done = node.take_completions();
+        assert_eq!(done.len(), FLOOD, "every invocation completed one way");
+        let transients = done
+            .iter()
+            .filter(|c| {
+                matches!(&c.result, InvocationResult::Exception(e)
+                    if e == "IDL:omg.org/CORBA/TRANSIENT:1.0")
+            })
+            .count();
+        assert_eq!(transients, shed, "shed invocations completed as TRANSIENT");
+        assert!(
+            done.iter()
+                .any(|c| matches!(&c.result, InvocationResult::Ok(_))),
+            "non-shed invocations completed normally"
+        );
     }
 
     #[test]

@@ -26,9 +26,13 @@ test-all:
 # The full CI gate.
 ci: fmt clippy test
 
+# Wide chaos sweep, release mode (CHAOS_SEEDS seeds per test).
+chaos:
+    CHAOS_SEEDS=32 cargo test --release --test chaos
+
 # Regenerate every experiment table (see EXPERIMENTS.md).
 experiments:
-    cargo run --release -p ftmp-harness --bin ftmp_exp
+    cargo run --release -p ftmp-harness --bin ftmp-exp
 
 # Criterion microbenches.
 bench:

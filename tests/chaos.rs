@@ -2,13 +2,19 @@
 //! crashes and loss, asserting the core safety properties at the end of
 //! every run — final live members agree on one total order, per-source
 //! gap-free, and memberships converge.
+//!
+//! Seed counts scale with the `CHAOS_SEEDS` environment variable (seeds per
+//! test); the defaults keep the suite fast for tier-1, CI's chaos job runs
+//! wider in release mode.
 
 use bytes::Bytes;
 use ftmp::core::{
     ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
-    RequestNum, SimProcessor,
+    ProtocolEvent, RequestNum, SimProcessor, TimerPolicy,
 };
-use ftmp::net::{LossModel, McastAddr, SimConfig, SimDuration, SimNet, SimTime};
+use ftmp::net::{
+    LinkDegrade, LinkSelector, LossModel, McastAddr, SimConfig, SimDuration, SimNet, SimTime,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -18,6 +24,16 @@ const ADDR: McastAddr = McastAddr(100);
 
 fn conn() -> ConnectionId {
     ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+}
+
+/// `base..base + CHAOS_SEEDS` (defaulting to `default_count` seeds).
+fn seeds(base: u64, default_count: u64) -> std::ops::Range<u64> {
+    let count = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_count)
+        .max(1);
+    base..base + count
 }
 
 struct Chaos {
@@ -42,15 +58,15 @@ impl Chaos {
         } else {
             LossModel::None
         });
+        Chaos::with(seed, sim, ProtocolConfig::with_seed(seed))
+    }
+
+    fn with(seed: u64, sim: SimConfig, proto: ProtocolConfig) -> Self {
         let mut net = SimNet::new(sim);
         net.set_classifier(ftmp::core::wire::classify);
         let founders: Vec<ProcessorId> = (1..=4).map(ProcessorId).collect();
         for id in 1..=4u32 {
-            let mut e = Processor::new(
-                ProcessorId(id),
-                ProtocolConfig::with_seed(seed),
-                ClockMode::Lamport,
-            );
+            let mut e = Processor::new(ProcessorId(id), proto.clone(), ClockMode::Lamport);
             e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
             e.bind_connection(conn(), GROUP);
             net.add_node(id, SimProcessor::new(e));
@@ -93,25 +109,34 @@ impl Chaos {
         Some(alive[i])
     }
 
+    fn send_random(&mut self) {
+        if let Some(id) = self.pick_alive() {
+            self.next_req += 1;
+            let req = RequestNum(self.next_req);
+            let len = self.rng.gen_range(8..256usize);
+            self.net.with_node(id, move |n, now, out| {
+                let _ =
+                    n.engine_mut()
+                        .multicast_request(now, conn(), req, Bytes::from(vec![0u8; len]));
+                n.pump_at(now, out);
+            });
+        }
+    }
+
+    /// A send-only step: no membership churn, used by the latency-spike
+    /// phases where any membership change would be a false conviction.
+    fn step_send_only(&mut self) {
+        self.send_random();
+        let pause = self.rng.gen_range(1..12u64);
+        self.net.run_for(SimDuration::from_millis(pause));
+    }
+
     fn step(&mut self) {
         let action = self.rng.gen_range(0..100u32);
         match action {
             // 70%: someone multicasts.
             0..=69 => {
-                if let Some(id) = self.pick_alive() {
-                    self.next_req += 1;
-                    let req = RequestNum(self.next_req);
-                    let len = self.rng.gen_range(8..256usize);
-                    self.net.with_node(id, move |n, now, out| {
-                        let _ = n.engine_mut().multicast_request(
-                            now,
-                            conn(),
-                            req,
-                            Bytes::from(vec![0u8; len]),
-                        );
-                        n.pump_at(now, out);
-                    });
-                }
+                self.send_random();
             }
             // 12%: a new processor joins.
             70..=81 => {
@@ -239,24 +264,70 @@ fn run_chaos(seed: u64, loss: f64, steps: usize) {
     c.settle_and_check(seed);
 }
 
+/// Latency-spike phases under adaptive timers: three degrade windows rotate
+/// the afflicted processor's outbound links (latency ×40 with amplified
+/// jitter, plus burst-like extra loss) while traffic flows. Nobody crashes,
+/// so any `FaultReport` is a false conviction — adaptive timers must ride
+/// every spike out.
+fn run_latency_spike_chaos(seed: u64) {
+    let mut sim = SimConfig::with_seed(seed);
+    for (i, victim) in (1u32..=3).enumerate() {
+        let start = 500_000 + i as u64 * 1_000_000;
+        sim = sim.degrade(LinkDegrade {
+            from: SimTime(start),
+            until: SimTime(start + 600_000),
+            links: LinkSelector::From(vec![victim]),
+            latency_factor: 40.0,
+            extra_loss: 0.35,
+        });
+    }
+    let proto = ProtocolConfig::with_seed(seed)
+        .fail_timeout_of(SimDuration::from_millis(30))
+        .timer_policy(TimerPolicy::Adaptive);
+    let mut c = Chaos::with(seed, sim, proto);
+    // ~2.5 s of traffic (pauses average ~6 ms), spanning all three spikes.
+    for _ in 0..400 {
+        c.step_send_only();
+    }
+    c.settle_and_check(seed);
+    for id in 1..=4u32 {
+        if let Some(node) = c.net.node_mut(id) {
+            for (at, e) in node.take_events() {
+                assert!(
+                    !matches!(e, ProtocolEvent::FaultReport { .. }),
+                    "seed {seed}: false conviction at {}us under adaptive timers: {e:?}",
+                    at.as_micros()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn chaos_lossless() {
-    for seed in 100..112u64 {
+    for seed in seeds(100, 12) {
         run_chaos(seed, 0.0, 80);
     }
 }
 
 #[test]
 fn chaos_with_loss() {
-    for seed in 200..210u64 {
+    for seed in seeds(200, 10) {
         run_chaos(seed, 0.05, 60);
     }
 }
 
 #[test]
 fn chaos_heavy_loss_short() {
-    for seed in 300..306u64 {
+    for seed in seeds(300, 6) {
         run_chaos(seed, 0.15, 40);
+    }
+}
+
+#[test]
+fn chaos_latency_spikes_no_false_convictions() {
+    for seed in seeds(400, 6) {
+        run_latency_spike_chaos(seed);
     }
 }
 
