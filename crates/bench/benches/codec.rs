@@ -1,12 +1,17 @@
 //! Marshalling microbenches: CDR, GIOP, FTMP wire codecs (the per-message
 //! CPU cost of the Fig. 2 encapsulation).
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ftmp_cdr::{ByteOrder, CdrReader, CdrWriter};
-use ftmp_core::wire::{classify, FtmpBody, FtmpMessage};
-use ftmp_core::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp};
+use ftmp_core::wire::{self, classify, AckVector, FtmpBody, FtmpMessage};
+use ftmp_core::{
+    ClockMode, ConnectionId, GroupId, ObjectGroupId, PackPolicy, Packing, ProcessorId,
+    ProtocolConfig, RequestNum, SeqNum, Timestamp,
+};
 use ftmp_giop::{GiopMessage, RequestHeader};
+use ftmp_harness::worlds::FtmpWorld;
+use ftmp_net::{SimConfig, SimDuration};
 use std::hint::black_box;
 
 fn giop_request(payload: usize) -> Vec<u8> {
@@ -124,5 +129,109 @@ fn bench_ftmp_wire(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cdr, bench_giop, bench_ftmp_wire);
+fn bench_packed_container(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packed_container");
+    let trailer = wire::encode_ack_vector(&AckVector {
+        group: GroupId(1),
+        entries: (1..=5)
+            .map(|i| (ProcessorId(i), Timestamp(1_000)))
+            .collect(),
+    });
+    for count in [2usize, 8, 24] {
+        let msgs: Vec<Bytes> = (0..count)
+            .map(|i| {
+                FtmpMessage {
+                    seq: SeqNum(i as u64),
+                    ..ftmp_regular(32)
+                }
+                .encode(ByteOrder::native())
+            })
+            .collect();
+        let total: u64 = msgs.iter().map(|m| m.len() as u64).sum();
+        g.throughput(Throughput::Bytes(total));
+        g.bench_with_input(BenchmarkId::new("encode", count), &msgs, |b, m| {
+            b.iter(|| black_box(wire::encode_packed(m, Some(&trailer))))
+        });
+        let container = wire::encode_packed(&msgs, Some(&trailer));
+        g.bench_with_input(BenchmarkId::new("unpack", count), &container, |b, d| {
+            b.iter(|| black_box(wire::unpack(d).unwrap()))
+        });
+        // Unpack + zero-copy decode of every inner message: the complete
+        // receive-side codec cost of a packed datagram.
+        g.bench_with_input(
+            BenchmarkId::new("unpack_decode_all", count),
+            &container,
+            |b, d| {
+                b.iter(|| {
+                    let (slices, v) = wire::unpack(d).unwrap();
+                    for s in &slices {
+                        black_box(FtmpMessage::decode_shared(s).unwrap());
+                    }
+                    black_box(v)
+                })
+            },
+        );
+    }
+    // Buffer-reusing encode vs the allocating one.
+    let msg = ftmp_regular(256);
+    g.bench_function("encode_into_reused_buf", |b| {
+        let mut buf = BytesMut::with_capacity(1024);
+        b.iter(|| {
+            buf.clear();
+            msg.encode_into(ByteOrder::native(), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    g.bench_function("decode_shared_regular", |b| {
+        let bytes = msg.encode(ByteOrder::native());
+        b.iter(|| black_box(FtmpMessage::decode_shared(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+/// End-to-end: a three-member group pushing bursty traffic through the
+/// simulator, packing off vs on (Deadline 500 µs). Criterion measures the
+/// wall-clock CPU cost of the same delivered workload; the datagram
+/// reduction itself is reported by experiment E12 and `BENCH_pack.json`.
+fn bench_packed_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packed_end_to_end");
+    g.sample_size(12);
+    let run = |packing: Option<Packing>| -> usize {
+        let mut proto = ProtocolConfig::with_seed(21);
+        if let Some(p) = packing {
+            proto = proto.packing(p);
+        }
+        let mut w = FtmpWorld::new(3, SimConfig::with_seed(21), proto, ClockMode::Lamport);
+        for round in 0..20 {
+            let from = round % 3 + 1;
+            for _ in 0..4 {
+                w.send(from, 64);
+            }
+            w.run_us(2_000);
+        }
+        w.run_ms(50);
+        let res = w.collect();
+        assert!(res.all_agree());
+        res.delivered()
+    };
+    g.bench_function("unpacked", |b| b.iter(|| black_box(run(None))));
+    g.bench_function("packed_deadline_500us", |b| {
+        b.iter(|| {
+            black_box(run(Some(Packing::with(
+                1400,
+                PackPolicy::Deadline(SimDuration::from_micros(500)),
+            ))))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cdr,
+    bench_giop,
+    bench_ftmp_wire,
+    bench_packed_container,
+    bench_packed_end_to_end
+);
 criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Writes `BENCH_pack.json`: a small machine-readable snapshot of the
+//! packing layer's codec cost and end-to-end wire effect, recorded by
+//! `just bench` alongside the criterion runs (which keep the full
+//! statistical treatment — this file is the trend line CI archives).
+
+use bytes::Bytes;
+use ftmp_core::wire::{self, AckVector, FtmpBody, FtmpMessage};
+use ftmp_core::{
+    ClockMode, ConnectionId, GroupId, ObjectGroupId, PackPolicy, Packing, ProcessorId,
+    ProtocolConfig, RequestNum, SeqNum, Timestamp,
+};
+use ftmp_harness::worlds::FtmpWorld;
+use ftmp_net::{SimConfig, SimDuration};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn regular(seq: u64, payload: usize) -> FtmpMessage {
+    FtmpMessage {
+        retransmission: false,
+        source: ProcessorId(3),
+        group: GroupId(1),
+        seq: SeqNum(seq),
+        ts: Timestamp(seq * 7 + 1),
+        ack_ts: Timestamp(seq),
+        body: FtmpBody::Regular {
+            conn: ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2)),
+            request_num: RequestNum(seq),
+            giop: Bytes::from(vec![0xAB; payload]),
+        },
+    }
+}
+
+/// Median-of-5 wall-clock nanoseconds per op over `iters` iterations.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            (t.elapsed().as_nanos() / u128::from(iters)) as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[2]
+}
+
+struct E2e {
+    packets: u64,
+    messages: u64,
+    delivered: usize,
+    heartbeats: u64,
+    suppressed: u64,
+}
+
+fn end_to_end(packing: Option<Packing>) -> E2e {
+    let mut proto = ProtocolConfig::with_seed(33);
+    if let Some(p) = packing {
+        proto = proto.packing(p);
+    }
+    let mut w = FtmpWorld::new(3, SimConfig::with_seed(33), proto, ClockMode::Lamport);
+    for round in 0..30u32 {
+        let from = round % 3 + 1;
+        for _ in 0..4 {
+            w.send(from, 64);
+        }
+        w.run_us(2_000);
+    }
+    w.run_ms(100);
+    let res = w.collect();
+    assert!(res.all_agree(), "ordering must hold in both modes");
+    let mut heartbeats = 0;
+    let mut suppressed = 0;
+    for (_, node) in w.net.nodes() {
+        let s = node.engine().stats();
+        heartbeats += s
+            .sent
+            .get(&ftmp_core::FtmpMsgType::Heartbeat)
+            .copied()
+            .unwrap_or(0);
+        suppressed += s.heartbeats_suppressed;
+    }
+    E2e {
+        packets: w.net.stats().sent_packets,
+        messages: w.net.stats().sent_messages,
+        delivered: res.delivered(),
+        heartbeats,
+        suppressed,
+    }
+}
+
+fn main() {
+    // --- codec micro-timings -------------------------------------------------
+    let msgs: Vec<Bytes> = (0..8u64)
+        .map(|i| regular(i, 32).encode(ftmp_cdr::ByteOrder::native()))
+        .collect();
+    let trailer = wire::encode_ack_vector(&AckVector {
+        group: GroupId(1),
+        entries: (1..=5)
+            .map(|i| (ProcessorId(i), Timestamp(1_000)))
+            .collect(),
+    });
+    let encode_ns = time_ns(20_000, || {
+        black_box(wire::encode_packed(&msgs, Some(&trailer)));
+    });
+    let container = wire::encode_packed(&msgs, Some(&trailer));
+    let unpack_ns = time_ns(20_000, || {
+        black_box(wire::unpack(&container).unwrap());
+    });
+    let decode_all_ns = time_ns(20_000, || {
+        let (slices, _) = wire::unpack(&container).unwrap();
+        for s in &slices {
+            black_box(FtmpMessage::decode_shared(s).unwrap());
+        }
+    });
+
+    // --- end-to-end wire effect ---------------------------------------------
+    let plain = end_to_end(None);
+    let packed = end_to_end(Some(Packing::with(
+        1400,
+        PackPolicy::Deadline(SimDuration::from_micros(500)),
+    )));
+    let ratio = |a: u64, b: u64| -> f64 {
+        if b == 0 {
+            0.0
+        } else {
+            a as f64 / b as f64
+        }
+    };
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"pack\",");
+    let _ = writeln!(j, "  \"container_msgs\": {},", msgs.len());
+    let _ = writeln!(j, "  \"encode_packed_ns\": {encode_ns},");
+    let _ = writeln!(j, "  \"unpack_ns\": {unpack_ns},");
+    let _ = writeln!(j, "  \"unpack_decode_all_ns\": {decode_all_ns},");
+    let _ = writeln!(j, "  \"e2e\": {{");
+    let _ = writeln!(
+        j,
+        "    \"unpacked\": {{\"datagrams\": {}, \"messages\": {}, \"delivered\": {}, \"heartbeats\": {}}},",
+        plain.packets, plain.messages, plain.delivered, plain.heartbeats
+    );
+    let _ = writeln!(
+        j,
+        "    \"packed\": {{\"datagrams\": {}, \"messages\": {}, \"delivered\": {}, \"heartbeats\": {}, \"heartbeats_suppressed\": {}}},",
+        packed.packets, packed.messages, packed.delivered, packed.heartbeats, packed.suppressed
+    );
+    let _ = writeln!(
+        j,
+        "    \"datagram_reduction\": {:.3},",
+        ratio(plain.packets, packed.packets)
+    );
+    let _ = writeln!(
+        j,
+        "    \"messages_per_datagram_packed\": {:.3}",
+        ratio(packed.messages, packed.packets)
+    );
+    j.push_str("  }\n}\n");
+
+    std::fs::write("BENCH_pack.json", &j).expect("write BENCH_pack.json");
+    print!("{j}");
+}

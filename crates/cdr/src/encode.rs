@@ -36,6 +36,17 @@ impl CdrWriter {
         }
     }
 
+    /// Create a writer at stream offset 0 with `capacity` bytes
+    /// pre-reserved, for callers that can bound the encoded size up front
+    /// (no buffer growth during the encode).
+    pub fn with_capacity(order: ByteOrder, capacity: usize) -> Self {
+        CdrWriter {
+            buf: Vec::with_capacity(capacity),
+            order,
+            base: 0,
+        }
+    }
+
     /// Byte order this writer emits.
     pub fn order(&self) -> ByteOrder {
         self.order
@@ -254,6 +265,20 @@ mod tests {
         w.write_f32(1.5);
         w.write_f64(-2.25);
         assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn with_capacity_reserves_without_changing_output() {
+        let mut a = CdrWriter::new(ByteOrder::Big);
+        let mut b = CdrWriter::with_capacity(ByteOrder::Big, 64);
+        assert!(b.is_empty());
+        for w in [&mut a, &mut b] {
+            w.write_u8(1);
+            w.write_u64(7);
+            w.write_string("same");
+        }
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        assert!(b.into_bytes().capacity() >= 64, "reservation kept");
     }
 
     #[test]

@@ -99,6 +99,65 @@ impl FlowControl {
     }
 }
 
+/// When a queued-but-unflushed datagram must leave the packer.
+///
+/// [`PackPolicy::Immediate`] flushes at the end of every processor entry
+/// point (same virtual instant as the sends themselves — packing is then a
+/// pure datagram-count reduction with zero added latency). With
+/// [`PackPolicy::Deadline`] a partially filled datagram may wait up to the
+/// given bound for more traffic, trading bounded latency for larger packs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackPolicy {
+    /// Flush at the end of the entry point that queued the messages.
+    Immediate,
+    /// Hold a partially filled datagram up to this long before flushing
+    /// (checked on every tick and on MTU overflow).
+    Deadline(SimDuration),
+}
+
+/// Datagram packing and ack-vector piggybacking (DESIGN.md §5).
+///
+/// When enabled, outgoing FTMP messages to the same multicast address are
+/// coalesced into one MTU-bounded packed container, data messages carry the
+/// sender's ack-timestamp vector as a trailer, and redundant standalone
+/// heartbeats are deferred while that piggybacked traffic flows. Off by
+/// default: the default wire traffic is byte-for-byte the unpacked
+/// historical form, so every existing experiment reproduces exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packing {
+    /// Whether the packing layer is active at all.
+    pub enabled: bool,
+    /// Maximum packed-datagram size in bytes (container framing included).
+    /// A single message that cannot fit even alone bypasses packing and is
+    /// sent bare.
+    pub mtu: usize,
+    /// When partially filled datagrams are flushed.
+    pub policy: PackPolicy,
+}
+
+impl Default for Packing {
+    fn default() -> Self {
+        Packing {
+            enabled: false,
+            mtu: 1400,
+            policy: PackPolicy::Immediate,
+        }
+    }
+}
+
+impl Packing {
+    /// An enabled packing layer with the given MTU and flush policy.
+    pub fn with(mtu: usize, policy: PackPolicy) -> Self {
+        Packing {
+            enabled: true,
+            // Below the container framing minimum everything would bypass;
+            // keep at least one header-sized message packable.
+            mtu: mtu.max(64),
+            policy,
+        }
+    }
+}
+
 /// All FTMP protocol tunables, with defaults sized for the simulated LAN.
 #[derive(Debug, Clone)]
 pub struct ProtocolConfig {
@@ -134,6 +193,8 @@ pub struct ProtocolConfig {
     pub timer_policy: TimerPolicy,
     /// Bounded send window (disabled by default).
     pub flow_control: FlowControl,
+    /// Datagram packing + ack piggybacking (disabled by default).
+    pub packing: Packing,
 }
 
 impl Default for ProtocolConfig {
@@ -152,6 +213,7 @@ impl Default for ProtocolConfig {
             seed: 0xF7F7_0001,
             timer_policy: TimerPolicy::Fixed,
             flow_control: FlowControl::default(),
+            packing: Packing::default(),
         }
     }
 }
@@ -230,6 +292,12 @@ impl ProtocolConfig {
         self.flow_control = fc;
         self
     }
+
+    /// Builder-style packing override.
+    pub fn packing(mut self, p: Packing) -> Self {
+        self.packing = p;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -270,7 +338,11 @@ mod tests {
             .join_retry(SimDuration::from_millis(40))
             .max_nack_span(16)
             .timer_policy(TimerPolicy::Adaptive)
-            .flow_control(FlowControl::window(32, 8));
+            .flow_control(FlowControl::window(32, 8))
+            .packing(Packing::with(
+                512,
+                PackPolicy::Deadline(SimDuration::from_micros(300)),
+            ));
         assert_eq!(c.seed, 7);
         assert_eq!(c.heartbeat_interval.as_millis(), 3);
         assert_eq!(c.suspect_quorum, Quorum::Fixed(1));
@@ -284,6 +356,21 @@ mod tests {
         assert!(c.flow_control.enabled);
         assert_eq!(c.flow_control.high_water, 32);
         assert_eq!(c.flow_control.low_water, 8);
+        assert!(c.packing.enabled);
+        assert_eq!(c.packing.mtu, 512);
+        assert_eq!(
+            c.packing.policy,
+            PackPolicy::Deadline(SimDuration::from_micros(300))
+        );
+    }
+
+    #[test]
+    fn packing_defaults_off_and_sanitized() {
+        let p = Packing::default();
+        assert!(!p.enabled);
+        assert_eq!(p.policy, PackPolicy::Immediate);
+        // A degenerate MTU is clamped so a bare header still packs.
+        assert_eq!(Packing::with(0, PackPolicy::Immediate).mtu, 64);
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //! suspicion → conviction → membership-change pipeline (§7); [`actions`] the
 //! emitted-effect types and the reusable [`ActionSink`](actions::ActionSink)
 //! buffer; [`adaptive`] the RTT/interarrival estimators and the derived
-//! adaptive-timer policy; [`stats`] the counter types, including the per-layer
+//! adaptive-timer policy; [`pack`] the datagram packer coalescing outgoing
+//! messages into MTU-sized containers with piggybacked ack vectors; [`stats`]
+//! the counter types, including the per-layer
 //! [`LayerCounters`](stats::LayerCounters); [`processor`] the composition
 //! shell tying the three layers into one endpoint; [`sim_adapter`] plugs an
 //! endpoint into the simulator.
@@ -45,6 +47,7 @@ pub mod adaptive;
 pub mod clock;
 pub mod config;
 pub mod ids;
+pub mod pack;
 pub mod pgmp;
 pub mod processor;
 pub mod rmp;
@@ -55,10 +58,13 @@ pub mod wire;
 
 pub use adaptive::{Interarrival, RttEstimator};
 pub use clock::{Clock, ClockMode};
-pub use config::{FlowControl, ProtocolConfig, Quorum, RetransmitPolicy, TimerPolicy};
+pub use config::{
+    FlowControl, PackPolicy, Packing, ProtocolConfig, Quorum, RetransmitPolicy, TimerPolicy,
+};
 pub use ids::{
     ConnectionId, FtDomainId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };
+pub use pack::Packer;
 pub use processor::{Action, Delivery, Processor, ProtocolEvent, SendError, SendOutcome};
 pub use sim_adapter::SimProcessor;
 pub use wire::{FtmpBody, FtmpHeader, FtmpMessage, FtmpMsgType, WireError};

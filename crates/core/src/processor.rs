@@ -53,6 +53,7 @@ use crate::config::{FlowControl, ProtocolConfig, RetransmitPolicy};
 use crate::ids::{
     ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };
+use crate::pack::Packer;
 use crate::pgmp::{
     ConnectionTable, PendingConnect, PgmpGroup, PgmpInput, PgmpOutput, ServerRegistration,
     SponsorJoin,
@@ -60,7 +61,7 @@ use crate::pgmp::{
 use crate::rmp::{RmpInput, RmpLayer, RmpOutput};
 use crate::romp::{RompInput, RompLayer, RompOutput, WindowEdge};
 pub use crate::stats::{GroupMetrics, LayerCounters, ProcessorStats};
-use crate::wire::{FtmpBody, FtmpMessage, FtmpMsgType};
+use crate::wire::{self, AckVector, FtmpBody, FtmpMessage, FtmpMsgType};
 use bytes::Bytes;
 use ftmp_cdr::ByteOrder;
 use ftmp_net::{McastAddr, Packet, SimDuration, SimTime};
@@ -117,6 +118,13 @@ struct GroupState {
     rtt: RttEstimator,
     last_sent: SimTime,
     pending_ordered: VecDeque<(ConnectionId, RequestNum, Bytes)>,
+    /// When we last received a piggybacked ack vector for this group —
+    /// evidence that peers are propagating ack state on real traffic.
+    vector_seen_at: Option<SimTime>,
+    /// One suppression is counted per send-gap, not per tick.
+    hb_deferred_since_send: bool,
+    /// Encoded piggyback vector memoized against `Ordering::ack_version`.
+    vec_cache: Option<(u64, Bytes)>,
 }
 
 impl GroupState {
@@ -138,6 +146,9 @@ impl GroupState {
             rtt: RttEstimator::default(),
             last_sent: now,
             pending_ordered: VecDeque::new(),
+            vector_seen_at: None,
+            hb_deferred_since_send: false,
+            vec_cache: None,
         }
     }
 
@@ -193,7 +204,19 @@ pub struct Processor {
     /// Groups we expect to be added to: group → its multicast address.
     expecting_joins: BTreeMap<GroupId, McastAddr>,
     sink: ActionSink,
+    /// Outgoing datagram coalescing (DESIGN.md §5); pass-through when
+    /// `cfg.packing.enabled` is false.
+    packer: Packer,
     stats: ProcessorStats,
+}
+
+/// Emit one wire datagram, counting containers as they leave.
+fn emit_wire(sink: &mut ActionSink, stats: &mut ProcessorStats, addr: McastAddr, payload: Bytes) {
+    if wire::is_packed(&payload) {
+        stats.packed_datagrams_sent += 1;
+        stats.messages_packed += u64::from(wire::message_count(&payload));
+    }
+    sink.send(addr, payload);
 }
 
 impl Processor {
@@ -201,6 +224,7 @@ impl Processor {
     pub fn new(id: ProcessorId, cfg: ProtocolConfig, clock_mode: ClockMode) -> Self {
         let rng =
             SmallRng::seed_from_u64(cfg.seed ^ u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let packer = Packer::new(cfg.packing.mtu, cfg.packing.policy);
         Processor {
             id,
             cfg,
@@ -211,6 +235,7 @@ impl Processor {
             conns: ConnectionTable::default(),
             expecting_joins: BTreeMap::new(),
             sink: ActionSink::default(),
+            packer,
             stats: ProcessorStats::default(),
         }
     }
@@ -367,6 +392,7 @@ impl Processor {
                 next_retry: now + self.cfg.join_retry,
             },
         );
+        self.flush_window(now);
     }
 
     /// Remove a non-faulty `member` from `group` (§7.1); takes effect when
@@ -378,6 +404,7 @@ impl Processor {
                 && g.pgmp.provisional_since.is_none()
         }) {
             self.send_reliable(now, group, FtmpBody::RemoveProcessor { member });
+            self.flush_window(now);
         }
     }
 
@@ -404,6 +431,7 @@ impl Processor {
             },
         );
         self.send_connect_request(now, conn, &client_processors, domain_addr);
+        self.flush_window(now);
     }
 
     /// Server side: register an object group so ConnectRequests for it can
@@ -457,6 +485,7 @@ impl Processor {
             membership: g.pgmp.membership.iter().copied().collect(),
         };
         self.send_reliable(now, old, body);
+        self.flush_window(now);
     }
 
     /// Multicast a GIOP message on an established connection.
@@ -487,18 +516,56 @@ impl Processor {
             },
         );
         self.update_send_window(group);
+        self.flush_window(now);
         Ok(SendOutcome::Sent { group, seq })
     }
 
     // --- event inputs -------------------------------------------------------
 
     /// Feed one received datagram. The packet's payload buffer is shared
-    /// (not copied) into the retention store.
+    /// (not copied) into the retention store; a packed container is split
+    /// into zero-copy per-message slices of the same buffer.
     pub fn handle_packet(&mut self, now: SimTime, pkt: &Packet) {
-        let Ok(msg) = FtmpMessage::decode(&pkt.payload) else {
-            return; // not FTMP or corrupt; ignore
+        if wire::is_packed(&pkt.payload) {
+            self.handle_packed(now, &pkt.payload);
+        } else if let Ok(msg) = FtmpMessage::decode_shared(&pkt.payload) {
+            self.process_message(now, msg, pkt.payload.clone(), false);
+        }
+        // not FTMP or corrupt: ignored above
+        self.flush_window(now);
+    }
+
+    /// A packed container: validate it *whole* before processing anything —
+    /// a framing or inner decode error rejects the entire datagram (no
+    /// partial delivery), counted in `packed_rejects`.
+    fn handle_packed(&mut self, now: SimTime, datagram: &Bytes) {
+        let Ok((slices, vector)) = wire::unpack(datagram) else {
+            self.stats.packed_rejects += 1;
+            return;
         };
-        self.process_message(now, msg, pkt.payload.clone(), false);
+        let mut msgs = Vec::with_capacity(slices.len());
+        for s in &slices {
+            match FtmpMessage::decode_shared(s) {
+                Ok(m) => msgs.push(m),
+                Err(_) => {
+                    self.stats.packed_rejects += 1;
+                    return;
+                }
+            }
+        }
+        if let Some(v) = vector {
+            if let Some(g) = self.groups.get_mut(&v.group) {
+                // Relay-safe merge: record_ack only moves forward, so a
+                // stale vector arriving late cannot regress stability.
+                for (p, ack) in v.entries {
+                    g.romp.ordering_mut().record_ack(p, ack);
+                }
+                g.vector_seen_at = Some(now);
+            }
+        }
+        for (msg, s) in msgs.into_iter().zip(slices) {
+            self.process_message(now, msg, s, false);
+        }
     }
 
     /// Timer tick: heartbeats, NACKs, retries, the fault detector.
@@ -508,9 +575,73 @@ impl Processor {
         self.tick_fault_detector(now);
         self.tick_retries(now);
         self.tick_provisional_joins(now);
+        self.flush_window(now);
     }
 
     // --- send helpers -------------------------------------------------------
+
+    /// Route one outgoing datagram: straight to the sink when packing is
+    /// disabled (byte-for-byte the pre-packing protocol), through the
+    /// [`Packer`] otherwise.
+    fn send_wire(&mut self, now: SimTime, addr: McastAddr, payload: Bytes) {
+        if !self.cfg.packing.enabled {
+            self.sink.send(addr, payload);
+            return;
+        }
+        let Processor {
+            packer,
+            sink,
+            stats,
+            ..
+        } = self;
+        packer.push(now, addr, payload, &mut |a, b| emit_wire(sink, stats, a, b));
+    }
+
+    /// Flush every packer queue that is due under the configured policy,
+    /// attaching the owning group's piggyback ack vector (memoized against
+    /// [`Ordering::ack_version`](crate::romp::Ordering::ack_version)) to
+    /// group-address containers. Called at the end of every public entry
+    /// point; a no-op when packing is disabled.
+    fn flush_window(&mut self, now: SimTime) {
+        if !self.cfg.packing.enabled || self.packer.is_empty() {
+            return;
+        }
+        for addr in self.packer.due(now) {
+            let trailer = self.piggyback_vector(addr);
+            let Processor {
+                packer,
+                sink,
+                stats,
+                ..
+            } = self;
+            packer.flush_addr(addr, trailer.as_deref(), &mut |a, b| {
+                emit_wire(sink, stats, a, b)
+            });
+        }
+    }
+
+    /// The encoded ack vector of the group multicasting on `addr`, if any
+    /// (domain addresses have no group and get no trailer). Re-encoded only
+    /// when the underlying `reported_ack` map actually changed.
+    fn piggyback_vector(&mut self, addr: McastAddr) -> Option<Bytes> {
+        let (gid, g) = self.groups.iter_mut().find(|(_, g)| g.addr == addr)?;
+        let ver = g.romp.ordering().ack_version();
+        if let Some((v, bytes)) = &g.vec_cache {
+            if *v == ver {
+                return Some(bytes.clone());
+            }
+        }
+        let entries: Vec<(ProcessorId, Timestamp)> = g.romp.ordering().reported_acks().collect();
+        if entries.is_empty() {
+            return None;
+        }
+        let bytes = wire::encode_ack_vector(&AckVector {
+            group: *gid,
+            entries,
+        });
+        g.vec_cache = Some((ver, bytes.clone()));
+        Some(bytes)
+    }
 
     fn send_reliable(&mut self, now: SimTime, group: GroupId, body: FtmpBody) -> SeqNum {
         let (msg, addr, encoded) = {
@@ -529,10 +660,11 @@ impl Processor {
             };
             let encoded = msg.encode(self.order);
             g.last_sent = now;
+            g.hb_deferred_since_send = false;
             (msg, g.addr, encoded)
         };
         *self.stats.sent.entry(msg.msg_type()).or_insert(0) += 1;
-        self.sink.send(addr, encoded.clone());
+        self.send_wire(now, addr, encoded.clone());
         let seq = msg.seq;
         // Synchronous self-delivery: we are an ordinary member of our own
         // groups; the loopback copy will dedupe. The `encoded` handle shares
@@ -557,10 +689,11 @@ impl Processor {
         let addr = g.addr;
         if msg.msg_type() == FtmpMsgType::Heartbeat {
             g.last_sent = now;
+            g.hb_deferred_since_send = false;
         }
         *self.stats.sent.entry(msg.msg_type()).or_insert(0) += 1;
         let encoded = msg.encode(self.order);
-        self.sink.send(addr, encoded.clone());
+        self.send_wire(now, addr, encoded.clone());
         // Self-process so our own horizon tracks our own liveness.
         self.process_message(now, msg, encoded, true);
     }
@@ -590,8 +723,8 @@ impl Processor {
             .sent
             .entry(FtmpMsgType::ConnectRequest)
             .or_insert(0) += 1;
-        self.sink.send(domain_addr, msg.encode(self.order));
-        let _ = now;
+        let encoded = msg.encode(self.order);
+        self.send_wire(now, domain_addr, encoded);
     }
 
     // --- receive pipeline ---------------------------------------------------
@@ -665,7 +798,7 @@ impl Processor {
         g.pgmp.notice_retx_at = now + retry;
         let addr = g.addr;
         self.stats.retransmissions_sent += 1;
-        self.sink.send(addr, payload);
+        self.send_wire(now, addr, payload);
     }
 
     fn handle_reliable(&mut self, now: SimTime, msg: FtmpMessage, wire: Bytes, own: bool) {
@@ -905,7 +1038,7 @@ impl Processor {
             if let Some(payload) = g.rmp.answer_retransmit(missing_from, seq, now, suppress) {
                 let addr = g.addr;
                 self.stats.retransmissions_sent += 1;
-                self.sink.send(addr, payload);
+                self.send_wire(now, addr, payload);
             }
         }
     }

@@ -117,7 +117,7 @@ impl Processor {
         // The new group's other members are not subscribed yet: the Connect
         // must also travel on the domain address they all listen to.
         if let Some(da) = domain_addr {
-            self.sink.send(da, wire);
+            self.send_wire(now, da, wire);
         }
     }
 

@@ -16,8 +16,35 @@ impl Processor {
             .filter(|(_, g)| now.saturating_since(g.last_sent) >= self.cfg.heartbeat_interval)
             .map(|(gid, _)| *gid)
             .collect();
+        // With packing on, a heartbeat that would carry no news is deferred
+        // (DESIGN.md §5). Every condition below is a safety gate: the
+        // ordering queue must be empty and the retention store drained —
+        // retention holds *every* reliable message (any source) until the
+        // whole group reported acks past it, so an empty store means our ack
+        // timestamp, however the Lamport clock moves it, cannot advance
+        // stability for anyone. A peer's piggybacked ack vector must also
+        // have arrived recently, proving ack state still circulates without
+        // us beaconing. The deferral never exceeds half the fault-detector
+        // timeout, so liveness and suspicion behaviour are untouched.
+        let hold = SimDuration::from_micros(self.cfg.fail_timeout.as_micros() / 2);
         for gid in due {
-            self.send_unreliable(now, gid, FtmpBody::Heartbeat);
+            let defer = self.cfg.packing.enabled && {
+                let g = self.groups.get(&gid).expect("listed");
+                now.saturating_since(g.last_sent) < hold
+                    && g.romp.ordering().queue_len() == 0
+                    && g.rmp.retention().is_empty()
+                    && g.vector_seen_at
+                        .is_some_and(|t| now.saturating_since(t) < hold)
+            };
+            if defer {
+                let g = self.groups.get_mut(&gid).expect("listed");
+                if !g.hb_deferred_since_send {
+                    g.hb_deferred_since_send = true;
+                    self.stats.heartbeats_suppressed += 1;
+                }
+            } else {
+                self.send_unreliable(now, gid, FtmpBody::Heartbeat);
+            }
         }
     }
 
@@ -130,7 +157,7 @@ impl Processor {
         let gids: Vec<GroupId> = self.groups.keys().copied().collect();
         for gid in gids {
             let g = self.groups.get_mut(&gid).expect("listed");
-            let mut resend: Vec<Bytes> = Vec::new();
+            let mut resend: Vec<(McastAddr, Bytes)> = Vec::new();
             let heard: Vec<ProcessorId> = g
                 .pgmp
                 .sponsor_joins
@@ -141,10 +168,11 @@ impl Processor {
             for j in heard {
                 g.pgmp.sponsor_joins.remove(&j);
             }
+            let addr = g.addr;
             for sj in g.pgmp.sponsor_joins.values_mut() {
                 if now >= sj.next_retry {
                     sj.next_retry = now + self.cfg.join_retry;
-                    resend.push(sj.retx.clone());
+                    resend.push((addr, sj.retx.clone()));
                 }
             }
             // Primary Connect retransmissions until all members heard.
@@ -158,15 +186,17 @@ impl Processor {
             } else if let Some(cr) = &mut g.pgmp.connect_retx {
                 if now >= cr.next_retry {
                     cr.next_retry = now + self.cfg.join_retry;
-                    resend.push(cr.retx.clone());
+                    // Wire order matches the pre-packing shell exactly: the
+                    // domain-address copy leaves first, then the queued
+                    // group-address resends.
                     if let Some(da) = cr.domain_addr {
-                        self.sink.send(da, cr.retx.clone());
+                        resend.insert(0, (da, cr.retx.clone()));
                     }
+                    resend.push((addr, cr.retx.clone()));
                 }
             }
-            let addr = g.addr;
-            for bytes in resend {
-                self.sink.send(addr, bytes);
+            for (to, bytes) in resend {
+                self.send_wire(now, to, bytes);
             }
         }
     }

@@ -35,6 +35,9 @@ pub struct Ordering {
     horizon: BTreeMap<ProcessorId, Timestamp>,
     /// Per-member latest reported ack timestamp.
     reported_ack: BTreeMap<ProcessorId, Timestamp>,
+    /// Bumped whenever `reported_ack` actually changes; the packing layer
+    /// memoizes the encoded piggyback ack vector against this.
+    ack_version: u64,
     /// Position of the last delivered message (deliveries only move up).
     last_delivered: OrderKey,
 }
@@ -62,6 +65,7 @@ impl Ordering {
             queue: BTreeMap::new(),
             horizon,
             reported_ack: BTreeMap::new(),
+            ack_version: 0,
             last_delivered: floor_key,
         }
     }
@@ -76,7 +80,9 @@ impl Ordering {
     /// longer gates delivery and its acks no longer gate stability.
     pub fn remove_member(&mut self, p: ProcessorId) {
         self.horizon.remove(&p);
-        self.reported_ack.remove(&p);
+        if self.reported_ack.remove(&p).is_some() {
+            self.ack_version += 1;
+        }
     }
 
     /// Current members known to ordering.
@@ -101,9 +107,17 @@ impl Ordering {
 
     /// Record an ack timestamp reported by `p` (any header from `p`).
     pub fn record_ack(&mut self, p: ProcessorId, ack: Timestamp) {
-        let e = self.reported_ack.entry(p).or_insert(Timestamp(0));
-        if ack > *e {
-            *e = ack;
+        match self.reported_ack.entry(p) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(ack);
+                self.ack_version += 1;
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                if ack > *o.get() {
+                    o.insert(ack);
+                    self.ack_version += 1;
+                }
+            }
         }
     }
 
@@ -122,6 +136,18 @@ impl Ordering {
             .map(|p| self.reported_ack.get(p).copied().unwrap_or(Timestamp(0)))
             .min()
             .unwrap_or(Timestamp(0))
+    }
+
+    /// The per-member reported ack timestamps — the piggyback ack vector
+    /// the packing layer attaches to outgoing containers (DESIGN.md §5).
+    pub fn reported_acks(&self) -> impl Iterator<Item = (ProcessorId, Timestamp)> + '_ {
+        self.reported_ack.iter().map(|(p, t)| (*p, *t))
+    }
+
+    /// Monotone counter bumped whenever [`reported_acks`](Self::reported_acks)
+    /// changes; callers memoize derived encodings against it.
+    pub fn ack_version(&self) -> u64 {
+        self.ack_version
     }
 
     /// Enqueue a totally-ordered message at its delivery position. Messages

@@ -137,6 +137,7 @@ mod tests {
         let members: Vec<ProcessorId> = (1..=n).map(ProcessorId).collect();
         let mut net = SimNet::new(sim_cfg);
         net.set_classifier(wire::classify);
+        net.set_message_counter(wire::message_count);
         for id in 1..=n {
             let mut engine = Processor::new(ProcessorId(id), cfg.clone(), ClockMode::Lamport);
             engine.create_group(ftmp_net::SimTime::ZERO, gid, addr, members.clone());
@@ -304,6 +305,129 @@ mod tests {
         assert!(
             after < peak,
             "retention should shrink once acks stabilize (peak {peak}, after {after})"
+        );
+    }
+
+    /// FNV-1a over every traced event: any byte-level or ordering change to
+    /// the wire behaviour moves this hash.
+    fn trace_hash(net: &SimNet<SimProcessor>) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for r in net.trace().expect("trace enabled").records() {
+            for b in r.at.0.to_le_bytes() {
+                eat(b);
+            }
+            for b in r.src.to_le_bytes() {
+                eat(b);
+            }
+            for b in r.dst.0.to_le_bytes() {
+                eat(b);
+            }
+            for b in (r.len as u64).to_le_bytes() {
+                eat(b);
+            }
+            eat(r.kind.unwrap_or(0xFF));
+        }
+        h
+    }
+
+    /// A fixed seeded scenario: three members, each bursting three
+    /// multicasts back-to-back, 100 ms of protocol time.
+    fn traced_run(cfg: ProtocolConfig) -> SimNet<SimProcessor> {
+        let mut net = build_net(3, SimConfig::with_seed(7), cfg);
+        net.enable_trace(1 << 16);
+        for id in 1u32..=3 {
+            net.with_node(id, |n, now, out| {
+                for k in 0..3u64 {
+                    n.engine_mut()
+                        .multicast_request(
+                            now,
+                            conn(),
+                            RequestNum(u64::from(id) * 10 + k),
+                            Bytes::from(vec![id as u8; 32]),
+                        )
+                        .unwrap();
+                }
+                n.pump(out);
+            });
+        }
+        net.run_for(SimDuration::from_millis(100));
+        net
+    }
+
+    /// With packing off (the default), the wire trace is pinned: no packed
+    /// containers ever appear, and the exact event sequence matches the
+    /// golden hash recorded from the pre-packing protocol. Reproducibility
+    /// of the existing experiments is byte-for-byte.
+    #[test]
+    fn default_config_wire_trace_is_container_free_and_pinned() {
+        let net = traced_run(ProtocolConfig::with_seed(7));
+        assert!(
+            !ProtocolConfig::with_seed(7).packing.enabled,
+            "packing defaults to off"
+        );
+        let trace = net.trace().unwrap();
+        assert_eq!(
+            trace.of_kind(wire::PACKED_MSG_TYPE).count(),
+            0,
+            "no containers under the default config"
+        );
+        assert_eq!(
+            net.stats().sent_packets,
+            net.stats().sent_messages,
+            "one message per datagram when packing is off"
+        );
+        assert_eq!(
+            trace_hash(&net),
+            0x40E7_EDBA_EE0B_E021,
+            "default-config wire trace drifted from the pre-packing protocol"
+        );
+    }
+
+    /// The same scenario with packing on delivers the identical total order
+    /// while using fewer datagrams than messages, and the suppressed
+    /// standalone heartbeats are counted.
+    #[test]
+    fn packed_run_preserves_order_with_fewer_datagrams() {
+        use crate::config::{PackPolicy, Packing};
+
+        let deliveries = |net: &mut SimNet<SimProcessor>| -> Vec<Vec<(u64, u32)>> {
+            (1..=3u32)
+                .map(|id| {
+                    net.node_mut(id)
+                        .unwrap()
+                        .take_deliveries()
+                        .iter()
+                        .map(|(_, d)| (d.ts.0, d.source.0))
+                        .collect()
+                })
+                .collect()
+        };
+        let mut plain = traced_run(ProtocolConfig::with_seed(7));
+        let mut packed = traced_run(ProtocolConfig::with_seed(7).packing(Packing::with(
+            1400,
+            PackPolicy::Deadline(SimDuration::from_micros(500)),
+        )));
+        let d_plain = deliveries(&mut plain);
+        let d_packed = deliveries(&mut packed);
+        assert_eq!(d_plain, d_packed, "packing never changes what is delivered");
+        assert_eq!(d_packed[0].len(), 9);
+        assert_eq!(d_packed[0], d_packed[1]);
+        assert_eq!(d_packed[1], d_packed[2]);
+        let s = packed.stats();
+        assert!(
+            s.sent_packets < s.sent_messages,
+            "some datagrams carried more than one message \
+             (packets {}, messages {})",
+            s.sent_packets,
+            s.sent_messages
+        );
+        assert!(
+            s.sent_packets < plain.stats().sent_packets,
+            "packing reduced datagrams on the wire"
         );
     }
 

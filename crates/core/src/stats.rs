@@ -37,6 +37,16 @@ pub struct ProcessorStats {
     pub backpressure_opens: u64,
     /// Ordered sends refused with `SendError::Backpressured`.
     pub sends_refused: u64,
+    /// Packed containers emitted (≥2 messages, or any with a trailer).
+    pub packed_datagrams_sent: u64,
+    /// Messages that left inside a packed container.
+    pub messages_packed: u64,
+    /// Standalone heartbeats skipped because their ack information already
+    /// rode out piggybacked on recent traffic (DESIGN.md §5).
+    pub heartbeats_suppressed: u64,
+    /// Incoming packed containers rejected whole (framing or inner decode
+    /// error; no partial delivery).
+    pub packed_rejects: u64,
 }
 
 /// Point-in-time buffer metrics for one group (experiment E6).

@@ -28,7 +28,7 @@
 use crate::ids::{
     ConnectionId, FtDomainId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use ftmp_cdr::{ByteOrder, CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
 use std::fmt;
 
@@ -43,6 +43,26 @@ pub const FTMP_HEADER_LEN: usize = 44;
 
 /// Offset of the message-type octet (used by the traffic classifier).
 pub const MSG_TYPE_OFFSET: usize = 6;
+
+/// Message-type octet marking a *packed container* (DESIGN.md §5): several
+/// complete FTMP messages in one datagram. Deliberately outside the
+/// [`FtmpMsgType`] range so a plain [`FtmpMessage::decode`] rejects a
+/// container with `BadMsgType` instead of misreading it, while
+/// [`classify`] labels container traffic without any change.
+pub const PACKED_MSG_TYPE: u8 = 0x50; // 'P'
+
+/// Container flags bit: an ack-timestamp vector trailer follows the packed
+/// messages.
+pub const PACKED_ACK_VECTOR_BIT: u8 = 0x02;
+
+/// Offset of the message-count octet in a packed container.
+pub const PACKED_COUNT_OFFSET: usize = 7;
+
+/// Fixed container preamble: magic, version, flags, type, count.
+pub const PACKED_PREAMBLE_LEN: usize = 8;
+
+/// Bytes of container framing added per packed message (u16 length prefix).
+pub const PACKED_PER_MSG_OVERHEAD: usize = 2;
 
 /// Wire-format errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -468,6 +488,33 @@ impl FtmpBody {
         }
     }
 
+    /// Upper bound on the encoded body size (CDR padding included), used to
+    /// reserve the encode buffer in one shot so the hot path never grows it.
+    pub fn size_hint(&self) -> usize {
+        // Worst-case alignment padding per multi-byte field is folded into
+        // the per-field constants; over-reserving a few bytes is fine.
+        match self {
+            FtmpBody::Regular { giop, .. } => 32 + giop.len(),
+            FtmpBody::RetransmitRequest { .. } => 24,
+            FtmpBody::Heartbeat => 0,
+            FtmpBody::ConnectRequest {
+                client_processors, ..
+            } => 24 + 4 * client_processors.len(),
+            FtmpBody::Connect { membership, .. } => 40 + 4 * membership.len(),
+            FtmpBody::AddProcessor {
+                membership, seqs, ..
+            } => 32 + 4 * membership.len() + 16 * seqs.len(),
+            FtmpBody::RemoveProcessor { .. } => 4,
+            FtmpBody::Suspect { suspects, .. } => 16 + 4 * suspects.len(),
+            FtmpBody::Membership {
+                membership,
+                seqs,
+                new_membership,
+                ..
+            } => 32 + 4 * (membership.len() + new_membership.len()) + 16 * seqs.len(),
+        }
+    }
+
     fn encode(&self, w: &mut CdrWriter) {
         match self {
             FtmpBody::Regular {
@@ -621,10 +668,16 @@ impl FtmpMessage {
         self.encode_with_flag(order, self.retransmission)
     }
 
-    fn encode_with_flag(&self, order: ByteOrder, retransmission: bool) -> Bytes {
-        let mut body_w = CdrWriter::new(order);
+    /// Append the encoded header + body to `out` (the form the Packer and
+    /// the round-trip tests use: no intermediate allocation per message).
+    pub fn encode_into(&self, order: ByteOrder, out: &mut BytesMut) {
+        self.encode_into_with_flag(order, self.retransmission, out);
+    }
+
+    fn encode_into_with_flag(&self, order: ByteOrder, retransmission: bool, out: &mut BytesMut) {
+        let mut body_w = CdrWriter::with_capacity(order, self.body.size_hint());
         self.body.encode(&mut body_w);
-        let body = body_w.into_bytes();
+        let body = body_w.as_bytes();
         let header = FtmpHeader {
             order,
             retransmission,
@@ -636,10 +689,15 @@ impl FtmpMessage {
             ts: self.ts,
             ack_ts: self.ack_ts,
         };
-        let mut out = Vec::with_capacity(FTMP_HEADER_LEN + body.len());
+        out.reserve(FTMP_HEADER_LEN + body.len());
         out.extend_from_slice(&header.encode());
-        out.extend_from_slice(&body);
-        Bytes::from(out)
+        out.extend_from_slice(body);
+    }
+
+    fn encode_with_flag(&self, order: ByteOrder, retransmission: bool) -> Bytes {
+        let mut out = BytesMut::with_capacity(FTMP_HEADER_LEN + self.body.size_hint());
+        self.encode_into_with_flag(order, retransmission, &mut out);
+        out.freeze()
     }
 
     /// Decode a complete message.
@@ -656,6 +714,37 @@ impl FtmpMessage {
             ts: h.ts,
             ack_ts: h.ack_ts,
             body,
+        })
+    }
+
+    /// Decode from a shared buffer. Identical to [`FtmpMessage::decode`]
+    /// except that a Regular body's GIOP payload becomes a zero-copy
+    /// [`Bytes`] slice of `bytes` instead of a fresh allocation — the
+    /// receive hot path keeps exactly one buffer per datagram.
+    pub fn decode_shared(bytes: &Bytes) -> Result<FtmpMessage, WireError> {
+        let (h, body) = FtmpHeader::decode(bytes)?;
+        if h.msg_type != FtmpMsgType::Regular {
+            return Self::decode(bytes);
+        }
+        let mut r = CdrReader::new(body, h.order);
+        let conn = ConnectionId::decode(&mut r)?;
+        let request_num = RequestNum(r.read_u64()?);
+        let len = r.read_seq_len(1)?;
+        let start = FTMP_HEADER_LEN + r.position();
+        r.read_bytes(len)?;
+        r.expect_exhausted()?;
+        Ok(FtmpMessage {
+            retransmission: h.retransmission,
+            source: h.source,
+            group: h.group,
+            seq: h.seq,
+            ts: h.ts,
+            ack_ts: h.ack_ts,
+            body: FtmpBody::Regular {
+                conn,
+                request_num,
+                giop: bytes.slice(start..start + len),
+            },
         })
     }
 
@@ -678,6 +767,205 @@ pub fn classify(payload: &[u8]) -> Option<u8> {
     } else {
         None
     }
+}
+
+// -- Packed containers (DESIGN.md §5) ---------------------------------------
+//
+// ```text
+// offset  size  field
+//  0      4     magic "FTMP"
+//  4      1     version (0x10)
+//  5      1     flags: bit1 ack-vector trailer present
+//  6      1     message type 0x50 (packed container)
+//  7      1     message count n (1..=255)
+//  8      2n    per-message lengths, u16 big-endian
+//  8+2n   ...   n complete FTMP messages, back to back
+//  ...    ...   optional trailer: group u32, count u16, then
+//               (processor u32, ack timestamp u64) entries — all big-endian
+// ```
+//
+// Container framing is always big-endian; each inner message carries its own
+// byte-order flag. The smallest container (one Heartbeat) is 54 bytes, so
+// [`classify`] always sees enough bytes to label container traffic `0x50`.
+
+/// A piggybacked ack-timestamp vector: the sender's view of each member's
+/// acknowledgment timestamp for one group, carried as a container trailer so
+/// receivers learn ack progress without standalone Heartbeats (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckVector {
+    /// The group the timestamps refer to.
+    pub group: GroupId,
+    /// `(member, highest ack timestamp the sender has recorded)` pairs.
+    pub entries: Vec<(ProcessorId, Timestamp)>,
+}
+
+/// Encode an ack vector as container-trailer bytes (big-endian framing).
+pub fn encode_ack_vector(v: &AckVector) -> Bytes {
+    let mut out = BytesMut::with_capacity(6 + 12 * v.entries.len());
+    out.extend_from_slice(&v.group.0.to_be_bytes());
+    out.extend_from_slice(&(v.entries.len() as u16).to_be_bytes());
+    for (p, t) in &v.entries {
+        out.extend_from_slice(&p.0.to_be_bytes());
+        out.extend_from_slice(&t.0.to_be_bytes());
+    }
+    out.freeze()
+}
+
+/// Decode a container trailer; the slice must hold exactly one vector.
+pub fn decode_ack_vector(bytes: &[u8]) -> Result<AckVector, WireError> {
+    if bytes.len() < 6 {
+        return Err(WireError::Truncated {
+            wanted: 6,
+            have: bytes.len(),
+        });
+    }
+    let group = GroupId(u32::from_be_bytes(bytes[0..4].try_into().expect("len")));
+    let n = u16::from_be_bytes(bytes[4..6].try_into().expect("len")) as usize;
+    let want = 6 + 12 * n;
+    if bytes.len() != want {
+        return Err(WireError::SizeMismatch {
+            declared: want as u32,
+            actual: bytes.len(),
+        });
+    }
+    let mut entries = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = 6 + 12 * i;
+        entries.push((
+            ProcessorId(u32::from_be_bytes(
+                bytes[at..at + 4].try_into().expect("len"),
+            )),
+            Timestamp(u64::from_be_bytes(
+                bytes[at + 4..at + 12].try_into().expect("len"),
+            )),
+        ));
+    }
+    Ok(AckVector { group, entries })
+}
+
+/// Is this payload a packed container?
+pub fn is_packed(payload: &[u8]) -> bool {
+    payload.len() >= PACKED_PREAMBLE_LEN
+        && payload[0..4] == FTMP_MAGIC
+        && payload[4] == FTMP_VERSION
+        && payload[MSG_TYPE_OFFSET] == PACKED_MSG_TYPE
+}
+
+/// Number of FTMP messages a payload carries: the count octet for a packed
+/// container, 1 for anything else. Used by the sim's per-message counters.
+pub fn message_count(payload: &[u8]) -> u32 {
+    if is_packed(payload) {
+        payload[PACKED_COUNT_OFFSET] as u32
+    } else {
+        1
+    }
+}
+
+/// Frame already-encoded FTMP messages (and an optional pre-encoded ack
+/// vector from [`encode_ack_vector`]) into one container datagram.
+///
+/// The caller guarantees `1..=255` messages, each at most `u16::MAX` bytes —
+/// the Packer's MTU budget enforces both long before these limits bind.
+pub fn encode_packed(msgs: &[Bytes], trailer: Option<&[u8]>) -> Bytes {
+    debug_assert!(!msgs.is_empty() && msgs.len() <= u8::MAX as usize);
+    let total: usize = msgs.iter().map(Bytes::len).sum();
+    let mut out = BytesMut::with_capacity(
+        PACKED_PREAMBLE_LEN
+            + msgs.len() * PACKED_PER_MSG_OVERHEAD
+            + total
+            + trailer.map_or(0, <[u8]>::len),
+    );
+    out.extend_from_slice(&FTMP_MAGIC);
+    let flags = if trailer.is_some() {
+        PACKED_ACK_VECTOR_BIT
+    } else {
+        0
+    };
+    out.extend_from_slice(&[FTMP_VERSION, flags, PACKED_MSG_TYPE, msgs.len() as u8]);
+    for m in msgs {
+        debug_assert!(m.len() <= u16::MAX as usize);
+        out.extend_from_slice(&(m.len() as u16).to_be_bytes());
+    }
+    for m in msgs {
+        out.extend_from_slice(m);
+    }
+    if let Some(t) = trailer {
+        out.extend_from_slice(t);
+    }
+    out.freeze()
+}
+
+/// Split a container into zero-copy slices of the datagram buffer, one per
+/// packed message, plus the piggybacked ack vector if present.
+///
+/// All framing is validated up front and any inconsistency rejects the whole
+/// datagram — a partial container is never delivered. The slices are each a
+/// complete standalone FTMP message (what [`FtmpMessage::decode_shared`] and
+/// the retention store expect); no per-message copy is made.
+pub fn unpack(datagram: &Bytes) -> Result<(Vec<Bytes>, Option<AckVector>), WireError> {
+    if datagram.len() < PACKED_PREAMBLE_LEN {
+        return Err(WireError::Truncated {
+            wanted: PACKED_PREAMBLE_LEN,
+            have: datagram.len(),
+        });
+    }
+    let magic = [datagram[0], datagram[1], datagram[2], datagram[3]];
+    if magic != FTMP_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if datagram[4] != FTMP_VERSION {
+        return Err(WireError::BadVersion(datagram[4]));
+    }
+    if datagram[MSG_TYPE_OFFSET] != PACKED_MSG_TYPE {
+        return Err(WireError::BadMsgType(datagram[MSG_TYPE_OFFSET]));
+    }
+    let count = datagram[PACKED_COUNT_OFFSET] as usize;
+    if count == 0 {
+        return Err(WireError::SizeMismatch {
+            declared: 0,
+            actual: datagram.len(),
+        });
+    }
+    let lengths_end = PACKED_PREAMBLE_LEN + count * PACKED_PER_MSG_OVERHEAD;
+    if datagram.len() < lengths_end {
+        return Err(WireError::Truncated {
+            wanted: lengths_end,
+            have: datagram.len(),
+        });
+    }
+    let mut msgs = Vec::with_capacity(count);
+    let mut at = lengths_end;
+    for i in 0..count {
+        let lo = PACKED_PREAMBLE_LEN + i * PACKED_PER_MSG_OVERHEAD;
+        let len = u16::from_be_bytes([datagram[lo], datagram[lo + 1]]) as usize;
+        if len < FTMP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                wanted: FTMP_HEADER_LEN,
+                have: len,
+            });
+        }
+        if datagram.len() < at + len {
+            return Err(WireError::Truncated {
+                wanted: at + len,
+                have: datagram.len(),
+            });
+        }
+        msgs.push(datagram.slice(at..at + len));
+        at += len;
+    }
+    let vector = if datagram[5] & PACKED_ACK_VECTOR_BIT != 0 {
+        // decode_ack_vector requires exact consumption of the remainder.
+        Some(decode_ack_vector(&datagram[at..])?)
+    } else {
+        if at != datagram.len() {
+            return Err(WireError::SizeMismatch {
+                declared: at as u32,
+                actual: datagram.len(),
+            });
+        }
+        None
+    };
+    Ok((msgs, vector))
 }
 
 #[cfg(test)]
@@ -834,6 +1122,14 @@ mod tests {
         assert_eq!(classify(&[]), None);
     }
 
+    /// Encode into a caller-owned buffer (no copy, unlike `encode().to_vec()`)
+    /// for tests that corrupt bytes in place.
+    fn encode_mut(m: &FtmpMessage, order: ByteOrder) -> BytesMut {
+        let mut out = BytesMut::new();
+        m.encode_into(order, &mut out);
+        out
+    }
+
     #[test]
     fn corrupt_inputs_rejected() {
         assert!(matches!(
@@ -841,19 +1137,19 @@ mod tests {
             Err(WireError::Truncated { .. })
         ));
         let m = msg(FtmpBody::Heartbeat);
-        let mut bytes = m.encode(ByteOrder::Big).to_vec();
+        let mut bytes = encode_mut(&m, ByteOrder::Big);
         bytes[0] = b'X';
         assert!(matches!(
             FtmpMessage::decode(&bytes),
             Err(WireError::BadMagic(_))
         ));
-        let mut bytes = m.encode(ByteOrder::Big).to_vec();
+        let mut bytes = encode_mut(&m, ByteOrder::Big);
         bytes[4] = 0x20;
         assert!(matches!(
             FtmpMessage::decode(&bytes),
             Err(WireError::BadVersion(0x20))
         ));
-        let mut bytes = m.encode(ByteOrder::Big).to_vec();
+        let mut bytes = encode_mut(&m, ByteOrder::Big);
         bytes[MSG_TYPE_OFFSET] = 99;
         assert!(matches!(
             FtmpMessage::decode(&bytes),
@@ -868,12 +1164,241 @@ mod tests {
             request_num: RequestNum(1),
             giop: Bytes::from_static(b"0123456789"),
         });
-        let bytes = m.encode(ByteOrder::Big).to_vec();
+        let bytes = encode_mut(&m, ByteOrder::Big);
         // Truncate mid-body.
         assert!(matches!(
             FtmpMessage::decode(&bytes[..bytes.len() - 4]),
             Err(WireError::SizeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let m = msg(FtmpBody::Regular {
+            conn: conn(),
+            request_num: RequestNum(5),
+            giop: Bytes::from_static(b"GIOP....payload"),
+        });
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let a = m.encode(order);
+            let mut b = BytesMut::new();
+            b.extend_from_slice(b"prefix__"); // appends, never truncates
+            m.encode_into(order, &mut b);
+            assert_eq!(&b[8..], &a[..]);
+        }
+    }
+
+    #[test]
+    fn decode_shared_is_zero_copy_and_equivalent() {
+        let m = msg(FtmpBody::Regular {
+            conn: conn(),
+            request_num: RequestNum(5),
+            giop: Bytes::from_static(b"GIOP....payload"),
+        });
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let bytes = m.encode(order);
+            let shared = FtmpMessage::decode_shared(&bytes).unwrap();
+            assert_eq!(shared, FtmpMessage::decode(&bytes).unwrap());
+            let FtmpBody::Regular { giop, .. } = &shared.body else {
+                panic!("regular body");
+            };
+            // The GIOP payload points into the datagram buffer, not a copy.
+            let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+            assert!(range.contains(&(giop.as_ptr() as usize)));
+        }
+        // Non-regular types delegate to plain decode.
+        let hb = msg(FtmpBody::Heartbeat).encode(ByteOrder::Big);
+        assert_eq!(
+            FtmpMessage::decode_shared(&hb).unwrap(),
+            FtmpMessage::decode(&hb).unwrap()
+        );
+    }
+
+    // -- Packed-container tests ---------------------------------------------
+
+    fn hb(src: u32, seq: u64) -> Bytes {
+        FtmpMessage {
+            retransmission: false,
+            source: ProcessorId(src),
+            group: GroupId(7),
+            seq: SeqNum(seq),
+            ts: Timestamp(seq.wrapping_mul(10)),
+            ack_ts: Timestamp(seq),
+            body: FtmpBody::Heartbeat,
+        }
+        .encode(ByteOrder::Big)
+    }
+
+    fn vector() -> AckVector {
+        AckVector {
+            group: GroupId(7),
+            entries: vec![
+                (ProcessorId(1), Timestamp(100)),
+                (ProcessorId(2), Timestamp(90)),
+            ],
+        }
+    }
+
+    #[test]
+    fn container_round_trips_without_trailer() {
+        let msgs = vec![hb(1, 1), hb(2, 2), hb(3, 3)];
+        let packed = encode_packed(&msgs, None);
+        assert!(is_packed(&packed));
+        assert_eq!(message_count(&packed), 3);
+        assert_eq!(classify(&packed), Some(PACKED_MSG_TYPE));
+        let (back, v) = unpack(&packed).unwrap();
+        assert_eq!(back, msgs);
+        assert!(v.is_none());
+        // Slices are zero-copy views of the datagram buffer.
+        let range = packed.as_ptr() as usize..packed.as_ptr() as usize + packed.len();
+        for m in &back {
+            assert!(range.contains(&(m.as_ptr() as usize)));
+        }
+    }
+
+    #[test]
+    fn container_round_trips_with_trailer() {
+        let msgs = vec![hb(1, 1), hb(2, 2)];
+        let trailer = encode_ack_vector(&vector());
+        let packed = encode_packed(&msgs, Some(&trailer));
+        let (back, v) = unpack(&packed).unwrap();
+        assert_eq!(back, msgs);
+        assert_eq!(v, Some(vector()));
+        // Every inner slice still decodes as a standalone message.
+        for m in &back {
+            FtmpMessage::decode_shared(m).unwrap();
+        }
+    }
+
+    #[test]
+    fn plain_decode_rejects_container() {
+        let packed = encode_packed(&[hb(1, 1)], None);
+        assert!(matches!(
+            FtmpMessage::decode(&packed),
+            Err(WireError::BadMsgType(PACKED_MSG_TYPE))
+        ));
+    }
+
+    #[test]
+    fn single_heartbeat_container_classifiable() {
+        // The smallest container must still clear the classifier's 44-byte
+        // floor, or packed traffic would be invisible to per-kind stats.
+        let packed = encode_packed(&[hb(1, 1)], None);
+        assert_eq!(packed.len(), PACKED_PREAMBLE_LEN + 2 + FTMP_HEADER_LEN);
+        assert!(packed.len() >= FTMP_HEADER_LEN);
+        assert_eq!(classify(&packed), Some(PACKED_MSG_TYPE));
+    }
+
+    #[test]
+    fn corrupt_containers_rejected_whole() {
+        let msgs = vec![hb(1, 1), hb(2, 2)];
+        let good = encode_packed(&msgs, None);
+
+        // Truncated mid-message.
+        let cut = good.slice(..good.len() - 5);
+        assert!(matches!(unpack(&cut), Err(WireError::Truncated { .. })));
+
+        // Count octet claims more messages than present.
+        let mut b = BytesMut::from(&good[..]);
+        b[PACKED_COUNT_OFFSET] = 9;
+        assert!(unpack(&b.freeze()).is_err());
+
+        // Length prefix below the header floor.
+        let mut b = BytesMut::from(&good[..]);
+        b[PACKED_PREAMBLE_LEN] = 0;
+        b[PACKED_PREAMBLE_LEN + 1] = 10;
+        assert!(matches!(
+            unpack(&b.freeze()),
+            Err(WireError::Truncated {
+                wanted: FTMP_HEADER_LEN,
+                have: 10
+            })
+        ));
+
+        // Trailing garbage without the trailer flag.
+        let mut b = BytesMut::from(&good[..]);
+        b.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            unpack(&b.freeze()),
+            Err(WireError::SizeMismatch { .. })
+        ));
+
+        // Trailer flag set but trailer truncated.
+        let trailer = encode_ack_vector(&vector());
+        let with = encode_packed(&msgs, Some(&trailer));
+        let cut = with.slice(..with.len() - 4);
+        assert!(unpack(&cut).is_err());
+
+        // Zero-count container.
+        let mut b = BytesMut::from(&good[..]);
+        b[PACKED_COUNT_OFFSET] = 0;
+        assert!(unpack(&b.freeze()).is_err());
+
+        // Wrong type octet.
+        let mut b = BytesMut::from(&good[..]);
+        b[MSG_TYPE_OFFSET] = FtmpMsgType::Heartbeat as u8;
+        assert!(matches!(unpack(&b.freeze()), Err(WireError::BadMsgType(_))));
+    }
+
+    #[test]
+    fn ack_vector_round_trips() {
+        let v = vector();
+        let bytes = encode_ack_vector(&v);
+        assert_eq!(decode_ack_vector(&bytes).unwrap(), v);
+        let empty = AckVector {
+            group: GroupId(0),
+            entries: vec![],
+        };
+        assert_eq!(
+            decode_ack_vector(&encode_ack_vector(&empty)).unwrap(),
+            empty
+        );
+        assert!(decode_ack_vector(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_ack_vector(&[]).is_err());
+    }
+
+    proptest! {
+        /// Any batch of encodable messages survives pack→unpack bit-for-bit,
+        /// with or without a trailer.
+        #[test]
+        fn prop_pack_unpack_identity(
+            seqs in proptest::collection::vec((any::<u32>(), any::<u64>()), 1..20),
+            with_trailer: bool,
+            entries in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..8),
+        ) {
+            let msgs: Vec<Bytes> = seqs
+                .iter()
+                .map(|(src, seq)| hb(*src, *seq))
+                .collect();
+            let v = AckVector {
+                group: GroupId(7),
+                entries: entries
+                    .iter()
+                    .map(|(p, t)| (ProcessorId(*p), Timestamp(*t)))
+                    .collect(),
+            };
+            let trailer = encode_ack_vector(&v);
+            let packed = encode_packed(&msgs, with_trailer.then_some(&trailer[..]));
+            let (back, got_v) = unpack(&packed).unwrap();
+            prop_assert_eq!(back, msgs);
+            prop_assert_eq!(got_v, with_trailer.then_some(v));
+        }
+
+        /// Arbitrary corruption of a valid container never panics and never
+        /// yields a different message set silently larger than the original.
+        #[test]
+        fn prop_container_bitflip_never_panics(
+            flip_byte in 0usize..150,
+            flip_bit in 0u8..8,
+        ) {
+            let msgs = vec![hb(1, 1), hb(2, 2)];
+            let good = encode_packed(&msgs, Some(&encode_ack_vector(&vector())));
+            let mut b = BytesMut::from(&good[..]);
+            if flip_byte < b.len() {
+                b[flip_byte] ^= 1 << flip_bit;
+            }
+            let _ = unpack(&b.freeze());
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! The experiment suite (DESIGN.md §5).
+//! The experiment suite (DESIGN.md §6).
 //!
 //! Each experiment is a function returning one or more [`Table`]s. `run`
 //! dispatches by id; `all_ids` lists them in presentation order.
 
 pub mod e10_replication_styles;
 pub mod e11_adaptivity;
+pub mod e12_packing;
 pub mod e1_heartbeat;
 pub mod e2_group_size;
 pub mod e3_loss;
@@ -23,7 +24,7 @@ use crate::report::Table;
 /// All experiment ids in presentation order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+        "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
     ]
 }
 
@@ -44,6 +45,7 @@ pub fn run(id: &str) -> Option<Vec<Table>> {
         "e9" => e9_retransmit_ablation::run(),
         "e10" => e10_replication_styles::run(),
         "e11" => e11_adaptivity::run(),
+        "e12" => e12_packing::run(),
         _ => return None,
     })
 }

@@ -4,7 +4,7 @@
 //! The ICPP 1999 FTMP paper contains no quantitative evaluation — its three
 //! figures are structural. This crate regenerates those figures *empirically*
 //! (F1–F3) and builds the performance experiments the text motivates
-//! (E1–E10); see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! (E1–E12); see DESIGN.md §6 for the experiment index and EXPERIMENTS.md for
 //! recorded results. Every experiment prints a human-readable table and can
 //! dump machine-readable JSON.
 //!

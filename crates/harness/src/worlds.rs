@@ -57,6 +57,7 @@ impl FtmpWorld {
         let members: Vec<ProcessorId> = (1..=n).map(ProcessorId).collect();
         let mut net = SimNet::new(sim_cfg);
         net.set_classifier(ftmp_core::wire::classify);
+        net.set_message_counter(ftmp_core::wire::message_count);
         for id in 1..=n {
             let mut engine = Processor::new(ProcessorId(id), proto.clone(), clock);
             engine.create_group(SimTime::ZERO, group, addr, members.clone());

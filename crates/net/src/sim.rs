@@ -86,11 +86,17 @@ pub struct SimNet<N: SimNode> {
     partition: Option<Vec<HashSet<NodeId>>>,
     stats: NetStats,
     classifier: Option<Classifier>,
+    msg_counter: Option<MessageCounter>,
     trace: Option<Trace>,
 }
 
 /// Maps a payload to a traffic-class octet for per-kind accounting.
 pub type Classifier = fn(&[u8]) -> Option<u8>;
+
+/// Maps a payload to the number of protocol messages it carries (a packed
+/// container holds several). Without one installed, every datagram counts
+/// as one message.
+pub type MessageCounter = fn(&[u8]) -> u32;
 
 impl<N: SimNode> SimNet<N> {
     /// Create an empty network with the given configuration.
@@ -110,6 +116,7 @@ impl<N: SimNode> SimNet<N> {
             partition: None,
             stats: NetStats::default(),
             classifier: None,
+            msg_counter: None,
             trace: None,
         }
     }
@@ -118,6 +125,13 @@ impl<N: SimNode> SimNet<N> {
     /// (e.g. FTMP's message-type octet).
     pub fn set_classifier(&mut self, f: Classifier) {
         self.classifier = Some(f);
+    }
+
+    /// Install a per-payload message counter (e.g. FTMP's
+    /// `wire::message_count`) so [`NetStats::sent_messages`] distinguishes
+    /// messages from datagrams when senders pack.
+    pub fn set_message_counter(&mut self, f: MessageCounter) {
+        self.msg_counter = Some(f);
     }
 
     /// Start capturing a packet trace retaining the newest `capacity`
@@ -271,6 +285,7 @@ impl<N: SimNode> SimNet<N> {
     fn fan_out(&mut self, pkt: Packet) {
         let kind = self.classifier.and_then(|f| f(&pkt.payload));
         self.stats.record_send(pkt.len(), kind);
+        self.stats.sent_messages += u64::from(self.msg_counter.map_or(1, |f| f(&pkt.payload)));
         self.trace_event(pkt.src, pkt.dst, pkt.len(), kind, TraceEvent::Send);
         let receivers: Vec<NodeId> = self
             .subs
@@ -654,6 +669,21 @@ mod tests {
         // tick_interval defaults to 1ms → ~10 ticks.
         let t = net.node(0).unwrap().ticks;
         assert!((9..=11).contains(&t), "ticks {t}");
+    }
+
+    #[test]
+    fn message_counter_feeds_sent_messages() {
+        let mut net: SimNet<Echo> = SimNet::new(SimConfig::with_seed(1));
+        // Counter under test: first payload octet is the message count.
+        net.set_message_counter(|p| u32::from(p.first().copied().unwrap_or(1)));
+        net.inject(Packet::new(0, McastAddr(1), vec![3, 0, 0]));
+        net.inject(Packet::new(0, McastAddr(1), vec![1]));
+        assert_eq!(net.stats().sent_packets, 2);
+        assert_eq!(net.stats().sent_messages, 4);
+        // Without a counter every datagram is one message.
+        let mut plain: SimNet<Echo> = SimNet::new(SimConfig::with_seed(1));
+        plain.inject(Packet::new(0, McastAddr(1), vec![9]));
+        assert_eq!(plain.stats().sent_messages, 1);
     }
 
     #[test]

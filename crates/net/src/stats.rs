@@ -12,6 +12,12 @@ use std::collections::BTreeMap;
 pub struct NetStats {
     /// Datagrams handed to the network by senders.
     pub sent_packets: u64,
+    /// Protocol messages handed to the network by senders. Equal to
+    /// `sent_packets` unless a message counter is installed
+    /// ([`crate::SimNet::set_message_counter`]) and senders pack several
+    /// messages into one datagram — the packets-per-message ratio is the
+    /// packing win the experiments report.
+    pub sent_messages: u64,
     /// Total payload bytes handed to the network.
     pub sent_bytes: u64,
     /// (packet, receiver) deliveries performed.

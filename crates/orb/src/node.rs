@@ -115,6 +115,19 @@ impl OrbNode {
         self.blocked
     }
 
+    /// Datagram-packing counters of the underlying processor, as
+    /// `(packed_datagrams_sent, messages_packed, heartbeats_suppressed)`.
+    /// All zero when `cfg.packing` is disabled — the ORB behaves
+    /// identically either way; packing is invisible above the transport.
+    pub fn packing_counters(&self) -> (u64, u64, u64) {
+        let s = self.proc.stats();
+        (
+            s.packed_datagrams_sent,
+            s.messages_packed,
+            s.heartbeats_suppressed,
+        )
+    }
+
     /// Park an outbound message, or shed it with a typed `TRANSIENT`
     /// completion when the parking lot is full.
     fn defer_or_shed(&mut self, ob: OutboundMsg) {

@@ -34,6 +34,7 @@ chaos:
 experiments:
     cargo run --release -p ftmp-harness --bin ftmp-exp
 
-# Criterion microbenches.
+# Criterion microbenches, then the packing snapshot (BENCH_pack.json).
 bench:
     cargo bench -p ftmp-bench
+    cargo run --release -p ftmp-bench --bin pack_snapshot
