@@ -1,0 +1,44 @@
+//! # ftmp-check — online protocol-conformance checking for FTMP
+//!
+//! This crate turns the paper's delivery guarantees (reliability, source
+//! order, causal order, total order, virtual synchrony, duplicate
+//! suppression, buffer-reclamation safety) into executable *oracles* that
+//! run online against the [`ftmp_core::Observation`] stream tapped off the
+//! protocol engines, and a seeded *schedule-sweep driver* that exercises
+//! the full fault matrix (loss, burst, partition+heal, crash, churn,
+//! latency spikes) and reports violations per execution.
+//!
+//! The pieces:
+//!
+//! - [`obs`] — the [`Event`] envelope, the [`Oracle`] trait, and
+//!   [`Violation`] records.
+//! - [`oracles`] — one oracle per paper property; all incremental, with
+//!   memory bounded by the ack horizon (see each module's docs).
+//! - [`suite`] — [`OracleSuite`] fans each event to every oracle and keeps
+//!   a bounded context ring; [`Checker`] is the `Rc`-shared handle that
+//!   attaches the suite to simulated processors.
+//! - [`report`] — bridges [`ftmp_net::Trace`] captures into counterexample
+//!   excerpts (FTMP-classified records only, truncation flagged) and
+//!   re-exports the golden FNV trace hash.
+//! - [`sweep`] — the seed × scenario matrix driver behind the conformance
+//!   test, the chaos suite, and experiment E13.
+//!
+//! Observation recording is off by default and costs one branch per
+//! emission site when off; [`Checker::attach`] flips it on per node.
+
+pub mod obs;
+pub mod oracles;
+pub mod report;
+pub mod suite;
+pub mod sweep;
+
+pub use obs::{Event, Key, Oracle, Violation};
+pub use oracles::{
+    CausalOrder, DuplicateSuppression, ReclamationSafety, Reliability, SourceOrder, TotalOrder,
+    VirtualSynchrony,
+};
+pub use report::{excerpt, kind_name, trace_hash, TraceExcerpt};
+pub use suite::{Checker, OracleSuite};
+pub use sweep::{
+    run_cell, run_sweep, seed_budget, CellVerdict, Scenario, SweepConfig, SweepReport,
+};

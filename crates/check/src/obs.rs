@@ -1,0 +1,82 @@
+//! The checker's input language: observations stamped with who saw them and
+//! when, plus the violation type every oracle reports in.
+
+use ftmp_core::ids::ProcessorId;
+use ftmp_core::observe::Observation;
+use ftmp_net::SimTime;
+
+/// One observation, attributed: which processor recorded it, at what virtual
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time the observation was drained at.
+    pub at: SimTime,
+    /// The observing processor.
+    pub node: ProcessorId,
+    /// What it observed.
+    pub obs: Observation,
+}
+
+/// A property violation: the first observation that contradicts an oracle's
+/// invariant, with enough detail to reconstruct why.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The oracle that tripped (its [`Oracle::name`]).
+    pub oracle: &'static str,
+    /// The processor whose observation tripped it.
+    pub node: ProcessorId,
+    /// Virtual time of the violating observation.
+    pub at: SimTime,
+    /// Human-readable account of the contradiction.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] P{} at {}us: {}",
+            self.oracle,
+            self.node.0,
+            self.at.as_micros(),
+            self.detail
+        )
+    }
+}
+
+/// An online conformance oracle: one paper property, checked incrementally.
+///
+/// Oracles must be O(1) amortized per observation. [`Oracle::observe`] sees
+/// every event in global ingestion order; end-of-run obligations (e.g.
+/// convergence of the processors expected to agree) go in
+/// [`Oracle::finish`].
+pub trait Oracle {
+    /// Short stable identifier, used in verdicts and negative-path tests.
+    fn name(&self) -> &'static str;
+
+    /// Consume one event; push any violation it exposes.
+    fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>);
+
+    /// A processor crashed or left: stop holding it to convergence
+    /// obligations (its past observations remain checked).
+    fn retire(&mut self, node: ProcessorId) {
+        let _ = node;
+    }
+
+    /// End of run: `live` are the processors expected to have converged.
+    fn finish(&mut self, live: &[ProcessorId], out: &mut Vec<Violation>) {
+        let _ = (live, out);
+    }
+}
+
+/// The total-order key of a delivery: `(timestamp, source)` — ROMP's
+/// `OrderKey` (§6).
+pub type Key = (u64, u32);
+
+/// Extract the total-order key from a delivery observation.
+pub(crate) fn key_of(obs: &Observation) -> Option<Key> {
+    match obs {
+        Observation::Delivered { ts, source, .. } => Some((ts.0, source.0)),
+        _ => None,
+    }
+}

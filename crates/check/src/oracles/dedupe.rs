@@ -1,0 +1,57 @@
+//! Duplicate suppression (§4): the ORB boundary sees every `(connection,
+//! request number)` at most once per processor, no matter how many
+//! retransmissions, packed copies or loopback datagrams carried it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ftmp_core::ids::{ConnectionId, GroupId, ProcessorId, RequestNum};
+use ftmp_core::observe::Observation;
+
+use crate::obs::{Event, Oracle, Violation};
+
+/// See module docs. Memory is one key per delivered request for the run —
+/// the dedupe property has no horizon to prune behind.
+#[derive(Debug, Default)]
+pub struct DuplicateSuppression {
+    seen: BTreeMap<(ProcessorId, GroupId), BTreeSet<(ConnectionId, RequestNum)>>,
+}
+
+impl DuplicateSuppression {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle for DuplicateSuppression {
+    fn name(&self) -> &'static str {
+        "duplicate-suppression"
+    }
+
+    fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>) {
+        if let Observation::Delivered {
+            group,
+            conn,
+            request,
+            ..
+        } = &ev.obs
+        {
+            let fresh = self
+                .seen
+                .entry((ev.node, *group))
+                .or_default()
+                .insert((*conn, *request));
+            if !fresh {
+                out.push(Violation {
+                    oracle: "duplicate-suppression",
+                    node: ev.node,
+                    at: ev.at,
+                    detail: format!(
+                        "P{} delivered request {} on connection {:?} twice",
+                        ev.node.0, request.0, conn
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The seven paper-property oracles (DESIGN.md §9).
+//!
+//! Each oracle checks one row of the paper's guarantee matrix over the
+//! observation stream:
+//!
+//! | oracle            | property (paper §)                                  |
+//! |-------------------|-----------------------------------------------------|
+//! | `reliability`     | no gaps among stable members (§5)                   |
+//! | `source-order`    | per-source delivery follows send order (§5)         |
+//! | `causal-order`    | Lamport-timestamp monotone delivery (§6)            |
+//! | `total-order`     | pairwise agreement of delivery sequences (§6)       |
+//! | `virtual-synchrony` | same messages in the same view before install (§7) |
+//! | `duplicate-suppression` | no (conn, request) delivered twice (§4)       |
+//! | `reclamation-safety` | no reclaim before every member acked (§6)        |
+
+mod dedupe;
+mod order;
+mod reclaim;
+mod reliability;
+mod total;
+mod vsync;
+
+pub use dedupe::DuplicateSuppression;
+pub use order::{CausalOrder, SourceOrder};
+pub use reclaim::ReclamationSafety;
+pub use reliability::Reliability;
+pub use total::TotalOrder;
+pub use vsync::VirtualSynchrony;
+
+use crate::obs::Oracle;
+
+/// The standard suite: all seven oracles.
+pub fn standard() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(Reliability::new()),
+        Box::new(SourceOrder::new()),
+        Box::new(CausalOrder::new()),
+        Box::new(TotalOrder::new()),
+        Box::new(VirtualSynchrony::new()),
+        Box::new(DuplicateSuppression::new()),
+        Box::new(ReclamationSafety::new()),
+    ]
+}

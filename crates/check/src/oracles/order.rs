@@ -1,0 +1,108 @@
+//! Source order (§5) and causal order (§6): the two per-processor
+//! monotonicity properties of the delivery sequence.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ftmp_core::ids::{GroupId, ProcessorId};
+use ftmp_core::observe::Observation;
+
+use crate::obs::{Event, Key, Oracle, Violation};
+
+/// Source order: each processor delivers a source's messages in strictly
+/// increasing sequence-number order — RMP's send order.
+#[derive(Debug, Default)]
+pub struct SourceOrder {
+    last: BTreeMap<(ProcessorId, GroupId, ProcessorId), u64>,
+    views: BTreeMap<(ProcessorId, GroupId), BTreeSet<ProcessorId>>,
+}
+
+impl SourceOrder {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle for SourceOrder {
+    fn name(&self) -> &'static str {
+        "source-order"
+    }
+
+    fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>) {
+        match &ev.obs {
+            Observation::Delivered {
+                group, source, seq, ..
+            } => {
+                let e = self.last.entry((ev.node, *group, *source)).or_insert(0);
+                if seq.0 <= *e {
+                    out.push(Violation {
+                        oracle: "source-order",
+                        node: ev.node,
+                        at: ev.at,
+                        detail: format!(
+                            "P{} delivered source P{} seq {} after seq {} (send order broken)",
+                            ev.node.0, source.0, seq.0, *e
+                        ),
+                    });
+                }
+                *e = (*e).max(seq.0);
+            }
+            Observation::ViewInstalled { group, members, .. } => {
+                // A source removed from the view may rejoin with a restarted
+                // sequence stream: forget it.
+                let now: BTreeSet<ProcessorId> = members.iter().copied().collect();
+                if let Some(prev) = self.views.insert((ev.node, *group), now.clone()) {
+                    for gone in prev.difference(&now) {
+                        self.last.remove(&(ev.node, *group, *gone));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Causal order: each processor's delivery sequence is strictly increasing
+/// in the total-order key `(Lamport timestamp, source)` — which also makes
+/// it causal, because a message's timestamp exceeds every message that
+/// happened before it (§6).
+#[derive(Debug, Default)]
+pub struct CausalOrder {
+    last: BTreeMap<(ProcessorId, GroupId), Key>,
+}
+
+impl CausalOrder {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle for CausalOrder {
+    fn name(&self) -> &'static str {
+        "causal-order"
+    }
+
+    fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>) {
+        if let Observation::Delivered {
+            group, source, ts, ..
+        } = &ev.obs
+        {
+            let key: Key = (ts.0, source.0);
+            let e = self.last.entry((ev.node, *group)).or_insert((0, 0));
+            if key <= *e {
+                out.push(Violation {
+                    oracle: "causal-order",
+                    node: ev.node,
+                    at: ev.at,
+                    detail: format!(
+                        "P{} delivered (ts {}, src P{}) after (ts {}, src P{}): \
+                         timestamp order broken",
+                        ev.node.0, key.0, key.1, e.0, e.1
+                    ),
+                });
+            }
+            *e = (*e).max(key);
+        }
+    }
+}

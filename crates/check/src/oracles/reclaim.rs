@@ -1,0 +1,87 @@
+//! Buffer-reclamation safety (§6): retention entries may be dropped only
+//! once *every* current member's ack timestamp reached the stability point —
+//! otherwise a member could still NACK a message nobody holds anymore.
+//!
+//! The oracle mirrors the stability rule from the observation stream alone:
+//! it folds every `Acked` observation into a per-member high-water mark and,
+//! on `Reclaimed { stable_ts }`, demands that each member of the reclaiming
+//! processor's current view has acked at least `stable_ts`. A member that
+//! never reported (a fresh joiner pins stability at zero) makes any positive
+//! reclamation premature — exactly the silent-GC bug class this oracle
+//! exists to catch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ftmp_core::ids::{GroupId, ProcessorId, Timestamp};
+use ftmp_core::observe::Observation;
+
+use crate::obs::{Event, Oracle, Violation};
+
+#[derive(Debug, Default)]
+struct NodeState {
+    acks: BTreeMap<ProcessorId, Timestamp>,
+    members: Option<BTreeSet<ProcessorId>>,
+}
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct ReclamationSafety {
+    nodes: BTreeMap<(ProcessorId, GroupId), NodeState>,
+}
+
+impl ReclamationSafety {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle for ReclamationSafety {
+    fn name(&self) -> &'static str {
+        "reclamation-safety"
+    }
+
+    fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>) {
+        match &ev.obs {
+            Observation::Acked { group, member, ts } => {
+                let s = self.nodes.entry((ev.node, *group)).or_default();
+                let e = s.acks.entry(*member).or_insert(Timestamp(0));
+                *e = (*e).max(*ts);
+            }
+            Observation::ViewInstalled { group, members, .. } => {
+                let s = self.nodes.entry((ev.node, *group)).or_default();
+                s.members = Some(members.iter().copied().collect());
+            }
+            Observation::Reclaimed {
+                group,
+                stable_ts,
+                count,
+            } => {
+                let Some(s) = self.nodes.get(&(ev.node, *group)) else {
+                    return;
+                };
+                let Some(members) = &s.members else {
+                    // View never observed (e.g. a connect-pool group with no
+                    // membership events): nothing to hold the reclaim to.
+                    return;
+                };
+                for m in members {
+                    let acked = s.acks.get(m).copied().unwrap_or(Timestamp(0));
+                    if acked < *stable_ts {
+                        out.push(Violation {
+                            oracle: "reclamation-safety",
+                            node: ev.node,
+                            at: ev.at,
+                            detail: format!(
+                                "P{} reclaimed {} retained messages at stability ts {} but \
+                                 member P{} only acked up to ts {}",
+                                ev.node.0, count, stable_ts.0, m.0, acked.0
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Total order: pairwise agreement of delivery sequences (§6).
+//!
+//! The first processor to deliver a message defines its global position;
+//! every other processor must deliver the same messages in the same order.
+//! A later joiner may start mid-log (its join floor suppressed the prefix),
+//! but from its first delivery on it must track the log exactly.
+//!
+//! The log is pruned below the slowest active cursor (minus a slack window),
+//! so memory is bounded by the delivery spread between the fastest and
+//! slowest live processor — the ack horizon keeps that spread finite.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use ftmp_core::ids::{GroupId, ProcessorId};
+use ftmp_core::observe::Observation;
+use ftmp_net::SimTime;
+
+use crate::obs::{Event, Key, Oracle, Violation};
+
+/// How many delivered entries behind the slowest cursor the log keeps
+/// before pruning. Large enough that a processor would have to lag tens of
+/// thousands of deliveries (impossible under the ack horizon) to trigger a
+/// pruned-prefix misjudgement.
+const PRUNE_SLACK: usize = 1 << 14;
+
+#[derive(Debug, Default)]
+struct GroupLog {
+    /// The agreed order, indices `base..base + log.len()`.
+    log: VecDeque<Key>,
+    index: HashMap<Key, usize>,
+    base: usize,
+    /// Next expected log index per processor.
+    cursors: BTreeMap<ProcessorId, usize>,
+    /// Processors retired from convergence duty (crashed / left).
+    retired: Vec<ProcessorId>,
+}
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct TotalOrder {
+    groups: BTreeMap<GroupId, GroupLog>,
+}
+
+impl TotalOrder {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl GroupLog {
+    fn end(&self) -> usize {
+        self.base + self.log.len()
+    }
+
+    fn push(&mut self, key: Key) -> usize {
+        let at = self.end();
+        self.log.push_back(key);
+        self.index.insert(key, at);
+        at
+    }
+
+    fn prune(&mut self) {
+        let min_active = self
+            .cursors
+            .iter()
+            .filter(|(p, _)| !self.retired.contains(p))
+            .map(|(_, &c)| c)
+            .min()
+            .unwrap_or(self.end());
+        while self.base + PRUNE_SLACK < min_active {
+            if let Some(key) = self.log.pop_front() {
+                self.index.remove(&key);
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Oracle for TotalOrder {
+    fn name(&self) -> &'static str {
+        "total-order"
+    }
+
+    fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>) {
+        let Observation::Delivered { group, .. } = &ev.obs else {
+            return;
+        };
+        let key = crate::obs::key_of(&ev.obs).expect("delivered has a key");
+        let g = self.groups.entry(*group).or_default();
+        let known = g.index.get(&key).copied();
+        match g.cursors.get(&ev.node).copied() {
+            None => {
+                // First delivery at this processor: it may enter mid-log (a
+                // joiner's suffix) or extend the log.
+                let at = known.unwrap_or_else(|| g.push(key));
+                g.cursors.insert(ev.node, at + 1);
+            }
+            Some(cursor) => match known {
+                Some(at) if at == cursor => {
+                    g.cursors.insert(ev.node, at + 1);
+                }
+                Some(at) => {
+                    let expected = if cursor >= g.base {
+                        g.log.get(cursor - g.base).copied()
+                    } else {
+                        None
+                    };
+                    out.push(Violation {
+                        oracle: "total-order",
+                        node: ev.node,
+                        at: ev.at,
+                        detail: format!(
+                            "P{} delivered (ts {}, src P{}) at position {}, but the agreed \
+                             order has it at {} (expected {:?} here)",
+                            ev.node.0, key.0, key.1, cursor, at, expected
+                        ),
+                    });
+                    // Resync so one divergence yields one violation.
+                    g.cursors.insert(ev.node, at + 1);
+                }
+                None => {
+                    if cursor == g.end() {
+                        let at = g.push(key);
+                        g.cursors.insert(ev.node, at + 1);
+                    } else {
+                        let expected = if cursor >= g.base {
+                            g.log.get(cursor - g.base).copied()
+                        } else {
+                            None
+                        };
+                        out.push(Violation {
+                            oracle: "total-order",
+                            node: ev.node,
+                            at: ev.at,
+                            detail: format!(
+                                "P{} delivered new message (ts {}, src P{}) while the agreed \
+                                 order expects {:?} at position {}",
+                                ev.node.0, key.0, key.1, expected, cursor
+                            ),
+                        });
+                        let at = g.push(key);
+                        g.cursors.insert(ev.node, at + 1);
+                    }
+                }
+            },
+        }
+        g.prune();
+    }
+
+    fn retire(&mut self, node: ProcessorId) {
+        for g in self.groups.values_mut() {
+            if !g.retired.contains(&node) {
+                g.retired.push(node);
+            }
+        }
+    }
+
+    fn finish(&mut self, live: &[ProcessorId], out: &mut Vec<Violation>) {
+        for (gid, g) in &self.groups {
+            let end = g.end();
+            for &node in live {
+                let Some(&cursor) = g.cursors.get(&node) else {
+                    continue; // delivered nothing in this group
+                };
+                if cursor != end {
+                    out.push(Violation {
+                        oracle: "total-order",
+                        node,
+                        at: SimTime::ZERO,
+                        detail: format!(
+                            "P{} converged {} deliveries short of the agreed order in group \
+                             {} ({} of {})",
+                            node.0,
+                            end - cursor,
+                            gid.0,
+                            cursor,
+                            end
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Virtual synchrony (§7.2): processors that move together from view V to
+//! view W must have delivered the same set of messages while V was
+//! installed. The reconfiguration flush runs *before* the new view is
+//! reported, so the check fires at the install boundary.
+//!
+//! View identity is the membership timestamp: the ordered membership
+//! operation (or reconfiguration completion rule) gives every member of a
+//! view the same `ts`. A processor whose previous view is unknown — a
+//! joiner observed from its admission onwards — skips the comparison for
+//! its first install; from then on it is held to the same standard as
+//! everyone else.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ftmp_core::ids::{GroupId, ProcessorId};
+use ftmp_core::observe::Observation;
+
+use crate::obs::{Event, Key, Oracle, Violation};
+
+/// How many view transitions are kept for comparison before the oldest is
+/// evicted (memory bound; membership changes are rare next to traffic).
+const TRANSITION_CAP: usize = 64;
+
+#[derive(Debug, Default)]
+struct NodeView {
+    /// Identity (membership ts) of the current view, if known.
+    current: Option<u64>,
+    /// Total-order keys delivered since the current view was installed.
+    delivered: BTreeSet<Key>,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    nodes: BTreeMap<ProcessorId, NodeView>,
+    /// First-reported delivered-set per (old view, new view) transition.
+    transitions: BTreeMap<(u64, u64), (ProcessorId, BTreeSet<Key>)>,
+    order: VecDeque<(u64, u64)>,
+}
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct VirtualSynchrony {
+    groups: BTreeMap<GroupId, GroupState>,
+}
+
+impl VirtualSynchrony {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle for VirtualSynchrony {
+    fn name(&self) -> &'static str {
+        "virtual-synchrony"
+    }
+
+    fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>) {
+        match &ev.obs {
+            Observation::Delivered { group, .. } => {
+                let key = crate::obs::key_of(&ev.obs).expect("delivered has a key");
+                self.groups
+                    .entry(*group)
+                    .or_default()
+                    .nodes
+                    .entry(ev.node)
+                    .or_default()
+                    .delivered
+                    .insert(key);
+            }
+            Observation::ViewInstalled { group, ts, .. } => {
+                let g = self.groups.entry(*group).or_default();
+                let node = g.nodes.entry(ev.node).or_default();
+                let old = node.current;
+                let delivered = std::mem::take(&mut node.delivered);
+                node.current = Some(ts.0);
+                let Some(old) = old else {
+                    return; // first known view at this processor
+                };
+                if old == ts.0 {
+                    return; // re-announcement of the same view
+                }
+                let tkey = (old, ts.0);
+                match g.transitions.get(&tkey) {
+                    Some((first, reference)) => {
+                        if *reference != delivered {
+                            let missing: Vec<Key> =
+                                reference.difference(&delivered).copied().collect();
+                            let extra: Vec<Key> =
+                                delivered.difference(reference).copied().collect();
+                            out.push(Violation {
+                                oracle: "virtual-synchrony",
+                                node: ev.node,
+                                at: ev.at,
+                                detail: format!(
+                                    "P{} installed view ts {} from ts {} with a different \
+                                     delivered set than P{}: missing {:?}, extra {:?}",
+                                    ev.node.0,
+                                    ts.0,
+                                    old,
+                                    first.0,
+                                    &missing[..missing.len().min(4)],
+                                    &extra[..extra.len().min(4)]
+                                ),
+                            });
+                        }
+                    }
+                    None => {
+                        g.transitions.insert(tkey, (ev.node, delivered));
+                        g.order.push_back(tkey);
+                        if g.order.len() > TRANSITION_CAP {
+                            if let Some(old) = g.order.pop_front() {
+                                g.transitions.remove(&old);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Bridging [`ftmp_net::Trace`] captures into counterexample reports, plus
+//! the FNV trace hash used to pin wire behaviour in integration tests.
+
+use ftmp_core::wire::{self, FtmpMsgType};
+use ftmp_net::{Trace, TraceEvent, TraceRecord};
+
+/// A rendered excerpt of the network trace around a violation: the last `n`
+/// records whose classifier octet is an FTMP message type (or a packed
+/// container), with truncation flagged when the ring buffer evicted
+/// records.
+#[derive(Debug, Clone)]
+pub struct TraceExcerpt {
+    /// Rendered records, oldest first.
+    pub lines: Vec<String>,
+    /// Records ever pushed into the trace (`Trace::total_captured`).
+    pub captured: u64,
+    /// Records evicted by the ring buffer — nonzero means the capture is
+    /// truncated and the earliest history is gone.
+    pub evicted: u64,
+}
+
+impl TraceExcerpt {
+    /// Whether the ring buffer dropped history.
+    pub fn truncated(&self) -> bool {
+        self.evicted > 0
+    }
+}
+
+impl std::fmt::Display for TraceExcerpt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "trace: last {} FTMP records of {} captured{}",
+            self.lines.len(),
+            self.captured,
+            if self.truncated() {
+                format!(" (TRUNCATED: {} evicted)", self.evicted)
+            } else {
+                String::new()
+            }
+        )?;
+        for l in &self.lines {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Name the FTMP classifier octet.
+pub fn kind_name(kind: u8) -> String {
+    if kind == wire::PACKED_MSG_TYPE {
+        return "Packed".into();
+    }
+    match FtmpMsgType::from_u8(kind) {
+        Ok(t) => format!("{t:?}"),
+        Err(_) => format!("0x{kind:02X}"),
+    }
+}
+
+/// Is this classifier octet FTMP traffic (one of the nine message types or
+/// a packed container)?
+fn is_ftmp(kind: Option<u8>) -> bool {
+    match kind {
+        Some(k) => k == wire::PACKED_MSG_TYPE || FtmpMsgType::from_u8(k).is_ok(),
+        None => false,
+    }
+}
+
+fn render(r: &TraceRecord) -> String {
+    let event = match r.event {
+        TraceEvent::Send => "send".to_string(),
+        TraceEvent::Deliver(to) => format!("deliver->P{to}"),
+        TraceEvent::Lose(to) => format!("LOST->P{to}"),
+        TraceEvent::Partition(to) => format!("partitioned->P{to}"),
+        TraceEvent::ToCrashed(to) => format!("to-crashed->P{to}"),
+    };
+    let kind = r.kind.map(kind_name).unwrap_or_else(|| "?".into());
+    format!(
+        "{:>10}us P{} -> {} {:<12} len={} {}",
+        r.at.as_micros(),
+        r.src,
+        r.dst.0,
+        kind,
+        r.len,
+        event
+    )
+}
+
+/// The last `n` FTMP-classified records of `trace`, rendered oldest-first,
+/// with eviction counts surfaced so a truncated capture is never mistaken
+/// for a complete one.
+pub fn excerpt(trace: &Trace, n: usize) -> TraceExcerpt {
+    let ftmp: Vec<&TraceRecord> = trace.records().filter(|r| is_ftmp(r.kind)).collect();
+    let skip = ftmp.len().saturating_sub(n);
+    TraceExcerpt {
+        lines: ftmp[skip..].iter().map(|r| render(r)).collect(),
+        captured: trace.total_captured(),
+        evicted: trace.total_captured() - trace.len() as u64,
+    }
+}
+
+/// FNV-1a over every trace record, exactly as the golden-hash test in
+/// `ftmp-core` computes it: any change to default wire behaviour (order,
+/// sizes, classification) changes this value.
+pub fn trace_hash(trace: &Trace) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for r in trace.records() {
+        for b in r.at.0.to_le_bytes() {
+            mix(b);
+        }
+        for b in r.src.to_le_bytes() {
+            mix(b);
+        }
+        for b in r.dst.0.to_le_bytes() {
+            mix(b);
+        }
+        for b in (r.len as u64).to_le_bytes() {
+            mix(b);
+        }
+        mix(r.kind.unwrap_or(0xFF));
+    }
+    h
+}

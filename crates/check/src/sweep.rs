@@ -1,0 +1,423 @@
+//! The schedule-sweep driver: run a seeded workload under every fault
+//! scenario in the matrix with all oracles attached, and report per-cell
+//! verdicts with a counterexample (first violating observation plus the
+//! filtered trace window) on failure.
+
+use bytes::Bytes;
+use ftmp_core::{
+    wire, ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
+    RequestNum, SimProcessor, TimerPolicy,
+};
+use ftmp_net::{
+    LinkDegrade, LinkSelector, LossModel, McastAddr, NodeId, SimConfig, SimDuration, SimNet,
+    SimTime,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::report;
+use crate::suite::Checker;
+
+const GROUP: GroupId = GroupId(1);
+const ADDR: McastAddr = McastAddr(100);
+const FOUNDERS: u32 = 4;
+
+fn conn() -> ConnectionId {
+    ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+}
+
+/// One fault scenario of the sweep matrix (ISSUE: loss, burst,
+/// partition+heal, crash, join/leave churn, latency spikes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Perfect network: the baseline cell.
+    Lossless,
+    /// Independent 8% loss per (packet, receiver).
+    IidLoss,
+    /// Gilbert–Elliott burst loss with latency jitter.
+    BurstLoss,
+    /// A minority partition mid-run, healed later; the minority is excluded
+    /// and learns of it after the heal.
+    PartitionHeal,
+    /// One founder crashes mid-run; the survivors reconfigure.
+    Crash,
+    /// A join and a voluntary leave, serialized per §7.1, with traffic
+    /// throughout.
+    Churn,
+    /// A latency×20 + extra-loss window on one member's outbound links,
+    /// ridden out under adaptive timers.
+    LatencySpike,
+}
+
+impl Scenario {
+    /// The full matrix.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::Lossless,
+        Scenario::IidLoss,
+        Scenario::BurstLoss,
+        Scenario::PartitionHeal,
+        Scenario::Crash,
+        Scenario::Churn,
+        Scenario::LatencySpike,
+    ];
+
+    /// Stable name for verdicts and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Lossless => "lossless",
+            Scenario::IidLoss => "iid-loss",
+            Scenario::BurstLoss => "burst-loss",
+            Scenario::PartitionHeal => "partition-heal",
+            Scenario::Crash => "crash",
+            Scenario::Churn => "churn",
+            Scenario::LatencySpike => "latency-spike",
+        }
+    }
+}
+
+/// Sweep shape: seeds × scenarios, workload length, trace capture size.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// First seed; cells run `base_seed..base_seed + seeds_per_scenario`.
+    pub base_seed: u64,
+    /// Seeds per scenario.
+    pub seeds_per_scenario: u64,
+    /// Workload steps per cell (each step: one multicast + 1–10 ms).
+    pub steps: usize,
+    /// Trace ring capacity per cell (records).
+    pub trace_capacity: usize,
+    /// Scenarios to run.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            base_seed: 0x5EED,
+            seeds_per_scenario: seed_budget(2),
+            steps: 60,
+            trace_capacity: 4096,
+            scenarios: Scenario::ALL.to_vec(),
+        }
+    }
+}
+
+/// Seeds per scenario from the `CONFORMANCE_SEEDS` environment variable
+/// (the `CHAOS_SEEDS` convention), else `default`.
+pub fn seed_budget(default: u64) -> u64 {
+    std::env::var("CONFORMANCE_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// One (scenario, seed) execution's outcome.
+#[derive(Debug, Clone)]
+pub struct CellVerdict {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Seed of this execution.
+    pub seed: u64,
+    /// Observations the oracles consumed.
+    pub observations: u64,
+    /// Ordered deliveries among them.
+    pub delivered: u64,
+    /// Oracle violations (0 = conformant).
+    pub violations: u64,
+    /// On failure: first violating observation with context, plus the
+    /// FTMP-filtered trace window (truncation flagged).
+    pub counterexample: Option<String>,
+}
+
+/// The whole matrix's verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// One verdict per (scenario, seed) cell.
+    pub cells: Vec<CellVerdict>,
+}
+
+impl SweepReport {
+    /// Zero violations everywhere?
+    pub fn ok(&self) -> bool {
+        self.cells.iter().all(|c| c.violations == 0)
+    }
+
+    /// Number of executions.
+    pub fn executions(&self) -> u64 {
+        self.cells.len() as u64
+    }
+
+    /// Total observations checked.
+    pub fn observations(&self) -> u64 {
+        self.cells.iter().map(|c| c.observations).sum()
+    }
+
+    /// Total ordered deliveries checked.
+    pub fn delivered(&self) -> u64 {
+        self.cells.iter().map(|c| c.delivered).sum()
+    }
+
+    /// Total violations.
+    pub fn violations(&self) -> u64 {
+        self.cells.iter().map(|c| c.violations).sum()
+    }
+
+    /// The E13 metric: violations per 10 000 executions.
+    pub fn violations_per_10k(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.violations() as f64 * 10_000.0 / self.executions() as f64
+    }
+
+    /// Failing cells.
+    pub fn failures(&self) -> impl Iterator<Item = &CellVerdict> {
+        self.cells.iter().filter(|c| c.violations > 0)
+    }
+
+    /// Hand-rolled JSON (the workspace has no serde), mirroring the
+    /// harness report format: suitable as a CI artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"executions\": {},\n", self.executions()));
+        s.push_str(&format!("  \"observations\": {},\n", self.observations()));
+        s.push_str(&format!("  \"delivered\": {},\n", self.delivered()));
+        s.push_str(&format!("  \"violations\": {},\n", self.violations()));
+        s.push_str(&format!(
+            "  \"violations_per_10k\": {:.3},\n",
+            self.violations_per_10k()
+        ));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"seed\": {}, \"observations\": {}, \
+                 \"delivered\": {}, \"violations\": {}}}{}\n",
+                c.scenario,
+                c.seed,
+                c.observations,
+                c.delivered,
+                c.violations,
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Run the full matrix.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    let mut report = SweepReport::default();
+    for &scenario in &cfg.scenarios {
+        for seed in cfg.base_seed..cfg.base_seed + cfg.seeds_per_scenario {
+            report
+                .cells
+                .push(run_cell(scenario, seed, cfg.steps, cfg.trace_capacity));
+        }
+    }
+    report
+}
+
+struct Cell {
+    net: SimNet<SimProcessor>,
+    checker: Checker,
+    rng: SmallRng,
+    members: BTreeSet<u32>,
+    crashed: BTreeSet<u32>,
+    next_req: u64,
+}
+
+impl Cell {
+    fn alive(&self) -> Vec<u32> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|id| !self.crashed.contains(id))
+            .collect()
+    }
+
+    fn send_random(&mut self) {
+        let alive = self.alive();
+        if alive.is_empty() {
+            return;
+        }
+        let id = alive[self.rng.gen_range(0..alive.len())];
+        self.next_req += 1;
+        let req = RequestNum(self.next_req);
+        let len = self.rng.gen_range(8..256usize);
+        self.net.with_node(id, move |n, now, out| {
+            let _ = n
+                .engine_mut()
+                .multicast_request(now, conn(), req, Bytes::from(vec![0u8; len]));
+            n.pump_at(now, out);
+        });
+    }
+
+    fn step(&mut self) {
+        self.send_random();
+        let pause = self.rng.gen_range(1..10u64);
+        self.net.run_for(SimDuration::from_millis(pause));
+    }
+
+    fn join(&mut self, joiner: u32, sponsor: u32) {
+        let seed = self.rng.gen();
+        let mut e = Processor::new(
+            ProcessorId(joiner),
+            ProtocolConfig::with_seed(seed),
+            ClockMode::Lamport,
+        );
+        e.expect_join(GROUP, ADDR);
+        e.bind_connection(conn(), GROUP);
+        self.net.add_node(joiner, SimProcessor::new(e));
+        self.checker.attach(&mut self.net, joiner);
+        self.net
+            .with_node(joiner, |n, now, out| n.pump_at(now, out));
+        self.net.with_node(sponsor, move |n, now, out| {
+            n.engine_mut()
+                .add_processor(now, GROUP, ProcessorId(joiner));
+            n.pump_at(now, out);
+        });
+        self.members.insert(joiner);
+        // §7.1: membership changes are serialized — let this one complete.
+        self.net.run_for(SimDuration::from_millis(500));
+    }
+
+    fn leave(&mut self, leaver: u32, sponsor: u32) {
+        self.net.with_node(sponsor, move |n, now, out| {
+            n.engine_mut()
+                .remove_processor(now, GROUP, ProcessorId(leaver));
+            n.pump_at(now, out);
+        });
+        self.members.remove(&leaver);
+        self.checker.retire(leaver);
+        self.net.run_for(SimDuration::from_millis(500));
+    }
+}
+
+/// Run one (scenario, seed) cell: build a 4-founder group with the full
+/// oracle suite attached, drive the seeded workload and the scenario's
+/// fault schedule, settle, and collect the verdict.
+pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usize) -> CellVerdict {
+    let mut sim = SimConfig::with_seed(seed);
+    let mut proto = ProtocolConfig::with_seed(seed);
+    match scenario {
+        Scenario::Lossless | Scenario::PartitionHeal | Scenario::Crash | Scenario::Churn => {}
+        Scenario::IidLoss => {
+            sim = sim.loss(LossModel::Iid { p: 0.08 });
+        }
+        Scenario::BurstLoss => {
+            sim = sim.loss(LossModel::Burst {
+                p_good: 0.01,
+                p_bad: 0.6,
+                p_enter_bad: 0.02,
+                p_exit_bad: 0.25,
+            });
+        }
+        Scenario::LatencySpike => {
+            sim = sim.degrade(LinkDegrade {
+                from: SimTime(150_000),
+                until: SimTime(500_000),
+                links: LinkSelector::From(vec![1]),
+                latency_factor: 20.0,
+                extra_loss: 0.25,
+            });
+            proto = proto
+                .fail_timeout_of(SimDuration::from_millis(30))
+                .timer_policy(TimerPolicy::Adaptive);
+        }
+    }
+    let mut net = SimNet::new(sim);
+    net.set_classifier(wire::classify);
+    net.enable_trace(trace_capacity);
+    let founders: Vec<ProcessorId> = (1..=FOUNDERS).map(ProcessorId).collect();
+    let checker = Checker::new(GROUP, &founders);
+    for id in 1..=FOUNDERS {
+        let mut e = Processor::new(ProcessorId(id), proto.clone(), ClockMode::Lamport);
+        e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
+        e.bind_connection(conn(), GROUP);
+        net.add_node(id, SimProcessor::new(e));
+        checker.attach(&mut net, id);
+        net.with_node(id, |n, now, out| n.pump_at(now, out));
+    }
+    let mut cell = Cell {
+        net,
+        checker,
+        rng: SmallRng::seed_from_u64(seed ^ 0x00C0_4F0C_A11E_D5EE),
+        members: (1..=FOUNDERS).collect(),
+        crashed: BTreeSet::new(),
+        next_req: 0,
+    };
+    for step in 0..steps.max(12) {
+        match scenario {
+            Scenario::Crash if step == steps / 3 => {
+                // Keep a live majority of 4 so conviction stays possible.
+                cell.net.crash(4);
+                cell.crashed.insert(4);
+                cell.checker.retire(4);
+            }
+            Scenario::PartitionHeal if step == steps / 4 => {
+                cell.net.partition(vec![vec![1, 2, 3], vec![4]]);
+            }
+            Scenario::PartitionHeal if step == (steps * 3) / 4 => {
+                // The majority convicted P4 during the partition; after the
+                // heal it learns of its exclusion and leaves.
+                cell.net.heal();
+                cell.checker.retire(4);
+            }
+            Scenario::Churn if step == steps / 3 => {
+                let sponsor = cell.alive()[0];
+                cell.join(FOUNDERS + 1, sponsor);
+            }
+            Scenario::Churn if step == (steps * 2) / 3 => {
+                let alive = cell.alive();
+                if alive.len() >= 3 && alive.contains(&2) {
+                    let sponsor = *alive.iter().find(|&&id| id != 2).expect("majority");
+                    cell.leave(2, sponsor);
+                }
+            }
+            _ => {}
+        }
+        cell.step();
+    }
+    // Settle: drain retransmissions, complete any reconfiguration.
+    cell.net.run_for(SimDuration::from_secs(3));
+    // The processors expected to have converged: alive and still members.
+    let live: Vec<NodeId> = cell
+        .alive()
+        .into_iter()
+        .filter(|&id| {
+            cell.net
+                .node(id)
+                .is_some_and(|n| n.engine().membership(GROUP).is_some())
+        })
+        .collect();
+    assert!(
+        !live.is_empty(),
+        "{} seed {seed}: no live member survived the schedule",
+        scenario.name()
+    );
+    cell.checker.finish(live.iter().copied());
+    let violations = cell.checker.violation_count();
+    let counterexample = if violations > 0 {
+        let mut cx = cell
+            .checker
+            .with_suite(|s| s.first_counterexample())
+            .unwrap_or_default();
+        if let Some(trace) = cell.net.trace() {
+            cx.push_str(&report::excerpt(trace, 40).to_string());
+        }
+        Some(cx)
+    } else {
+        None
+    };
+    CellVerdict {
+        scenario: scenario.name(),
+        seed,
+        observations: cell.checker.observed(),
+        delivered: cell.checker.delivered(),
+        violations,
+        counterexample,
+    }
+}

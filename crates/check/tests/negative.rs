@@ -1,0 +1,212 @@
+//! Negative-path fixtures: each hand-crafted observation stream violates
+//! exactly one paper property, and exactly that property's oracle must
+//! trip. This is the sensitivity half of the conformance suite — the sweep
+//! proves the oracles stay quiet on correct executions, these prove each
+//! oracle actually fires on the bug class it owns.
+
+use ftmp_check::{Event, OracleSuite};
+use ftmp_core::ids::{
+    ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
+};
+use ftmp_core::Observation;
+use ftmp_net::SimTime;
+
+const GROUP: GroupId = GroupId(1);
+
+const ORACLES: [&str; 7] = [
+    "reliability",
+    "source-order",
+    "causal-order",
+    "total-order",
+    "virtual-synchrony",
+    "duplicate-suppression",
+    "reclamation-safety",
+];
+
+fn conn() -> ConnectionId {
+    ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
+}
+
+fn p(id: u32) -> ProcessorId {
+    ProcessorId(id)
+}
+
+/// A `Delivered` observation at `node`.
+fn delivered(at: u64, node: u32, request: u64, source: u32, seq: u64, ts: u64) -> Event {
+    Event {
+        at: SimTime(at),
+        node: p(node),
+        obs: Observation::Delivered {
+            group: GROUP,
+            conn: conn(),
+            request: RequestNum(request),
+            source: p(source),
+            seq: SeqNum(seq),
+            ts: Timestamp(ts),
+        },
+    }
+}
+
+fn view(at: u64, node: u32, members: &[u32], ts: u64) -> Event {
+    Event {
+        at: SimTime(at),
+        node: p(node),
+        obs: Observation::ViewInstalled {
+            group: GROUP,
+            members: members.iter().map(|&m| p(m)).collect(),
+            ts: Timestamp(ts),
+        },
+    }
+}
+
+fn acked(at: u64, node: u32, member: u32, ts: u64) -> Event {
+    Event {
+        at: SimTime(at),
+        node: p(node),
+        obs: Observation::Acked {
+            group: GROUP,
+            member: p(member),
+            ts: Timestamp(ts),
+        },
+    }
+}
+
+fn reclaimed(at: u64, node: u32, stable_ts: u64, count: usize) -> Event {
+    Event {
+        at: SimTime(at),
+        node: p(node),
+        obs: Observation::Reclaimed {
+            group: GROUP,
+            stable_ts: Timestamp(stable_ts),
+            count,
+        },
+    }
+}
+
+/// Assert `suite` tripped `expect` (at least once) and no other oracle.
+fn assert_only(suite: &OracleSuite, expect: &str) {
+    for name in ORACLES {
+        let n = suite.violations_of(name);
+        if name == expect {
+            assert!(
+                n > 0,
+                "{name} should have tripped:\n{:#?}",
+                suite.violations()
+            );
+        } else {
+            assert_eq!(
+                n,
+                0,
+                "{name} tripped alongside {expect}:\n{:#?}",
+                suite.violations()
+            );
+        }
+    }
+    assert!(suite.violation_count() > 0);
+    assert!(
+        suite.first_counterexample().is_some(),
+        "a violation must produce a counterexample"
+    );
+}
+
+/// A gap: the union of delivered seqs from source P1 is {1, 2, 3}, yet each
+/// live processor delivered only two of them (at agreeing total-order
+/// positions, so only completeness is at fault).
+#[test]
+fn gap_trips_reliability() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1), p(2)]);
+    s.ingest(delivered(10, 1, 1, 1, 1, 10));
+    s.ingest(delivered(20, 1, 2, 1, 2, 20));
+    s.ingest(delivered(10, 2, 1, 1, 1, 10));
+    s.ingest(delivered(20, 2, 3, 1, 3, 20));
+    s.finish(&[p(1), p(2)]);
+    assert_only(&s, "reliability");
+}
+
+/// A swapped pair from one source: seq 2 handed up before seq 1. The
+/// timestamps still ascend, so only send order is broken.
+#[test]
+fn swapped_pair_trips_source_order() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1)]);
+    s.ingest(delivered(10, 1, 2, 1, 2, 10));
+    s.ingest(delivered(20, 1, 1, 1, 1, 20));
+    s.finish(&[p(1)]);
+    assert_only(&s, "source-order");
+}
+
+/// Timestamp regression across sources: a (ts 10) message delivered after a
+/// (ts 20) one. Each source's own stream is still in seq order.
+#[test]
+fn timestamp_regression_trips_causal_order() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1)]);
+    s.ingest(delivered(10, 1, 1, 1, 1, 20));
+    s.ingest(delivered(20, 1, 2, 2, 1, 10));
+    s.finish(&[p(1)]);
+    assert_only(&s, "causal-order");
+}
+
+/// Disagreement on the sequence: P2 skips P1's second entry and interleaves
+/// a message P1 never places there. Per-node timestamps ascend and no
+/// per-source stream has a gap, so only the agreement property is at fault.
+#[test]
+fn sequence_disagreement_trips_total_order() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1), p(2)]);
+    s.ingest(delivered(10, 1, 1, 1, 1, 10));
+    s.ingest(delivered(20, 1, 2, 2, 1, 20));
+    s.ingest(delivered(10, 2, 1, 1, 1, 10));
+    s.ingest(delivered(30, 2, 3, 3, 1, 30));
+    assert_only(&s, "total-order");
+}
+
+/// Split-brain flush: P1 and P2 make the same view transition having
+/// delivered different message sets in the old view.
+#[test]
+fn view_split_brain_trips_virtual_synchrony() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1), p(2)]);
+    s.ingest(delivered(10, 2, 1, 1, 1, 10));
+    s.ingest(delivered(20, 2, 2, 2, 1, 20));
+    s.ingest(delivered(10, 1, 1, 1, 1, 10));
+    s.ingest(view(30, 1, &[1, 2], 40));
+    s.ingest(view(30, 2, &[1, 2], 40));
+    assert_only(&s, "virtual-synchrony");
+}
+
+/// The same (connection, request) handed to the ORB twice, via a second
+/// source incarnation — seq and timestamp streams stay clean.
+#[test]
+fn duplicate_request_trips_duplicate_suppression() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1)]);
+    s.ingest(delivered(10, 1, 7, 1, 1, 10));
+    s.ingest(delivered(20, 1, 7, 2, 1, 20));
+    s.finish(&[p(1)]);
+    assert_only(&s, "duplicate-suppression");
+}
+
+/// Premature reclamation: P3 never acked past ts 0, yet P1 reclaims at
+/// stability ts 50.
+#[test]
+fn premature_reclaim_trips_reclamation_safety() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1), p(2), p(3)]);
+    s.ingest(acked(10, 1, 1, 100));
+    s.ingest(acked(20, 1, 2, 100));
+    s.ingest(reclaimed(30, 1, 50, 4));
+    s.finish(&[p(1), p(2), p(3)]);
+    assert_only(&s, "reclamation-safety");
+}
+
+/// The clean mirror-image: a correct little execution trips nothing.
+#[test]
+fn clean_stream_trips_nothing() {
+    let mut s = OracleSuite::standard(GROUP, &[p(1), p(2)]);
+    for node in [1, 2] {
+        s.ingest(delivered(10, node, 1, 1, 1, 10));
+        s.ingest(delivered(20, node, 2, 2, 1, 20));
+        s.ingest(acked(25, node, 1, 20));
+        s.ingest(acked(25, node, 2, 20));
+        s.ingest(reclaimed(30, node, 20, 2));
+    }
+    s.finish(&[p(1), p(2)]);
+    assert_eq!(s.violation_count(), 0, "{:#?}", s.violations());
+    assert_eq!(s.delivered(), 4);
+    assert!(s.observed() >= 10);
+}

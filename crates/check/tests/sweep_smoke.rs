@@ -1,0 +1,35 @@
+//! The sweep matrix at a tiny budget: one seed per scenario, zero
+//! violations expected. The full-budget run lives in the workspace-level
+//! `conformance` test; this keeps the crate self-checking.
+
+use ftmp_check::{run_sweep, Scenario, SweepConfig};
+
+#[test]
+fn one_seed_per_scenario_is_clean() {
+    let cfg = SweepConfig {
+        base_seed: 0x5EED,
+        seeds_per_scenario: 1,
+        steps: 30,
+        trace_capacity: 4096,
+        scenarios: Scenario::ALL.to_vec(),
+    };
+    let report = run_sweep(&cfg);
+    assert_eq!(report.executions(), 7);
+    assert!(report.delivered() > 0, "workload produced no deliveries");
+    for cell in &report.cells {
+        assert_eq!(
+            cell.violations,
+            0,
+            "{} seed {} tripped oracles:\n{}",
+            cell.scenario,
+            cell.seed,
+            cell.counterexample.as_deref().unwrap_or("(none)")
+        );
+    }
+    assert!(report.ok());
+    // JSON renders and mentions every scenario.
+    let json = report.to_json();
+    for s in Scenario::ALL {
+        assert!(json.contains(s.name()), "{} missing from JSON", s.name());
+    }
+}

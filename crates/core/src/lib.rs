@@ -29,7 +29,9 @@
 //! emitted-effect types and the reusable [`ActionSink`](actions::ActionSink)
 //! buffer; [`adaptive`] the RTT/interarrival estimators and the derived
 //! adaptive-timer policy; [`pack`] the datagram packer coalescing outgoing
-//! messages into MTU-sized containers with piggybacked ack vectors; [`stats`]
+//! messages into MTU-sized containers with piggybacked ack vectors;
+//! [`observe`] the typed observation stream the `ftmp-check` conformance
+//! oracles consume (off by default, zero-cost when off); [`stats`]
 //! the counter types, including the per-layer
 //! [`LayerCounters`](stats::LayerCounters); [`processor`] the composition
 //! shell tying the three layers into one endpoint; [`sim_adapter`] plugs an
@@ -47,6 +49,7 @@ pub mod adaptive;
 pub mod clock;
 pub mod config;
 pub mod ids;
+pub mod observe;
 pub mod pack;
 pub mod pgmp;
 pub mod processor;
@@ -64,6 +67,7 @@ pub use config::{
 pub use ids::{
     ConnectionId, FtDomainId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };
+pub use observe::Observation;
 pub use pack::Packer;
 pub use processor::{Action, Delivery, Processor, ProtocolEvent, SendError, SendOutcome};
 pub use sim_adapter::SimProcessor;

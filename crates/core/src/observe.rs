@@ -1,0 +1,146 @@
+//! The typed observation stream for runtime conformance checking
+//! (DESIGN.md §9).
+//!
+//! A [`Processor`](crate::Processor) can record the externally meaningful
+//! events of an execution — deliveries, view installations, sends, ack
+//! evidence, retention and reclamation, suspicion and conviction — as a
+//! stream of [`Observation`]s. The stream is the input language of the
+//! `ftmp-check` oracles: each oracle consumes observations incrementally
+//! and flags the first one that violates a paper property (reliability,
+//! source/causal/total order, virtual synchrony, duplicate suppression,
+//! buffer-reclamation safety).
+//!
+//! Recording is **off by default and zero-cost when off**: the buffer is an
+//! `Option` and every emission site guards on it with a single branch. No
+//! observation value is even constructed unless recording was enabled, so
+//! the default wire behaviour (pinned by the golden trace-hash test) and
+//! the hot-path allocation profile are untouched.
+
+use crate::ids::{ConnectionId, GroupId, ProcessorId, RequestNum, SeqNum, Timestamp};
+
+/// One externally meaningful protocol event, as seen by a single processor.
+///
+/// Observations are recorded in the exact order the processor performed the
+/// corresponding state transitions; relative order is load-bearing (e.g. an
+/// [`Observation::Acked`] recorded before an [`Observation::Reclaimed`]
+/// justifies the reclamation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// A Regular GIOP message reached its total-order position and was
+    /// handed to the application (`Action::Deliver`).
+    Delivered {
+        /// Group the delivery happened in.
+        group: GroupId,
+        /// Connection the request was multicast on.
+        conn: ConnectionId,
+        /// ORB-level request number (duplicate-suppression key with `conn`).
+        request: RequestNum,
+        /// Originating processor.
+        source: ProcessorId,
+        /// RMP sequence number within the source's stream.
+        seq: SeqNum,
+        /// ROMP message timestamp (total-order key with `source`).
+        ts: Timestamp,
+    },
+    /// A membership view took effect at this processor: the initial view,
+    /// an ordered AddProcessor/RemoveProcessor, a committed join (at the
+    /// joiner), or a completed reconfiguration.
+    ViewInstalled {
+        /// Group whose membership changed.
+        group: GroupId,
+        /// The full new membership.
+        members: Vec<ProcessorId>,
+        /// The view's identity: the membership timestamp all members of the
+        /// view agree on.
+        ts: Timestamp,
+    },
+    /// A reliable message left this processor (Regular, Suspect, Membership,
+    /// AddProcessor, RemoveProcessor or Connect — everything that occupies a
+    /// sequence slot).
+    Sent {
+        /// Group the message was multicast to.
+        group: GroupId,
+        /// Allocated sequence number.
+        seq: SeqNum,
+        /// Stamped message timestamp.
+        ts: Timestamp,
+    },
+    /// Ack evidence: this processor learned (from a message header, header
+    /// evidence or a piggybacked ack vector) that `member` acknowledged
+    /// everything up to `ts`.
+    Acked {
+        /// Group the evidence applies to.
+        group: GroupId,
+        /// The acknowledging member.
+        member: ProcessorId,
+        /// The member's reported ack timestamp.
+        ts: Timestamp,
+    },
+    /// A reliable message entered the any-holder retention store (first
+    /// reception only; duplicates do not re-retain).
+    Retained {
+        /// Group the message belongs to.
+        group: GroupId,
+        /// Originating processor.
+        source: ProcessorId,
+        /// Sequence number within the source's stream.
+        seq: SeqNum,
+        /// Message timestamp (what reclamation compares against stability).
+        ts: Timestamp,
+    },
+    /// Buffer reclamation dropped retained messages with `ts <= stable_ts`
+    /// (§6: safe only once every member acknowledged past them).
+    Reclaimed {
+        /// Group whose retention store was trimmed.
+        group: GroupId,
+        /// The stability timestamp the reclamation used.
+        stable_ts: Timestamp,
+        /// How many retained messages were dropped.
+        count: usize,
+    },
+    /// The local fault detector began suspecting `suspect` (§7.2).
+    Suspected {
+        /// Group the suspicion applies to.
+        group: GroupId,
+        /// The newly suspected member.
+        suspect: ProcessorId,
+    },
+    /// A suspicion quorum convicted `convicted`; reconfiguration removed it
+    /// (`ProtocolEvent::FaultReport`).
+    Convicted {
+        /// Group the conviction applies to.
+        group: GroupId,
+        /// The removed processor.
+        convicted: ProcessorId,
+    },
+}
+
+impl Observation {
+    /// The group this observation belongs to.
+    pub fn group(&self) -> GroupId {
+        match self {
+            Observation::Delivered { group, .. }
+            | Observation::ViewInstalled { group, .. }
+            | Observation::Sent { group, .. }
+            | Observation::Acked { group, .. }
+            | Observation::Retained { group, .. }
+            | Observation::Reclaimed { group, .. }
+            | Observation::Suspected { group, .. }
+            | Observation::Convicted { group, .. } => *group,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Observation::Delivered { .. } => "Delivered",
+            Observation::ViewInstalled { .. } => "ViewInstalled",
+            Observation::Sent { .. } => "Sent",
+            Observation::Acked { .. } => "Acked",
+            Observation::Retained { .. } => "Retained",
+            Observation::Reclaimed { .. } => "Reclaimed",
+            Observation::Suspected { .. } => "Suspected",
+            Observation::Convicted { .. } => "Convicted",
+        }
+    }
+}

@@ -53,6 +53,7 @@ use crate::config::{FlowControl, ProtocolConfig, RetransmitPolicy};
 use crate::ids::{
     ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };
+use crate::observe::Observation;
 use crate::pack::Packer;
 use crate::pgmp::{
     ConnectionTable, PendingConnect, PgmpGroup, PgmpInput, PgmpOutput, ServerRegistration,
@@ -208,6 +209,10 @@ pub struct Processor {
     /// `cfg.packing.enabled` is false.
     packer: Packer,
     stats: ProcessorStats,
+    /// Conformance observation buffer (DESIGN.md §9). `None` (the default)
+    /// disables recording entirely: every emission site is a single
+    /// `is_some` branch and never constructs an [`Observation`].
+    obs: Option<Vec<Observation>>,
 }
 
 /// Emit one wire datagram, counting containers as they leave.
@@ -237,7 +242,57 @@ impl Processor {
             sink: ActionSink::default(),
             packer,
             stats: ProcessorStats::default(),
+            obs: None,
         }
+    }
+
+    /// Turn on observation recording (DESIGN.md §9). Recorded observations
+    /// accumulate until drained with [`Processor::drain_observations_into`];
+    /// protocol behaviour is unaffected.
+    pub fn enable_observations(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Vec::new());
+        }
+    }
+
+    /// Whether observation recording is enabled.
+    pub fn observations_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Move all recorded observations into `out` (cleared first). Both
+    /// buffers keep their capacity; a no-op when recording is disabled.
+    pub fn drain_observations_into(&mut self, out: &mut Vec<Observation>) {
+        out.clear();
+        if let Some(buf) = self.obs.as_mut() {
+            std::mem::swap(buf, out);
+        }
+    }
+
+    /// Record `e`'s observable projection (if any), then push it to the sink.
+    /// MembershipChange and FaultReport are the view-installation and
+    /// conviction observations; a joiner's committed join additionally emits
+    /// its first view at the JoinedGroup site, where the membership is known.
+    pub(crate) fn emit_event(&mut self, e: ProtocolEvent) {
+        if let Some(obs) = &mut self.obs {
+            match &e {
+                ProtocolEvent::MembershipChange { group, members, ts } => {
+                    obs.push(Observation::ViewInstalled {
+                        group: *group,
+                        members: members.clone(),
+                        ts: *ts,
+                    });
+                }
+                ProtocolEvent::FaultReport { group, processor } => {
+                    obs.push(Observation::Convicted {
+                        group: *group,
+                        convicted: *processor,
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.sink.event(e);
     }
 
     /// This endpoint's id.
@@ -557,10 +612,19 @@ impl Processor {
             if let Some(g) = self.groups.get_mut(&v.group) {
                 // Relay-safe merge: record_ack only moves forward, so a
                 // stale vector arriving late cannot regress stability.
-                for (p, ack) in v.entries {
+                for &(p, ack) in &v.entries {
                     g.romp.ordering_mut().record_ack(p, ack);
                 }
                 g.vector_seen_at = Some(now);
+                if let Some(buf) = self.obs.as_mut() {
+                    for (p, ack) in v.entries {
+                        buf.push(Observation::Acked {
+                            group: v.group,
+                            member: p,
+                            ts: ack,
+                        });
+                    }
+                }
             }
         }
         for (msg, s) in msgs.into_iter().zip(slices) {
@@ -664,6 +728,13 @@ impl Processor {
             (msg, g.addr, encoded)
         };
         *self.stats.sent.entry(msg.msg_type()).or_insert(0) += 1;
+        if let Some(buf) = self.obs.as_mut() {
+            buf.push(Observation::Sent {
+                group,
+                seq: msg.seq,
+                ts: msg.ts,
+            });
+        }
         self.send_wire(now, addr, encoded.clone());
         let seq = msg.seq;
         // Synchronous self-delivery: we are an ordinary member of our own
@@ -770,6 +841,13 @@ impl Processor {
             ack_ts: msg.ack_ts,
             advance: contiguous >= msg.seq.0,
         });
+        if let Some(buf) = self.obs.as_mut() {
+            buf.push(Observation::Acked {
+                group: msg.group,
+                member: msg.source,
+                ts: msg.ack_ts,
+            });
+        }
         if !own {
             self.maybe_send_exclusion_notice(now, msg.group, msg.source);
         }
@@ -852,6 +930,24 @@ impl Processor {
             self.maybe_send_exclusion_notice(now, gid, msg.source);
         }
         let from_self = msg.source == self.id;
+        if self.obs.is_some() {
+            // RMP retains first and idempotently: an arrival not yet in the
+            // store is the one that retains it.
+            let newly = self
+                .groups
+                .get(&gid)
+                .is_some_and(|g| g.rmp.retention().get(msg.source, msg.seq.0).is_none());
+            if newly {
+                if let Some(obs) = &mut self.obs {
+                    obs.push(Observation::Retained {
+                        group: gid,
+                        source: msg.source,
+                        seq: msg.seq,
+                        ts: msg.ts,
+                    });
+                }
+            }
+        }
         let g = self.groups.get_mut(&gid).expect("checked");
         // A retransmission answering our own single outstanding NACK is an
         // RTT sample (Karn's rule enforced by the receive window).
@@ -891,6 +987,15 @@ impl Processor {
         let Some(g) = self.groups.get_mut(&gid) else {
             return;
         };
+        if let Some(buf) = self.obs.as_mut() {
+            // ROMP records the carried ack timestamp for every
+            // source-ordered message (§6).
+            buf.push(Observation::Acked {
+                group: gid,
+                member: m.source,
+                ts: m.ack_ts,
+            });
+        }
         match g.romp.handle(RompInput::SourceOrdered(m)) {
             RompOutput::Enqueued => {}
             RompOutput::Control(m) => match m.body {
@@ -946,7 +1051,16 @@ impl Processor {
         };
         if !g.pgmp.reclaim_pinned() {
             let stable = g.romp.ordering().stable_ts();
-            g.rmp.retention_mut().reclaim_stable(stable);
+            let reclaimed = g.rmp.retention_mut().reclaim_stable(stable);
+            if reclaimed > 0 {
+                if let Some(buf) = self.obs.as_mut() {
+                    buf.push(Observation::Reclaimed {
+                        group: gid,
+                        stable_ts: stable,
+                        count: reclaimed,
+                    });
+                }
+            }
         }
         if let Some(gate) = g.pgmp.gate {
             if g.romp.ordering().gate_released(gate) {

@@ -199,7 +199,7 @@ impl Processor {
             self.handle_ordered(now, gid, m);
         }
         for e in events {
-            self.sink.event(e);
+            self.emit_event(e);
         }
         self.flush_pending(now, gid);
         self.try_deliver(now, gid);

@@ -24,6 +24,16 @@ impl Processor {
                     // snapshot, ordered here only to reach the join point.
                 } else if self.conns.group_of(conn) == Some(gid) {
                     self.stats.deliveries += 1;
+                    if let Some(buf) = self.obs.as_mut() {
+                        buf.push(Observation::Delivered {
+                            group: gid,
+                            conn,
+                            request: request_num,
+                            source: m.source,
+                            seq: m.seq,
+                            ts: m.ts,
+                        });
+                    }
                     self.sink.deliver(Delivery {
                         group: gid,
                         conn,
@@ -87,8 +97,20 @@ impl Processor {
                 };
                 if new_member == self.id && g.pgmp.provisional_since.take().is_some() {
                     // Our own AddProcessor reached its total-order position:
-                    // the group committed the join.
-                    self.sink.event(ProtocolEvent::JoinedGroup { group: gid });
+                    // the group committed the join. The membership timestamp
+                    // is the AddProcessor's `ts`, so this view's identity
+                    // matches the MembershipChange the existing members
+                    // install for the same operation.
+                    if let Some(obs) = &mut self.obs {
+                        let members: Vec<ProcessorId> = g.pgmp.membership.iter().copied().collect();
+                        let ts = g.pgmp.membership_ts;
+                        obs.push(Observation::ViewInstalled {
+                            group: gid,
+                            members,
+                            ts,
+                        });
+                    }
+                    self.emit_event(ProtocolEvent::JoinedGroup { group: gid });
                     self.flush_pending(now, gid);
                     return;
                 }
@@ -98,7 +120,7 @@ impl Processor {
                     g.pgmp.last_heard.insert(new_member, now);
                     let members: Vec<ProcessorId> = g.pgmp.membership.iter().copied().collect();
                     let ts = g.pgmp.membership_ts;
-                    self.sink.event(ProtocolEvent::MembershipChange {
+                    self.emit_event(ProtocolEvent::MembershipChange {
                         group: gid,
                         members,
                         ts,
@@ -122,7 +144,7 @@ impl Processor {
                         g.pgmp.suspicion.retain_members(&membership);
                         let members: Vec<ProcessorId> = membership.iter().copied().collect();
                         let ts = g.pgmp.membership_ts;
-                        self.sink.event(ProtocolEvent::MembershipChange {
+                        self.emit_event(ProtocolEvent::MembershipChange {
                             group: gid,
                             members,
                             ts,

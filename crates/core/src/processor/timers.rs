@@ -132,6 +132,14 @@ impl Processor {
                     suspects: g.pgmp.my_suspects.iter().copied().collect(),
                 }
             };
+            if let Some(buf) = self.obs.as_mut() {
+                for &s in &newly {
+                    buf.push(Observation::Suspected {
+                        group: gid,
+                        suspect: s,
+                    });
+                }
+            }
             // Reliable: occupies a sequence slot and reaches everyone; our
             // own copy feeds the suspicion matrix via self-delivery.
             self.send_reliable(now, gid, body);

@@ -6,6 +6,7 @@
 //! experiment harness to drain between simulation steps.
 
 use crate::ids::GroupId;
+use crate::observe::Observation;
 use crate::processor::{Action, Delivery, Processor, ProtocolEvent};
 use ftmp_net::{Outbox, Packet, SimNode, SimTime};
 use std::collections::VecDeque;
@@ -14,6 +15,11 @@ use std::collections::VecDeque;
 /// window closed (backpressure on), `false` that it reopened.
 pub type WindowEvent = (SimTime, GroupId, bool);
 
+/// A conformance observer callback: virtual time plus the observation
+/// (DESIGN.md §9). The observing processor's identity is fixed at
+/// [`SimProcessor::set_observer`] time, so it is not repeated per call.
+pub type Observer = Box<dyn FnMut(SimTime, Observation)>;
+
 /// A simulator-hosted FTMP endpoint.
 pub struct SimProcessor {
     engine: Processor,
@@ -21,6 +27,8 @@ pub struct SimProcessor {
     events: VecDeque<(SimTime, ProtocolEvent)>,
     window_events: VecDeque<WindowEvent>,
     last_now: SimTime,
+    observer: Option<Observer>,
+    obs_scratch: Vec<Observation>,
 }
 
 impl SimProcessor {
@@ -32,7 +40,18 @@ impl SimProcessor {
             events: VecDeque::new(),
             window_events: VecDeque::new(),
             last_now: SimTime::ZERO,
+            observer: None,
+            obs_scratch: Vec::new(),
         }
+    }
+
+    /// Attach a conformance observer and enable the engine's observation
+    /// recording. Every observation the engine records is forwarded to `f`
+    /// (stamped with the virtual time of the pump that drained it) in the
+    /// exact order the engine performed the corresponding transitions.
+    pub fn set_observer(&mut self, f: impl FnMut(SimTime, Observation) + 'static) {
+        self.engine.enable_observations();
+        self.observer = Some(Box::new(f));
     }
 
     /// The wrapped engine (for FT-infrastructure calls and inspection).
@@ -89,6 +108,12 @@ impl SimProcessor {
                 Action::Event(e) => self.events.push_back((now, e)),
                 Action::Backpressure(g) => self.window_events.push_back((now, g, true)),
                 Action::SendReady(g) => self.window_events.push_back((now, g, false)),
+            }
+        }
+        if let Some(cb) = self.observer.as_mut() {
+            self.engine.drain_observations_into(&mut self.obs_scratch);
+            for o in self.obs_scratch.drain(..) {
+                cb(now, o);
             }
         }
     }

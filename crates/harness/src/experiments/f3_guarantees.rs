@@ -23,24 +23,19 @@ use ftmp_net::{LossModel, McastAddr, SimConfig, SimDuration, SimTime};
 fn check_regular() -> (bool, bool, bool) {
     let sim = SimConfig::with_seed(0xF3).loss(LossModel::Iid { p: 0.10 });
     let mut w = FtmpWorld::new(3, sim, ProtocolConfig::with_seed(0xF3), ClockMode::Lamport);
+    let checker = w.attach_checker();
     for k in 0..40u32 {
         w.send(k % 3 + 1, 64);
         w.run_ms(2);
     }
     w.run_ms(400);
+    checker.finish(w.live());
     let res = w.collect();
-    let reliable = res.delivered() == 40;
-    let total = res.all_agree();
-    // Source order: each source's sequence numbers appear in increasing
-    // order within every node's delivery sequence.
-    let source_ordered = res.sequences.iter().all(|seq| {
-        let mut last: std::collections::BTreeMap<u32, u64> = Default::default();
-        seq.iter().all(|&(_, src, s)| {
-            let e = last.entry(src).or_insert(0);
-            let ok = s > *e;
-            *e = s;
-            ok
-        })
+    let reliable =
+        res.delivered() == 40 && checker.with_suite(|s| s.violations_of("reliability")) == 0;
+    let source_ordered = checker.with_suite(|s| s.violations_of("source-order")) == 0;
+    let total = checker.with_suite(|s| {
+        s.violations_of("total-order") == 0 && s.violations_of("causal-order") == 0
     });
     (reliable, source_ordered, total)
 }

@@ -142,6 +142,26 @@ impl FtmpWorld {
         res
     }
 
+    /// Attach a conformance [`Checker`](ftmp_check::Checker) with the
+    /// standard oracle suite to every member; the returned handle shares
+    /// state with the running world, so call
+    /// [`finish`](ftmp_check::Checker::finish) /
+    /// [`assert_clean`](ftmp_check::Checker::assert_clean) once the
+    /// workload settles.
+    pub fn attach_checker(&mut self) -> ftmp_check::Checker {
+        let founders: Vec<ProcessorId> = (1..=self.n).map(ProcessorId).collect();
+        let checker = ftmp_check::Checker::new(self.group, &founders);
+        checker.attach_all(&mut self.net, 1..=self.n);
+        checker
+    }
+
+    /// The member ids still alive (not crashed) in this world.
+    pub fn live(&self) -> Vec<NodeId> {
+        (1..=self.n)
+            .filter(|&id| !self.net.is_crashed(id))
+            .collect()
+    }
+
     /// Aggregate the per-layer counters (RMP/ROMP/PGMP) across all live
     /// members; counts sum, high-water marks max.
     pub fn layer_totals(&self) -> ftmp_core::processor::LayerCounters {

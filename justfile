@@ -30,6 +30,11 @@ ci: fmt clippy test
 chaos:
     CHAOS_SEEDS=32 cargo test --release --test chaos
 
+# Conformance sweep: the oracle suite over the full fault matrix, release
+# mode (CONFORMANCE_SEEDS seeds per scenario); writes CONFORMANCE_verdicts.json.
+conformance:
+    CONFORMANCE_SEEDS=16 cargo test --release --test conformance
+
 # Regenerate every experiment table (see EXPERIMENTS.md).
 experiments:
     cargo run --release -p ftmp-harness --bin ftmp-exp

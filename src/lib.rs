@@ -10,7 +10,8 @@
 //! * [`core`] — the FTMP stack (RMP / ROMP / PGMP),
 //! * [`orb`] — miniature fault-tolerant ORB over FTMP,
 //! * [`baselines`] — sequencer / token-ring / unicast baselines,
-//! * [`harness`] — experiment workloads, sweeps and metrics.
+//! * [`harness`] — experiment workloads, sweeps and metrics,
+//! * [`check`] — online conformance oracles + schedule-sweep driver.
 //!
 //! # Example
 //!
@@ -48,6 +49,7 @@
 
 pub use ftmp_baselines as baselines;
 pub use ftmp_cdr as cdr;
+pub use ftmp_check as check;
 pub use ftmp_core as core;
 pub use ftmp_giop as giop;
 pub use ftmp_harness as harness;

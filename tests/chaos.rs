@@ -1,13 +1,16 @@
 //! Chaos integration: seeded random interleavings of sends, joins, leaves,
-//! crashes and loss, asserting the core safety properties at the end of
-//! every run — final live members agree on one total order, per-source
-//! gap-free, and memberships converge.
+//! crashes and loss. The `ftmp-check` oracle suite rides along on every
+//! processor and asserts the paper properties online — reliability, source
+//! / causal / total order, virtual synchrony, duplicate suppression and
+//! reclamation safety; the bodies keep only the membership-convergence
+//! checks the oracles cannot see.
 //!
 //! Seed counts scale with the `CHAOS_SEEDS` environment variable (seeds per
 //! test); the defaults keep the suite fast for tier-1, CI's chaos job runs
 //! wider in release mode.
 
 use bytes::Bytes;
+use ftmp::check::Checker;
 use ftmp::core::{
     ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
     ProtocolEvent, RequestNum, SimProcessor, TimerPolicy,
@@ -38,6 +41,7 @@ fn seeds(base: u64, default_count: u64) -> std::ops::Range<u64> {
 
 struct Chaos {
     net: SimNet<SimProcessor>,
+    checker: Checker,
     rng: SmallRng,
     members: BTreeSet<u32>,
     joined_ever: BTreeSet<u32>,
@@ -65,15 +69,18 @@ impl Chaos {
         let mut net = SimNet::new(sim);
         net.set_classifier(ftmp::core::wire::classify);
         let founders: Vec<ProcessorId> = (1..=4).map(ProcessorId).collect();
+        let checker = Checker::new(GROUP, &founders);
         for id in 1..=4u32 {
             let mut e = Processor::new(ProcessorId(id), proto.clone(), ClockMode::Lamport);
             e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
             e.bind_connection(conn(), GROUP);
             net.add_node(id, SimProcessor::new(e));
+            checker.attach(&mut net, id);
             net.with_node(id, |n, now, out| n.pump_at(now, out));
         }
         Chaos {
             net,
+            checker,
             rng: SmallRng::seed_from_u64(seed ^ 0xC4405),
             members: (1..=4).collect(),
             joined_ever: (1..=4).collect(),
@@ -153,6 +160,7 @@ impl Chaos {
                     e.expect_join(GROUP, ADDR);
                     e.bind_connection(conn(), GROUP);
                     self.net.add_node(joiner, SimProcessor::new(e));
+                    self.checker.attach(&mut self.net, joiner);
                     self.net
                         .with_node(joiner, |n, now, out| n.pump_at(now, out));
                     let sponsor = self.pick_alive().expect("checked");
@@ -179,6 +187,7 @@ impl Chaos {
                         n.pump_at(now, out);
                     });
                     self.members.remove(&leaver);
+                    self.checker.retire(leaver);
                 }
             }
             // 8%: a crash — but keep a live majority of the current
@@ -191,6 +200,7 @@ impl Chaos {
                     let victim = alive[idx];
                     self.net.crash(victim);
                     self.crashed.insert(victim);
+                    self.checker.retire(victim);
                 }
             }
         }
@@ -203,20 +213,11 @@ impl Chaos {
         let live = self.alive();
         assert!(!live.is_empty(), "seed {seed}: everyone died?");
         // Memberships converge among final live processors that are still
-        // group members.
+        // group members — state the oracles do not track.
         let mut memberships = Vec::new();
-        let mut sequences = Vec::new();
         for &id in &live {
-            let node = self.net.node_mut(id).unwrap();
-            let m = node.engine().membership(GROUP);
-            let seq: Vec<(u64, u32, u64)> = node
-                .take_deliveries()
-                .iter()
-                .map(|(_, d)| (d.ts.0, d.source.0, d.seq.0))
-                .collect();
-            if let Some(m) = m {
+            if let Some(m) = self.net.node(id).unwrap().engine().membership(GROUP) {
                 memberships.push((id, m));
-                sequences.push((id, seq));
             }
         }
         assert!(
@@ -230,29 +231,17 @@ impl Chaos {
                 w[0].0, w[1].0
             );
         }
-        // Delivery agreement: every pair agrees on the overlap — a later
-        // joiner's sequence must be a suffix of an original member's.
-        for i in 0..sequences.len() {
-            for j in i + 1..sequences.len() {
-                let (ia, a) = &sequences[i];
-                let (ib, b) = &sequences[j];
-                let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-                assert_eq!(
-                    &long[long.len() - short.len()..],
-                    &short[..],
-                    "seed {seed}: P{ia} and P{ib} disagree on the common suffix"
-                );
-            }
-        }
-        // Per-source gap-freedom on the longest view.
-        if let Some((_, longest)) = sequences.iter().max_by_key(|(_, s)| s.len()) {
-            let mut last: std::collections::BTreeMap<u32, u64> = Default::default();
-            for &(_, src, s) in longest {
-                let e = last.entry(src).or_insert(0);
-                assert!(s > *e, "seed {seed}: source order violated for P{src}");
-                *e = s;
-            }
-        }
+        // Delivery agreement, joiner suffixes, per-source gap-freedom and
+        // the rest of the paper properties: the oracle suite checked them
+        // online; finish() settles the end-of-run convergence obligations
+        // for the processors still holding membership.
+        let members: Vec<u32> = memberships.iter().map(|&(id, _)| id).collect();
+        self.checker.finish(members);
+        self.checker.assert_clean(&format!("chaos seed {seed}"));
+        assert!(
+            self.checker.delivered() > 0,
+            "seed {seed}: the oracles saw no deliveries — observer wiring broken"
+        );
     }
 }
 

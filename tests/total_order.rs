@@ -1,10 +1,16 @@
 //! Integration: total-order guarantees through the public facade, across
 //! seeds, loss models and group sizes.
+//!
+//! The order properties themselves (source order, causal order, total
+//! order, gap-freedom, duplicate suppression, reclamation safety) are
+//! checked by the `ftmp-check` oracle suite attached to every member; the
+//! test bodies only assert workload-specific expectations like delivery
+//! counts.
 
+use ftmp::check::Checker;
 use ftmp::core::{ClockMode, ProtocolConfig};
 use ftmp::harness::worlds::FtmpWorld;
 use ftmp::net::{LatencyModel, LossModel, SimConfig, SimDuration};
-use std::collections::BTreeMap;
 
 fn workload(w: &mut FtmpWorld, msgs: u64) {
     for k in 0..msgs {
@@ -15,28 +21,16 @@ fn workload(w: &mut FtmpWorld, msgs: u64) {
     w.run_ms(500);
 }
 
-fn assert_order_properties(w: &mut FtmpWorld, expected: usize) {
+fn assert_order_properties(w: &mut FtmpWorld, checker: &Checker, expected: usize) {
     let res = w.collect();
     assert_eq!(res.delivered(), expected, "every message delivered");
-    assert!(res.all_agree(), "identical sequences at all members");
-    // Source order: per-source sequence numbers strictly increase.
-    for seq in &res.sequences {
-        let mut last: BTreeMap<u32, u64> = BTreeMap::new();
-        for &(_, src, s) in seq {
-            let e = last.entry(src).or_insert(0);
-            assert!(s > *e, "source order violated for P{src}: {s} after {e}");
-            *e = s;
-        }
-    }
-    // Gap-free per source.
-    for seq in &res.sequences {
-        let mut count: BTreeMap<u32, u64> = BTreeMap::new();
-        for &(_, src, _) in seq {
-            *count.entry(src).or_insert(0) += 1;
-        }
-        let total: u64 = count.values().sum();
-        assert_eq!(total as usize, expected);
-    }
+    checker.finish(w.live());
+    checker.assert_clean("total_order workload");
+    assert_eq!(
+        checker.delivered(),
+        expected as u64 * u64::from(w.n),
+        "each member delivered the full workload"
+    );
 }
 
 #[test]
@@ -48,8 +42,9 @@ fn agreement_across_seeds_lossless() {
             ProtocolConfig::with_seed(seed),
             ClockMode::Lamport,
         );
+        let checker = w.attach_checker();
         workload(&mut w, 40);
-        assert_order_properties(&mut w, 40);
+        assert_order_properties(&mut w, &checker, 40);
     }
 }
 
@@ -58,8 +53,9 @@ fn agreement_under_iid_loss() {
     for seed in [3u64, 11, 2024] {
         let sim = SimConfig::with_seed(seed).loss(LossModel::Iid { p: 0.12 });
         let mut w = FtmpWorld::new(5, sim, ProtocolConfig::with_seed(seed), ClockMode::Lamport);
+        let checker = w.attach_checker();
         workload(&mut w, 60);
-        assert_order_properties(&mut w, 60);
+        assert_order_properties(&mut w, &checker, 60);
     }
 }
 
@@ -77,8 +73,9 @@ fn agreement_under_burst_loss_and_jitter() {
             max: SimDuration::from_micros(2_000),
         });
     let mut w = FtmpWorld::new(4, sim, ProtocolConfig::with_seed(5), ClockMode::Lamport);
+    let checker = w.attach_checker();
     workload(&mut w, 50);
-    assert_order_properties(&mut w, 50);
+    assert_order_properties(&mut w, &checker, 50);
 }
 
 #[test]
@@ -89,8 +86,9 @@ fn agreement_with_synchronized_clocks() {
         ProtocolConfig::with_seed(8),
         ClockMode::Synchronized { skew_us: 300 },
     );
+    let checker = w.attach_checker();
     workload(&mut w, 40);
-    assert_order_properties(&mut w, 40);
+    assert_order_properties(&mut w, &checker, 40);
 }
 
 #[test]
@@ -101,8 +99,9 @@ fn large_group_converges() {
         ProtocolConfig::with_seed(16),
         ClockMode::Lamport,
     );
+    let checker = w.attach_checker();
     workload(&mut w, 32);
-    assert_order_properties(&mut w, 32);
+    assert_order_properties(&mut w, &checker, 32);
 }
 
 #[test]
@@ -113,11 +112,12 @@ fn large_payloads_survive() {
         ProtocolConfig::with_seed(9),
         ClockMode::Lamport,
     );
+    let checker = w.attach_checker();
     for k in 0..10u64 {
         let id = (k % 3) as u32 + 1;
         w.send(id, 16 * 1024);
         w.run_ms(2);
     }
     w.run_ms(500);
-    assert_order_properties(&mut w, 10);
+    assert_order_properties(&mut w, &checker, 10);
 }
