@@ -222,6 +222,13 @@ impl Checker {
         f(&self.suite.borrow())
     }
 
+    /// Mutably borrow the suite — fault-injection fixtures feed fabricated
+    /// observation streams through the same ingestion path the live
+    /// observers use.
+    pub fn with_suite_mut<R>(&self, f: impl FnOnce(&mut OracleSuite) -> R) -> R {
+        f(&mut self.suite.borrow_mut())
+    }
+
     /// Total violations so far.
     pub fn violation_count(&self) -> u64 {
         self.suite.borrow().violation_count()

@@ -191,20 +191,43 @@ impl SweepReport {
         ));
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
+            let cx = match &c.counterexample {
+                Some(text) => format!(", \"counterexample\": \"{}\"", json_escape(text)),
+                None => String::new(),
+            };
             s.push_str(&format!(
                 "    {{\"scenario\": \"{}\", \"seed\": {}, \"observations\": {}, \
-                 \"delivered\": {}, \"violations\": {}}}{}\n",
+                 \"delivered\": {}, \"violations\": {}{}}}{}\n",
                 c.scenario,
                 c.seed,
                 c.observations,
                 c.delivered,
                 c.violations,
+                cx,
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
         s
     }
+}
+
+/// Minimal JSON string escaping for counterexample text (the workspace has
+/// no serde).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Run the full matrix.
@@ -270,6 +293,7 @@ impl Cell {
         );
         e.expect_join(GROUP, ADDR);
         e.bind_connection(conn(), GROUP);
+        e.enable_telemetry();
         self.net.add_node(joiner, SimProcessor::new(e));
         self.checker.attach(&mut self.net, joiner);
         self.net
@@ -296,10 +320,9 @@ impl Cell {
     }
 }
 
-/// Run one (scenario, seed) cell: build a 4-founder group with the full
-/// oracle suite attached, drive the seeded workload and the scenario's
-/// fault schedule, settle, and collect the verdict.
-pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usize) -> CellVerdict {
+/// Build one cell: the simulated 4-founder group (telemetry on, so failure
+/// reports can splice flight-recorder dumps) with the oracle suite attached.
+fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
     let mut sim = SimConfig::with_seed(seed);
     let mut proto = ProtocolConfig::with_seed(seed);
     match scenario {
@@ -337,18 +360,50 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
         let mut e = Processor::new(ProcessorId(id), proto.clone(), ClockMode::Lamport);
         e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
         e.bind_connection(conn(), GROUP);
+        e.enable_telemetry();
         net.add_node(id, SimProcessor::new(e));
         checker.attach(&mut net, id);
         net.with_node(id, |n, now, out| n.pump_at(now, out));
     }
-    let mut cell = Cell {
+    Cell {
         net,
         checker,
         rng: SmallRng::seed_from_u64(seed ^ 0x00C0_4F0C_A11E_D5EE),
         members: (1..=FOUNDERS).collect(),
         crashed: BTreeSet::new(),
         next_req: 0,
-    };
+    }
+}
+
+/// Render a failing cell's counterexample: the first violating observation
+/// with its context window, the FTMP-filtered trace excerpt, and every live
+/// member's flight-recorder dump (the conviction-frozen dump when one was
+/// captured, else the live ring).
+fn build_counterexample(cell: &Cell, live: &[NodeId]) -> String {
+    let mut cx = cell
+        .checker
+        .with_suite(|s| s.first_counterexample())
+        .unwrap_or_default();
+    if let Some(trace) = cell.net.trace() {
+        cx.push_str(&report::excerpt(trace, 40).to_string());
+    }
+    for &id in live {
+        if let Some(n) = cell.net.node(id) {
+            let eng = n.engine();
+            if let Some(dump) = eng.conviction_dump().or_else(|| eng.flight_dump()) {
+                cx.push('\n');
+                cx.push_str(&dump);
+            }
+        }
+    }
+    cx
+}
+
+/// Run one (scenario, seed) cell: build a 4-founder group with the full
+/// oracle suite attached, drive the seeded workload and the scenario's
+/// fault schedule, settle, and collect the verdict.
+pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usize) -> CellVerdict {
+    let mut cell = build_cell(scenario, seed, trace_capacity);
     for step in 0..steps.max(12) {
         match scenario {
             Scenario::Crash if step == steps / 3 => {
@@ -400,18 +455,7 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
     );
     cell.checker.finish(live.iter().copied());
     let violations = cell.checker.violation_count();
-    let counterexample = if violations > 0 {
-        let mut cx = cell
-            .checker
-            .with_suite(|s| s.first_counterexample())
-            .unwrap_or_default();
-        if let Some(trace) = cell.net.trace() {
-            cx.push_str(&report::excerpt(trace, 40).to_string());
-        }
-        Some(cx)
-    } else {
-        None
-    };
+    let counterexample = (violations > 0).then(|| build_counterexample(&cell, &live));
     CellVerdict {
         scenario: scenario.name(),
         seed,
@@ -419,5 +463,76 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
         delivered: cell.checker.delivered(),
         violations,
         counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::Event;
+    use ftmp_core::observe::Observation;
+    use ftmp_core::{SeqNum, Timestamp};
+
+    /// Force an oracle violation in an otherwise healthy cell and check the
+    /// rendered counterexample splices in the flight-recorder dumps of the
+    /// live members alongside the violation and trace excerpt.
+    #[test]
+    fn forced_violation_report_includes_flight_recorder_dump() {
+        let mut cell = build_cell(Scenario::Lossless, 7, 4096);
+        for _ in 0..5 {
+            cell.step();
+        }
+        cell.net.run_for(SimDuration::from_secs(1));
+        // Replay a delivery verbatim: a fabricated duplicate trips the
+        // duplicate-suppression oracle through the real ingestion path.
+        let ev = Event {
+            at: SimTime(2_000_000),
+            node: ProcessorId(1),
+            obs: Observation::Delivered {
+                group: GROUP,
+                conn: conn(),
+                request: RequestNum(9_999),
+                source: ProcessorId(1),
+                seq: SeqNum(1),
+                ts: Timestamp(1),
+            },
+        };
+        cell.checker.with_suite_mut(|s| {
+            s.ingest(ev.clone());
+            s.ingest(ev);
+        });
+        assert!(cell.checker.violation_count() > 0, "duplicate must trip");
+        let live: Vec<NodeId> = cell.alive();
+        let cx = build_counterexample(&cell, &live);
+        assert!(cx.contains("violation:"), "missing violation line:\n{cx}");
+        assert!(
+            cx.contains("flight recorder P"),
+            "missing flight-recorder dump:\n{cx}"
+        );
+        // The dump is per-processor: every live member contributed one.
+        for id in &live {
+            assert!(
+                cx.contains(&format!("flight recorder P{id}")),
+                "missing P{id} dump:\n{cx}"
+            );
+        }
+        // And the JSON cell embeds it, escaped onto a single line.
+        let report = SweepReport {
+            cells: vec![CellVerdict {
+                scenario: "lossless",
+                seed: 7,
+                observations: 10,
+                delivered: 5,
+                violations: 1,
+                counterexample: Some(cx),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"counterexample\": \""));
+        assert!(json.contains("flight recorder P"));
+        assert!(
+            !json.contains("recorder P1 (\n"),
+            "newlines must be escaped"
+        );
     }
 }

@@ -37,6 +37,13 @@ pub const MAX_SCALE: u64 = 8;
 /// (2^6 = 64× the base interval), the retry cap of the backoff schedule.
 pub const NACK_BACKOFF_CAP: u32 = 6;
 
+/// RTO clock granularity `G` (RFC 6298): the variance term of
+/// [`RttEstimator::rto`] is floored at this, so a steady stream of
+/// identical samples — which decays the integer RTTVAR toward zero —
+/// can never collapse the RTO onto bare SRTT and re-issue NACKs on the
+/// first jitter blip.
+pub const RTO_GRANULARITY_US: u64 = 1_000;
+
 /// Suspicion margin: a peer is suspected only after
 /// `SUSPICION_FACTOR × (mean + 4·dev)` of silence under adaptive timers.
 const SUSPICION_FACTOR: u64 = 3;
@@ -78,10 +85,13 @@ impl RttEstimator {
         (self.samples > 0).then(|| SimDuration::from_micros(self.rttvar_us))
     }
 
-    /// Retransmission timeout: `SRTT + 4·RTTVAR` (RFC 6298), `None` until
-    /// the first sample.
+    /// Retransmission timeout: `SRTT + max(G, 4·RTTVAR)` (RFC 6298, with
+    /// [`RTO_GRANULARITY_US`] as the granularity floor), `None` until the
+    /// first sample.
     pub fn rto(&self) -> Option<SimDuration> {
-        (self.samples > 0).then(|| SimDuration::from_micros(self.srtt_us + 4 * self.rttvar_us))
+        (self.samples > 0).then(|| {
+            SimDuration::from_micros(self.srtt_us + (4 * self.rttvar_us).max(RTO_GRANULARITY_US))
+        })
     }
 
     /// Number of samples folded in.
@@ -224,6 +234,25 @@ mod tests {
         assert!((1_900..=2_200).contains(&srtt), "srtt {srtt}");
         // Variance decays once the input is steady.
         assert!(e.rttvar().unwrap().as_micros() < 500);
+    }
+
+    #[test]
+    fn rto_keeps_granularity_floor_under_steady_samples() {
+        // 100 identical samples decay the integer RTTVAR toward zero
+        // (err/4 == 0 for sub-4µs error, and x - x/4 stalls at 3). Without
+        // the granularity floor the RTO collapses onto bare SRTT and any
+        // jitter blip re-issues a NACK spuriously.
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.observe(us(1_000));
+        }
+        let srtt = e.srtt().unwrap().as_micros();
+        let rto = e.rto().unwrap().as_micros();
+        assert!(rto > srtt, "RTO must stay strictly above SRTT");
+        assert!(
+            rto >= srtt + RTO_GRANULARITY_US,
+            "RTO {rto} lost the granularity floor over SRTT {srtt}"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@
 //! adaptive-timer policy; [`pack`] the datagram packer coalescing outgoing
 //! messages into MTU-sized containers with piggybacked ack vectors;
 //! [`observe`] the typed observation stream the `ftmp-check` conformance
-//! oracles consume (off by default, zero-cost when off); [`stats`]
+//! oracles consume (off by default, zero-cost when off); [`telemetry`] the
+//! per-processor metrics hooks and flight recorder (DESIGN.md §10, same
+//! off-by-default contract); [`stats`]
 //! the counter types, including the per-layer
 //! [`LayerCounters`](stats::LayerCounters); [`processor`] the composition
 //! shell tying the three layers into one endpoint; [`sim_adapter`] plugs an
@@ -57,6 +59,7 @@ pub mod rmp;
 pub mod romp;
 pub mod sim_adapter;
 pub mod stats;
+pub mod telemetry;
 pub mod wire;
 
 pub use adaptive::{Interarrival, RttEstimator};
@@ -71,4 +74,5 @@ pub use observe::Observation;
 pub use pack::Packer;
 pub use processor::{Action, Delivery, Processor, ProtocolEvent, SendError, SendOutcome};
 pub use sim_adapter::SimProcessor;
+pub use telemetry::{FlightEntry, FlightEvent, Telemetry, FLIGHT_CAPACITY};
 pub use wire::{FtmpBody, FtmpHeader, FtmpMessage, FtmpMsgType, WireError};

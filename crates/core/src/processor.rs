@@ -62,6 +62,7 @@ use crate::pgmp::{
 use crate::rmp::{RmpInput, RmpLayer, RmpOutput};
 use crate::romp::{RompInput, RompLayer, RompOutput, WindowEdge};
 pub use crate::stats::{GroupMetrics, LayerCounters, ProcessorStats};
+use crate::telemetry::Telemetry;
 use crate::wire::{self, AckVector, FtmpBody, FtmpMessage, FtmpMsgType};
 use bytes::Bytes;
 use ftmp_cdr::ByteOrder;
@@ -213,13 +214,27 @@ pub struct Processor {
     /// disables recording entirely: every emission site is a single
     /// `is_some` branch and never constructs an [`Observation`].
     obs: Option<Vec<Observation>>,
+    /// Telemetry state (DESIGN.md §10): latency histograms, protocol
+    /// counters, flight recorder. Same contract as `obs`: `None` (the
+    /// default) makes every hook a single `is_some` branch.
+    tel: Option<Box<Telemetry>>,
 }
 
 /// Emit one wire datagram, counting containers as they leave.
-fn emit_wire(sink: &mut ActionSink, stats: &mut ProcessorStats, addr: McastAddr, payload: Bytes) {
+fn emit_wire(
+    sink: &mut ActionSink,
+    stats: &mut ProcessorStats,
+    tel: &mut Option<Box<Telemetry>>,
+    addr: McastAddr,
+    payload: Bytes,
+) {
     if wire::is_packed(&payload) {
         stats.packed_datagrams_sent += 1;
-        stats.messages_packed += u64::from(wire::message_count(&payload));
+        let count = wire::message_count(&payload);
+        stats.messages_packed += u64::from(count);
+        if let Some(t) = tel.as_mut() {
+            t.on_packed_sent(count);
+        }
     }
     sink.send(addr, payload);
 }
@@ -243,6 +258,7 @@ impl Processor {
             packer,
             stats: ProcessorStats::default(),
             obs: None,
+            tel: None,
         }
     }
 
@@ -267,6 +283,40 @@ impl Processor {
         if let Some(buf) = self.obs.as_mut() {
             std::mem::swap(buf, out);
         }
+    }
+
+    /// Turn on telemetry (DESIGN.md §10): latency histograms, protocol
+    /// counters and the flight recorder accumulate from this point on.
+    /// Protocol behaviour — and wire traffic — is unaffected (the golden
+    /// trace-hash test pins this).
+    pub fn enable_telemetry(&mut self) {
+        if self.tel.is_none() {
+            self.tel = Some(Box::new(Telemetry::new(self.id)));
+        }
+    }
+
+    /// Whether telemetry is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.tel.is_some()
+    }
+
+    /// The telemetry state, when enabled (snapshots, registry aggregation,
+    /// flight-recorder access).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tel.as_deref()
+    }
+
+    /// Render the current flight-recorder ring, when telemetry is enabled.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.tel.as_deref().map(Telemetry::render_flight)
+    }
+
+    /// The flight dump frozen at the first conviction, if telemetry is
+    /// enabled and a conviction fired.
+    pub fn conviction_dump(&self) -> Option<String> {
+        self.tel
+            .as_deref()
+            .and_then(|t| t.conviction_dump().map(str::to_owned))
     }
 
     /// Record `e`'s observable projection (if any), then push it to the sink.
@@ -570,7 +620,7 @@ impl Processor {
                 giop,
             },
         );
-        self.update_send_window(group);
+        self.update_send_window(now, group);
         self.flush_window(now);
         Ok(SendOutcome::Sent { group, seq })
     }
@@ -656,9 +706,12 @@ impl Processor {
             packer,
             sink,
             stats,
+            tel,
             ..
         } = self;
-        packer.push(now, addr, payload, &mut |a, b| emit_wire(sink, stats, a, b));
+        packer.push(now, addr, payload, &mut |a, b| {
+            emit_wire(sink, stats, tel, a, b)
+        });
     }
 
     /// Flush every packer queue that is due under the configured policy,
@@ -676,10 +729,11 @@ impl Processor {
                 packer,
                 sink,
                 stats,
+                tel,
                 ..
             } = self;
             packer.flush_addr(addr, trailer.as_deref(), &mut |a, b| {
-                emit_wire(sink, stats, a, b)
+                emit_wire(sink, stats, tel, a, b)
             });
         }
     }
@@ -734,6 +788,10 @@ impl Processor {
                 seq: msg.seq,
                 ts: msg.ts,
             });
+        }
+        if let Some(t) = self.tel.as_mut() {
+            let regular = matches!(msg.body, FtmpBody::Regular { .. });
+            t.on_sent(now, group, msg.seq.0, msg.ts.0, regular);
         }
         self.send_wire(now, addr, encoded.clone());
         let seq = msg.seq;
@@ -948,6 +1006,8 @@ impl Processor {
                 }
             }
         }
+        let rx_src = msg.source;
+        let rx_seq = msg.seq.0;
         let g = self.groups.get_mut(&gid).expect("checked");
         // A retransmission answering our own single outstanding NACK is an
         // RTT sample (Karn's rule enforced by the receive window).
@@ -957,6 +1017,9 @@ impl Processor {
                 self.stats.rtt_samples += 1;
                 self.stats.srtt_us = g.rtt.srtt().map(|d| d.as_micros()).unwrap_or(0);
                 self.stats.rttvar_us = g.rtt.rttvar().map(|d| d.as_micros()).unwrap_or(0);
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_rtt_sample(self.stats.srtt_us, self.stats.rttvar_us);
+                }
             }
         }
         match g.rmp.handle(RmpInput::Reliable { msg, wire, own }) {
@@ -967,11 +1030,18 @@ impl Processor {
                     self.stats.duplicates += 1;
                 }
             }
-            RmpOutput::Buffered => {}
+            RmpOutput::Buffered => {
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_buffered(now, gid, rx_src, rx_seq);
+                }
+            }
             RmpOutput::Released(run) => {
                 for m in run {
                     if !self.groups.contains_key(&gid) {
                         break; // an earlier message in the run made us leave
+                    }
+                    if let Some(t) = self.tel.as_mut() {
+                        t.on_released(now, gid, m.source, m.seq.0);
                     }
                     self.source_ordered(now, gid, m);
                 }
@@ -996,8 +1066,13 @@ impl Processor {
                 ts: m.ack_ts,
             });
         }
+        let key = (m.ts, m.source);
         match g.romp.handle(RompInput::SourceOrdered(m)) {
-            RompOutput::Enqueued => {}
+            RompOutput::Enqueued => {
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_enqueued(now, gid, key);
+                }
+            }
             RompOutput::Control(m) => match m.body {
                 FtmpBody::Suspect { ref suspects, .. } => {
                     let set: BTreeSet<ProcessorId> = suspects.iter().copied().collect();
@@ -1043,6 +1118,9 @@ impl Processor {
                 break;
             }
             for m in batch {
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_ordered(now, gid, (m.ts, m.source), m.seq.0);
+                }
                 self.handle_ordered(now, gid, m);
             }
         }
@@ -1052,6 +1130,9 @@ impl Processor {
         if !g.pgmp.reclaim_pinned() {
             let stable = g.romp.ordering().stable_ts();
             let reclaimed = g.rmp.retention_mut().reclaim_stable(stable);
+            if let Some(t) = self.tel.as_mut() {
+                t.on_stable(now, gid, stable);
+            }
             if reclaimed > 0 {
                 if let Some(buf) = self.obs.as_mut() {
                     buf.push(Observation::Reclaimed {
@@ -1070,7 +1151,7 @@ impl Processor {
         }
         // Stability may have drained our unstable backlog: let the send
         // window reopen and tell the application.
-        self.update_send_window(gid);
+        self.update_send_window(now, gid);
         self.maybe_complete_reconfig(now, gid);
     }
 
@@ -1078,7 +1159,7 @@ impl Processor {
     /// that are not yet stable everywhere — what the members' ack
     /// timestamps bound) into the flow-control window, surfacing edges as
     /// [`Action::Backpressure`] / [`Action::SendReady`].
-    fn update_send_window(&mut self, gid: GroupId) {
+    fn update_send_window(&mut self, now: SimTime, gid: GroupId) {
         let Some(g) = self.groups.get_mut(&gid) else {
             return;
         };
@@ -1086,10 +1167,16 @@ impl Processor {
         match g.romp.update_window(occupancy) {
             Some(WindowEdge::Closed) => {
                 self.stats.backpressure_closes += 1;
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_window_closed(now, gid);
+                }
                 self.sink.push(Action::Backpressure(gid));
             }
             Some(WindowEdge::Reopened) => {
                 self.stats.backpressure_opens += 1;
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_window_reopened(now, gid);
+                }
                 self.sink.push(Action::SendReady(gid));
             }
             None => {}
@@ -1152,6 +1239,9 @@ impl Processor {
             if let Some(payload) = g.rmp.answer_retransmit(missing_from, seq, now, suppress) {
                 let addr = g.addr;
                 self.stats.retransmissions_sent += 1;
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_retransmit_answered(now, gid, missing_from, seq);
+                }
                 self.send_wire(now, addr, payload);
             }
         }

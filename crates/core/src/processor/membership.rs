@@ -60,8 +60,12 @@ impl Processor {
         removals: BTreeSet<ProcessorId>,
     ) {
         {
+            let removal_count = removals.len();
             let g = self.groups.get_mut(&gid).expect("group exists");
             g.pgmp.begin_or_extend_reconfig(removals, now);
+            if let Some(t) = self.tel.as_mut() {
+                t.on_reconfig_started(now, gid, removal_count);
+            }
         }
         self.announce_membership(now, gid);
         self.maybe_complete_reconfig(now, gid);
@@ -199,6 +203,17 @@ impl Processor {
             self.handle_ordered(now, gid, m);
         }
         for e in events {
+            if let Some(t) = self.tel.as_mut() {
+                match &e {
+                    ProtocolEvent::FaultReport { group, processor } => {
+                        t.on_convicted(now, *group, *processor);
+                    }
+                    ProtocolEvent::MembershipChange { group, members, ts } => {
+                        t.on_view_installed(now, *group, members.len(), ts.0);
+                    }
+                    _ => {}
+                }
+            }
             self.emit_event(e);
         }
         self.flush_pending(now, gid);

@@ -95,6 +95,18 @@ impl Processor {
                 let Some(g) = self.groups.get_mut(&gid) else {
                     return;
                 };
+                if let Some(t) = self.tel.as_mut() {
+                    // Both commit paths below install a view; record before
+                    // the branches so the joiner's own commit is covered too.
+                    if new_member == self.id && g.pgmp.provisional_since.is_some() {
+                        t.on_view_installed(
+                            now,
+                            gid,
+                            g.pgmp.membership.len(),
+                            g.pgmp.membership_ts.0,
+                        );
+                    }
+                }
                 if new_member == self.id && g.pgmp.provisional_since.take().is_some() {
                     // Our own AddProcessor reached its total-order position:
                     // the group committed the join. The membership timestamp
@@ -120,6 +132,9 @@ impl Processor {
                     g.pgmp.last_heard.insert(new_member, now);
                     let members: Vec<ProcessorId> = g.pgmp.membership.iter().copied().collect();
                     let ts = g.pgmp.membership_ts;
+                    if let Some(t) = self.tel.as_mut() {
+                        t.on_view_installed(now, gid, members.len(), ts.0);
+                    }
                     self.emit_event(ProtocolEvent::MembershipChange {
                         group: gid,
                         members,
@@ -144,6 +159,9 @@ impl Processor {
                         g.pgmp.suspicion.retain_members(&membership);
                         let members: Vec<ProcessorId> = membership.iter().copied().collect();
                         let ts = g.pgmp.membership_ts;
+                        if let Some(t) = self.tel.as_mut() {
+                            t.on_view_installed(now, gid, members.len(), ts.0);
+                        }
                         self.emit_event(ProtocolEvent::MembershipChange {
                             group: gid,
                             members,

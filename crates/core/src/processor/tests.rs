@@ -479,6 +479,55 @@ fn queued_sends_flush_after_reconfiguration() {
     assert!(acts.iter().any(|x| matches!(x, Action::Deliver(_))));
 }
 
+#[test]
+fn packed_ack_vector_reflects_mid_stream_join() {
+    use crate::config::{PackPolicy, Packing};
+
+    // Solo group with deadline packing: every flush carries the memoized
+    // ack-vector trailer, so a join that fails to invalidate the memo would
+    // keep advertising the pre-join membership on the wire.
+    let gid = GroupId(1);
+    let cfg = ProtocolConfig::with_seed(42).packing(Packing::with(
+        1400,
+        PackPolicy::Deadline(SimDuration::from_micros(500)),
+    ));
+    let mut a = Processor::new(ProcessorId(1), cfg, ClockMode::Lamport);
+    a.create_group(SimTime(0), gid, McastAddr(100), [ProcessorId(1)]);
+    a.bind_connection(conn_ab(), gid);
+    a.drain_actions();
+    // Warm the memoized vector: the first packed flush encodes and caches it.
+    a.multicast_request(SimTime(1_000), conn_ab(), RequestNum(1), Bytes::new())
+        .unwrap();
+    a.tick(SimTime(2_000));
+    a.drain_actions();
+    // P2 joins mid-stream; solo ordering commits the AddProcessor instantly.
+    a.add_processor(SimTime(3_000), gid, ProcessorId(2));
+    a.multicast_request(SimTime(3_000), conn_ab(), RequestNum(2), Bytes::new())
+        .unwrap();
+    a.tick(SimTime(4_000));
+    let vectors: Vec<crate::wire::AckVector> = a
+        .drain_actions()
+        .iter()
+        .filter_map(|x| match x {
+            Action::Send { payload, .. } if crate::wire::is_packed(payload) => {
+                crate::wire::unpack(payload).unwrap().1
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !vectors.is_empty(),
+        "a packed datagram carried an ack-vector trailer"
+    );
+    for v in &vectors {
+        assert!(
+            v.entries.iter().any(|(p, _)| *p == ProcessorId(2)),
+            "stale memoized ack vector after join: {:?}",
+            v.entries
+        );
+    }
+}
+
 mod rebind_tests {
     use super::*;
     use crate::config::Quorum;

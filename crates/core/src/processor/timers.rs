@@ -73,6 +73,19 @@ impl Processor {
             for (src, ranges) in requests {
                 for (a, b) in ranges {
                     self.stats.nacks_sent += 1;
+                    if self.tel.is_some() {
+                        // The window just incremented its attempt counter
+                        // for this issue, so reading it back reports the
+                        // episode's ordinal (1 = first request).
+                        let attempts = self
+                            .groups
+                            .get(&gid)
+                            .map(|g| g.rmp.nack_attempts_of(src))
+                            .unwrap_or(0);
+                        if let Some(t) = self.tel.as_mut() {
+                            t.on_nack(now, gid, src, a, b, attempts);
+                        }
+                    }
                     self.send_unreliable(
                         now,
                         gid,
@@ -138,6 +151,11 @@ impl Processor {
                         group: gid,
                         suspect: s,
                     });
+                }
+            }
+            if let Some(t) = self.tel.as_mut() {
+                for &s in &newly {
+                    t.on_suspected(now, gid, s);
                 }
             }
             // Reliable: occupies a sequence slot and reaches everyone; our

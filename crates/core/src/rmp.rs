@@ -559,6 +559,16 @@ impl RmpLayer {
         self.rx.get(&source).map(|rx| rx.contiguous()).unwrap_or(0)
     }
 
+    /// RetransmitRequests issued for `source`'s current gap episode (0 when
+    /// the stream is contiguous or unknown). Read by the telemetry hooks
+    /// right after [`nack_requests`](Self::nack_requests) issues a request.
+    pub fn nack_attempts_of(&self, source: ProcessorId) -> u32 {
+        self.rx
+            .get(&source)
+            .map(|rx| rx.nack_attempts())
+            .unwrap_or(0)
+    }
+
     /// Total out-of-order messages buffered across all sources.
     pub fn buffered_total(&self) -> usize {
         self.rx.values().map(|rx| rx.buffered()).sum()

@@ -21,6 +21,7 @@
 use crate::config::FlowControl;
 use crate::ids::{ProcessorId, Timestamp};
 use crate::wire::FtmpMessage;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// A totally-ordered delivery position: `(timestamp, source)`.
@@ -40,6 +41,12 @@ pub struct Ordering {
     ack_version: u64,
     /// Position of the last delivered message (deliveries only move up).
     last_delivered: OrderKey,
+    /// The highest ack timestamp ever returned by [`ack_ts`](Self::ack_ts):
+    /// the floor advertised while the horizon map is transiently empty
+    /// (every peer removed), so the wire ack never regresses to zero.
+    last_ack_floor: Cell<u64>,
+    /// Same monotone floor for [`stable_ts`](Self::stable_ts).
+    last_stable_floor: Cell<u64>,
 }
 
 impl Ordering {
@@ -67,20 +74,28 @@ impl Ordering {
             reported_ack: BTreeMap::new(),
             ack_version: 0,
             last_delivered: floor_key,
+            last_ack_floor: Cell::new(0),
+            last_stable_floor: Cell::new(0),
         }
     }
 
     /// Add a member at a given horizon floor (AddProcessor position, §7.1).
     /// Its reported ack starts at zero, pinning retention until it speaks.
     pub fn add_member(&mut self, p: ProcessorId, floor: Timestamp) {
-        self.horizon.entry(p).or_insert(floor);
+        if let std::collections::btree_map::Entry::Vacant(v) = self.horizon.entry(p) {
+            v.insert(floor);
+            // The effective per-member ack vector just changed — the joiner
+            // reads as zero until it reports — so memoized encodings of it
+            // are stale.
+            self.ack_version += 1;
+        }
     }
 
     /// Remove a member (RemoveProcessor or conviction); its horizon no
     /// longer gates delivery and its acks no longer gate stability.
     pub fn remove_member(&mut self, p: ProcessorId) {
-        self.horizon.remove(&p);
-        if self.reported_ack.remove(&p).is_some() {
+        let was_member = self.horizon.remove(&p).is_some();
+        if self.reported_ack.remove(&p).is_some() || was_member {
             self.ack_version += 1;
         }
     }
@@ -122,26 +137,51 @@ impl Ordering {
     }
 
     /// The ack timestamp to stamp on outgoing messages: the minimum horizon
-    /// across members (we have everything ≤ this from everyone).
+    /// across members (we have everything ≤ this from everyone). While the
+    /// horizon map is transiently empty — every peer convicted or removed,
+    /// just before the survivor's own entry is reinstalled — the value holds
+    /// at the highest ack previously advertised (at least the last-delivered
+    /// position) instead of collapsing to zero, so wire acks stay monotone.
     pub fn ack_ts(&self) -> Timestamp {
-        self.horizon.values().copied().min().unwrap_or(Timestamp(0))
+        let v = match self.horizon.values().copied().min() {
+            Some(t) => t.0,
+            None => self.last_ack_floor.get().max(self.last_delivered.0 .0),
+        };
+        self.last_ack_floor.set(v);
+        Timestamp(v)
     }
 
     /// The stability point: every member has acknowledged everything at or
     /// below this timestamp. Members that have not reported yet hold it at
     /// zero (deliberately conservative: a joiner pins retention, §7.1).
+    /// Empty-horizon behaviour matches [`ack_ts`](Self::ack_ts): the value
+    /// floors at what was already declared stable rather than regressing.
     pub fn stable_ts(&self) -> Timestamp {
-        self.horizon
+        let v = match self
+            .horizon
             .keys()
             .map(|p| self.reported_ack.get(p).copied().unwrap_or(Timestamp(0)))
             .min()
-            .unwrap_or(Timestamp(0))
+        {
+            Some(t) => t.0,
+            None => self.last_stable_floor.get().max(self.last_delivered.0 .0),
+        };
+        self.last_stable_floor.set(v);
+        Timestamp(v)
     }
 
     /// The per-member reported ack timestamps — the piggyback ack vector
     /// the packing layer attaches to outgoing containers (DESIGN.md §5).
+    /// Keyed by the horizon (current membership), not by who happens to have
+    /// reported: a joiner appears immediately (at zero, pinning retention)
+    /// and a removed member drops out of the advertised vector.
     pub fn reported_acks(&self) -> impl Iterator<Item = (ProcessorId, Timestamp)> + '_ {
-        self.reported_ack.iter().map(|(p, t)| (*p, *t))
+        self.horizon.keys().map(|p| {
+            (
+                *p,
+                self.reported_ack.get(p).copied().unwrap_or(Timestamp(0)),
+            )
+        })
     }
 
     /// Monotone counter bumped whenever [`reported_acks`](Self::reported_acks)
@@ -616,6 +656,109 @@ mod tests {
         assert!(ord.deliverable().is_empty(), "P3 horizon at 50 < 80");
         ord.advance_horizon(ProcessorId(3), Timestamp(80));
         assert_eq!(ord.deliverable().len(), 1);
+    }
+
+    #[test]
+    fn membership_changes_bump_ack_version() {
+        let mut ord = Ordering::new(members(2), Timestamp(0));
+        let v0 = ord.ack_version();
+        ord.add_member(ProcessorId(3), Timestamp(5));
+        assert!(
+            ord.ack_version() > v0,
+            "join invalidates the memoized vector"
+        );
+        let v1 = ord.ack_version();
+        ord.add_member(ProcessorId(3), Timestamp(9));
+        assert_eq!(ord.ack_version(), v1, "re-adding a member is a no-op");
+        ord.remove_member(ProcessorId(3));
+        assert!(ord.ack_version() > v1, "removal invalidates it too");
+        let v2 = ord.ack_version();
+        ord.remove_member(ProcessorId(3));
+        assert_eq!(ord.ack_version(), v2, "removing a non-member is a no-op");
+    }
+
+    #[test]
+    fn reported_acks_track_membership() {
+        let mut ord = Ordering::new(members(2), Timestamp(0));
+        ord.record_ack(ProcessorId(1), Timestamp(7));
+        ord.add_member(ProcessorId(3), Timestamp(5));
+        let v: Vec<(ProcessorId, Timestamp)> = ord.reported_acks().collect();
+        assert_eq!(
+            v,
+            vec![
+                (ProcessorId(1), Timestamp(7)),
+                (ProcessorId(2), Timestamp(0)),
+                (ProcessorId(3), Timestamp(0)),
+            ],
+            "joiner appears at zero before it reports"
+        );
+        ord.remove_member(ProcessorId(1));
+        assert!(
+            ord.reported_acks().all(|(p, _)| p != ProcessorId(1)),
+            "removed member drops out even though it reported"
+        );
+    }
+
+    #[test]
+    fn ack_never_regresses_when_horizon_empties() {
+        let mut ord = Ordering::new(members(2), Timestamp(0));
+        ord.advance_horizon(ProcessorId(1), Timestamp(30));
+        ord.advance_horizon(ProcessorId(2), Timestamp(20));
+        ord.record_ack(ProcessorId(1), Timestamp(20));
+        ord.record_ack(ProcessorId(2), Timestamp(20));
+        assert_eq!(ord.ack_ts(), Timestamp(20));
+        assert_eq!(ord.stable_ts(), Timestamp(20));
+        // Every member removed (e.g. conviction of all peers mid-flush):
+        // the advertised values hold instead of collapsing to zero.
+        ord.remove_member(ProcessorId(1));
+        ord.remove_member(ProcessorId(2));
+        assert_eq!(ord.ack_ts(), Timestamp(20));
+        assert_eq!(ord.stable_ts(), Timestamp(20));
+    }
+
+    #[test]
+    fn empty_horizon_ack_floors_at_last_delivered() {
+        // Even when ack_ts was never sampled before the horizon emptied,
+        // the delivered prefix bounds what must have been advertised.
+        let mut ord = Ordering::new(members(1), Timestamp(0));
+        ord.advance_horizon(ProcessorId(1), Timestamp(40));
+        ord.enqueue(m(1, 1, 40));
+        assert_eq!(ord.deliverable().len(), 1);
+        ord.remove_member(ProcessorId(1));
+        assert_eq!(ord.ack_ts(), Timestamp(40));
+        assert_eq!(ord.stable_ts(), Timestamp(40));
+    }
+
+    proptest! {
+        /// The memoization contract: a cache keyed solely on `ack_version`
+        /// always reads back the same vector as a fresh `reported_acks()`
+        /// computation, under any interleaving of acks and membership
+        /// changes. (Fails without the `add_member` version bump.)
+        #[test]
+        fn prop_ack_version_keys_vector_memoization(
+            ops in proptest::collection::vec((0u8..3, 1u32..6, 0u64..50), 0..60),
+        ) {
+            let mut ord = Ordering::new(members(3), Timestamp(0));
+            let mut cache: Option<(u64, Vec<(ProcessorId, Timestamp)>)> = None;
+            for (op, p, t) in ops {
+                let p = ProcessorId(p);
+                match op {
+                    0 => ord.record_ack(p, Timestamp(t)),
+                    1 => ord.add_member(p, Timestamp(t)),
+                    _ => ord.remove_member(p),
+                }
+                let fresh: Vec<(ProcessorId, Timestamp)> = ord.reported_acks().collect();
+                let ver = ord.ack_version();
+                let served = match &cache {
+                    Some((v, entries)) if *v == ver => entries.clone(),
+                    _ => {
+                        cache = Some((ver, fresh.clone()));
+                        fresh.clone()
+                    }
+                };
+                prop_assert_eq!(served, fresh);
+            }
+        }
     }
 
     #[test]

@@ -362,7 +362,17 @@ mod tests {
     /// A fixed seeded scenario: three members, each bursting three
     /// multicasts back-to-back, 100 ms of protocol time.
     fn traced_run(cfg: ProtocolConfig) -> SimNet<SimProcessor> {
+        traced_run_with(cfg, false)
+    }
+
+    /// Same scenario, optionally with telemetry enabled on every engine.
+    fn traced_run_with(cfg: ProtocolConfig, telemetry: bool) -> SimNet<SimProcessor> {
         let mut net = build_net(3, SimConfig::with_seed(7), cfg);
+        if telemetry {
+            for id in 1u32..=3 {
+                net.with_node(id, |n, _, _| n.engine_mut().enable_telemetry());
+            }
+        }
         net.enable_trace(1 << 16);
         for id in 1u32..=3 {
             net.with_node(id, |n, now, out| {
@@ -410,6 +420,99 @@ mod tests {
             0x40E7_EDBA_EE0B_E021,
             "default-config wire trace drifted from the pre-packing protocol"
         );
+    }
+
+    /// Telemetry is observation only: with every engine recording, the wire
+    /// trace still matches the pinned golden hash bit for bit, while the
+    /// latency histograms actually populate.
+    #[test]
+    fn telemetry_on_wire_trace_identical_and_histograms_populate() {
+        let net = traced_run_with(ProtocolConfig::with_seed(7), true);
+        assert_eq!(
+            trace_hash(&net),
+            0x40E7_EDBA_EE0B_E021,
+            "enabling telemetry perturbed the wire traffic"
+        );
+        let snap = net
+            .node(1)
+            .unwrap()
+            .engine()
+            .telemetry()
+            .expect("telemetry enabled")
+            .snapshot();
+        let ordering = snap.histogram("ordering_delay_us").expect("registered");
+        assert!(ordering.count > 0, "ordering delays recorded");
+        assert!(
+            snap.histogram("e2e_self_us").expect("registered").count > 0,
+            "own-message end-to-end latency recorded"
+        );
+        assert!(snap.counter("deliveries").unwrap_or(0) > 0);
+    }
+
+    /// S3 regression, at wire level: the survivor's outgoing ack timestamp
+    /// never moves backwards across suspicion, conviction and removal of
+    /// every peer (an ack regression would let peers' retention logic
+    /// un-stabilize already-reclaimed messages).
+    #[test]
+    fn wire_acks_stay_monotone_through_conviction_of_all_peers() {
+        use crate::config::Quorum;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let cfg = ProtocolConfig::with_seed(5).quorum(Quorum::Fixed(1));
+        let mut net = build_net(3, SimConfig::with_seed(5), cfg);
+        let acks: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
+        let sink = Rc::clone(&acks);
+        net.set_wire_tap(move |at, src, _dst, payload| {
+            if src == 1 && !wire::is_packed(payload) {
+                if let Ok((h, _)) = wire::FtmpHeader::decode(payload) {
+                    sink.borrow_mut().push((at.0, h.ack_ts.0));
+                }
+            }
+        });
+        // Traffic so the survivor's advertised ack climbs well above zero.
+        for k in 0..5u64 {
+            net.with_node(1, |n, now, out| {
+                n.engine_mut()
+                    .multicast_request(now, conn(), RequestNum(k), Bytes::from(vec![1u8]))
+                    .unwrap();
+                n.pump(out);
+            });
+            net.run_for(SimDuration::from_millis(2));
+        }
+        net.run_for(SimDuration::from_millis(50));
+        net.crash(2);
+        net.crash(3);
+        // Fixed(1) quorum: P1 alone convicts both silent peers.
+        net.run_for(SimDuration::from_millis(600));
+        net.with_node(1, |n, _, _| {
+            assert_eq!(
+                n.engine().membership(GroupId(1)).unwrap(),
+                vec![ProcessorId(1)],
+                "both peers convicted and removed"
+            );
+        });
+        // Post-reconfiguration traffic in the singleton view.
+        net.with_node(1, |n, now, out| {
+            n.engine_mut()
+                .multicast_request(now, conn(), RequestNum(99), Bytes::from(vec![9u8]))
+                .unwrap();
+            n.pump(out);
+        });
+        net.run_for(SimDuration::from_millis(50));
+        let acks = acks.borrow();
+        assert!(
+            acks.iter().any(|&(_, a)| a > 0),
+            "acks advanced above zero before the crash"
+        );
+        for w in acks.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "wire ack regressed: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
     }
 
     /// The same scenario with packing on delivers the identical total order

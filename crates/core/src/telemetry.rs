@@ -1,0 +1,682 @@
+//! Per-processor telemetry: latency histograms, protocol counters and the
+//! bounded flight recorder (DESIGN.md §10).
+//!
+//! The shell owns a `tel: Option<Box<Telemetry>>` with the same contract as
+//! the observation buffer in [`crate::observe`]: `None` (the default) makes
+//! every hook site a single `is_some` branch that constructs nothing — the
+//! golden trace-hash test in [`crate::sim_adapter`] proves wire traffic is
+//! bit-identical either way. When enabled, the hooks correlate protocol
+//! moments into latency series:
+//!
+//! * `rmp_recovery_us` — first out-of-order reception → source-order
+//!   release (how long RMP's NACK machinery takes to repair a gap).
+//! * `ordering_delay_us` — ROMP enqueue at the total-order position →
+//!   delivery (how long the delivery rule waits for horizon cover).
+//! * `stability_lag_us` — delivery → stability point passing the message
+//!   (how long retention must hold it after everyone has it).
+//! * `e2e_self_us` — own Regular send → own total-order delivery.
+//! * `view_change_us` — reconfiguration start → new view installed.
+//! * `flow_stall_us` — send-window close → reopen.
+//!
+//! The flight recorder keeps the last [`FLIGHT_CAPACITY`] protocol events;
+//! the ring is frozen into a structured dump at the first conviction, and
+//! `ftmp-check` splices dumps into oracle counterexample reports.
+
+use crate::ids::{GroupId, ProcessorId, Timestamp};
+use crate::romp::OrderKey;
+use ftmp_net::SimTime;
+use ftmp_telemetry::{CounterId, GaugeId, HistId, Registry, Ring, Snapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Flight-recorder ring capacity (events per processor).
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// Cap on each correlation map: a correlation entry that never resolves
+/// (e.g. a message lost forever) must not grow memory without bound.
+const CORR_CAP: usize = 4096;
+
+/// One protocol moment retained by the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// Reliable message sent (seq, total-order timestamp).
+    Sent {
+        /// Group sent in.
+        group: GroupId,
+        /// Sequence number assigned.
+        seq: u64,
+        /// Lamport timestamp stamped.
+        ts: u64,
+    },
+    /// Out-of-order arrival buffered behind a gap.
+    Buffered {
+        /// Group received in.
+        group: GroupId,
+        /// Source whose stream has the gap.
+        source: ProcessorId,
+        /// Buffered sequence number.
+        seq: u64,
+    },
+    /// A previously buffered message was released in source order.
+    Recovered {
+        /// Group received in.
+        group: GroupId,
+        /// Source of the repaired stream.
+        source: ProcessorId,
+        /// Released sequence number.
+        seq: u64,
+        /// Gap-repair latency in microseconds.
+        us: u64,
+    },
+    /// Message delivered at its total-order position.
+    Delivered {
+        /// Group delivered in.
+        group: GroupId,
+        /// Original source.
+        source: ProcessorId,
+        /// Total-order timestamp.
+        ts: u64,
+    },
+    /// RetransmitRequest sent for a gap.
+    NackSent {
+        /// Group solicited in.
+        group: GroupId,
+        /// Source whose messages are missing.
+        source: ProcessorId,
+        /// Requested range start.
+        start: u64,
+        /// Requested range end.
+        stop: u64,
+        /// Re-issue attempts for this gap episode (1 = first request).
+        attempts: u32,
+    },
+    /// Answered a peer's RetransmitRequest from retention.
+    RetransmitAnswered {
+        /// Group answered in.
+        group: GroupId,
+        /// Original source of the retransmitted message.
+        source: ProcessorId,
+        /// Retransmitted sequence number.
+        seq: u64,
+    },
+    /// Flow-control send window closed (backpressure on).
+    WindowClosed {
+        /// Affected group.
+        group: GroupId,
+    },
+    /// Flow-control send window reopened.
+    WindowReopened {
+        /// Affected group.
+        group: GroupId,
+        /// Stall duration in microseconds.
+        us: u64,
+    },
+    /// Local fault detector began suspecting a peer.
+    Suspected {
+        /// Group the suspicion is scoped to.
+        group: GroupId,
+        /// The suspect.
+        suspect: ProcessorId,
+    },
+    /// Membership reconfiguration started (§7.2).
+    ReconfigStarted {
+        /// Affected group.
+        group: GroupId,
+        /// Members proposed for removal.
+        removals: usize,
+    },
+    /// A processor was convicted and removed.
+    Convicted {
+        /// Group it was removed from.
+        group: GroupId,
+        /// The convicted processor.
+        processor: ProcessorId,
+    },
+    /// A new membership view was installed.
+    ViewInstalled {
+        /// Affected group.
+        group: GroupId,
+        /// Member count of the new view.
+        members: usize,
+        /// Membership timestamp of the new view.
+        ts: u64,
+        /// Reconfiguration duration in microseconds (0 when the change was
+        /// not preceded by a local reconfiguration, e.g. a join).
+        us: u64,
+    },
+}
+
+impl fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlightEvent::Sent { group, seq, ts } => {
+                write!(f, "sent g{} seq={} ts={}", group.0, seq, ts)
+            }
+            FlightEvent::Buffered { group, source, seq } => {
+                write!(f, "buffered g{} from P{} seq={}", group.0, source.0, seq)
+            }
+            FlightEvent::Recovered {
+                group,
+                source,
+                seq,
+                us,
+            } => write!(
+                f,
+                "recovered g{} from P{} seq={} after {}us",
+                group.0, source.0, seq, us
+            ),
+            FlightEvent::Delivered { group, source, ts } => {
+                write!(f, "delivered g{} from P{} ts={}", group.0, source.0, ts)
+            }
+            FlightEvent::NackSent {
+                group,
+                source,
+                start,
+                stop,
+                attempts,
+            } => write!(
+                f,
+                "nack g{} for P{} [{start},{stop}] attempt={attempts}",
+                group.0, source.0
+            ),
+            FlightEvent::RetransmitAnswered { group, source, seq } => {
+                write!(f, "retransmit g{} of P{} seq={}", group.0, source.0, seq)
+            }
+            FlightEvent::WindowClosed { group } => write!(f, "window-closed g{}", group.0),
+            FlightEvent::WindowReopened { group, us } => {
+                write!(f, "window-reopened g{} after {}us", group.0, us)
+            }
+            FlightEvent::Suspected { group, suspect } => {
+                write!(f, "suspected g{} P{}", group.0, suspect.0)
+            }
+            FlightEvent::ReconfigStarted { group, removals } => {
+                write!(f, "reconfig-started g{} removals={}", group.0, removals)
+            }
+            FlightEvent::Convicted { group, processor } => {
+                write!(f, "convicted g{} P{}", group.0, processor.0)
+            }
+            FlightEvent::ViewInstalled {
+                group,
+                members,
+                ts,
+                us,
+            } => write!(
+                f,
+                "view-installed g{} members={} ts={} after {}us",
+                group.0, members, ts, us
+            ),
+        }
+    }
+}
+
+/// One flight-recorder entry: when, and what.
+#[derive(Debug, Clone)]
+pub struct FlightEntry {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub event: FlightEvent,
+}
+
+/// The registered metric handles (registration happens once, in
+/// [`Telemetry::new`]; every hook records through these indices).
+#[derive(Debug)]
+struct Ids {
+    rmp_recovery_us: HistId,
+    ordering_delay_us: HistId,
+    stability_lag_us: HistId,
+    e2e_self_us: HistId,
+    view_change_us: HistId,
+    flow_stall_us: HistId,
+    pack_msgs_per_datagram: HistId,
+    nack_attempts: HistId,
+    nacks_sent: CounterId,
+    retransmissions_answered: CounterId,
+    rtt_samples: CounterId,
+    window_closes: CounterId,
+    convictions: CounterId,
+    view_changes: CounterId,
+    deliveries: CounterId,
+    packed_datagrams: CounterId,
+    srtt_us: GaugeId,
+    rttvar_us: GaugeId,
+}
+
+/// Per-group correlation state: open intervals awaiting their closing
+/// timestamp. Each map is capped at [`CORR_CAP`] entries.
+#[derive(Debug, Default)]
+struct GroupCorr {
+    /// Own Regular sends awaiting self total-order delivery, keyed by seq.
+    own_sent: BTreeMap<u64, SimTime>,
+    /// Out-of-order arrivals awaiting source-order release.
+    buffered_at: BTreeMap<(ProcessorId, u64), SimTime>,
+    /// Messages enqueued at their total-order position, awaiting delivery.
+    enqueued: BTreeMap<OrderKey, SimTime>,
+    /// Delivered messages awaiting the stability point (ts ascending).
+    stab_fifo: VecDeque<(Timestamp, SimTime)>,
+    /// When the send window closed (open stall interval).
+    window_closed_at: Option<SimTime>,
+    /// When the current reconfiguration began.
+    reconfig_started: Option<SimTime>,
+}
+
+fn corr_insert<K: Ord>(map: &mut BTreeMap<K, SimTime>, k: K, v: SimTime) {
+    if map.len() < CORR_CAP {
+        map.insert(k, v);
+    }
+}
+
+/// The per-processor telemetry state: registry, correlation maps, flight
+/// recorder. Lives behind `Option<Box<_>>` on the shell — absent by
+/// default, so the record path costs one branch when disabled.
+#[derive(Debug)]
+pub struct Telemetry {
+    owner: ProcessorId,
+    reg: Registry,
+    ids: Ids,
+    groups: BTreeMap<GroupId, GroupCorr>,
+    flight: Ring<FlightEntry>,
+    /// The flight ring rendered at the moment of the first conviction.
+    conviction_dump: Option<String>,
+}
+
+impl Telemetry {
+    /// Fresh telemetry state for one processor.
+    pub fn new(owner: ProcessorId) -> Self {
+        let mut reg = Registry::new();
+        let ids = Ids {
+            rmp_recovery_us: reg.histogram("rmp_recovery_us"),
+            ordering_delay_us: reg.histogram("ordering_delay_us"),
+            stability_lag_us: reg.histogram("stability_lag_us"),
+            e2e_self_us: reg.histogram("e2e_self_us"),
+            view_change_us: reg.histogram("view_change_us"),
+            flow_stall_us: reg.histogram("flow_stall_us"),
+            pack_msgs_per_datagram: reg.histogram("pack_msgs_per_datagram"),
+            nack_attempts: reg.histogram("nack_attempts"),
+            nacks_sent: reg.counter("nacks_sent"),
+            retransmissions_answered: reg.counter("retransmissions_answered"),
+            rtt_samples: reg.counter("rtt_samples"),
+            window_closes: reg.counter("window_closes"),
+            convictions: reg.counter("convictions"),
+            view_changes: reg.counter("view_changes"),
+            deliveries: reg.counter("deliveries"),
+            packed_datagrams: reg.counter("packed_datagrams"),
+            srtt_us: reg.gauge("srtt_us"),
+            rttvar_us: reg.gauge("rttvar_us"),
+        };
+        Telemetry {
+            owner,
+            reg,
+            ids,
+            groups: BTreeMap::new(),
+            flight: Ring::new(FLIGHT_CAPACITY),
+            conviction_dump: None,
+        }
+    }
+
+    fn corr(&mut self, gid: GroupId) -> &mut GroupCorr {
+        self.groups.entry(gid).or_default()
+    }
+
+    fn record_event(&mut self, at: SimTime, event: FlightEvent) {
+        self.flight.push(FlightEntry { at, event });
+    }
+
+    /// A reliable message left this processor.
+    pub fn on_sent(&mut self, now: SimTime, gid: GroupId, seq: u64, ts: u64, regular: bool) {
+        if regular {
+            corr_insert(&mut self.corr(gid).own_sent, seq, now);
+        }
+        self.record_event(
+            now,
+            FlightEvent::Sent {
+                group: gid,
+                seq,
+                ts,
+            },
+        );
+    }
+
+    /// An out-of-order arrival was buffered behind a gap.
+    pub fn on_buffered(&mut self, now: SimTime, gid: GroupId, source: ProcessorId, seq: u64) {
+        corr_insert(&mut self.corr(gid).buffered_at, (source, seq), now);
+        self.record_event(
+            now,
+            FlightEvent::Buffered {
+                group: gid,
+                source,
+                seq,
+            },
+        );
+    }
+
+    /// RMP released a message in source order; if it had been buffered, the
+    /// elapsed time is the gap-repair latency.
+    pub fn on_released(&mut self, now: SimTime, gid: GroupId, source: ProcessorId, seq: u64) {
+        if let Some(at) = self.corr(gid).buffered_at.remove(&(source, seq)) {
+            let us = now.saturating_since(at).as_micros();
+            self.reg.record(self.ids.rmp_recovery_us, us);
+            self.record_event(
+                now,
+                FlightEvent::Recovered {
+                    group: gid,
+                    source,
+                    seq,
+                    us,
+                },
+            );
+        }
+    }
+
+    /// A message was enqueued at its total-order position.
+    pub fn on_enqueued(&mut self, now: SimTime, gid: GroupId, key: OrderKey) {
+        corr_insert(&mut self.corr(gid).enqueued, key, now);
+    }
+
+    /// A message reached its total-order delivery position.
+    pub fn on_ordered(&mut self, now: SimTime, gid: GroupId, key: OrderKey, seq: u64) {
+        self.reg.inc(self.ids.deliveries, 1);
+        let own = key.1 == self.owner;
+        let c = self.corr(gid);
+        if let Some(at) = c.enqueued.remove(&key) {
+            let us = now.saturating_since(at).as_micros();
+            self.reg.record(self.ids.ordering_delay_us, us);
+        }
+        let c = self.corr(gid);
+        if own {
+            if let Some(at) = c.own_sent.remove(&seq) {
+                let us = now.saturating_since(at).as_micros();
+                self.reg.record(self.ids.e2e_self_us, us);
+            }
+        }
+        let c = self.corr(gid);
+        if c.stab_fifo.len() < CORR_CAP {
+            c.stab_fifo.push_back((key.0, now));
+        }
+        self.record_event(
+            now,
+            FlightEvent::Delivered {
+                group: gid,
+                source: key.1,
+                ts: key.0 .0,
+            },
+        );
+    }
+
+    /// The stability point advanced: everything delivered at or below
+    /// `stable` can leave retention; its wait is the stability lag.
+    pub fn on_stable(&mut self, now: SimTime, gid: GroupId, stable: Timestamp) {
+        loop {
+            let c = self.corr(gid);
+            match c.stab_fifo.front() {
+                Some(&(ts, at)) if ts <= stable => {
+                    c.stab_fifo.pop_front();
+                    let us = now.saturating_since(at).as_micros();
+                    self.reg.record(self.ids.stability_lag_us, us);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// The flow-control send window closed.
+    pub fn on_window_closed(&mut self, now: SimTime, gid: GroupId) {
+        self.reg.inc(self.ids.window_closes, 1);
+        self.corr(gid).window_closed_at = Some(now);
+        self.record_event(now, FlightEvent::WindowClosed { group: gid });
+    }
+
+    /// The flow-control send window reopened.
+    pub fn on_window_reopened(&mut self, now: SimTime, gid: GroupId) {
+        if let Some(at) = self.corr(gid).window_closed_at.take() {
+            let us = now.saturating_since(at).as_micros();
+            self.reg.record(self.ids.flow_stall_us, us);
+            self.record_event(now, FlightEvent::WindowReopened { group: gid, us });
+        }
+    }
+
+    /// A RetransmitRequest was sent for a gap in `source`'s stream.
+    pub fn on_nack(
+        &mut self,
+        now: SimTime,
+        gid: GroupId,
+        source: ProcessorId,
+        start: u64,
+        stop: u64,
+        attempts: u32,
+    ) {
+        self.reg.inc(self.ids.nacks_sent, 1);
+        self.reg.record(self.ids.nack_attempts, u64::from(attempts));
+        self.record_event(
+            now,
+            FlightEvent::NackSent {
+                group: gid,
+                source,
+                start,
+                stop,
+                attempts,
+            },
+        );
+    }
+
+    /// A peer's RetransmitRequest was answered from retention.
+    pub fn on_retransmit_answered(
+        &mut self,
+        now: SimTime,
+        gid: GroupId,
+        source: ProcessorId,
+        seq: u64,
+    ) {
+        self.reg.inc(self.ids.retransmissions_answered, 1);
+        self.record_event(
+            now,
+            FlightEvent::RetransmitAnswered {
+                group: gid,
+                source,
+                seq,
+            },
+        );
+    }
+
+    /// A Karn-filtered NACK round-trip sample was folded into the estimator.
+    pub fn on_rtt_sample(&mut self, srtt_us: u64, rttvar_us: u64) {
+        self.reg.inc(self.ids.rtt_samples, 1);
+        self.reg.set(self.ids.srtt_us, srtt_us as i64);
+        self.reg.set(self.ids.rttvar_us, rttvar_us as i64);
+    }
+
+    /// The local fault detector started suspecting `suspect`.
+    pub fn on_suspected(&mut self, now: SimTime, gid: GroupId, suspect: ProcessorId) {
+        self.record_event(
+            now,
+            FlightEvent::Suspected {
+                group: gid,
+                suspect,
+            },
+        );
+    }
+
+    /// A membership reconfiguration began (§7.2).
+    pub fn on_reconfig_started(&mut self, now: SimTime, gid: GroupId, removals: usize) {
+        let c = self.corr(gid);
+        if c.reconfig_started.is_none() {
+            c.reconfig_started = Some(now);
+        }
+        self.record_event(
+            now,
+            FlightEvent::ReconfigStarted {
+                group: gid,
+                removals,
+            },
+        );
+    }
+
+    /// A processor was convicted; freezes the flight recorder into the
+    /// conviction dump (first conviction wins — it has the richest context).
+    pub fn on_convicted(&mut self, now: SimTime, gid: GroupId, processor: ProcessorId) {
+        self.reg.inc(self.ids.convictions, 1);
+        self.record_event(
+            now,
+            FlightEvent::Convicted {
+                group: gid,
+                processor,
+            },
+        );
+        if self.conviction_dump.is_none() {
+            self.conviction_dump = Some(self.render_flight());
+        }
+    }
+
+    /// A new membership view was installed.
+    pub fn on_view_installed(&mut self, now: SimTime, gid: GroupId, members: usize, ts: u64) {
+        self.reg.inc(self.ids.view_changes, 1);
+        let us = self
+            .corr(gid)
+            .reconfig_started
+            .take()
+            .map(|at| now.saturating_since(at).as_micros())
+            .unwrap_or(0);
+        if us > 0 {
+            self.reg.record(self.ids.view_change_us, us);
+        }
+        self.record_event(
+            now,
+            FlightEvent::ViewInstalled {
+                group: gid,
+                members,
+                ts,
+                us,
+            },
+        );
+    }
+
+    /// A packed container left the wire with `msgs` messages inside.
+    pub fn on_packed_sent(&mut self, msgs: u32) {
+        self.reg.inc(self.ids.packed_datagrams, 1);
+        self.reg
+            .record(self.ids.pack_msgs_per_datagram, u64::from(msgs));
+    }
+
+    /// Freeze every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.reg.snapshot()
+    }
+
+    /// The underlying registry (for cross-node aggregation via
+    /// [`Registry::merge`]).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Render the flight recorder as a structured text dump.
+    pub fn render_flight(&self) -> String {
+        let mut out = format!(
+            "flight recorder P{} ({} events, {} evicted):\n",
+            self.owner.0,
+            self.flight.len(),
+            self.flight.dropped()
+        );
+        for e in self.flight.iter() {
+            out.push_str(&format!("  [{:>10}us] {}\n", e.at.as_micros(), e.event));
+        }
+        out
+    }
+
+    /// The flight dump frozen at the first conviction, if one fired.
+    pub fn conviction_dump(&self) -> Option<&str> {
+        self.conviction_dump.as_deref()
+    }
+
+    /// Retained flight-recorder entries, oldest first.
+    pub fn flight(&self) -> impl Iterator<Item = &FlightEntry> {
+        self.flight.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    #[test]
+    fn latency_series_correlate_open_and_close() {
+        let mut tel = Telemetry::new(ProcessorId(1));
+        let gid = GroupId(1);
+        // RMP recovery: buffered at 100, released at 700.
+        tel.on_buffered(t(100), gid, ProcessorId(2), 5);
+        tel.on_released(t(700), gid, ProcessorId(2), 5);
+        // Ordering delay: enqueued at 700, ordered at 1_000.
+        let key = (Timestamp(9), ProcessorId(2));
+        tel.on_enqueued(t(700), gid, key);
+        tel.on_ordered(t(1_000), gid, key, 5);
+        // Stability lag: stable point passes ts 9 at 5_000.
+        tel.on_stable(t(5_000), gid, Timestamp(9));
+        let s = tel.snapshot();
+        assert_eq!(s.histogram("rmp_recovery_us").unwrap().max, 600);
+        assert_eq!(s.histogram("ordering_delay_us").unwrap().max, 300);
+        assert_eq!(s.histogram("stability_lag_us").unwrap().max, 4_000);
+        assert_eq!(s.counter("deliveries"), Some(1));
+    }
+
+    #[test]
+    fn own_send_to_self_delivery_yields_e2e() {
+        let mut tel = Telemetry::new(ProcessorId(1));
+        let gid = GroupId(1);
+        tel.on_sent(t(50), gid, 7, 12, true);
+        tel.on_ordered(t(450), gid, (Timestamp(12), ProcessorId(1)), 7);
+        let s = tel.snapshot();
+        assert_eq!(s.histogram("e2e_self_us").unwrap().count, 1);
+        assert_eq!(s.histogram("e2e_self_us").unwrap().max, 400);
+        // A peer's delivery does not count toward e2e_self.
+        tel.on_ordered(t(500), gid, (Timestamp(13), ProcessorId(2)), 1);
+        assert_eq!(tel.snapshot().histogram("e2e_self_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn stall_and_view_change_intervals() {
+        let mut tel = Telemetry::new(ProcessorId(1));
+        let gid = GroupId(1);
+        tel.on_window_closed(t(1_000), gid);
+        tel.on_window_reopened(t(3_500), gid);
+        tel.on_reconfig_started(t(10_000), gid, 1);
+        // A second start must not reset the interval origin.
+        tel.on_reconfig_started(t(12_000), gid, 2);
+        tel.on_view_installed(t(30_000), gid, 3, 99);
+        let s = tel.snapshot();
+        assert_eq!(s.histogram("flow_stall_us").unwrap().max, 2_500);
+        assert_eq!(s.histogram("view_change_us").unwrap().max, 20_000);
+        assert_eq!(s.counter("window_closes"), Some(1));
+        assert_eq!(s.counter("view_changes"), Some(1));
+    }
+
+    #[test]
+    fn conviction_freezes_flight_dump() {
+        let mut tel = Telemetry::new(ProcessorId(3));
+        let gid = GroupId(1);
+        tel.on_nack(t(100), gid, ProcessorId(2), 4, 6, 1);
+        tel.on_suspected(t(200), gid, ProcessorId(2));
+        assert!(tel.conviction_dump().is_none());
+        tel.on_convicted(t(300), gid, ProcessorId(2));
+        let dump = tel.conviction_dump().expect("frozen at conviction");
+        assert!(dump.contains("flight recorder P3"));
+        assert!(dump.contains("nack g1 for P2 [4,6] attempt=1"));
+        assert!(dump.contains("suspected g1 P2"));
+        assert!(dump.contains("convicted g1 P2"));
+        // Later events do not mutate the frozen dump.
+        tel.on_convicted(t(400), gid, ProcessorId(4));
+        assert!(!tel.conviction_dump().unwrap().contains("P4"));
+    }
+
+    #[test]
+    fn correlation_maps_are_bounded() {
+        let mut tel = Telemetry::new(ProcessorId(1));
+        let gid = GroupId(1);
+        for i in 0..2 * CORR_CAP as u64 {
+            tel.on_buffered(t(i), gid, ProcessorId(2), i);
+        }
+        assert!(tel.groups[&gid].buffered_at.len() <= CORR_CAP);
+    }
+}

@@ -7,6 +7,7 @@ pub mod e10_replication_styles;
 pub mod e11_adaptivity;
 pub mod e12_packing;
 pub mod e13_conformance;
+pub mod e14_latency_breakdown;
 pub mod e1_heartbeat;
 pub mod e2_group_size;
 pub mod e3_loss;
@@ -26,7 +27,7 @@ use crate::report::Table;
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-        "e12", "e13",
+        "e12", "e13", "e14",
     ]
 }
 
@@ -49,6 +50,7 @@ pub fn run(id: &str) -> Option<Vec<Table>> {
         "e11" => e11_adaptivity::run(),
         "e12" => e12_packing::run(),
         "e13" => e13_conformance::run(),
+        "e14" => e14_latency_breakdown::run(),
         _ => return None,
     })
 }

@@ -26,7 +26,7 @@ pub mod time;
 pub mod trace;
 
 pub use models::{LatencyModel, LinkDegrade, LinkSelector, LossModel, SimConfig};
-pub use sim::{Outbox, SimNet, SimNode};
+pub use sim::{Outbox, SimNet, SimNode, WireTap};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord};

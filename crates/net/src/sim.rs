@@ -88,7 +88,13 @@ pub struct SimNet<N: SimNode> {
     classifier: Option<Classifier>,
     msg_counter: Option<MessageCounter>,
     trace: Option<Trace>,
+    tap: Option<WireTap>,
 }
+
+/// A wire tap: invoked once per transmitted datagram — before fan-out, so
+/// it sees traffic even when every receiver is crashed or partitioned —
+/// with the virtual time, source node, destination group and payload.
+pub type WireTap = Box<dyn FnMut(SimTime, NodeId, McastAddr, &[u8])>;
 
 /// Maps a payload to a traffic-class octet for per-kind accounting.
 pub type Classifier = fn(&[u8]) -> Option<u8>;
@@ -118,6 +124,7 @@ impl<N: SimNode> SimNet<N> {
             classifier: None,
             msg_counter: None,
             trace: None,
+            tap: None,
         }
     }
 
@@ -143,6 +150,17 @@ impl<N: SimNode> SimNet<N> {
     /// The captured trace, if tracing is enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Install a wire tap called for every transmitted datagram (telemetry
+    /// and wire-level assertions; independent of the bounded trace ring).
+    pub fn set_wire_tap(&mut self, f: impl FnMut(SimTime, NodeId, McastAddr, &[u8]) + 'static) {
+        self.tap = Some(Box::new(f));
+    }
+
+    /// Remove the wire tap, if any.
+    pub fn clear_wire_tap(&mut self) {
+        self.tap = None;
     }
 
     fn trace_event(
@@ -287,6 +305,9 @@ impl<N: SimNode> SimNet<N> {
         self.stats.record_send(pkt.len(), kind);
         self.stats.sent_messages += u64::from(self.msg_counter.map_or(1, |f| f(&pkt.payload)));
         self.trace_event(pkt.src, pkt.dst, pkt.len(), kind, TraceEvent::Send);
+        if let Some(tap) = &mut self.tap {
+            tap(self.now, pkt.src, pkt.dst, &pkt.payload);
+        }
         let receivers: Vec<NodeId> = self
             .subs
             .get(&pkt.dst)

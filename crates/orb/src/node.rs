@@ -4,7 +4,8 @@
 use crate::endpoint::{Completion, InvocationResult, OrbEndpoint, OutboundMsg};
 use ftmp_core::{Action, ConnectionId, Delivery, Processor, ProtocolEvent, RequestNum, SendError};
 use ftmp_net::{Outbox, Packet, SimNode, SimTime};
-use std::collections::VecDeque;
+use ftmp_telemetry::{Histogram, HistogramSnapshot};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Outbound GIOP messages parked while the processor reports backpressure.
 /// Past this, further work is shed with a typed CORBA `TRANSIENT` exception
@@ -14,6 +15,20 @@ const DEFERRED_CAP: usize = 64;
 /// Repository id completing a shed invocation — the standard CORBA "try
 /// again later" system exception.
 const TRANSIENT_REPO_ID: &str = "IDL:omg.org/CORBA/TRANSIENT:1.0";
+
+/// Bound on in-flight invocations tracked for latency (defensive; a request
+/// that never completes must not grow the map without limit).
+const LAT_PENDING_CAP: usize = 4096;
+
+/// Optional request-latency telemetry: invocation-to-completion time per
+/// logical connection, in integer microseconds.
+#[derive(Debug, Default)]
+struct LatencyTracker {
+    /// Invocation start times, keyed by `(connection, request number)`.
+    pending: BTreeMap<(ConnectionId, RequestNum), SimTime>,
+    /// One histogram per connection.
+    hist: BTreeMap<ConnectionId, Histogram>,
+}
 
 /// An [`ftmp_net::SimNode`] hosting an FTMP [`Processor`] and an
 /// [`OrbEndpoint`]. Deliveries flow up into the ORB; the ORB's outbound
@@ -32,6 +47,8 @@ pub struct OrbNode {
     blocked: bool,
     /// Invocations shed with `TRANSIENT` because the deferred queue was full.
     shed: u64,
+    /// Per-connection request-latency telemetry (off by default).
+    lat: Option<Box<LatencyTracker>>,
 }
 
 impl OrbNode {
@@ -46,7 +63,31 @@ impl OrbNode {
             deferred: VecDeque::new(),
             blocked: false,
             shed: 0,
+            lat: None,
         }
+    }
+
+    /// Start recording invocation-to-completion latency per connection.
+    /// Purely observational: enabling it changes no wire behaviour.
+    pub fn enable_latency_telemetry(&mut self) {
+        if self.lat.is_none() {
+            self.lat = Some(Box::default());
+        }
+    }
+
+    /// Snapshot of the request-latency histogram for one connection, if
+    /// latency telemetry is enabled and the connection completed anything.
+    pub fn request_latency(&self, conn: ConnectionId) -> Option<HistogramSnapshot> {
+        self.lat.as_ref()?.hist.get(&conn).map(|h| h.snapshot())
+    }
+
+    /// All per-connection request-latency snapshots recorded so far.
+    pub fn request_latencies(
+        &self,
+    ) -> impl Iterator<Item = (ConnectionId, HistogramSnapshot)> + '_ {
+        self.lat
+            .iter()
+            .flat_map(|l| l.hist.iter().map(|(c, h)| (*c, h.snapshot())))
     }
 
     /// The FTMP engine.
@@ -81,6 +122,11 @@ impl OrbNode {
         out: &mut Outbox,
     ) -> RequestNum {
         let num = self.orb.invoke(conn, object_key, operation, args);
+        if let Some(l) = self.lat.as_mut() {
+            if l.pending.len() < LAT_PENDING_CAP {
+                l.pending.insert((conn, num), now);
+            }
+        }
         self.pump(now, out);
         num
     }
@@ -200,6 +246,14 @@ impl OrbNode {
             }
         }
         for c in self.orb.drain_completions() {
+            if let Some(l) = self.lat.as_mut() {
+                if let Some(t0) = l.pending.remove(&(c.conn, c.request_num)) {
+                    l.hist
+                        .entry(c.conn)
+                        .or_default()
+                        .record(now.saturating_since(t0).as_micros());
+                }
+            }
             self.completions.push_back(c);
         }
     }
@@ -469,6 +523,29 @@ mod tests {
                 .any(|c| matches!(&c.result, InvocationResult::Ok(_))),
             "non-shed invocations completed normally"
         );
+    }
+
+    #[test]
+    fn request_latency_telemetry_records_per_connection() {
+        let mut net = build(27, LossModel::None);
+        wait_connected(&mut net);
+        net.with_node(1, |n, _, _| n.enable_latency_telemetry());
+        for _ in 0..3 {
+            net.with_node(1, |n, now, out| {
+                n.invoke(now, conn(), b"bank", "deposit", &encode_i64_arg(5), out);
+            });
+            net.run_for(SimDuration::from_millis(100));
+        }
+        let node = net.node_mut(1).unwrap();
+        assert_eq!(node.take_completions().len(), 3);
+        let snap = node.request_latency(conn()).expect("histogram recorded");
+        assert_eq!(snap.count, 3, "one sample per completed invocation");
+        assert!(snap.p50 > 0, "invocations take non-zero virtual time");
+        assert!(snap.max >= snap.p50);
+        let all: Vec<_> = node.request_latencies().collect();
+        assert_eq!(all.len(), 1, "exactly the one active connection");
+        // Telemetry stays off (and free) elsewhere.
+        assert!(net.node(2).unwrap().request_latency(conn()).is_none());
     }
 
     #[test]

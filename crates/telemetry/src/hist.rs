@@ -1,0 +1,213 @@
+//! Log-2-bucketed integer histogram.
+//!
+//! Values (typically microseconds) land in 64 power-of-two buckets:
+//! bucket 0 holds the value 0, bucket `i >= 1` covers `[2^(i-1), 2^i - 1]`.
+//! Recording is a handful of integer ops — no allocation, no float math —
+//! so the hot protocol path can record unconditionally once a histogram
+//! handle exists. Quantiles are nearest-rank over the bucket boundaries:
+//! a quantile answer is the inclusive upper bound of the bucket holding
+//! that rank, clamped to the exact observed maximum.
+
+/// A 64-bucket log-2 histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros`,
+/// clamped to the last bucket.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(63)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value. Allocation-free.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank quantile (`q` in 0..=100), as the upper bound of the
+    /// bucket holding that rank, clamped to the exact max. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest-rank: the ceil(q/100 * count)-th value, 1-indexed.
+        let rank = ((self.count as u128 * q as u128).div_ceil(100)).max(1) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one (bucketwise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Freeze the summary statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            mean: self.sum.checked_div(self.count).unwrap_or(0),
+            p50: self.quantile(50),
+            p95: self.quantile(95),
+            p99: self.quantile(99),
+            max: self.max,
+        }
+    }
+}
+
+/// Summary statistics frozen from a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Integer mean (0 when empty).
+    pub mean: u64,
+    /// Median (nearest-rank, bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_small_values_bucket_correctly() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300, 400, 1000] {
+            h.record(v);
+        }
+        // p50 rank = 3 → value 300 → bucket [256,511] upper 511.
+        assert_eq!(h.quantile(50), 511);
+        // p99 rank = 5 → 1000 → bucket [512,1023] upper 1023, clamp to 1000.
+        assert_eq!(h.quantile(99), 1000);
+        assert_eq!(h.max(), 1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 400);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(
+            s,
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                mean: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0
+            }
+        );
+    }
+
+    #[test]
+    fn merge_is_bucketwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(10_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 10_000);
+        assert_eq!(a.sum(), 10_010);
+    }
+
+    #[test]
+    fn identical_samples_give_tight_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile(50), 1000);
+        assert_eq!(h.quantile(99), 1000);
+    }
+}

@@ -1,0 +1,280 @@
+//! # ftmp-telemetry
+//!
+//! Zero-dependency metrics for the FTMP stack: monotonic counters, gauges,
+//! and log-2-bucketed latency histograms, plus a bounded ring buffer for
+//! flight-recorder style event history.
+//!
+//! Design constraints (DESIGN.md §10):
+//!
+//! - **Allocation-free record path.** Registration (`counter`/`gauge`/
+//!   `histogram`) allocates once and returns an index handle; `inc`/`set`/
+//!   `record` are plain indexed integer updates.
+//! - **Integer micros.** All latency series are `u64` microseconds; the
+//!   histogram quantiles are nearest-rank over power-of-two buckets, so
+//!   p50/p95/p99 are exact to within 2× and the max is exact.
+//! - **Hand-rolled JSON.** `Snapshot::to_json` emits a stable, dependency-
+//!   free encoding for `results/*_metrics.json`.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod ring;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use ring::Ring;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// A named-metric registry. Names are fixed at registration; the record
+/// path works through the returned index handles.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or find) a monotonic counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or find) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register (or find) a histogram.
+    pub fn histogram(&mut self, name: &str) -> HistId {
+        if let Some(i) = self.hists.iter().position(|(n, _)| n == name) {
+            return HistId(i);
+        }
+        self.hists.push((name.to_string(), Histogram::new()));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Add `n` to a counter. Allocation-free.
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Set a gauge. Allocation-free.
+    pub fn set(&mut self, id: GaugeId, v: i64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Record a histogram sample. Allocation-free.
+    pub fn record(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].1.record(v);
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Merge another registry into this one by metric name: counters add,
+    /// gauges take the other's value, histograms merge bucketwise. Used to
+    /// aggregate per-node registries into one experiment-wide view.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            let id = self.counter(name);
+            self.inc(id, *v);
+        }
+        for (name, v) in &other.gauges {
+            let id = self.gauge(name);
+            self.set(id, *v);
+        }
+        for (name, h) in &other.hists {
+            let id = self.histogram(name);
+            self.hists[id.0].1.merge(h);
+        }
+    }
+
+    /// Freeze every metric into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen view of every metric in a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    hists: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Escape a string for embedding in a JSON document.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// All histogram names and summaries.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.hists.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Encode as a stable JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,p50,p95,p99,max}}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", escape_json(n), v));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", escape_json(n), v));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (n, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                escape_json(n),
+                h.count,
+                h.sum,
+                h.mean,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_handles_index() {
+        let mut r = Registry::new();
+        let a = r.counter("sent");
+        let b = r.counter("sent");
+        assert_eq!(a, b);
+        r.inc(a, 2);
+        r.inc(b, 3);
+        assert_eq!(r.counter_value(a), 5);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_names_and_values() {
+        let mut r = Registry::new();
+        let c = r.counter("nacks");
+        let g = r.gauge("srtt_us");
+        let h = r.histogram("lat_us");
+        r.inc(c, 7);
+        r.set(g, -3);
+        r.record(h, 128);
+        let s = r.snapshot();
+        assert_eq!(s.counter("nacks"), Some(7));
+        assert_eq!(s.gauge("srtt_us"), Some(-3));
+        assert_eq!(s.histogram("lat_us").unwrap().count, 1);
+        assert_eq!(s.histogram("missing"), None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_hists() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let ca = a.counter("x");
+        a.inc(ca, 1);
+        let cb = b.counter("x");
+        b.inc(cb, 2);
+        let hb = b.histogram("h");
+        b.record(hb, 10);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.counter("x"), Some(3));
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = Registry::new();
+        let c = r.counter("a\"b");
+        r.inc(c, 1);
+        let h = r.histogram("lat");
+        r.record(h, 4);
+        let j = r.snapshot().to_json();
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\"a\\\"b\":1"));
+        assert!(j.contains("\"lat\":{\"count\":1"));
+        assert!(j.ends_with("}}"));
+    }
+}

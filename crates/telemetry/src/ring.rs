@@ -1,0 +1,82 @@
+//! Bounded event ring: keeps the last `cap` entries, counting what it
+//! dropped. The flight recorder is a `Ring<FlightEntry>`; any bounded
+//! "recent history" buffer can reuse it.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO that evicts the oldest entry on overflow.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Ring retaining the last `cap` entries (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        Ring {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append, evicting the oldest entry when full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(v);
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Entries evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_last_cap_entries_and_counts_drops() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+}

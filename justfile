@@ -39,6 +39,11 @@ conformance:
 experiments:
     cargo run --release -p ftmp-harness --bin ftmp-exp
 
+# Telemetry snapshot: run E14 and write results/e14_metrics.json plus the
+# per-table JSONs (see DESIGN.md §10).
+metrics:
+    FTMP_METRICS_DIR=results cargo run --release -p ftmp-harness --bin ftmp-exp -- --exp e14 --json results
+
 # Criterion microbenches, then the packing snapshot (BENCH_pack.json).
 bench:
     cargo bench -p ftmp-bench
