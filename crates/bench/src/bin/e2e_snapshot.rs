@@ -1,0 +1,220 @@
+//! Writes `BENCH_e2e.json`: the engine-saturation snapshot — sustained
+//! multicast throughput and p99 end-to-end latency at 3/5/7 replicas, a
+//! 10k-connection soak over the sharded per-connection engine, and a
+//! direct duplicate-detector eviction soak. Wall-clock figures measure
+//! engine cost (the simulator advances virtual time with zero sleep), so
+//! msgs/sec here is "how fast the protocol stack turns the crank", the
+//! companion to `BENCH_pack.json`'s wire-effect numbers.
+
+use ftmp_core::RequestNum;
+use ftmp_core::{ClockMode, ConnectionId, ObjectGroupId, PackPolicy, Packing, ProtocolConfig};
+use ftmp_harness::worlds::FtmpWorld;
+use ftmp_net::{SimConfig, SimDuration};
+use ftmp_orb::ShardSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn deadline_packing() -> Packing {
+    Packing::with(1400, PackPolicy::Deadline(SimDuration::from_micros(500)))
+}
+
+struct Saturation {
+    replicas: u32,
+    msgs_sent: u64,
+    deliveries: u64,
+    wall_ms: f64,
+    msgs_per_sec: f64,
+    deliveries_per_sec: f64,
+    p99_e2e_us: u64,
+    all_agree: bool,
+}
+
+/// Sustained load at `n` replicas: every member multicasts in turn, the
+/// pump runs every simulated millisecond, and telemetry histograms record
+/// send → own-ordered-delivery latency.
+fn saturation(n: u32) -> Saturation {
+    const ROUNDS: u32 = 200;
+    const BURST: u32 = 5;
+    let proto = ProtocolConfig::with_seed(77).packing(deadline_packing());
+    let mut w = FtmpWorld::new(n, SimConfig::with_seed(77), proto, ClockMode::Lamport);
+    w.enable_telemetry();
+    let wall = Instant::now();
+    for round in 0..ROUNDS {
+        let from = round % n + 1;
+        for _ in 0..BURST {
+            w.send(from, 64);
+        }
+        w.run_us(1_000);
+    }
+    w.run_ms(200);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+    let res = w.collect();
+    let deliveries: u64 = res.sequences.iter().map(|s| s.len() as u64).sum();
+    // p99 across members: the slowest replica's self-delivery tail is the
+    // figure an application sees under active replication.
+    let mut p99 = 0;
+    for (_, node) in w.net.nodes() {
+        if let Some(tel) = node.engine().telemetry() {
+            if let Some(h) = tel.snapshot().histogram("e2e_self_us") {
+                if h.count > 0 {
+                    p99 = p99.max(h.p99);
+                }
+            }
+        }
+    }
+    let msgs_sent = u64::from(ROUNDS * BURST);
+    let secs = wall_ms / 1_000.0;
+    Saturation {
+        replicas: n,
+        msgs_sent,
+        deliveries,
+        wall_ms,
+        msgs_per_sec: msgs_sent as f64 / secs,
+        deliveries_per_sec: deliveries as f64 / secs,
+        p99_e2e_us: p99,
+        all_agree: res.all_agree(),
+    }
+}
+
+struct ConnSoak {
+    connections: u32,
+    msgs_sent: u64,
+    deliveries: u64,
+    wall_ms: f64,
+    msgs_per_sec: f64,
+    all_agree: bool,
+}
+
+/// 10k logical connections multiplexed over one 3-member processor group
+/// (§7's connection model); traffic round-robins across connections so the
+/// per-connection state in the sharded engine all stays warm.
+fn conn_soak() -> ConnSoak {
+    const CONNS: u32 = 10_000;
+    const SENDS: u64 = 2_000;
+    let proto = ProtocolConfig::with_seed(99).packing(deadline_packing());
+    let mut w = FtmpWorld::new(3, SimConfig::with_seed(99), proto, ClockMode::Lamport);
+    let conns: Vec<ConnectionId> = (0..CONNS)
+        .map(|i| ConnectionId::new(ObjectGroupId::new(3, i), ObjectGroupId::new(4, i)))
+        .collect();
+    for &c in &conns {
+        w.bind_conn(c);
+    }
+    let wall = Instant::now();
+    for i in 0..SENDS {
+        let conn = conns[(i as usize * 7919) % conns.len()];
+        let from = (i % 3) as u32 + 1;
+        w.send_on(conn, from, 64);
+        if i % 8 == 7 {
+            w.run_us(1_000);
+        }
+    }
+    w.run_ms(300);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+    let res = w.collect();
+    let deliveries: u64 = res.sequences.iter().map(|s| s.len() as u64).sum();
+    ConnSoak {
+        connections: CONNS,
+        msgs_sent: SENDS,
+        deliveries,
+        wall_ms,
+        msgs_per_sec: SENDS as f64 / (wall_ms / 1_000.0),
+        all_agree: res.all_agree(),
+    }
+}
+
+struct DupSoak {
+    connections: u32,
+    ops: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    suppressed: u64,
+    evictions: u64,
+}
+
+/// Direct soak of the sharded duplicate detectors: sparse request numbers
+/// (every number a residue) push past the per-connection memory bound so
+/// the watermark compaction runs, and each number is offered twice so both
+/// the suppression and eviction counters move.
+fn dup_soak() -> DupSoak {
+    const CONNS: u32 = 64;
+    const NUMS_PER_CONN: u64 = 5_000;
+    let mut shards = ShardSet::new();
+    let conns: Vec<ConnectionId> = (0..CONNS)
+        .map(|i| ConnectionId::new(ObjectGroupId::new(5, i), ObjectGroupId::new(6, i)))
+        .collect();
+    let mut ops = 0u64;
+    let wall = Instant::now();
+    for k in 0..NUMS_PER_CONN {
+        let num = RequestNum(2 * k + 1); // odd: never contiguous, all residue
+        for &c in &conns {
+            assert!(shards.first_execution(c, num), "fresh number admitted");
+            assert!(!shards.first_execution(c, num), "duplicate suppressed");
+            ops += 2;
+        }
+    }
+    // Numbers long since folded into the watermark must still suppress.
+    for &c in &conns {
+        assert!(!shards.first_execution(c, RequestNum(3)), "evicted dup");
+        ops += 1;
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+    let (suppressed, _) = shards.suppression_counts();
+    DupSoak {
+        connections: CONNS,
+        ops,
+        wall_ms,
+        ops_per_sec: ops as f64 / (wall_ms / 1_000.0),
+        suppressed,
+        evictions: shards.dup_evictions(),
+    }
+}
+
+fn main() {
+    let sats: Vec<Saturation> = [3, 5, 7].into_iter().map(saturation).collect();
+    let soak = conn_soak();
+    let dup = dup_soak();
+    assert!(soak.all_agree, "soak ordering violated");
+    assert!(dup.evictions > 0, "eviction path never exercised");
+
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"e2e\",\n  \"saturation\": [\n");
+    for (i, s) in sats.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"replicas\": {}, \"msgs_sent\": {}, \"deliveries\": {}, \"wall_ms\": {:.1}, \
+             \"sustained_msgs_per_sec\": {:.0}, \"deliveries_per_sec\": {:.0}, \
+             \"p99_e2e_us\": {}, \"all_agree\": {}}}{}",
+            s.replicas,
+            s.msgs_sent,
+            s.deliveries,
+            s.wall_ms,
+            s.msgs_per_sec,
+            s.deliveries_per_sec,
+            s.p99_e2e_us,
+            s.all_agree,
+            if i + 1 < sats.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"conn_soak\": {{\"connections\": {}, \"msgs_sent\": {}, \"deliveries\": {}, \
+         \"wall_ms\": {:.1}, \"msgs_per_sec\": {:.0}, \"all_agree\": {}}},",
+        soak.connections,
+        soak.msgs_sent,
+        soak.deliveries,
+        soak.wall_ms,
+        soak.msgs_per_sec,
+        soak.all_agree
+    );
+    let _ = writeln!(
+        j,
+        "  \"shard_dup_soak\": {{\"connections\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \
+         \"ops_per_sec\": {:.0}, \"suppressed\": {}, \"evictions\": {}}}",
+        dup.connections, dup.ops, dup.wall_ms, dup.ops_per_sec, dup.suppressed, dup.evictions
+    );
+    j.push_str("}\n");
+
+    std::fs::write("BENCH_e2e.json", &j).expect("write BENCH_e2e.json");
+    print!("{j}");
+}

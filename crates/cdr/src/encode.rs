@@ -52,6 +52,17 @@ impl CdrWriter {
         self.order
     }
 
+    /// Clear contents and switch byte order, keeping the allocation.
+    ///
+    /// For callers that hold one writer as an encode scratch across many
+    /// messages: steady-state encodes then reuse the grown buffer instead
+    /// of allocating per message.
+    pub fn reset(&mut self, order: ByteOrder) {
+        self.buf.clear();
+        self.order = order;
+        self.base = 0;
+    }
+
     /// Current logical stream offset (where the next byte will land).
     pub fn position(&self) -> usize {
         self.base + self.buf.len()

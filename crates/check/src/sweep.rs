@@ -22,6 +22,8 @@ use crate::suite::Checker;
 const GROUP: GroupId = GroupId(1);
 const ADDR: McastAddr = McastAddr(100);
 const FOUNDERS: u32 = 4;
+/// Logical connections bound in the [`Scenario::ConnSoak`] cell.
+const SOAK_CONNS: u32 = 10_000;
 
 fn conn() -> ConnectionId {
     ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
@@ -48,11 +50,16 @@ pub enum Scenario {
     /// A latency×20 + extra-loss window on one member's outbound links,
     /// ridden out under adaptive timers.
     LatencySpike,
+    /// 10 000 logical connections bound to the one processor group, with
+    /// traffic spread across random connections — the sharded per-connection
+    /// path (duplicate suppression, request matching) under the full oracle
+    /// suite.
+    ConnSoak,
 }
 
 impl Scenario {
     /// The full matrix.
-    pub const ALL: [Scenario; 7] = [
+    pub const ALL: [Scenario; 8] = [
         Scenario::Lossless,
         Scenario::IidLoss,
         Scenario::BurstLoss,
@@ -60,6 +67,7 @@ impl Scenario {
         Scenario::Crash,
         Scenario::Churn,
         Scenario::LatencySpike,
+        Scenario::ConnSoak,
     ];
 
     /// Stable name for verdicts and JSON.
@@ -72,6 +80,7 @@ impl Scenario {
             Scenario::Crash => "crash",
             Scenario::Churn => "churn",
             Scenario::LatencySpike => "latency-spike",
+            Scenario::ConnSoak => "conn-soak-10k",
         }
     }
 }
@@ -250,6 +259,10 @@ struct Cell {
     members: BTreeSet<u32>,
     crashed: BTreeSet<u32>,
     next_req: u64,
+    /// Connections the workload spreads over (one for every scenario but
+    /// ConnSoak). Request numbers stay monotone over all of them, matching
+    /// §4's allocation rule.
+    conns: Vec<ConnectionId>,
 }
 
 impl Cell {
@@ -267,13 +280,14 @@ impl Cell {
             return;
         }
         let id = alive[self.rng.gen_range(0..alive.len())];
+        let on = self.conns[self.rng.gen_range(0..self.conns.len())];
         self.next_req += 1;
         let req = RequestNum(self.next_req);
         let len = self.rng.gen_range(8..256usize);
         self.net.with_node(id, move |n, now, out| {
             let _ = n
                 .engine_mut()
-                .multicast_request(now, conn(), req, Bytes::from(vec![0u8; len]));
+                .multicast_request(now, on, req, Bytes::from(vec![0u8; len]));
             n.pump_at(now, out);
         });
     }
@@ -326,7 +340,11 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
     let mut sim = SimConfig::with_seed(seed);
     let mut proto = ProtocolConfig::with_seed(seed);
     match scenario {
-        Scenario::Lossless | Scenario::PartitionHeal | Scenario::Crash | Scenario::Churn => {}
+        Scenario::Lossless
+        | Scenario::PartitionHeal
+        | Scenario::Crash
+        | Scenario::Churn
+        | Scenario::ConnSoak => {}
         Scenario::IidLoss => {
             sim = sim.loss(LossModel::Iid { p: 0.08 });
         }
@@ -356,10 +374,21 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
     net.enable_trace(trace_capacity);
     let founders: Vec<ProcessorId> = (1..=FOUNDERS).map(ProcessorId).collect();
     let checker = Checker::new(GROUP, &founders);
+    // §7: several logical connections share one processor group and one
+    // multicast address; the soak binds ten thousand of them.
+    let conns: Vec<ConnectionId> = if scenario == Scenario::ConnSoak {
+        (0..SOAK_CONNS)
+            .map(|i| ConnectionId::new(ObjectGroupId::new(3, i), ObjectGroupId::new(4, i)))
+            .collect()
+    } else {
+        vec![conn()]
+    };
     for id in 1..=FOUNDERS {
         let mut e = Processor::new(ProcessorId(id), proto.clone(), ClockMode::Lamport);
         e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
-        e.bind_connection(conn(), GROUP);
+        for &c in &conns {
+            e.bind_connection(c, GROUP);
+        }
         e.enable_telemetry();
         net.add_node(id, SimProcessor::new(e));
         checker.attach(&mut net, id);
@@ -372,6 +401,7 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         members: (1..=FOUNDERS).collect(),
         crashed: BTreeSet::new(),
         next_req: 0,
+        conns,
     }
 }
 

@@ -14,7 +14,7 @@ fn one_seed_per_scenario_is_clean() {
         scenarios: Scenario::ALL.to_vec(),
     };
     let report = run_sweep(&cfg);
-    assert_eq!(report.executions(), 7);
+    assert_eq!(report.executions(), Scenario::ALL.len() as u64);
     assert!(report.delivered() > 0, "workload produced no deliveries");
     for cell in &report.cells {
         assert_eq!(

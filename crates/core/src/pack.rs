@@ -133,12 +133,16 @@ impl Packer {
         if q.msgs.is_empty() {
             return;
         }
-        let msgs = std::mem::take(&mut q.msgs);
+        // Clear rather than take: the per-destination queue keeps its
+        // capacity across flushes, so a steady pump never re-allocates it.
         q.bytes = 0;
-        if msgs.len() == 1 && trailer.is_none() {
-            emit(addr, msgs.into_iter().next().expect("len 1"));
+        if q.msgs.len() == 1 && trailer.is_none() {
+            let lone = q.msgs.pop().expect("len 1");
+            emit(addr, lone);
         } else {
-            emit(addr, wire::encode_packed(&msgs, trailer));
+            let container = wire::encode_packed(&q.msgs, trailer);
+            q.msgs.clear();
+            emit(addr, container);
         }
     }
 

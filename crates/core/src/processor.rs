@@ -65,7 +65,7 @@ pub use crate::stats::{GroupMetrics, LayerCounters, ProcessorStats};
 use crate::telemetry::Telemetry;
 use crate::wire::{self, AckVector, FtmpBody, FtmpMessage, FtmpMsgType};
 use bytes::Bytes;
-use ftmp_cdr::ByteOrder;
+use ftmp_cdr::{ByteOrder, CdrWriter};
 use ftmp_net::{McastAddr, Packet, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -218,6 +218,16 @@ pub struct Processor {
     /// counters, flight recorder. Same contract as `obs`: `None` (the
     /// default) makes every hook a single `is_some` branch.
     tel: Option<Box<Telemetry>>,
+    /// Reusable body-encode scratch: every outgoing message's CDR body is
+    /// written into this one buffer, so steady-state sends pay a single
+    /// exact-size output allocation (the [`Bytes`] that the Send action,
+    /// retention store and self-delivery then share) instead of a body
+    /// buffer plus a growing output buffer per message.
+    enc_body: CdrWriter,
+    /// Open [`Processor::begin_batch`] nestings. While non-zero,
+    /// [`flush_window`](Processor::flush_window) defers so every message
+    /// submitted within the batch shares the Packer's container budget.
+    batch_depth: u32,
 }
 
 /// Emit one wire datagram, counting containers as they leave.
@@ -259,6 +269,8 @@ impl Processor {
             stats: ProcessorStats::default(),
             obs: None,
             tel: None,
+            enc_body: CdrWriter::new(ByteOrder::native()),
+            batch_depth: 0,
         }
     }
 
@@ -409,6 +421,26 @@ impl Processor {
     /// [`crate::actions`]). Prefer this in pump loops.
     pub fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
         self.sink.drain_into(out);
+    }
+
+    /// Open a batch: until the matching [`end_batch`](Processor::end_batch),
+    /// the per-entry-point Packer flush is deferred, so every message
+    /// submitted inside the batch is coalesced against one container budget
+    /// (the pump feeds the Packer once per batch instead of once per
+    /// message). Nests; a no-op on the wire when `cfg.packing` is disabled,
+    /// where sends bypass the Packer entirely.
+    pub fn begin_batch(&mut self) {
+        self.batch_depth += 1;
+    }
+
+    /// Close a batch opened by [`begin_batch`](Processor::begin_batch); the
+    /// outermost close flushes every due Packer queue.
+    pub fn end_batch(&mut self, now: SimTime) {
+        debug_assert!(self.batch_depth > 0, "end_batch without begin_batch");
+        self.batch_depth = self.batch_depth.saturating_sub(1);
+        if self.batch_depth == 0 {
+            self.flush_window(now);
+        }
     }
 
     // --- bootstrap & FT-infrastructure API ---------------------------------
@@ -720,6 +752,9 @@ impl Processor {
     /// group-address containers. Called at the end of every public entry
     /// point; a no-op when packing is disabled.
     fn flush_window(&mut self, now: SimTime) {
+        if self.batch_depth > 0 {
+            return; // deferred to the outermost end_batch
+        }
         if !self.cfg.packing.enabled || self.packer.is_empty() {
             return;
         }
@@ -761,8 +796,15 @@ impl Processor {
         Some(bytes)
     }
 
+    /// Encode one outgoing message through the reusable body scratch: one
+    /// exact-size allocation per send, shared refcounted by every consumer
+    /// of the resulting handle.
+    fn encode_wire(&mut self, msg: &FtmpMessage) -> Bytes {
+        msg.encode_with_scratch(self.order, &mut self.enc_body)
+    }
+
     fn send_reliable(&mut self, now: SimTime, group: GroupId, body: FtmpBody) -> SeqNum {
-        let (msg, addr, encoded) = {
+        let (msg, addr) = {
             let g = self.groups.get_mut(&group).expect("send to known group");
             let seq = g.rmp.allocate_seq();
             let ts = self.clock.stamp_send(now);
@@ -776,11 +818,11 @@ impl Processor {
                 ack_ts,
                 body,
             };
-            let encoded = msg.encode(self.order);
             g.last_sent = now;
             g.hb_deferred_since_send = false;
-            (msg, g.addr, encoded)
+            (msg, g.addr)
         };
+        let encoded = self.encode_wire(&msg);
         *self.stats.sent.entry(msg.msg_type()).or_insert(0) += 1;
         if let Some(buf) = self.obs.as_mut() {
             buf.push(Observation::Sent {
@@ -793,11 +835,13 @@ impl Processor {
             let regular = matches!(msg.body, FtmpBody::Regular { .. });
             t.on_sent(now, group, msg.seq.0, msg.ts.0, regular);
         }
+        // Both handles below are refcounted views of the same arena bytes:
+        // the Send action, the retention store and the self-processed copy
+        // all share one buffer, no payload is duplicated.
         self.send_wire(now, addr, encoded.clone());
         let seq = msg.seq;
         // Synchronous self-delivery: we are an ordinary member of our own
-        // groups; the loopback copy will dedupe. The `encoded` handle shares
-        // the datagram buffer with the Send action above.
+        // groups; the loopback copy will dedupe.
         self.process_message(now, msg, encoded, true);
         seq
     }
@@ -821,9 +865,10 @@ impl Processor {
             g.hb_deferred_since_send = false;
         }
         *self.stats.sent.entry(msg.msg_type()).or_insert(0) += 1;
-        let encoded = msg.encode(self.order);
+        let encoded = self.encode_wire(&msg);
         self.send_wire(now, addr, encoded.clone());
-        // Self-process so our own horizon tracks our own liveness.
+        // Self-process so our own horizon tracks our own liveness; the
+        // handle is a refcounted view of the sent bytes.
         self.process_message(now, msg, encoded, true);
     }
 
@@ -852,7 +897,7 @@ impl Processor {
             .sent
             .entry(FtmpMsgType::ConnectRequest)
             .or_insert(0) += 1;
-        let encoded = msg.encode(self.order);
+        let encoded = self.encode_wire(&msg);
         self.send_wire(now, domain_addr, encoded);
     }
 

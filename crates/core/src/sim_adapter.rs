@@ -29,6 +29,7 @@ pub struct SimProcessor {
     last_now: SimTime,
     observer: Option<Observer>,
     obs_scratch: Vec<Observation>,
+    act_scratch: Vec<Action>,
 }
 
 impl SimProcessor {
@@ -42,6 +43,7 @@ impl SimProcessor {
             last_now: SimTime::ZERO,
             observer: None,
             obs_scratch: Vec::new(),
+            act_scratch: Vec::new(),
         }
     }
 
@@ -97,7 +99,11 @@ impl SimProcessor {
     /// stamped with `now`.
     pub fn pump_at(&mut self, now: SimTime, out: &mut Outbox) {
         self.last_now = now;
-        for action in self.engine.drain_actions() {
+        // Reusable scratch: the action spine drains into a per-adapter
+        // buffer whose capacity survives across pumps.
+        let mut actions = std::mem::take(&mut self.act_scratch);
+        self.engine.drain_actions_into(&mut actions);
+        for action in actions.drain(..) {
             match action {
                 Action::Send { addr, payload } => {
                     out.send(Packet::new(self.engine.id().0, addr, payload));
@@ -110,6 +116,7 @@ impl SimProcessor {
                 Action::SendReady(g) => self.window_events.push_back((now, g, false)),
             }
         }
+        self.act_scratch = actions;
         if let Some(cb) = self.observer.as_mut() {
             self.engine.drain_observations_into(&mut self.obs_scratch);
             for o in self.obs_scratch.drain(..) {

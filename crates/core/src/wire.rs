@@ -674,6 +674,34 @@ impl FtmpMessage {
         self.encode_into_with_flag(order, self.retransmission, out);
     }
 
+    /// Encode using a caller-owned body scratch writer, returning the wire
+    /// bytes from one exact-size allocation.
+    ///
+    /// The scratch keeps its buffer across calls, so a steady-state sender
+    /// pays a single output allocation per message (the `Bytes` the Send
+    /// action, retention store and self-delivery all then share) instead of
+    /// a body buffer plus a growing output buffer.
+    pub fn encode_with_scratch(&self, order: ByteOrder, scratch: &mut CdrWriter) -> Bytes {
+        scratch.reset(order);
+        self.body.encode(scratch);
+        let body = scratch.as_bytes();
+        let header = FtmpHeader {
+            order,
+            retransmission: self.retransmission,
+            msg_type: self.msg_type(),
+            size: (FTMP_HEADER_LEN + body.len()) as u32,
+            source: self.source,
+            group: self.group,
+            seq: self.seq,
+            ts: self.ts,
+            ack_ts: self.ack_ts,
+        };
+        let mut out = BytesMut::with_capacity(FTMP_HEADER_LEN + body.len());
+        out.extend_from_slice(&header.encode());
+        out.extend_from_slice(body);
+        out.freeze()
+    }
+
     fn encode_into_with_flag(&self, order: ByteOrder, retransmission: bool, out: &mut BytesMut) {
         let mut body_w = CdrWriter::with_capacity(order, self.body.size_hint());
         self.body.encode(&mut body_w);

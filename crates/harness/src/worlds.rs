@@ -94,19 +94,48 @@ impl FtmpWorld {
 
     /// Multicast one Regular message of `payload_len` bytes from `from`.
     pub fn send(&mut self, from: u32, payload_len: usize) {
+        self.send_on(world_conn(), from, payload_len);
+    }
+
+    /// Multicast one Regular message on a specific bound connection.
+    /// Request numbers stay monotone over all connections of the world,
+    /// matching §4's allocation rule.
+    pub fn send_on(&mut self, conn: ConnectionId, from: u32, payload_len: usize) {
         self.next_req += 1;
         let req = RequestNum(self.next_req);
         let payload = Bytes::from(vec![0xAB; payload_len]);
         let now_us = self.net.now().as_micros();
         let sent = self.net.with_node(from, move |node, now, out| {
-            let r = node
-                .engine_mut()
-                .multicast_request(now, world_conn(), req, payload);
+            let r = node.engine_mut().multicast_request(now, conn, req, payload);
             node.pump_at(now, out);
             r
         });
         if let Some(Ok(SendOutcome::Sent { seq, .. })) = sent {
             self.send_times.insert((from, seq.0), now_us);
+        }
+    }
+
+    /// Bind an additional logical connection to the world's group on every
+    /// live member (§7: several logical connections share the same
+    /// processor group and multicast address).
+    pub fn bind_conn(&mut self, conn: ConnectionId) {
+        let group = self.group;
+        for id in 1..=self.n {
+            if self.net.is_crashed(id) {
+                continue;
+            }
+            self.net.with_node(id, move |node, _, _| {
+                node.engine_mut().bind_connection(conn, group);
+            });
+        }
+    }
+
+    /// Enable protocol telemetry (latency histograms, counters) on every
+    /// member.
+    pub fn enable_telemetry(&mut self) {
+        for id in 1..=self.n {
+            self.net
+                .with_node(id, |node, _, _| node.engine_mut().enable_telemetry());
         }
     }
 

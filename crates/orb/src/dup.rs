@@ -13,12 +13,39 @@
 use ftmp_core::{ConnectionId, RequestNum};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Default bound on per-connection sparse residue kept above the watermark.
+pub const DEFAULT_RESIDUE_CAP: usize = 1024;
+
 /// Tracks which `(connection, request number)` pairs have been seen.
-#[derive(Debug, Default)]
+///
+/// Memory is bounded: each connection keeps a low-water mark (everything at
+/// or below it counts as seen) plus at most `residue_cap` sparse numbers
+/// above it. When the residue overflows, the smallest retained numbers are
+/// evicted by advancing the watermark over them. This is safe on both sides:
+///
+/// - Advancing over a *gap* cannot re-admit a duplicate — everything the
+///   watermark covers reads as already-seen.
+/// - It cannot falsely suppress a fresh request either: request numbers are
+///   monotone over *all* connections between two groups (§4), so a gap in
+///   one connection's sequence belongs to sibling connections and never
+///   arrives here. And within one connection, every client replica emits X
+///   before Y when X < Y, so the first sighting of X precedes the first
+///   sighting of Y on every merge of those streams — a fresh number below
+///   an already-seen one does not occur.
+#[derive(Debug)]
 pub struct DuplicateDetector {
     per_conn: BTreeMap<ConnectionId, ConnState>,
+    residue_cap: usize,
     /// Duplicates suppressed so far (experiment E7).
     pub suppressed: u64,
+    /// Residue numbers folded into a watermark to stay within the cap.
+    pub evictions: u64,
+}
+
+impl Default for DuplicateDetector {
+    fn default() -> Self {
+        Self::with_residue_cap(DEFAULT_RESIDUE_CAP)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -45,14 +72,45 @@ impl ConnState {
     fn contains(&self, n: u64) -> bool {
         n <= self.watermark || self.above.contains(&n)
     }
+
+    /// Evict smallest residue numbers until at most `cap` remain, advancing
+    /// the watermark over each (and over any run it becomes contiguous
+    /// with). Returns how many were evicted.
+    fn compact_to(&mut self, cap: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.above.len() > cap {
+            let m = *self.above.iter().next().expect("len > cap > 0 entries");
+            self.above.remove(&m);
+            self.watermark = m;
+            evicted += 1;
+            while self.above.remove(&(self.watermark + 1)) {
+                self.watermark += 1;
+            }
+        }
+        evicted
+    }
 }
 
 impl DuplicateDetector {
+    /// A detector keeping at most `cap` sparse numbers per connection above
+    /// the watermark.
+    pub fn with_residue_cap(cap: usize) -> Self {
+        DuplicateDetector {
+            per_conn: BTreeMap::new(),
+            residue_cap: cap.max(1),
+            suppressed: 0,
+            evictions: 0,
+        }
+    }
+
     /// Record `(conn, num)`. Returns `true` the first time (process it) and
     /// `false` for every duplicate (suppress it).
     pub fn first_sighting(&mut self, conn: ConnectionId, num: RequestNum) -> bool {
-        let fresh = self.per_conn.entry(conn).or_default().insert(num.0);
-        if !fresh {
+        let state = self.per_conn.entry(conn).or_default();
+        let fresh = state.insert(num.0);
+        if fresh {
+            self.evictions += state.compact_to(self.residue_cap);
+        } else {
             self.suppressed += 1;
         }
         fresh
@@ -115,6 +173,41 @@ mod tests {
         d.first_sighting(conn(1), RequestNum(1));
         assert_eq!(d.window_size(conn(1)), 0);
         assert!(d.seen(conn(1), RequestNum(2)));
+    }
+
+    #[test]
+    fn residue_stays_within_cap() {
+        let mut d = DuplicateDetector::with_residue_cap(8);
+        // All-odd numbers never compact naturally: every insert leaves a gap.
+        for n in (1..=1000u64).map(|i| 2 * i + 1) {
+            assert!(d.first_sighting(conn(1), RequestNum(n)));
+        }
+        assert!(d.window_size(conn(1)) <= 8, "cap enforced");
+        assert!(d.evictions > 0, "overflow was folded into the watermark");
+    }
+
+    #[test]
+    fn evicted_numbers_still_suppress_duplicates() {
+        let mut d = DuplicateDetector::with_residue_cap(4);
+        let nums: Vec<u64> = (1..=100u64).map(|i| 3 * i).collect();
+        for &n in &nums {
+            assert!(d.first_sighting(conn(1), RequestNum(n)));
+        }
+        // Every earlier number was either retained or folded under the
+        // watermark; duplicates of both must be rejected.
+        for &n in &nums {
+            assert!(!d.first_sighting(conn(1), RequestNum(n)), "dup of {n}");
+        }
+        assert_eq!(d.suppressed, nums.len() as u64);
+    }
+
+    #[test]
+    fn default_cap_is_invisible_at_small_scale() {
+        let mut d = DuplicateDetector::default();
+        for n in 1..=500u64 {
+            d.first_sighting(conn(1), RequestNum(2 * n));
+        }
+        assert_eq!(d.evictions, 0, "500 sparse numbers fit the default cap");
     }
 
     proptest! {

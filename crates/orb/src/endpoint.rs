@@ -1,9 +1,9 @@
 //! One processor's ORB: active replication over FTMP deliveries.
 
-use crate::dup::DuplicateDetector;
 use crate::giop_map::{self, Inbound};
 use crate::log::{LogEntry, LogKind, MessageLog};
 use crate::servant::Servant;
+use crate::shard::ShardSet;
 use bytes::Bytes;
 use ftmp_core::{ConnectionId, Delivery, ObjectGroupId, ProcessorId, RequestNum};
 use ftmp_giop::{FragmentAssembler, Fragmenter};
@@ -60,23 +60,17 @@ pub struct OrbEndpoint {
     object_keys: BTreeMap<Vec<u8>, ObjectGroupId>,
     /// Connections on which this endpoint acts as a client.
     client_conns: BTreeSet<ConnectionId>,
-    /// Next request number per connection (monotonic across the connection).
-    pub(crate) next_request: BTreeMap<ConnectionId, u64>,
-    /// Requests executed (server side) — suppresses replica duplicates.
-    pub(crate) executed: DuplicateDetector,
-    /// Replies consumed (client side) — suppresses replica duplicates.
-    replied: DuplicateDetector,
+    /// All per-connection engine state — duplicate suppression, request
+    /// numbering, request/reply matching, cancellation/close marks and
+    /// latency histograms — split across hash-indexed shards so every
+    /// lookup touches exactly one shard. Ordered semantics are unchanged:
+    /// CancelRequests and CloseConnections ride the same total order as
+    /// Requests, so every replica applies them at the same position.
+    pub(crate) shards: ShardSet,
     /// The delivery log (replay, request/reply matching).
     pub log: MessageLog,
     outbound: VecDeque<OutboundMsg>,
     completions: VecDeque<Completion>,
-    /// Invocations awaiting replies.
-    pending: BTreeSet<(ConnectionId, RequestNum)>,
-    /// Requests cancelled on this connection. Because CancelRequests ride
-    /// the same total order as Requests, every replica sees the cancel at
-    /// the same position: either all replicas skip the request or none do —
-    /// cancellation is deterministic, not racy.
-    cancelled: BTreeSet<(ConnectionId, RequestNum)>,
     /// When set, outbound GIOP messages larger than this are split into
     /// GIOP 1.1 fragments, each travelling as its own FTMP Regular message.
     fragmenter: Option<Fragmenter>,
@@ -86,10 +80,6 @@ pub struct OrbEndpoint {
     /// Warm-passive replication state per hosted object group (absent =
     /// active replication, the paper's model).
     pub(crate) passive: BTreeMap<ObjectGroupId, crate::passive::PassiveState>,
-    /// Connections closed by an ordered CloseConnection: because the close
-    /// occupies a total-order position, every replica stops serving the
-    /// connection at exactly the same request boundary.
-    closed: BTreeSet<ConnectionId>,
 }
 
 impl Default for OrbEndpoint {
@@ -105,18 +95,13 @@ impl OrbEndpoint {
             servants: BTreeMap::new(),
             object_keys: BTreeMap::new(),
             client_conns: BTreeSet::new(),
-            next_request: BTreeMap::new(),
-            executed: DuplicateDetector::default(),
-            replied: DuplicateDetector::default(),
+            shards: ShardSet::new(),
             log: MessageLog::default(),
             outbound: VecDeque::new(),
             completions: VecDeque::new(),
-            pending: BTreeSet::new(),
-            cancelled: BTreeSet::new(),
             fragmenter: None,
             assembler: FragmentAssembler::new(16 << 20),
             passive: BTreeMap::new(),
-            closed: BTreeSet::new(),
         }
     }
 
@@ -160,12 +145,24 @@ impl OrbEndpoint {
     /// Duplicate-suppression counters: (requests suppressed, replies
     /// suppressed) — experiment E7.
     pub fn suppression_counts(&self) -> (u64, u64) {
-        (self.executed.suppressed, self.replied.suppressed)
+        self.shards.suppression_counts()
+    }
+
+    /// Duplicate-detector residue numbers folded into watermarks to stay
+    /// within the per-connection memory bound (0 until a connection's
+    /// sparse residue overflows [`crate::dup::DEFAULT_RESIDUE_CAP`]).
+    pub fn dup_evictions(&self) -> u64 {
+        self.shards.dup_evictions()
+    }
+
+    /// The sharded per-connection state (telemetry and tests).
+    pub fn shards(&self) -> &ShardSet {
+        &self.shards
     }
 
     /// Outstanding invocations.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.shards.pending_count()
     }
 
     /// Start an invocation on `conn` against the object named `object_key`.
@@ -177,11 +174,9 @@ impl OrbEndpoint {
         operation: &str,
         args: &[u8],
     ) -> RequestNum {
-        let n = self.next_request.entry(conn).or_insert(0);
-        *n += 1;
-        let num = RequestNum(*n);
+        let num = self.shards.alloc_request(conn);
         let giop = giop_map::make_request(num, object_key, operation, args, true);
-        self.pending.insert((conn, num));
+        self.shards.note_pending(conn, num);
         self.push_outbound(conn, num, giop);
         num
     }
@@ -208,7 +203,7 @@ impl OrbEndpoint {
             if e.kind != crate::log::LogKind::Request {
                 continue;
             }
-            if !self.executed.first_sighting(conn, e.request_num) {
+            if !self.shards.first_execution(conn, e.request_num) {
                 continue; // already applied (overlapping replay)
             }
             if let Ok(Inbound::Request {
@@ -224,11 +219,9 @@ impl OrbEndpoint {
     /// Issue a LocateRequest for `object_key` (CORBA's "where does this
     /// object live?"); completes with [`InvocationResult::Located`].
     pub fn locate(&mut self, conn: ConnectionId, object_key: &[u8]) -> RequestNum {
-        let n = self.next_request.entry(conn).or_insert(0);
-        *n += 1;
-        let num = RequestNum(*n);
+        let num = self.shards.alloc_request(conn);
         let giop = giop_map::make_locate_request(num, object_key);
-        self.pending.insert((conn, num));
+        self.shards.note_pending(conn, num);
         self.push_outbound(conn, num, giop);
         num
     }
@@ -238,15 +231,13 @@ impl OrbEndpoint {
     /// before it are served everywhere, requests ordered after it are
     /// dropped everywhere.
     pub fn close(&mut self, conn: ConnectionId) {
-        let n = self.next_request.entry(conn).or_insert(0);
-        *n += 1;
-        let num = RequestNum(*n);
+        let num = self.shards.alloc_request(conn);
         self.push_outbound(conn, num, giop_map::make_close());
     }
 
     /// Has an ordered CloseConnection been delivered for `conn`?
     pub fn is_closed(&self, conn: ConnectionId) -> bool {
-        self.closed.contains(&conn)
+        self.shards.is_closed(conn)
     }
 
     /// Cancel an outstanding request. The CancelRequest travels in the same
@@ -254,7 +245,7 @@ impl OrbEndpoint {
     /// sees the cancel first (nobody executes) or none does (everybody
     /// executes) — never a split.
     pub fn cancel(&mut self, conn: ConnectionId, num: RequestNum) {
-        self.pending.remove(&(conn, num));
+        self.shards.remove_pending(conn, num);
         let giop = giop_map::make_cancel(num);
         self.push_outbound(conn, num, giop);
     }
@@ -351,16 +342,16 @@ impl OrbEndpoint {
                 if og != d.conn.server {
                     return;
                 }
-                if self.closed.contains(&d.conn) {
+                if self.shards.is_closed(d.conn) {
                     return; // the connection closed at an earlier position
                 }
-                if self.cancelled.contains(&(d.conn, d.request_num)) {
+                if self.shards.is_cancelled(d.conn, d.request_num) {
                     return; // cancelled at an earlier total-order position
                 }
                 if !self.passive_gate(og, &operation, &args, d, response_expected) {
                     return; // backup in a warm-passive group, or a state op
                 }
-                if !self.executed.first_sighting(d.conn, d.request_num) {
+                if !self.shards.first_execution(d.conn, d.request_num) {
                     return;
                 }
                 let Some(servant) = self.servants.get_mut(&og) else {
@@ -389,7 +380,7 @@ impl OrbEndpoint {
                     .get(object_key.as_slice())
                     .is_some_and(|og| *og == d.conn.server);
                 if self.servants.contains_key(&d.conn.server)
-                    && self.executed.first_sighting(d.conn, d.request_num)
+                    && self.shards.first_execution(d.conn, d.request_num)
                 {
                     let status = if here {
                         ftmp_giop::LocateStatus::ObjectHere
@@ -406,14 +397,14 @@ impl OrbEndpoint {
             }
             Inbound::CancelRequest => {
                 // Deterministic: ordered like everything else.
-                self.cancelled.insert((d.conn, d.request_num));
-                self.pending.remove(&(d.conn, d.request_num));
+                self.shards.note_cancelled(d.conn, d.request_num);
+                self.shards.remove_pending(d.conn, d.request_num);
             }
             Inbound::Other(ftmp_giop::MsgType::CloseConnection) => {
-                self.closed.insert(d.conn);
+                self.shards.note_closed(d.conn);
                 // Outstanding invocations on the closed connection will
                 // never complete; surface that.
-                self.pending.retain(|(c, _)| *c != d.conn);
+                self.shards.clear_conn_pending(d.conn);
             }
             Inbound::Other(_) => {}
         }
@@ -433,10 +424,10 @@ impl OrbEndpoint {
         if !self.client_conns.contains(&d.conn) {
             return;
         }
-        if !self.replied.first_sighting(d.conn, d.request_num) {
+        if !self.shards.first_reply(d.conn, d.request_num) {
             return; // another server replica's copy of the same reply
         }
-        if self.pending.remove(&(d.conn, d.request_num)) {
+        if self.shards.remove_pending(d.conn, d.request_num) {
             self.completions.push_back(Completion {
                 conn: d.conn,
                 request_num: d.request_num,
@@ -450,9 +441,21 @@ impl OrbEndpoint {
         self.outbound.drain(..).collect()
     }
 
+    /// Drain GIOP messages to multicast into a caller-provided scratch
+    /// vector (appended), so a steady-state pump allocates nothing.
+    pub fn drain_outbound_into(&mut self, out: &mut Vec<OutboundMsg>) {
+        out.extend(self.outbound.drain(..));
+    }
+
     /// Drain completed invocations.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         self.completions.drain(..).collect()
+    }
+
+    /// Drain completed invocations into a caller-provided scratch vector
+    /// (appended).
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.extend(self.completions.drain(..));
     }
 }
 

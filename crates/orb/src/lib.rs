@@ -14,6 +14,10 @@
 //!   detection and suppression across replicas (§4),
 //! * [`MessageLog`] — the per-connection message log used to match requests
 //!   with replies during replay (§4),
+//! * [`ShardSet`] — per-connection engine state (duplicate detection,
+//!   request numbering, request/reply matching, latency histograms) split
+//!   across hash-indexed [`ConnectionShard`]s so independent connections
+//!   share no lookup structure,
 //! * [`OrbEndpoint`] — one processor's ORB: active replication of hosted
 //!   servants, request numbering shared across replicas, reply matching,
 //! * [`OrbNode`] — an [`ftmp_net::SimNode`] combining an FTMP
@@ -28,6 +32,7 @@ pub mod log;
 pub mod node;
 pub mod passive;
 pub mod servant;
+pub mod shard;
 
 pub use dup::DuplicateDetector;
 pub use endpoint::{Completion, InvocationResult, OrbEndpoint, OutboundMsg};
@@ -35,3 +40,4 @@ pub use log::MessageLog;
 pub use node::OrbNode;
 pub use passive::ReplicationStyle;
 pub use servant::{BankAccount, Counter, Servant};
+pub use shard::{ConnectionShard, ShardSet};

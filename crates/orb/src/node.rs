@@ -4,8 +4,8 @@
 use crate::endpoint::{Completion, InvocationResult, OrbEndpoint, OutboundMsg};
 use ftmp_core::{Action, ConnectionId, Delivery, Processor, ProtocolEvent, RequestNum, SendError};
 use ftmp_net::{Outbox, Packet, SimNode, SimTime};
-use ftmp_telemetry::{Histogram, HistogramSnapshot};
-use std::collections::{BTreeMap, VecDeque};
+use ftmp_telemetry::HistogramSnapshot;
+use std::collections::VecDeque;
 
 /// Outbound GIOP messages parked while the processor reports backpressure.
 /// Past this, further work is shed with a typed CORBA `TRANSIENT` exception
@@ -15,20 +15,6 @@ const DEFERRED_CAP: usize = 64;
 /// Repository id completing a shed invocation — the standard CORBA "try
 /// again later" system exception.
 const TRANSIENT_REPO_ID: &str = "IDL:omg.org/CORBA/TRANSIENT:1.0";
-
-/// Bound on in-flight invocations tracked for latency (defensive; a request
-/// that never completes must not grow the map without limit).
-const LAT_PENDING_CAP: usize = 4096;
-
-/// Optional request-latency telemetry: invocation-to-completion time per
-/// logical connection, in integer microseconds.
-#[derive(Debug, Default)]
-struct LatencyTracker {
-    /// Invocation start times, keyed by `(connection, request number)`.
-    pending: BTreeMap<(ConnectionId, RequestNum), SimTime>,
-    /// One histogram per connection.
-    hist: BTreeMap<ConnectionId, Histogram>,
-}
 
 /// An [`ftmp_net::SimNode`] hosting an FTMP [`Processor`] and an
 /// [`OrbEndpoint`]. Deliveries flow up into the ORB; the ORB's outbound
@@ -47,8 +33,10 @@ pub struct OrbNode {
     blocked: bool,
     /// Invocations shed with `TRANSIENT` because the deferred queue was full.
     shed: u64,
-    /// Per-connection request-latency telemetry (off by default).
-    lat: Option<Box<LatencyTracker>>,
+    /// Reusable pump scratch: outbound GIOP messages for this iteration.
+    send_scratch: Vec<OutboundMsg>,
+    /// Reusable pump scratch: drained processor actions.
+    act_scratch: Vec<Action>,
 }
 
 impl OrbNode {
@@ -63,31 +51,30 @@ impl OrbNode {
             deferred: VecDeque::new(),
             blocked: false,
             shed: 0,
-            lat: None,
+            send_scratch: Vec::new(),
+            act_scratch: Vec::new(),
         }
     }
 
     /// Start recording invocation-to-completion latency per connection.
-    /// Purely observational: enabling it changes no wire behaviour.
+    /// Purely observational: enabling it changes no wire behaviour. The
+    /// histograms live in the connection shards, next to the rest of each
+    /// connection's state.
     pub fn enable_latency_telemetry(&mut self) {
-        if self.lat.is_none() {
-            self.lat = Some(Box::default());
-        }
+        self.orb.shards.enable_latency();
     }
 
     /// Snapshot of the request-latency histogram for one connection, if
     /// latency telemetry is enabled and the connection completed anything.
     pub fn request_latency(&self, conn: ConnectionId) -> Option<HistogramSnapshot> {
-        self.lat.as_ref()?.hist.get(&conn).map(|h| h.snapshot())
+        self.orb.shards.latency_snapshot(conn)
     }
 
     /// All per-connection request-latency snapshots recorded so far.
     pub fn request_latencies(
         &self,
     ) -> impl Iterator<Item = (ConnectionId, HistogramSnapshot)> + '_ {
-        self.lat
-            .iter()
-            .flat_map(|l| l.hist.iter().map(|(c, h)| (*c, h.snapshot())))
+        self.orb.shards.latency_snapshots()
     }
 
     /// The FTMP engine.
@@ -122,11 +109,7 @@ impl OrbNode {
         out: &mut Outbox,
     ) -> RequestNum {
         let num = self.orb.invoke(conn, object_key, operation, args);
-        if let Some(l) = self.lat.as_mut() {
-            if l.pending.len() < LAT_PENDING_CAP {
-                l.pending.insert((conn, num), now);
-            }
-        }
+        self.orb.shards.note_invocation_start(conn, num, now);
         self.pump(now, out);
         num
     }
@@ -190,18 +173,24 @@ impl OrbNode {
     }
 
     /// Move data between the layers and the network until quiescent.
+    ///
+    /// Each iteration submits every ready outbound message inside one
+    /// processor batch (so the Packer flushes once per iteration, not once
+    /// per message) and drains actions through reusable scratch vectors —
+    /// a steady-state pump allocates nothing.
     pub fn pump(&mut self, now: SimTime, out: &mut Outbox) {
         loop {
             // ORB → FTMP: deferred work first (FIFO across backpressure
             // episodes), then fresh outbound — but only submit while the
             // window is open, so a closed window parks instead of spinning.
-            let mut to_send: Vec<OutboundMsg> = Vec::new();
+            let mut to_send = std::mem::take(&mut self.send_scratch);
             if !self.blocked {
                 to_send.extend(self.deferred.drain(..));
             }
-            to_send.extend(self.orb.drain_outbound());
+            self.orb.drain_outbound_into(&mut to_send);
             let had_outbound = !to_send.is_empty();
-            for ob in to_send {
+            self.proc.begin_batch();
+            for ob in to_send.drain(..) {
                 if self.blocked {
                     self.defer_or_shed(ob);
                     continue;
@@ -214,12 +203,16 @@ impl OrbNode {
                     self.defer_or_shed(ob);
                 }
             }
+            self.proc.end_batch(now);
+            self.send_scratch = to_send;
             // FTMP → network + ORB.
-            let actions = self.proc.drain_actions();
+            let mut actions = std::mem::take(&mut self.act_scratch);
+            self.proc.drain_actions_into(&mut actions);
             if actions.is_empty() && !had_outbound {
+                self.act_scratch = actions;
                 break;
             }
-            for action in actions {
+            for action in actions.drain(..) {
                 match action {
                     Action::Send { addr, payload } => {
                         out.send(Packet::new(self.proc.id().0, addr, payload));
@@ -244,16 +237,12 @@ impl OrbNode {
                     Action::SendReady(_) => self.blocked = false,
                 }
             }
+            self.act_scratch = actions;
         }
         for c in self.orb.drain_completions() {
-            if let Some(l) = self.lat.as_mut() {
-                if let Some(t0) = l.pending.remove(&(c.conn, c.request_num)) {
-                    l.hist
-                        .entry(c.conn)
-                        .or_default()
-                        .record(now.saturating_since(t0).as_micros());
-                }
-            }
+            self.orb
+                .shards
+                .record_completion(c.conn, c.request_num, now);
             self.completions.push_back(c);
         }
     }

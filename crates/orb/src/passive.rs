@@ -101,7 +101,7 @@ impl OrbEndpoint {
         };
         let mut shipped_on = None;
         for p in pending {
-            if !self.executed.first_sighting(p.conn, p.request_num) {
+            if !self.shards.first_execution(p.conn, p.request_num) {
                 continue;
             }
             let Some(servant) = self.servants.get_mut(&og) else {
@@ -187,7 +187,7 @@ impl OrbEndpoint {
                 if let Some(st) = self.passive.get_mut(&og) {
                     let pending = std::mem::take(&mut st.pending);
                     for p in pending {
-                        self.executed.first_sighting(p.conn, p.request_num);
+                        self.shards.first_execution(p.conn, p.request_num);
                     }
                 }
             }
@@ -224,9 +224,7 @@ impl OrbEndpoint {
         let Some(key) = self.object_key_of(og) else {
             return;
         };
-        let n = self.next_request.entry(conn).or_insert(0);
-        *n += 1;
-        let num = ftmp_core::RequestNum(*n);
+        let num = self.shards.alloc_request(conn);
         let giop = crate::giop_map::make_request(num, &key, STATE_OP, &snapshot, false);
         self.push_state_outbound(conn, num, giop);
     }

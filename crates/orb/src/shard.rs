@@ -1,0 +1,437 @@
+//! Sharded per-connection engine state.
+//!
+//! The paper's §4 machinery — duplicate suppression, request matching,
+//! request numbering — is keyed by `(connection id, request number)`, and
+//! independent logical connections share none of it. Funnelling every
+//! connection through one monolithic map per node therefore serializes
+//! lookups that have no reason to contend and keeps unrelated connections'
+//! state hot in the same structures. [`ShardSet`] splits that state across
+//! [`ConnectionShard`]s indexed by a hash of the connection id: every
+//! lookup touches exactly one shard, sized to the connections that actually
+//! hash there.
+//!
+//! ```text
+//!            ConnectionId ──FNV-1a──► shard index (& mask)
+//!                                          │
+//!        ┌────────────┬────────────┬───────┴────┬────────────┐
+//!        ▼            ▼            ▼            ▼            ▼
+//!   ┌─────────┐  ┌─────────┐  ┌─────────┐  ┌─────────┐  ┌─────────┐
+//!   │ shard 0 │  │ shard 1 │  │ shard 2 │  │   ...   │  │ shard N │
+//!   │ executed│  │ executed│  │ executed│  │         │  │ executed│
+//!   │ replied │  │ replied │  │ replied │  │         │  │ replied │
+//!   │ next_req│  │ next_req│  │ next_req│  │         │  │ next_req│
+//!   │ pending │  │ pending │  │ pending │  │         │  │ pending │
+//!   │ lat hist│  │ lat hist│  │ lat hist│  │         │  │ lat hist│
+//!   └─────────┘  └─────────┘  └─────────┘  └─────────┘  └─────────┘
+//! ```
+//!
+//! The shard count is a power of two so the index is a mask, and the hash
+//! mixes all four words of the connection id so client-heavy and
+//! server-heavy workloads spread evenly.
+
+use crate::dup::DuplicateDetector;
+use ftmp_core::{ConnectionId, RequestNum};
+use ftmp_net::SimTime;
+use ftmp_telemetry::{Histogram, HistogramSnapshot};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default shard count (power of two).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Bound on in-flight invocations tracked for latency per shard (defensive;
+/// a request that never completes must not grow the map without limit).
+const LAT_PENDING_CAP: usize = 4096;
+
+/// One shard's slice of per-connection state: duplicate suppression,
+/// request numbering, request/reply matching and latency telemetry for the
+/// connections that hash here.
+#[derive(Debug, Default)]
+pub struct ConnectionShard {
+    /// Next request number per connection (monotonic across the connection).
+    next_request: BTreeMap<ConnectionId, u64>,
+    /// Requests executed (server side) — suppresses replica duplicates.
+    executed: DuplicateDetector,
+    /// Replies consumed (client side) — suppresses replica duplicates.
+    replied: DuplicateDetector,
+    /// Invocations awaiting replies.
+    pending: BTreeSet<(ConnectionId, RequestNum)>,
+    /// Requests cancelled by an ordered CancelRequest.
+    cancelled: BTreeSet<(ConnectionId, RequestNum)>,
+    /// Connections closed by an ordered CloseConnection.
+    closed: BTreeSet<ConnectionId>,
+    /// Invocation start times (latency telemetry, off by default).
+    lat_pending: BTreeMap<(ConnectionId, RequestNum), SimTime>,
+    /// One request-latency histogram per connection.
+    lat_hist: BTreeMap<ConnectionId, Histogram>,
+}
+
+/// Per-connection engine state split across hash-indexed shards.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<ConnectionShard>,
+    mask: usize,
+    lat_enabled: bool,
+}
+
+impl Default for ShardSet {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardSet {
+    /// A set with the default shard count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set with `n` shards, rounded up to a power of two (min 1).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        let mut shards = Vec::with_capacity(n);
+        shards.resize_with(n, ConnectionShard::default);
+        ShardSet {
+            shards,
+            mask: n - 1,
+            lat_enabled: false,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// FNV-1a over the connection id's four words, masked to a shard index.
+    pub fn shard_index(&self, conn: ConnectionId) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [
+            conn.client.domain.0,
+            conn.client.group,
+            conn.server.domain.0,
+            conn.server.group,
+        ] {
+            for b in w.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        (h as usize) & self.mask
+    }
+
+    fn shard(&self, conn: ConnectionId) -> &ConnectionShard {
+        let i = self.shard_index(conn);
+        &self.shards[i]
+    }
+
+    fn shard_mut(&mut self, conn: ConnectionId) -> &mut ConnectionShard {
+        let i = self.shard_index(conn);
+        &mut self.shards[i]
+    }
+
+    // ---- request numbering ------------------------------------------------
+
+    /// Allocate the next request number on `conn` (monotonic per
+    /// connection; identical at every replica because allocation is driven
+    /// by the same deterministic application).
+    pub fn alloc_request(&mut self, conn: ConnectionId) -> RequestNum {
+        let n = self.shard_mut(conn).next_request.entry(conn).or_insert(0);
+        *n += 1;
+        RequestNum(*n)
+    }
+
+    // ---- duplicate suppression --------------------------------------------
+
+    /// First sighting of an executable request copy? (server side)
+    pub fn first_execution(&mut self, conn: ConnectionId, num: RequestNum) -> bool {
+        self.shard_mut(conn).executed.first_sighting(conn, num)
+    }
+
+    /// First sighting of a reply copy? (client side)
+    pub fn first_reply(&mut self, conn: ConnectionId, num: RequestNum) -> bool {
+        self.shard_mut(conn).replied.first_sighting(conn, num)
+    }
+
+    /// Duplicate-suppression counters summed over shards: (requests
+    /// suppressed, replies suppressed) — experiment E7.
+    pub fn suppression_counts(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(rq, rp), s| {
+            (rq + s.executed.suppressed, rp + s.replied.suppressed)
+        })
+    }
+
+    /// Residue numbers folded into duplicate-detector watermarks to stay
+    /// within the per-connection memory bound, summed over shards.
+    pub fn dup_evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.executed.evictions + s.replied.evictions)
+            .sum()
+    }
+
+    // ---- request/reply matching -------------------------------------------
+
+    /// Note an invocation awaiting a reply.
+    pub fn note_pending(&mut self, conn: ConnectionId, num: RequestNum) {
+        self.shard_mut(conn).pending.insert((conn, num));
+    }
+
+    /// Remove a pending invocation; true when it was present.
+    pub fn remove_pending(&mut self, conn: ConnectionId, num: RequestNum) -> bool {
+        self.shard_mut(conn).pending.remove(&(conn, num))
+    }
+
+    /// Outstanding invocations over all shards.
+    pub fn pending_count(&self) -> usize {
+        self.shards.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Drop every pending invocation on `conn` (ordered close).
+    pub fn clear_conn_pending(&mut self, conn: ConnectionId) {
+        self.shard_mut(conn).pending.retain(|(c, _)| *c != conn);
+    }
+
+    /// Record an ordered CancelRequest.
+    pub fn note_cancelled(&mut self, conn: ConnectionId, num: RequestNum) {
+        self.shard_mut(conn).cancelled.insert((conn, num));
+    }
+
+    /// Was `(conn, num)` cancelled at an earlier total-order position?
+    pub fn is_cancelled(&self, conn: ConnectionId, num: RequestNum) -> bool {
+        self.shard(conn).cancelled.contains(&(conn, num))
+    }
+
+    /// Record an ordered CloseConnection.
+    pub fn note_closed(&mut self, conn: ConnectionId) {
+        self.shard_mut(conn).closed.insert(conn);
+    }
+
+    /// Has an ordered CloseConnection been delivered for `conn`?
+    pub fn is_closed(&self, conn: ConnectionId) -> bool {
+        self.shard(conn).closed.contains(&conn)
+    }
+
+    // ---- latency telemetry ------------------------------------------------
+
+    /// Start recording invocation-to-completion latency per connection.
+    /// Purely observational: enabling it changes no wire behaviour.
+    pub fn enable_latency(&mut self) {
+        self.lat_enabled = true;
+    }
+
+    /// Is latency telemetry on?
+    pub fn latency_enabled(&self) -> bool {
+        self.lat_enabled
+    }
+
+    /// Note an invocation's start time (no-op unless telemetry is on).
+    pub fn note_invocation_start(&mut self, conn: ConnectionId, num: RequestNum, now: SimTime) {
+        if !self.lat_enabled {
+            return;
+        }
+        let s = self.shard_mut(conn);
+        if s.lat_pending.len() < LAT_PENDING_CAP {
+            s.lat_pending.insert((conn, num), now);
+        }
+    }
+
+    /// Record a completion against its start time, if tracked.
+    pub fn record_completion(&mut self, conn: ConnectionId, num: RequestNum, now: SimTime) {
+        if !self.lat_enabled {
+            return;
+        }
+        let s = self.shard_mut(conn);
+        if let Some(t0) = s.lat_pending.remove(&(conn, num)) {
+            s.lat_hist
+                .entry(conn)
+                .or_default()
+                .record(now.saturating_since(t0).as_micros());
+        }
+    }
+
+    /// Snapshot of the request-latency histogram for one connection, if
+    /// telemetry is on and the connection completed anything.
+    pub fn latency_snapshot(&self, conn: ConnectionId) -> Option<HistogramSnapshot> {
+        self.shard(conn).lat_hist.get(&conn).map(|h| h.snapshot())
+    }
+
+    /// All per-connection request-latency snapshots recorded so far.
+    pub fn latency_snapshots(
+        &self,
+    ) -> impl Iterator<Item = (ConnectionId, HistogramSnapshot)> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lat_hist.iter().map(|(c, h)| (*c, h.snapshot())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmp_core::ObjectGroupId;
+    use proptest::prelude::*;
+
+    fn conn(a: u32, b: u32) -> ConnectionId {
+        ConnectionId::new(ObjectGroupId::new(1, a), ObjectGroupId::new(2, b))
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardSet::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardSet::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardSet::with_shards(16).shard_count(), 16);
+        assert_eq!(ShardSet::with_shards(17).shard_count(), 32);
+    }
+
+    #[test]
+    fn index_is_stable_and_in_range() {
+        let s = ShardSet::new();
+        for a in 0..64 {
+            let c = conn(a, a + 1);
+            let i = s.shard_index(c);
+            assert!(i < s.shard_count());
+            assert_eq!(i, s.shard_index(c), "same connection, same shard");
+        }
+    }
+
+    #[test]
+    fn connections_spread_over_shards() {
+        let s = ShardSet::new();
+        let hit: std::collections::BTreeSet<usize> =
+            (0..256).map(|a| s.shard_index(conn(a, 1))).collect();
+        assert!(
+            hit.len() >= s.shard_count() / 2,
+            "256 connections hit ≥ half the {} shards, got {}",
+            s.shard_count(),
+            hit.len()
+        );
+    }
+
+    #[test]
+    fn numbering_is_per_connection() {
+        let mut s = ShardSet::new();
+        assert_eq!(s.alloc_request(conn(1, 2)), RequestNum(1));
+        assert_eq!(s.alloc_request(conn(1, 2)), RequestNum(2));
+        assert_eq!(s.alloc_request(conn(3, 4)), RequestNum(1));
+    }
+
+    /// Unsharded reference model: the exact pre-shard `OrbEndpoint` state —
+    /// one detector pair, one numbering map, one pending set.
+    #[derive(Default)]
+    struct Reference {
+        next_request: BTreeMap<ConnectionId, u64>,
+        executed: DuplicateDetector,
+        replied: DuplicateDetector,
+        pending: BTreeSet<(ConnectionId, RequestNum)>,
+        cancelled: BTreeSet<(ConnectionId, RequestNum)>,
+        closed: BTreeSet<ConnectionId>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Alloc(u32),
+        Execute(u32, u64),
+        Reply(u32, u64),
+        Pend(u32, u64),
+        Unpend(u32, u64),
+        Cancel(u32, u64),
+        IsCancelled(u32, u64),
+        Close(u32),
+        IsClosed(u32),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Few connections and small numbers force collisions both within
+        // and across shards.
+        let c = 0u32..12;
+        let n = 1u64..20;
+        prop_oneof![
+            c.clone().prop_map(Op::Alloc),
+            (c.clone(), n.clone()).prop_map(|(a, b)| Op::Execute(a, b)),
+            (c.clone(), n.clone()).prop_map(|(a, b)| Op::Reply(a, b)),
+            (c.clone(), n.clone()).prop_map(|(a, b)| Op::Pend(a, b)),
+            (c.clone(), n.clone()).prop_map(|(a, b)| Op::Unpend(a, b)),
+            (c.clone(), n.clone()).prop_map(|(a, b)| Op::Cancel(a, b)),
+            (c.clone(), n.clone()).prop_map(|(a, b)| Op::IsCancelled(a, b)),
+            c.clone().prop_map(Op::Close),
+            c.prop_map(Op::IsClosed),
+        ]
+    }
+
+    proptest! {
+        /// The sharded engine makes byte-identical decisions to the
+        /// unsharded reference across arbitrary connection/request
+        /// interleavings — sharding is a pure index, never a semantic.
+        #[test]
+        fn prop_sharded_matches_unsharded(
+            ops in proptest::collection::vec(op_strategy(), 0..400),
+            shards in 1usize..9,
+        ) {
+            let mut s = ShardSet::with_shards(shards);
+            let mut r = Reference::default();
+            for op in &ops {
+                match *op {
+                    Op::Alloc(a) => {
+                        let c = conn(a, a);
+                        let n = r.next_request.entry(c).or_insert(0);
+                        *n += 1;
+                        prop_assert_eq!(s.alloc_request(c), RequestNum(*n));
+                    }
+                    Op::Execute(a, num) => {
+                        let c = conn(a, a);
+                        prop_assert_eq!(
+                            s.first_execution(c, RequestNum(num)),
+                            r.executed.first_sighting(c, RequestNum(num))
+                        );
+                    }
+                    Op::Reply(a, num) => {
+                        let c = conn(a, a);
+                        prop_assert_eq!(
+                            s.first_reply(c, RequestNum(num)),
+                            r.replied.first_sighting(c, RequestNum(num))
+                        );
+                    }
+                    Op::Pend(a, num) => {
+                        let c = conn(a, a);
+                        s.note_pending(c, RequestNum(num));
+                        r.pending.insert((c, RequestNum(num)));
+                    }
+                    Op::Unpend(a, num) => {
+                        let c = conn(a, a);
+                        prop_assert_eq!(
+                            s.remove_pending(c, RequestNum(num)),
+                            r.pending.remove(&(c, RequestNum(num)))
+                        );
+                    }
+                    Op::Cancel(a, num) => {
+                        let c = conn(a, a);
+                        s.note_cancelled(c, RequestNum(num));
+                        r.cancelled.insert((c, RequestNum(num)));
+                    }
+                    Op::IsCancelled(a, num) => {
+                        let c = conn(a, a);
+                        prop_assert_eq!(
+                            s.is_cancelled(c, RequestNum(num)),
+                            r.cancelled.contains(&(c, RequestNum(num)))
+                        );
+                    }
+                    Op::Close(a) => {
+                        let c = conn(a, a);
+                        s.note_closed(c);
+                        r.pending.retain(|(pc, _)| *pc != c);
+                        s.clear_conn_pending(c);
+                        r.closed.insert(c);
+                    }
+                    Op::IsClosed(a) => {
+                        let c = conn(a, a);
+                        prop_assert_eq!(s.is_closed(c), r.closed.contains(&c));
+                    }
+                }
+                prop_assert_eq!(s.pending_count(), r.pending.len());
+            }
+            prop_assert_eq!(
+                s.suppression_counts(),
+                (r.executed.suppressed, r.replied.suppressed)
+            );
+        }
+    }
+}

@@ -48,3 +48,8 @@ metrics:
 bench:
     cargo bench -p ftmp-bench
     cargo run --release -p ftmp-bench --bin pack_snapshot
+
+# Engine-saturation snapshot: sustained throughput and p99 e2e latency at
+# 3/5/7 replicas plus the 10k-connection soak (BENCH_e2e.json).
+bench-e2e:
+    cargo run --release -p ftmp-bench --bin e2e_snapshot
