@@ -63,6 +63,17 @@ pub trait Oracle {
         let _ = node;
     }
 
+    /// A previously retired processor restarted under the **same id**
+    /// (crash→restart→rejoin, DESIGN.md §12). Oracles that key state by
+    /// observer reset that node's view — the new incarnation re-enters like
+    /// a §7.1 joiner (own-source sequence numbers restart at 1, deliveries
+    /// resume mid-log). Oracles enforcing one-history-per-id across
+    /// incarnations (causal order, duplicate suppression) deliberately keep
+    /// their state.
+    fn rejoin(&mut self, node: ProcessorId) {
+        let _ = node;
+    }
+
     /// End of run: `live` are the processors expected to have converged.
     fn finish(&mut self, live: &[ProcessorId], out: &mut Vec<Violation>) {
         let _ = (live, out);

@@ -24,6 +24,11 @@ impl DuplicateSuppression {
 }
 
 impl Oracle for DuplicateSuppression {
+    // Deliberately no `rejoin` override: the same processor id across
+    // incarnations is ONE delivery history (DESIGN.md §12). A restarted
+    // member that re-delivers a pre-crash (connection, request) is a bug —
+    // the durable log's recovered watermarks exist to prevent exactly that.
+
     fn name(&self) -> &'static str {
         "duplicate-suppression"
     }

@@ -60,6 +60,13 @@ impl Oracle for SourceOrder {
             _ => {}
         }
     }
+
+    fn rejoin(&mut self, node: ProcessorId) {
+        // The restarted observer's own-source sequence expectations reset —
+        // every source it now hears from is new to this incarnation.
+        self.last.retain(|(observer, _, _), _| *observer != node);
+        self.views.retain(|(observer, _), _| *observer != node);
+    }
 }
 
 /// Causal order: each processor's delivery sequence is strictly increasing
@@ -79,6 +86,10 @@ impl CausalOrder {
 }
 
 impl Oracle for CausalOrder {
+    // Deliberately no `rejoin` override: total-order timestamps only grow,
+    // so a restarted member's post-rejoin deliveries must still exceed its
+    // pre-crash horizon — the same-id-one-history rule of DESIGN.md §12.
+
     fn name(&self) -> &'static str {
         "causal-order"
     }

@@ -84,4 +84,12 @@ impl Oracle for ReclamationSafety {
             _ => {}
         }
     }
+
+    fn rejoin(&mut self, node: ProcessorId) {
+        // The crashed incarnation's ack high-water marks and view are
+        // meaningless to the restarted engine; its next ViewInstalled and
+        // Acked observations rebuild the state before any Reclaimed can
+        // fire (a reclaim with no observed view is skipped).
+        self.nodes.retain(|(observer, _), _| *observer != node);
+    }
 }

@@ -103,6 +103,17 @@ impl Oracle for Reliability {
         }
     }
 
+    fn rejoin(&mut self, node: ProcessorId) {
+        // Reset what the restarted processor *observed* — its new
+        // incarnation starts mid-stream like a joiner. What it *sourced*
+        // self-heals: when peers install the view readmitting it, the
+        // membership diff above drops the old incarnation's summaries and
+        // stale union entries ("a rejoin under the same id restarts at
+        // seq 1").
+        self.nodes.retain(|(observer, _, _), _| *observer != node);
+        self.views.retain(|(observer, _), _| *observer != node);
+    }
+
     fn finish(&mut self, live: &[ProcessorId], out: &mut Vec<Violation>) {
         for ((group, source), union) in &self.union {
             let Some(&top) = union.iter().next_back() else {

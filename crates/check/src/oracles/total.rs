@@ -158,6 +158,15 @@ impl Oracle for TotalOrder {
         }
     }
 
+    fn rejoin(&mut self, node: ProcessorId) {
+        // The new incarnation re-enters like a joiner: un-retire it and
+        // drop its cursor so its first delivery may land mid-log.
+        for g in self.groups.values_mut() {
+            g.retired.retain(|&p| p != node);
+            g.cursors.remove(&node);
+        }
+    }
+
     fn finish(&mut self, live: &[ProcessorId], out: &mut Vec<Violation>) {
         for (gid, g) in &self.groups {
             let end = g.end();

@@ -119,4 +119,13 @@ impl Oracle for VirtualSynchrony {
             _ => {}
         }
     }
+
+    fn rejoin(&mut self, node: ProcessorId) {
+        // Forget the crashed incarnation's in-view delivery set: the first
+        // view the new incarnation installs is its baseline (same joiner
+        // rule as a first-time attach).
+        for g in self.groups.values_mut() {
+            g.nodes.remove(&node);
+        }
+    }
 }

@@ -89,6 +89,17 @@ impl OracleSuite {
         }
     }
 
+    /// A retired processor restarted under the same id
+    /// (crash→restart→rejoin): observer-keyed oracle state resets so the
+    /// new incarnation is judged as a §7.1 joiner, while the
+    /// one-history-per-id oracles (causal order, duplicate suppression)
+    /// keep checking across the boundary.
+    pub fn rejoin(&mut self, node: ProcessorId) {
+        for o in &mut self.oracles {
+            o.rejoin(node);
+        }
+    }
+
     /// End of run: `live` are the processors expected to have converged.
     pub fn finish(&mut self, live: &[ProcessorId]) {
         self.scratch.clear();
@@ -209,6 +220,13 @@ impl Checker {
     /// Release a crashed or departed processor from convergence duties.
     pub fn retire(&self, id: NodeId) {
         self.suite.borrow_mut().retire(ProcessorId(id));
+    }
+
+    /// A retired processor restarted under the same id — reset
+    /// observer-keyed oracle state; call after [`Checker::attach`]ing the
+    /// new incarnation.
+    pub fn rejoin(&self, id: NodeId) {
+        self.suite.borrow_mut().rejoin(ProcessorId(id));
     }
 
     /// Run end-of-run obligations over the processors expected to agree.

@@ -55,11 +55,16 @@ pub enum Scenario {
     /// path (duplicate suppression, request matching) under the full oracle
     /// suite.
     ConnSoak,
+    /// One founder (with a durable delivery log attached) crashes
+    /// mid-traffic, restarts from its log later in the run, and rejoins
+    /// under the same processor id — the DESIGN.md §12 recovery path, with
+    /// all seven oracles checking across the restart boundary.
+    CrashRestart,
 }
 
 impl Scenario {
     /// The full matrix.
-    pub const ALL: [Scenario; 8] = [
+    pub const ALL: [Scenario; 9] = [
         Scenario::Lossless,
         Scenario::IidLoss,
         Scenario::BurstLoss,
@@ -68,6 +73,7 @@ impl Scenario {
         Scenario::Churn,
         Scenario::LatencySpike,
         Scenario::ConnSoak,
+        Scenario::CrashRestart,
     ];
 
     /// Stable name for verdicts and JSON.
@@ -81,6 +87,7 @@ impl Scenario {
             Scenario::Churn => "churn",
             Scenario::LatencySpike => "latency-spike",
             Scenario::ConnSoak => "conn-soak-10k",
+            Scenario::CrashRestart => "crash-restart",
         }
     }
 }
@@ -263,6 +270,9 @@ struct Cell {
     /// ConnSoak). Request numbers stay monotone over all of them, matching
     /// §4's allocation rule.
     conns: Vec<ConnectionId>,
+    /// Durable-log directory of the crash-restart victim, when the
+    /// scenario persists deliveries.
+    dlog_dir: Option<std::path::PathBuf>,
 }
 
 impl Cell {
@@ -322,6 +332,55 @@ impl Cell {
         self.net.run_for(SimDuration::from_millis(500));
     }
 
+    /// Restart a crashed member from its durable log (DESIGN.md §12):
+    /// recover the log — asserting the clean crash left nothing to
+    /// quarantine — rebuild a fresh engine under the **same** processor id,
+    /// reattach a log on the same directory, and rejoin via a sponsored
+    /// §7.1 add. The checker is told about the rejoin so observer-keyed
+    /// oracle state resets while the one-history oracles keep checking
+    /// across the boundary.
+    fn restart_from_log(&mut self, id: u32, sponsor: u32) {
+        let dir = self
+            .dlog_dir
+            .clone()
+            .expect("restart requires a durable-log scenario");
+        let recovered = ftmp_store::recover(&dir).expect("recover victim log");
+        assert_eq!(
+            recovered.stats.records_quarantined, 0,
+            "clean crash must recover without quarantine"
+        );
+        let state = ftmp_store::RecoveredState::from_records(&recovered.records);
+        assert_eq!(state.delivered + view_records(&recovered.records), {
+            recovered.records.len() as u64
+        });
+        let seed = self.rng.gen();
+        let mut e = Processor::new(
+            ProcessorId(id),
+            ProtocolConfig::with_seed(seed),
+            ClockMode::Lamport,
+        );
+        e.expect_join(GROUP, ADDR);
+        for &c in &self.conns {
+            e.bind_connection(c, GROUP);
+        }
+        e.enable_telemetry();
+        let log = ftmp_store::DurableLog::open(&dir, ftmp_store::LogConfig::default())
+            .expect("reopen victim log");
+        e.set_delivery_log(Box::new(log));
+        self.net.revive(id, SimProcessor::new(e));
+        self.checker.attach(&mut self.net, id);
+        self.checker.rejoin(id);
+        self.net.with_node(id, |n, now, out| n.pump_at(now, out));
+        self.net.with_node(sponsor, move |n, now, out| {
+            n.engine_mut().add_processor(now, GROUP, ProcessorId(id));
+            n.pump_at(now, out);
+        });
+        self.crashed.remove(&id);
+        self.members.insert(id);
+        // §7.1: membership changes are serialized — let this one complete.
+        self.net.run_for(SimDuration::from_millis(500));
+    }
+
     fn leave(&mut self, leaver: u32, sponsor: u32) {
         self.net.with_node(sponsor, move |n, now, out| {
             n.engine_mut()
@@ -344,7 +403,8 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         | Scenario::PartitionHeal
         | Scenario::Crash
         | Scenario::Churn
-        | Scenario::ConnSoak => {}
+        | Scenario::ConnSoak
+        | Scenario::CrashRestart => {}
         Scenario::IidLoss => {
             sim = sim.loss(LossModel::Iid { p: 0.08 });
         }
@@ -394,6 +454,22 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         checker.attach(&mut net, id);
         net.with_node(id, |n, now, out| n.pump_at(now, out));
     }
+    // The crash-restart victim persists its deliveries; a small segment
+    // size makes the run span several segments.
+    let dlog_dir = (scenario == Scenario::CrashRestart).then(|| {
+        let dir = ftmp_store::scratch_dir("sweep-crash-restart");
+        let log = ftmp_store::DurableLog::open(
+            &dir,
+            ftmp_store::LogConfig {
+                segment_bytes: 4096,
+            },
+        )
+        .expect("open victim log");
+        net.with_node(FOUNDERS, move |n, _, _| {
+            n.engine_mut().set_delivery_log(Box::new(log));
+        });
+        dir
+    });
     Cell {
         net,
         checker,
@@ -402,7 +478,16 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         crashed: BTreeSet::new(),
         next_req: 0,
         conns,
+        dlog_dir,
     }
+}
+
+/// ViewChange records in a recovered stream.
+fn view_records(records: &[ftmp_store::LogRecord]) -> u64 {
+    records
+        .iter()
+        .filter(|r| matches!(r, ftmp_store::LogRecord::ViewChange(_)))
+        .count() as u64
 }
 
 /// Render a failing cell's counterexample: the first violating observation
@@ -441,6 +526,15 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
                 cell.net.crash(4);
                 cell.crashed.insert(4);
                 cell.checker.retire(4);
+            }
+            Scenario::CrashRestart if step == steps / 3 => {
+                cell.net.crash(FOUNDERS);
+                cell.crashed.insert(FOUNDERS);
+                cell.checker.retire(FOUNDERS);
+            }
+            Scenario::CrashRestart if step == (steps * 2) / 3 => {
+                let sponsor = cell.alive()[0];
+                cell.restart_from_log(FOUNDERS, sponsor);
             }
             Scenario::PartitionHeal if step == steps / 4 => {
                 cell.net.partition(vec![vec![1, 2, 3], vec![4]]);
@@ -486,14 +580,19 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
     cell.checker.finish(live.iter().copied());
     let violations = cell.checker.violation_count();
     let counterexample = (violations > 0).then(|| build_counterexample(&cell, &live));
-    CellVerdict {
+    let verdict = CellVerdict {
         scenario: scenario.name(),
         seed,
         observations: cell.checker.observed(),
         delivered: cell.checker.delivered(),
         violations,
         counterexample,
+    };
+    if let Some(dir) = &cell.dlog_dir {
+        drop(cell.net); // close the victim's log before deleting it
+        let _ = std::fs::remove_dir_all(dir);
     }
+    verdict
 }
 
 #[cfg(test)]
@@ -502,6 +601,22 @@ mod tests {
     use crate::obs::Event;
     use ftmp_core::observe::Observation;
     use ftmp_core::{SeqNum, Timestamp};
+
+    /// The recovery path end to end inside the sweep: a founder with a
+    /// durable log crashes mid-traffic, restarts from the log, rejoins
+    /// under its old id, and the whole run — across the restart boundary —
+    /// stays conformant under all seven oracles.
+    #[test]
+    fn crash_restart_cell_runs_clean_across_the_boundary() {
+        let v = run_cell(Scenario::CrashRestart, 0x5EED, 36, 4096);
+        assert_eq!(
+            v.violations,
+            0,
+            "{}",
+            v.counterexample.as_deref().unwrap_or("no counterexample")
+        );
+        assert!(v.delivered > 0, "workload must deliver");
+    }
 
     /// Force an oracle violation in an otherwise healthy cell and check the
     /// rendered counterexample splices in the flight-recorder dumps of the

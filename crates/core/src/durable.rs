@@ -1,0 +1,27 @@
+//! The durable delivery-log sink (DESIGN.md §12).
+//!
+//! A [`DeliveryLog`] receives exactly what the Action spine hands the
+//! application — ordered deliveries and installed membership views — at the
+//! moment they are emitted. Like the observation and telemetry sinks, it is
+//! `None` by default, each hook is a single `is_some` branch, and nothing a
+//! log implementation does can feed back into the protocol: the trait has
+//! no outputs. The golden trace-hash tests pin that wire traffic is
+//! bit-identical with the sink attached and detached.
+//!
+//! The on-disk implementation lives in `ftmp-store` (which depends on this
+//! crate, not the other way around); anything implementing the two hooks —
+//! a file log, a test counter — can ride the same seam.
+
+use crate::actions::Delivery;
+use crate::ids::{GroupId, ProcessorId, Timestamp};
+
+/// Sink for the events a restarted member needs to reconstruct its
+/// delivery history: every ordered delivery and every installed view.
+pub trait DeliveryLog {
+    /// An ordered message was delivered to the application.
+    fn on_delivery(&mut self, d: &Delivery);
+
+    /// A membership view was installed locally (including a joiner's own
+    /// first view at join commit).
+    fn on_view_change(&mut self, group: GroupId, members: &[ProcessorId], ts: Timestamp);
+}

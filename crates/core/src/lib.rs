@@ -33,7 +33,9 @@
 //! [`observe`] the typed observation stream the `ftmp-check` conformance
 //! oracles consume (off by default, zero-cost when off); [`telemetry`] the
 //! per-processor metrics hooks and flight recorder (DESIGN.md §10, same
-//! off-by-default contract); [`stats`]
+//! off-by-default contract); [`durable`] the delivery-log sink trait the
+//! `ftmp-store` on-disk log implements (DESIGN.md §12, same contract);
+//! [`stats`]
 //! the counter types, including the per-layer
 //! [`LayerCounters`](stats::LayerCounters); [`processor`] the composition
 //! shell tying the three layers into one endpoint; [`sim_adapter`] plugs an
@@ -50,6 +52,7 @@ pub mod actions;
 pub mod adaptive;
 pub mod clock;
 pub mod config;
+pub mod durable;
 pub mod ids;
 pub mod observe;
 pub mod pack;
@@ -67,6 +70,7 @@ pub use clock::{Clock, ClockMode};
 pub use config::{
     FlowControl, PackPolicy, Packing, ProtocolConfig, Quorum, RetransmitPolicy, TimerPolicy,
 };
+pub use durable::DeliveryLog;
 pub use ids::{
     ConnectionId, FtDomainId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };

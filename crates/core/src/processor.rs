@@ -218,6 +218,10 @@ pub struct Processor {
     /// counters, flight recorder. Same contract as `obs`: `None` (the
     /// default) makes every hook a single `is_some` branch.
     tel: Option<Box<Telemetry>>,
+    /// Durable delivery-log sink (DESIGN.md §12). Same contract again:
+    /// `None` by default, one branch per hook, and the trait has no outputs
+    /// so a log can never perturb the protocol.
+    dlog: Option<Box<dyn crate::durable::DeliveryLog>>,
     /// Reusable body-encode scratch: every outgoing message's CDR body is
     /// written into this one buffer, so steady-state sends pay a single
     /// exact-size output allocation (the [`Bytes`] that the Send action,
@@ -269,6 +273,7 @@ impl Processor {
             stats: ProcessorStats::default(),
             obs: None,
             tel: None,
+            dlog: None,
             enc_body: CdrWriter::new(ByteOrder::native()),
             batch_depth: 0,
         }
@@ -318,6 +323,25 @@ impl Processor {
         self.tel.as_deref()
     }
 
+    /// Attach a durable delivery log (DESIGN.md §12). From this point every
+    /// ordered delivery and installed view is handed to `log`; protocol
+    /// behaviour — and wire traffic — is unaffected (the golden trace-hash
+    /// test pins this).
+    pub fn set_delivery_log(&mut self, log: Box<dyn crate::durable::DeliveryLog>) {
+        self.dlog = Some(log);
+    }
+
+    /// Whether a durable delivery log is attached.
+    pub fn delivery_log_enabled(&self) -> bool {
+        self.dlog.is_some()
+    }
+
+    /// Detach and return the delivery log, e.g. to sync or inspect it at
+    /// shutdown.
+    pub fn take_delivery_log(&mut self) -> Option<Box<dyn crate::durable::DeliveryLog>> {
+        self.dlog.take()
+    }
+
     /// Render the current flight-recorder ring, when telemetry is enabled.
     pub fn flight_dump(&self) -> Option<String> {
         self.tel.as_deref().map(Telemetry::render_flight)
@@ -336,6 +360,11 @@ impl Processor {
     /// conviction observations; a joiner's committed join additionally emits
     /// its first view at the JoinedGroup site, where the membership is known.
     pub(crate) fn emit_event(&mut self, e: ProtocolEvent) {
+        if let Some(log) = self.dlog.as_deref_mut() {
+            if let ProtocolEvent::MembershipChange { group, members, ts } = &e {
+                log.on_view_change(*group, members, *ts);
+            }
+        }
         if let Some(obs) = &mut self.obs {
             match &e {
                 ProtocolEvent::MembershipChange { group, members, ts } => {

@@ -34,7 +34,7 @@ impl Processor {
                             ts: m.ts,
                         });
                     }
-                    self.sink.deliver(Delivery {
+                    let d = Delivery {
                         group: gid,
                         conn,
                         request_num,
@@ -42,7 +42,11 @@ impl Processor {
                         seq: m.seq,
                         ts: m.ts,
                         giop: giop.clone(),
-                    });
+                    };
+                    if let Some(log) = self.dlog.as_deref_mut() {
+                        log.on_delivery(&d);
+                    }
+                    self.sink.deliver(d);
                 } else if m.source == self.id {
                     // The connection was re-addressed under this message
                     // (§7): retransmit on the new binding.
@@ -113,14 +117,19 @@ impl Processor {
                     // is the AddProcessor's `ts`, so this view's identity
                     // matches the MembershipChange the existing members
                     // install for the same operation.
-                    if let Some(obs) = &mut self.obs {
+                    if self.obs.is_some() || self.dlog.is_some() {
                         let members: Vec<ProcessorId> = g.pgmp.membership.iter().copied().collect();
                         let ts = g.pgmp.membership_ts;
-                        obs.push(Observation::ViewInstalled {
-                            group: gid,
-                            members,
-                            ts,
-                        });
+                        if let Some(log) = self.dlog.as_deref_mut() {
+                            log.on_view_change(gid, &members, ts);
+                        }
+                        if let Some(obs) = &mut self.obs {
+                            obs.push(Observation::ViewInstalled {
+                                group: gid,
+                                members,
+                                ts,
+                            });
+                        }
                     }
                     self.emit_event(ProtocolEvent::JoinedGroup { group: gid });
                     self.flush_pending(now, gid);

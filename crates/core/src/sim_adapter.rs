@@ -456,6 +456,72 @@ mod tests {
         assert!(snap.counter("deliveries").unwrap_or(0) > 0);
     }
 
+    /// The durable delivery-log sink (DESIGN.md §12) is observation only,
+    /// like telemetry: with a log attached to every engine the wire trace
+    /// still matches the pinned golden hash bit for bit, while deliveries
+    /// actually reach the sink. Together with the two tests above this pins
+    /// bit-identical wire traffic with the log disabled *and* enabled.
+    #[test]
+    fn delivery_log_on_wire_trace_identical_and_records_flow() {
+        use crate::durable::DeliveryLog;
+        use crate::ids::{GroupId, Timestamp};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Counts {
+            deliveries: u64,
+            views: u64,
+        }
+        struct CountingLog(Rc<RefCell<Counts>>);
+        impl DeliveryLog for CountingLog {
+            fn on_delivery(&mut self, _d: &crate::processor::Delivery) {
+                self.0.borrow_mut().deliveries += 1;
+            }
+            fn on_view_change(&mut self, _g: GroupId, _m: &[ProcessorId], _ts: Timestamp) {
+                self.0.borrow_mut().views += 1;
+            }
+        }
+
+        let counts: Rc<RefCell<Counts>> = Rc::default();
+        let mut net = build_net(3, SimConfig::with_seed(7), ProtocolConfig::with_seed(7));
+        for id in 1u32..=3 {
+            let c = Rc::clone(&counts);
+            net.with_node(id, move |n, _, _| {
+                n.engine_mut().set_delivery_log(Box::new(CountingLog(c)));
+                assert!(n.engine().delivery_log_enabled());
+            });
+        }
+        net.enable_trace(1 << 16);
+        for id in 1u32..=3 {
+            net.with_node(id, |n, now, out| {
+                for k in 0..3u64 {
+                    n.engine_mut()
+                        .multicast_request(
+                            now,
+                            conn(),
+                            RequestNum(u64::from(id) * 10 + k),
+                            Bytes::from(vec![id as u8; 32]),
+                        )
+                        .unwrap();
+                }
+                n.pump(out);
+            });
+        }
+        net.run_for(SimDuration::from_millis(100));
+        assert_eq!(
+            trace_hash(&net),
+            0x40E7_EDBA_EE0B_E021,
+            "attaching a delivery log perturbed the wire traffic"
+        );
+        let c = counts.borrow();
+        assert_eq!(
+            c.deliveries, 27,
+            "all three engines logged all nine deliveries"
+        );
+        let _ = c.views; // founding members install no later views here
+    }
+
     /// S3 regression, at wire level: the survivor's outgoing ack timestamp
     /// never moves backwards across suspicion, conviction and removal of
     /// every peer (an ack regression would let peers' retention logic

@@ -45,6 +45,7 @@ pub struct FtmpWorld {
     /// Member count.
     pub n: u32,
     group: GroupId,
+    addr: McastAddr,
     send_times: HashMap<(u32, u64), u64>,
     next_req: u64,
 }
@@ -69,6 +70,7 @@ impl FtmpWorld {
             net,
             n,
             group,
+            addr,
             send_times: HashMap::new(),
             next_req: 0,
         }
@@ -76,12 +78,13 @@ impl FtmpWorld {
 
     /// Wrap an externally assembled simulator (custom per-node clock modes
     /// or configs); the nodes must already share `group` with the world
-    /// connection bound.
+    /// connection bound, on the standard world multicast address (100).
     pub fn from_parts(net: SimNet<SimProcessor>, n: u32, group: GroupId) -> Self {
         FtmpWorld {
             net,
             n,
             group,
+            addr: McastAddr(100),
             send_times: HashMap::new(),
             next_req: 0,
         }
@@ -182,6 +185,58 @@ impl FtmpWorld {
         let checker = ftmp_check::Checker::new(self.group, &founders);
         checker.attach_all(&mut self.net, 1..=self.n);
         checker
+    }
+
+    /// Attach a durable delivery log (`ftmp-store`, DESIGN.md §12) to
+    /// member `id`: every ordered delivery and installed view persists to
+    /// `dir` from this point on. Wire traffic is unaffected.
+    pub fn enable_durable_log(&mut self, id: u32, dir: &std::path::Path) {
+        let log = ftmp_store::DurableLog::open(dir, ftmp_store::LogConfig::default())
+            .expect("open durable log");
+        self.net.with_node(id, move |node, _, _| {
+            node.engine_mut().set_delivery_log(Box::new(log));
+        });
+    }
+
+    /// Crash a member: it stops ticking and receives nothing until revived.
+    pub fn crash(&mut self, id: u32) {
+        self.net.crash(id);
+    }
+
+    /// Restart a crashed member from its durable log directory
+    /// (crash→restart→rejoin, DESIGN.md §12). Recovers the log — torn tail
+    /// truncated, corruption quarantined — re-derives the delivered
+    /// horizon, builds a fresh engine under the same processor id that
+    /// expects to be re-added (§7.1 join), reattaches a durable log on the
+    /// same directory (new segment), revives the node and has `sponsor`
+    /// re-add it. Returns the recovered state so the caller can drive
+    /// delta state transfer from the horizon. The §7.1 add still needs
+    /// simulated time to complete — run the world afterwards.
+    pub fn restart_from_log(
+        &mut self,
+        id: u32,
+        dir: &std::path::Path,
+        sponsor: u32,
+        proto: ProtocolConfig,
+        clock: ClockMode,
+    ) -> ftmp_store::RecoveredState {
+        let recovered = ftmp_store::recover(dir).expect("log recovery");
+        let state = ftmp_store::RecoveredState::from_records(&recovered.records);
+        let mut engine = Processor::new(ProcessorId(id), proto, clock);
+        engine.expect_join(self.group, self.addr);
+        engine.bind_connection(world_conn(), self.group);
+        let log = ftmp_store::DurableLog::open(dir, ftmp_store::LogConfig::default())
+            .expect("reopen durable log");
+        engine.set_delivery_log(Box::new(log));
+        self.net.revive(id, SimProcessor::new(engine));
+        self.net
+            .with_node(id, |node, now, out| node.pump_at(now, out));
+        let group = self.group;
+        self.net.with_node(sponsor, move |node, now, out| {
+            node.engine_mut().add_processor(now, group, ProcessorId(id));
+            node.pump_at(now, out);
+        });
+        state
     }
 
     /// The member ids still alive (not crashed) in this world.

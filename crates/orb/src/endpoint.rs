@@ -216,6 +216,51 @@ impl OrbEndpoint {
         self.host_replica(og, object_key, servant);
     }
 
+    /// Delta variant of [`activate_replica`] for crash→restart→rejoin
+    /// (DESIGN.md §12). The restarted replica replays its **own** durable
+    /// log first — every request it had delivered and executed before the
+    /// crash — then only the donor's *suffix* past the persisted horizon,
+    /// not a full snapshot. Both passes run through the same exactly-once
+    /// gate, so overlap at the horizon is harmless: a request present in
+    /// both streams executes once. Reply entries warm the reply-side
+    /// duplicate detector without invoking anything, and every accepted
+    /// entry is re-appended to the in-memory replay log so this replica
+    /// can itself donate later.
+    ///
+    /// [`activate_replica`]: OrbEndpoint::activate_replica
+    pub fn activate_replica_delta(
+        &mut self,
+        og: ObjectGroupId,
+        object_key: impl Into<Vec<u8>>,
+        mut servant: Box<dyn Servant>,
+        conn: ConnectionId,
+        own: &[crate::log::LogEntry],
+        donor_delta: &[crate::log::LogEntry],
+    ) {
+        for e in own.iter().chain(donor_delta) {
+            match e.kind {
+                crate::log::LogKind::Request => {
+                    if !self.shards.first_execution(conn, e.request_num) {
+                        continue; // overlap at the horizon: already applied
+                    }
+                    if let Ok(Inbound::Request {
+                        operation, args, ..
+                    }) = giop_map::parse(&e.giop)
+                    {
+                        let _ = servant.invoke(&operation, &args);
+                    }
+                    self.log.append(conn, e.clone());
+                }
+                crate::log::LogKind::Reply => {
+                    if self.shards.first_reply(conn, e.request_num) {
+                        self.log.append(conn, e.clone());
+                    }
+                }
+            }
+        }
+        self.host_replica(og, object_key, servant);
+    }
+
     /// Issue a LocateRequest for `object_key` (CORBA's "where does this
     /// object live?"); completes with [`InvocationResult::Located`].
     pub fn locate(&mut self, conn: ConnectionId, object_key: &[u8]) -> RequestNum {

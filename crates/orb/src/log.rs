@@ -34,6 +34,34 @@ pub struct LogEntry {
     pub giop: Bytes,
 }
 
+impl LogEntry {
+    /// Classify raw delivered GIOP bytes into a replayable entry — the
+    /// bridge from a durable delivered-message record (`ftmp-store`) back
+    /// into the in-memory replay log after a restart. Returns `None` for
+    /// messages with no replay semantics (Locate traffic, cancels, closes,
+    /// undecodable bytes).
+    pub fn classify(
+        request_num: RequestNum,
+        source: ProcessorId,
+        ts: Timestamp,
+        giop: Bytes,
+    ) -> Option<Self> {
+        use crate::giop_map::{parse, Inbound};
+        let kind = match parse(&giop).ok()? {
+            Inbound::Request { .. } => LogKind::Request,
+            Inbound::Reply { .. } | Inbound::ExceptionReply { .. } => LogKind::Reply,
+            _ => return None,
+        };
+        Some(LogEntry {
+            request_num,
+            kind,
+            source,
+            ts,
+            giop,
+        })
+    }
+}
+
 /// An append-only, per-connection log of ordered deliveries.
 #[derive(Debug, Default)]
 pub struct MessageLog {

@@ -32,7 +32,7 @@
 use crate::dup::DuplicateDetector;
 use ftmp_core::{ConnectionId, RequestNum};
 use ftmp_net::SimTime;
-use ftmp_telemetry::{Histogram, HistogramSnapshot};
+use ftmp_telemetry::{Histogram, HistogramSnapshot, Registry};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Default shard count (power of two).
@@ -166,6 +166,58 @@ impl ShardSet {
             .iter()
             .map(|s| s.executed.evictions + s.replied.evictions)
             .sum()
+    }
+
+    /// Fold the duplicate-suppression counters into a telemetry registry
+    /// (the `FTMP_METRICS_DIR` snapshot path). Counters add, so feed a
+    /// fresh or merge-target registry.
+    pub fn register_metrics(&self, reg: &mut Registry) {
+        let (req, rep) = self.suppression_counts();
+        let id = reg.counter("orb_requests_suppressed");
+        reg.inc(id, req);
+        let id = reg.counter("orb_replies_suppressed");
+        reg.inc(id, rep);
+        let id = reg.counter("orb_dup_evictions");
+        reg.inc(id, self.dup_evictions());
+    }
+
+    // ---- durable-recovery warm start --------------------------------------
+
+    /// Re-mark recovered request numbers as executed (server side). The §4
+    /// watermark and sparse residue re-derive by replaying the numbers
+    /// through the detector's own fold — there is no second fold
+    /// implementation to drift. Returns how many were fresh (a recovered
+    /// log holds no duplicates, so normally all of them).
+    pub fn warm_start_executed(
+        &mut self,
+        conn: ConnectionId,
+        nums: impl IntoIterator<Item = RequestNum>,
+    ) -> u64 {
+        let s = self.shard_mut(conn);
+        let mut fresh = 0;
+        for n in nums {
+            if s.executed.first_sighting(conn, n) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Re-mark recovered request numbers as replied (client side); the
+    /// mirror of [`ShardSet::warm_start_executed`].
+    pub fn warm_start_replied(
+        &mut self,
+        conn: ConnectionId,
+        nums: impl IntoIterator<Item = RequestNum>,
+    ) -> u64 {
+        let s = self.shard_mut(conn);
+        let mut fresh = 0;
+        for n in nums {
+            if s.replied.first_sighting(conn, n) {
+                fresh += 1;
+            }
+        }
+        fresh
     }
 
     // ---- request/reply matching -------------------------------------------

@@ -53,3 +53,11 @@ bench:
 # 3/5/7 replicas plus the 10k-connection soak (BENCH_e2e.json).
 bench-e2e:
     cargo run --release -p ftmp-bench --bin e2e_snapshot
+
+# Crash→restart→rejoin gate (DESIGN.md §12): the durable-log integration
+# tests, the CrashRestart sweep cell, then the E16 recovery snapshot
+# (results/e16.json + results/e16_metrics.json).
+recover:
+    cargo test --release --test durable_recovery
+    cargo test --release -p ftmp-check crash_restart
+    FTMP_METRICS_DIR=results cargo run --release -p ftmp-bench --bin e16_recovery

@@ -11,7 +11,8 @@
 //! * [`orb`] — miniature fault-tolerant ORB over FTMP,
 //! * [`baselines`] — sequencer / token-ring / unicast baselines,
 //! * [`harness`] — experiment workloads, sweeps and metrics,
-//! * [`check`] — online conformance oracles + schedule-sweep driver.
+//! * [`check`] — online conformance oracles + schedule-sweep driver,
+//! * [`store`] — durable delivered-message log with crash-restart recovery.
 //!
 //! # Example
 //!
@@ -55,3 +56,4 @@ pub use ftmp_giop as giop;
 pub use ftmp_harness as harness;
 pub use ftmp_net as net;
 pub use ftmp_orb as orb;
+pub use ftmp_store as store;
