@@ -22,6 +22,8 @@ struct Saturation {
     replicas: u32,
     msgs_sent: u64,
     deliveries: u64,
+    datagrams_sent: u64,
+    datagrams_per_delivery: f64,
     wall_ms: f64,
     msgs_per_sec: f64,
     deliveries_per_sec: f64,
@@ -64,10 +66,20 @@ fn saturation(n: u32) -> Saturation {
     }
     let msgs_sent = u64::from(ROUNDS * BURST);
     let secs = wall_ms / 1_000.0;
+    // Wire cost of the run: every datagram any node handed to the network
+    // (data, packed containers, heartbeats, repair), normalized per ordered
+    // delivery so replica counts compare on overhead, not raw volume.
+    let datagrams_sent = w.net.stats().sent_packets;
     Saturation {
         replicas: n,
         msgs_sent,
         deliveries,
+        datagrams_sent,
+        datagrams_per_delivery: if deliveries > 0 {
+            datagrams_sent as f64 / deliveries as f64
+        } else {
+            0.0
+        },
         wall_ms,
         msgs_per_sec: msgs_sent as f64 / secs,
         deliveries_per_sec: deliveries as f64 / secs,
@@ -181,12 +193,15 @@ fn main() {
     for (i, s) in sats.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"replicas\": {}, \"msgs_sent\": {}, \"deliveries\": {}, \"wall_ms\": {:.1}, \
+            "    {{\"replicas\": {}, \"msgs_sent\": {}, \"deliveries\": {}, \
+             \"datagrams_sent\": {}, \"datagrams_per_delivery\": {:.3}, \"wall_ms\": {:.1}, \
              \"sustained_msgs_per_sec\": {:.0}, \"deliveries_per_sec\": {:.0}, \
              \"p99_e2e_us\": {}, \"all_agree\": {}}}{}",
             s.replicas,
             s.msgs_sent,
             s.deliveries,
+            s.datagrams_sent,
+            s.datagrams_per_delivery,
             s.wall_ms,
             s.msgs_per_sec,
             s.deliveries_per_sec,

@@ -5,8 +5,8 @@
 
 use bytes::Bytes;
 use ftmp_core::{
-    wire, ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId, ProtocolConfig,
-    RequestNum, SimProcessor, TimerPolicy,
+    wire, ClockMode, ConnectionId, GroupId, ObjectGroupId, OverlayPolicy, PackPolicy, Packing,
+    Processor, ProcessorId, ProtocolConfig, RequestNum, SimProcessor, TimerPolicy,
 };
 use ftmp_net::{
     LinkDegrade, LinkSelector, LossModel, McastAddr, NodeId, SimConfig, SimDuration, SimNet,
@@ -60,11 +60,16 @@ pub enum Scenario {
     /// under the same processor id — the DESIGN.md §12 recovery path, with
     /// all seven oracles checking across the restart boundary.
     CrashRestart,
+    /// A 64- or 128-member group (seed parity picks the size) running the
+    /// tree-mode dissemination overlay with packing on, plus a join and a
+    /// leave mid-run: each view change forces an overlay rebuild with all
+    /// seven oracles watching (DESIGN.md §13).
+    LargeGroup,
 }
 
 impl Scenario {
     /// The full matrix.
-    pub const ALL: [Scenario; 9] = [
+    pub const ALL: [Scenario; 10] = [
         Scenario::Lossless,
         Scenario::IidLoss,
         Scenario::BurstLoss,
@@ -74,6 +79,7 @@ impl Scenario {
         Scenario::LatencySpike,
         Scenario::ConnSoak,
         Scenario::CrashRestart,
+        Scenario::LargeGroup,
     ];
 
     /// Stable name for verdicts and JSON.
@@ -88,6 +94,38 @@ impl Scenario {
             Scenario::LatencySpike => "latency-spike",
             Scenario::ConnSoak => "conn-soak-10k",
             Scenario::CrashRestart => "crash-restart",
+            Scenario::LargeGroup => "large-group",
+        }
+    }
+
+    /// Protocol shaping shared by a cell's founders *and* any member joining
+    /// mid-run: the overlay scenario needs joiners to speak tree mode too,
+    /// or the new member would never subscribe to its neighborhood.
+    fn shape(self, proto: ProtocolConfig) -> ProtocolConfig {
+        match self {
+            Scenario::LargeGroup => proto
+                .packing(Packing::with(
+                    1400,
+                    PackPolicy::Deadline(SimDuration::from_micros(500)),
+                ))
+                .overlay(OverlayPolicy::Tree { arity: 4 }),
+            _ => proto,
+        }
+    }
+
+    /// Founding-member count: LargeGroup alternates 64/128 by seed parity
+    /// so a multi-seed sweep covers both sizes; every other cell keeps the
+    /// classic 4-founder group.
+    fn founders(self, seed: u64) -> u32 {
+        match self {
+            Scenario::LargeGroup => {
+                if seed.is_multiple_of(2) {
+                    128
+                } else {
+                    64
+                }
+            }
+            _ => FOUNDERS,
         }
     }
 }
@@ -260,6 +298,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
 }
 
 struct Cell {
+    scenario: Scenario,
     net: SimNet<SimProcessor>,
     checker: Checker,
     rng: SmallRng,
@@ -312,7 +351,7 @@ impl Cell {
         let seed = self.rng.gen();
         let mut e = Processor::new(
             ProcessorId(joiner),
-            ProtocolConfig::with_seed(seed),
+            self.scenario.shape(ProtocolConfig::with_seed(seed)),
             ClockMode::Lamport,
         );
         e.expect_join(GROUP, ADDR);
@@ -404,7 +443,8 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         | Scenario::Crash
         | Scenario::Churn
         | Scenario::ConnSoak
-        | Scenario::CrashRestart => {}
+        | Scenario::CrashRestart
+        | Scenario::LargeGroup => {}
         Scenario::IidLoss => {
             sim = sim.loss(LossModel::Iid { p: 0.08 });
         }
@@ -429,10 +469,12 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
                 .timer_policy(TimerPolicy::Adaptive);
         }
     }
+    let proto = scenario.shape(proto);
+    let founders_n = scenario.founders(seed);
     let mut net = SimNet::new(sim);
     net.set_classifier(wire::classify);
     net.enable_trace(trace_capacity);
-    let founders: Vec<ProcessorId> = (1..=FOUNDERS).map(ProcessorId).collect();
+    let founders: Vec<ProcessorId> = (1..=founders_n).map(ProcessorId).collect();
     let checker = Checker::new(GROUP, &founders);
     // §7: several logical connections share one processor group and one
     // multicast address; the soak binds ten thousand of them.
@@ -443,7 +485,7 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
     } else {
         vec![conn()]
     };
-    for id in 1..=FOUNDERS {
+    for id in 1..=founders_n {
         let mut e = Processor::new(ProcessorId(id), proto.clone(), ClockMode::Lamport);
         e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
         for &c in &conns {
@@ -471,10 +513,11 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         dir
     });
     Cell {
+        scenario,
         net,
         checker,
         rng: SmallRng::seed_from_u64(seed ^ 0x00C0_4F0C_A11E_D5EE),
-        members: (1..=FOUNDERS).collect(),
+        members: (1..=founders_n).collect(),
         crashed: BTreeSet::new(),
         next_req: 0,
         conns,
@@ -556,6 +599,20 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
                     cell.leave(2, sponsor);
                 }
             }
+            // Overlay churn: a join then a leave, each installing a view
+            // that rebuilds every member's dissemination tree mid-traffic.
+            Scenario::LargeGroup if step == steps / 3 => {
+                let sponsor = cell.alive()[0];
+                let joiner = cell.members.iter().max().copied().unwrap_or(0) + 1;
+                cell.join(joiner, sponsor);
+            }
+            Scenario::LargeGroup if step == (steps * 2) / 3 => {
+                let alive = cell.alive();
+                if alive.contains(&2) {
+                    let sponsor = *alive.iter().find(|&&id| id != 2).expect("majority");
+                    cell.leave(2, sponsor);
+                }
+            }
             _ => {}
         }
         cell.step();
@@ -616,6 +673,25 @@ mod tests {
             v.counterexample.as_deref().unwrap_or("no counterexample")
         );
         assert!(v.delivered > 0, "workload must deliver");
+    }
+
+    /// The overlay cell end to end: tree mode (arity 4, packing on) with a
+    /// join and a leave mid-run — all seven oracles stay clean through both
+    /// forced tree rebuilds. Seeds alternate 64/128 members by parity; the
+    /// default budget runs one 64-member cell, the `large-group` CI job
+    /// widens to 8 seeds (both sizes) via `CONFORMANCE_SEEDS`.
+    #[test]
+    fn large_group_cell_runs_clean_through_churn() {
+        for seed in 0x5EED..0x5EED + seed_budget(1) {
+            let v = run_cell(Scenario::LargeGroup, seed, 24, 4096);
+            assert_eq!(
+                v.violations,
+                0,
+                "seed {seed}: {}",
+                v.counterexample.as_deref().unwrap_or("no counterexample")
+            );
+            assert!(v.delivered > 0, "seed {seed}: workload must deliver");
+        }
     }
 
     /// Force an oracle violation in an otherwise healthy cell and check the

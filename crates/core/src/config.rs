@@ -158,6 +158,28 @@ impl Packing {
     }
 }
 
+/// Dissemination-overlay topology for control traffic (DESIGN.md §13).
+///
+/// Flat is the paper's full-mesh LAN model: every member heartbeats, acks
+/// and repairs over the group address, O(n²) control datagrams per interval.
+/// Tree routes that control plane over a deterministic k-ary tree computed
+/// from the current view: each member exchanges aggregated per-member
+/// digests only with its tree parent and children, and NACK repair tries
+/// the tree neighborhood before escalating to the whole group. Reliable
+/// data traffic is unaffected. Off (Flat) by default: the default wire
+/// traffic stays byte-for-byte identical to the historical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlayPolicy {
+    /// Full-mesh control traffic over the group address (paper baseline).
+    #[default]
+    Flat,
+    /// Control traffic over a deterministic k-ary dissemination tree.
+    Tree {
+        /// Children per interior node (clamped to ≥ 2 at tree build).
+        arity: usize,
+    },
+}
+
 /// All FTMP protocol tunables, with defaults sized for the simulated LAN.
 #[derive(Debug, Clone)]
 pub struct ProtocolConfig {
@@ -195,6 +217,8 @@ pub struct ProtocolConfig {
     pub flow_control: FlowControl,
     /// Datagram packing + ack piggybacking (disabled by default).
     pub packing: Packing,
+    /// Control-traffic dissemination topology (Flat by default).
+    pub overlay: OverlayPolicy,
 }
 
 impl Default for ProtocolConfig {
@@ -214,6 +238,7 @@ impl Default for ProtocolConfig {
             timer_policy: TimerPolicy::Fixed,
             flow_control: FlowControl::default(),
             packing: Packing::default(),
+            overlay: OverlayPolicy::Flat,
         }
     }
 }
@@ -298,6 +323,12 @@ impl ProtocolConfig {
         self.packing = p;
         self
     }
+
+    /// Builder-style overlay override.
+    pub fn overlay(mut self, o: OverlayPolicy) -> Self {
+        self.overlay = o;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -342,7 +373,8 @@ mod tests {
             .packing(Packing::with(
                 512,
                 PackPolicy::Deadline(SimDuration::from_micros(300)),
-            ));
+            ))
+            .overlay(OverlayPolicy::Tree { arity: 4 });
         assert_eq!(c.seed, 7);
         assert_eq!(c.heartbeat_interval.as_millis(), 3);
         assert_eq!(c.suspect_quorum, Quorum::Fixed(1));
@@ -362,6 +394,13 @@ mod tests {
             c.packing.policy,
             PackPolicy::Deadline(SimDuration::from_micros(300))
         );
+        assert_eq!(c.overlay, OverlayPolicy::Tree { arity: 4 });
+    }
+
+    #[test]
+    fn overlay_defaults_flat() {
+        assert_eq!(ProtocolConfig::default().overlay, OverlayPolicy::Flat);
+        assert_eq!(OverlayPolicy::default(), OverlayPolicy::Flat);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod config;
 pub mod durable;
 pub mod ids;
 pub mod observe;
+pub mod overlay;
 pub mod pack;
 pub mod pgmp;
 pub mod processor;
@@ -68,7 +69,8 @@ pub mod wire;
 pub use adaptive::{Interarrival, RttEstimator};
 pub use clock::{Clock, ClockMode};
 pub use config::{
-    FlowControl, PackPolicy, Packing, ProtocolConfig, Quorum, RetransmitPolicy, TimerPolicy,
+    FlowControl, OverlayPolicy, PackPolicy, Packing, ProtocolConfig, Quorum, RetransmitPolicy,
+    TimerPolicy,
 };
 pub use durable::DeliveryLog;
 pub use ids::{

@@ -49,11 +49,12 @@ use crate::actions::ActionSink;
 pub use crate::actions::{Action, Delivery, ProtocolEvent};
 use crate::adaptive::{self, RttEstimator};
 use crate::clock::{Clock, ClockMode};
-use crate::config::{FlowControl, ProtocolConfig, RetransmitPolicy};
+use crate::config::{FlowControl, OverlayPolicy, ProtocolConfig, RetransmitPolicy};
 use crate::ids::{
     ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum, SeqNum, Timestamp,
 };
 use crate::observe::Observation;
+use crate::overlay::{overlay_addr, OverlayTree};
 use crate::pack::Packer;
 use crate::pgmp::{
     ConnectionTable, PendingConnect, PgmpGroup, PgmpInput, PgmpOutput, ServerRegistration,
@@ -125,8 +126,55 @@ struct GroupState {
     vector_seen_at: Option<SimTime>,
     /// One suppression is counted per send-gap, not per tick.
     hb_deferred_since_send: bool,
+    /// Last time ordered delivery made progress (or the queue was observed
+    /// empty) — a queue stalled past half the fault-detector timeout marks
+    /// this node as starving in tree mode.
+    last_progress: SimTime,
+    /// Rate limiters for the tree-mode solicitation fallback: when we last
+    /// broadcast a solicit digest, and when we last answered one.
+    last_solicit_sent: SimTime,
+    last_solicit_answered: SimTime,
+    /// Tombstones of voluntarily removed members: `(member, contiguous
+    /// seq, horizon ts, ack ts)` captured at the instant we ordered the
+    /// RemoveProcessor — at which point our horizon for the leaver had
+    /// necessarily passed the remove's timestamp. A laggard that missed
+    /// the leaver's last heartbeats can be handed exactly this evidence
+    /// (see `maybe_rescue_laggard`). Bounded to the last few departures.
+    departed: VecDeque<(ProcessorId, u64, Timestamp, Timestamp)>,
+    /// Rate limiter for laggard rescues.
+    last_rescue_sent: SimTime,
     /// Encoded piggyback vector memoized against `Ordering::ack_version`.
     vec_cache: Option<(u64, Bytes)>,
+    /// Tree-mode dissemination overlay for the current view, lazily
+    /// (re)built on the tick after a view installs (DESIGN.md §13). Always
+    /// `None` under [`OverlayPolicy::Flat`].
+    overlay: Option<OverlayState>,
+}
+
+/// Where an [`FtmpBody::OverlayDigest`] is bound (DESIGN.md §13): the
+/// steady-state neighborhood beacon, or the group-address solicitation
+/// fallback (the starving node's request and a member's answer to one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DigestDest {
+    Neighborhood,
+    Solicit,
+    Answer,
+}
+
+/// The overlay tree for one installed view plus the neighborhood
+/// subscriptions realizing its edges (DESIGN.md §13).
+#[derive(Debug)]
+struct OverlayState {
+    tree: OverlayTree,
+    /// Membership snapshot the tree was computed from; any difference
+    /// triggers a rebuild on the next tick.
+    view_ts: Timestamp,
+    members: BTreeSet<ProcessorId>,
+    /// Our own neighborhood address: we publish digests and neighborhood
+    /// repair here, and our tree neighbors subscribe to it.
+    self_addr: McastAddr,
+    /// The neighbor addresses we currently subscribe to.
+    subscribed: BTreeSet<McastAddr>,
 }
 
 impl GroupState {
@@ -150,7 +198,13 @@ impl GroupState {
             pending_ordered: VecDeque::new(),
             vector_seen_at: None,
             hb_deferred_since_send: false,
+            last_progress: now,
+            last_solicit_sent: now,
+            last_solicit_answered: now,
+            departed: VecDeque::new(),
+            last_rescue_sent: now,
             vec_cache: None,
+            overlay: None,
         }
     }
 
@@ -745,12 +799,225 @@ impl Processor {
 
     /// Timer tick: heartbeats, NACKs, retries, the fault detector.
     pub fn tick(&mut self, now: SimTime) {
+        self.ensure_overlay(now);
         self.tick_heartbeats(now);
+        self.tick_overlay_solicits(now);
         self.tick_nacks(now);
         self.tick_fault_detector(now);
         self.tick_retries(now);
         self.tick_provisional_joins(now);
         self.flush_window(now);
+    }
+
+    // --- dissemination overlay (DESIGN.md §13) ------------------------------
+
+    /// Tree mode: make every group's overlay match its installed view,
+    /// rebuilding the tree and diffing neighborhood subscriptions when the
+    /// membership changed. Views install at several places (ordered
+    /// AddProcessor/RemoveProcessor, reconfiguration completion, Connect as
+    /// outsider), so the overlay is reconciled lazily here — at most one
+    /// tick behind, and during that window the stale tree still only routes
+    /// control traffic, never reliable data.
+    fn ensure_overlay(&mut self, _now: SimTime) {
+        let OverlayPolicy::Tree { arity } = self.cfg.overlay else {
+            return;
+        };
+        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for gid in gids {
+            let g = self.groups.get_mut(&gid).expect("listed");
+            let stale = g.overlay.as_ref().is_none_or(|o| {
+                o.view_ts != g.pgmp.membership_ts || o.members != g.pgmp.membership
+            });
+            if !stale {
+                continue;
+            }
+            let tree = OverlayTree::build(g.pgmp.membership.iter().copied(), arity);
+            let want: BTreeSet<McastAddr> = tree
+                .neighbors(self.id)
+                .into_iter()
+                .map(|p| overlay_addr(gid, p))
+                .collect();
+            let had = g.overlay.take().map(|o| o.subscribed).unwrap_or_default();
+            for &a in want.difference(&had) {
+                self.sink.push(Action::Join(a));
+            }
+            for &a in had.difference(&want) {
+                self.sink.push(Action::Leave(a));
+            }
+            let depth = tree.depth();
+            g.overlay = Some(OverlayState {
+                tree,
+                view_ts: g.pgmp.membership_ts,
+                members: g.pgmp.membership.clone(),
+                self_addr: overlay_addr(gid, self.id),
+                subscribed: want,
+            });
+            if let Some(t) = self.tel.as_mut() {
+                t.on_overlay_rebuilt(depth);
+            }
+        }
+    }
+
+    /// The tree-mode heartbeat substitute: one OverlayDigest to our own
+    /// neighborhood address. The header carries our own seq/ts/ack exactly
+    /// like a Heartbeat; the body relays our recorded (contiguous seq,
+    /// horizon ts, ack ts) for every other view member, so each tree edge
+    /// transports the whole subtree's liveness and ack state.
+    ///
+    /// `Solicit` and `Answer` instead broadcast on the flat group address:
+    /// the escape hatch for a node the tree has stopped feeding (its only
+    /// upstream left or wedged). A solicit asks every member to answer with
+    /// its own digest, so one round restores fresh per-member evidence to
+    /// the starving node no matter how the tree was severed.
+    pub(super) fn send_overlay_digest(&mut self, now: SimTime, gid: GroupId, dest: DigestDest) {
+        let Some(g) = self.groups.get(&gid) else {
+            return;
+        };
+        let Some(o) = &g.overlay else {
+            return;
+        };
+        let addr = match dest {
+            DigestDest::Neighborhood => o.self_addr,
+            DigestDest::Solicit | DigestDest::Answer => g.addr,
+        };
+        let acks: BTreeMap<ProcessorId, Timestamp> = g.romp.ordering().reported_acks().collect();
+        let entries: wire::DigestVector = g
+            .pgmp
+            .membership
+            .iter()
+            .filter(|&&p| p != self.id)
+            .map(|&p| {
+                let horizon = g.romp.ordering().horizon_of(p).unwrap_or(Timestamp::ZERO);
+                let ack = acks.get(&p).copied().unwrap_or(Timestamp::ZERO);
+                (p, g.rmp.contiguous_of(p), horizon, ack)
+            })
+            .collect();
+        let count = entries.len();
+        self.send_unreliable_to(
+            now,
+            gid,
+            Some(addr),
+            FtmpBody::OverlayDigest {
+                solicit: matches!(dest, DigestDest::Solicit),
+                entries,
+            },
+        );
+        if let Some(t) = self.tel.as_mut() {
+            t.on_overlay_digest_sent(count);
+            match dest {
+                DigestDest::Neighborhood => {}
+                DigestDest::Solicit => t.on_overlay_solicit(false),
+                DigestDest::Answer => t.on_overlay_solicit(true),
+            }
+        }
+    }
+
+    /// Merge a neighbor's digest: each entry is processed exactly like that
+    /// member's own Heartbeat header — gap evidence for RMP, horizon/ack
+    /// evidence for ROMP — plus a fault-detector refresh when the relayed
+    /// clock strictly advanced (a dead member's clock freezes, so relays
+    /// can never keep a dead member alive).
+    fn handle_overlay_digest(&mut self, now: SimTime, msg: &FtmpMessage) {
+        let FtmpBody::OverlayDigest {
+            solicit,
+            ref entries,
+        } = msg.body
+        else {
+            return;
+        };
+        let gid = msg.group;
+        let mut merged = 0usize;
+        for &(p, seq, ts, ack) in entries {
+            // Skip ourselves (we know better) and the relayer (its own
+            // header was already processed by handle_unreliable_header).
+            if p == self.id || p == msg.source {
+                continue;
+            }
+            let Some(g) = self.groups.get_mut(&gid) else {
+                return;
+            };
+            // Entries about non-members (the relayer's view may lag ours)
+            // must not resurrect horizon slots a removal already cleared.
+            if !g.pgmp.membership.contains(&p) {
+                continue;
+            }
+            let prev = g.romp.ordering().horizon_of(p);
+            let contiguous = match g.rmp.handle(RmpInput::HeaderSeq {
+                source: p,
+                seq: SeqNum(seq),
+            }) {
+                RmpOutput::Noted { contiguous } => contiguous,
+                _ => unreachable!("HeaderSeq input yields Noted"),
+            };
+            let advance = contiguous >= seq;
+            g.romp.handle(RompInput::Evidence {
+                source: p,
+                ts,
+                ack_ts: ack,
+                advance,
+            });
+            // Per-source send timestamps are strictly increasing, so a
+            // strictly larger relayed horizon proves p produced traffic
+            // since we last heard (directly or transitively) from it.
+            if advance && ts > prev.unwrap_or(Timestamp::ZERO) {
+                g.pgmp.note_heard(p, now, true);
+                merged += 1;
+            }
+            if let Some(buf) = self.obs.as_mut() {
+                buf.push(Observation::Acked {
+                    group: gid,
+                    member: p,
+                    ts: ack,
+                });
+            }
+        }
+        if merged > 0 {
+            if let Some(t) = self.tel.as_mut() {
+                t.on_overlay_entries_merged(merged);
+            }
+        }
+        self.try_deliver(now, gid);
+        // A solicit is a starvation beacon: answer with our own digest on
+        // the group address so the sender (and any other cut-off node) gets
+        // fresh per-member headers without a tree path. Rate-limited to one
+        // answer per heartbeat interval so forty simultaneous solicitors
+        // cost one datagram, not forty.
+        if solicit && msg.source != self.id {
+            let answer_due = self.groups.get(&gid).is_some_and(|g| {
+                g.overlay.is_some()
+                    && now.saturating_since(g.last_solicit_answered) >= self.cfg.heartbeat_interval
+            });
+            if answer_due {
+                if let Some(g) = self.groups.get_mut(&gid) {
+                    g.last_solicit_answered = now;
+                }
+                self.send_overlay_digest(now, gid, DigestDest::Answer);
+            }
+        }
+    }
+
+    /// Where a NACK for `src`'s messages should go in tree mode: the first
+    /// two attempts solicit the tree neighborhood (any neighbor holds every
+    /// reliable message, since data still travels on the group address);
+    /// persistent gaps escalate to the whole group. `None` = group address.
+    pub(super) fn overlay_nack_dest(
+        &mut self,
+        gid: GroupId,
+        src: ProcessorId,
+    ) -> Option<McastAddr> {
+        if !matches!(self.cfg.overlay, OverlayPolicy::Tree { .. }) {
+            return None;
+        }
+        let g = self.groups.get(&gid)?;
+        let o = g.overlay.as_ref()?;
+        // nack_requests has already bumped the attempt counter, so this is
+        // the episode ordinal (1 = first request).
+        let escalate = g.rmp.nack_attempts_of(src) > 2;
+        let dest = if escalate { None } else { Some(o.self_addr) };
+        if let Some(t) = self.tel.as_mut() {
+            t.on_overlay_repair(escalate);
+        }
+        dest
     }
 
     // --- send helpers -------------------------------------------------------
@@ -802,11 +1069,15 @@ impl Processor {
         }
     }
 
-    /// The encoded ack vector of the group multicasting on `addr`, if any
-    /// (domain addresses have no group and get no trailer). Re-encoded only
-    /// when the underlying `reported_ack` map actually changed.
+    /// The encoded ack vector of the group multicasting on `addr` — the
+    /// group address, or in tree mode our own neighborhood address, so
+    /// aggregated vectors ride packed overlay containers to the tree
+    /// neighbors too. Domain addresses have no group and get no trailer.
+    /// Re-encoded only when the underlying `reported_ack` map changed.
     fn piggyback_vector(&mut self, addr: McastAddr) -> Option<Bytes> {
-        let (gid, g) = self.groups.iter_mut().find(|(_, g)| g.addr == addr)?;
+        let (gid, g) = self.groups.iter_mut().find(|(_, g)| {
+            g.addr == addr || g.overlay.as_ref().is_some_and(|o| o.self_addr == addr)
+        })?;
         let ver = g.romp.ordering().ack_version();
         if let Some((v, bytes)) = &g.vec_cache {
             if *v == ver {
@@ -876,6 +1147,19 @@ impl Processor {
     }
 
     fn send_unreliable(&mut self, now: SimTime, group: GroupId, body: FtmpBody) {
+        self.send_unreliable_to(now, group, None, body);
+    }
+
+    /// Like [`send_unreliable`](Self::send_unreliable), but with an optional
+    /// destination override — tree mode aims digests and neighborhood
+    /// repair at the sender's own overlay address instead of the group's.
+    fn send_unreliable_to(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        addr_override: Option<McastAddr>,
+        body: FtmpBody,
+    ) {
         let Some(g) = self.groups.get_mut(&group) else {
             return;
         };
@@ -888,8 +1172,11 @@ impl Processor {
             ack_ts: g.romp.ordering().ack_ts(),
             body,
         };
-        let addr = g.addr;
-        if msg.msg_type() == FtmpMsgType::Heartbeat {
+        let addr = addr_override.unwrap_or(g.addr);
+        if matches!(
+            msg.msg_type(),
+            FtmpMsgType::Heartbeat | FtmpMsgType::OverlayDigest
+        ) {
             g.last_sent = now;
             g.hb_deferred_since_send = false;
         }
@@ -933,16 +1220,27 @@ impl Processor {
     // --- receive pipeline ---------------------------------------------------
 
     fn process_message(&mut self, now: SimTime, msg: FtmpMessage, wire: Bytes, own: bool) {
+        if !own {
+            *self.stats.received.entry(msg.msg_type()).or_insert(0) += 1;
+            if msg.retransmission {
+                self.stats.retransmissions_received += 1;
+            }
+        }
         match msg.msg_type() {
             FtmpMsgType::ConnectRequest => {
                 if !own {
                     self.handle_connect_request(now, &msg);
                 }
             }
-            FtmpMsgType::Heartbeat | FtmpMsgType::RetransmitRequest => {
+            FtmpMsgType::Heartbeat
+            | FtmpMsgType::RetransmitRequest
+            | FtmpMsgType::OverlayDigest => {
                 self.handle_unreliable_header(now, &msg, own);
                 if let (FtmpMsgType::RetransmitRequest, false) = (msg.msg_type(), own) {
                     self.handle_retransmit_request(now, &msg);
+                }
+                if let (FtmpMsgType::OverlayDigest, false) = (msg.msg_type(), own) {
+                    self.handle_overlay_digest(now, &msg);
                 }
             }
             _ => self.handle_reliable(now, msg, wire, own),
@@ -1150,6 +1448,7 @@ impl Processor {
             RompOutput::Control(m) => match m.body {
                 FtmpBody::Suspect { ref suspects, .. } => {
                     let set: BTreeSet<ProcessorId> = suspects.iter().copied().collect();
+                    self.maybe_rescue_laggard(now, gid, m.source, &set);
                     self.on_suspect_report(now, gid, m.source, set);
                 }
                 FtmpBody::Membership {
@@ -1180,9 +1479,69 @@ impl Processor {
         }
     }
 
+    /// A current member suspecting a processor we already removed is the
+    /// signature of the voluntary-leave race: the leaver's final clock
+    /// evidence rides on a handful of unreliable heartbeats (or, in tree
+    /// mode, digests that stop relaying it the moment healthy nodes drop it
+    /// from their view), so a member that missed them can never advance the
+    /// leaver's horizon past the remove and wedges at that position —
+    /// suspecting the departed forever. We hold the proof it needs: the
+    /// tombstone captured when we ordered the remove. The lowest live
+    /// member answers with a digest carrying exactly the tombstoned
+    /// entries; loss of the rescue is retried for free by the laggard's
+    /// periodic Suspect re-announcements.
+    fn maybe_rescue_laggard(
+        &mut self,
+        now: SimTime,
+        gid: GroupId,
+        sender: ProcessorId,
+        suspects: &BTreeSet<ProcessorId>,
+    ) {
+        let Some(g) = self.groups.get(&gid) else {
+            return;
+        };
+        if sender == self.id || !g.pgmp.membership.contains(&sender) {
+            return;
+        }
+        let entries: wire::DigestVector = g
+            .departed
+            .iter()
+            .filter(|(p, ..)| suspects.contains(p) && !g.pgmp.membership.contains(p))
+            .copied()
+            .collect();
+        if entries.is_empty() {
+            return;
+        }
+        // Deterministic single rescuer — every member holding the tombstone
+        // hears the same Suspect, so without this the whole group would
+        // answer at once.
+        let rescuer = g.pgmp.membership.iter().copied().find(|&p| p != sender);
+        if rescuer != Some(self.id)
+            || now.saturating_since(g.last_rescue_sent) < self.cfg.heartbeat_interval
+        {
+            return;
+        }
+        if let Some(g) = self.groups.get_mut(&gid) {
+            g.last_rescue_sent = now;
+        }
+        self.send_unreliable_to(
+            now,
+            gid,
+            None,
+            FtmpBody::OverlayDigest {
+                solicit: false,
+                entries,
+            },
+        );
+        if let Some(t) = self.tel.as_mut() {
+            t.on_overlay_rescue();
+        }
+    }
+
     /// Run the ROMP delivery rule to exhaustion, then housekeeping: buffer
     /// reclamation, gate release, reconfiguration completion.
     fn try_deliver(&mut self, now: SimTime, gid: GroupId) {
+        let mut delivered_any = false;
         loop {
             let Some(g) = self.groups.get_mut(&gid) else {
                 return;
@@ -1191,6 +1550,7 @@ impl Processor {
             if batch.is_empty() {
                 break;
             }
+            delivered_any = true;
             for m in batch {
                 if let Some(t) = self.tel.as_mut() {
                     t.on_ordered(now, gid, (m.ts, m.source), m.seq.0);
@@ -1201,6 +1561,12 @@ impl Processor {
         let Some(g) = self.groups.get_mut(&gid) else {
             return;
         };
+        // Starvation clock for the tree-mode solicit fallback: "progress"
+        // is either an actual ordered delivery or an empty queue (nothing
+        // to starve on).
+        if delivered_any || g.romp.ordering().queue_len() == 0 {
+            g.last_progress = now;
+        }
         if !g.pgmp.reclaim_pinned() {
             let stable = g.romp.ordering().stable_ts();
             let reclaimed = g.rmp.retention_mut().reclaim_stable(stable);
@@ -1273,6 +1639,19 @@ impl Processor {
         if !self.groups.contains_key(&gid) {
             return;
         }
+        // Tree mode: a request from a tree neighbor is neighborhood repair —
+        // we are one of the few processors that even heard it, so we must
+        // answer (no any-holder coin), and the answer goes to our own
+        // neighborhood address instead of waking the whole group. Requests
+        // escalated to the group address keep the flat policy and the flat
+        // group-address answer; so does anything during a reconfiguration,
+        // where reconciliation must reach every survivor.
+        let neighborhood: Option<McastAddr> = self.groups.get(&gid).and_then(|g| {
+            g.overlay
+                .as_ref()
+                .filter(|o| o.tree.is_neighbor(self.id, msg.source))
+                .map(|o| o.self_addr)
+        });
         let span_cap = self
             .cfg
             .max_nack_span
@@ -1298,6 +1677,7 @@ impl Processor {
                 .unwrap_or((false, true));
             let respond = in_reconfig
                 || !sender_is_member
+                || neighborhood.is_some()
                 || match self.cfg.retransmit_policy {
                     RetransmitPolicy::OriginalSenderOnly => missing_from == self.id,
                     RetransmitPolicy::AllHolders => true,
@@ -1311,7 +1691,11 @@ impl Processor {
             let g = self.groups.get_mut(&gid).expect("checked");
             let suppress = adaptive::suppress_window(&self.cfg, &g.rtt);
             if let Some(payload) = g.rmp.answer_retransmit(missing_from, seq, now, suppress) {
-                let addr = g.addr;
+                let addr = if in_reconfig || !sender_is_member {
+                    g.addr
+                } else {
+                    neighborhood.unwrap_or(g.addr)
+                };
                 self.stats.retransmissions_sent += 1;
                 if let Some(t) = self.tel.as_mut() {
                     t.on_retransmit_answered(now, gid, missing_from, seq);

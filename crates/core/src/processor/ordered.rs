@@ -159,6 +159,24 @@ impl Processor {
                         return;
                     };
                     if g.pgmp.membership.remove(&member) {
+                        // Ordering this remove required our horizon for the
+                        // leaver to pass the remove's timestamp; tombstone
+                        // that proof before the slot drops, so a laggard
+                        // that missed the leaver's final heartbeats can be
+                        // rescued (`maybe_rescue_laggard`).
+                        let horizon = g.romp.ordering().horizon_of(member).unwrap_or(m.ts);
+                        let ack = g
+                            .romp
+                            .ordering()
+                            .reported_acks()
+                            .find(|&(p, _)| p == member)
+                            .map(|(_, a)| a)
+                            .unwrap_or(Timestamp::ZERO);
+                        g.departed
+                            .push_back((member, g.rmp.contiguous_of(member), horizon, ack));
+                        if g.departed.len() > 8 {
+                            g.departed.pop_front();
+                        }
                         g.pgmp.membership_ts = m.ts;
                         g.romp.ordering_mut().remove_member(member);
                         g.pgmp.last_heard.remove(&member);
@@ -186,6 +204,11 @@ impl Processor {
     pub(super) fn leave_group(&mut self, gid: GroupId) {
         if let Some(g) = self.groups.remove(&gid) {
             self.sink.push(Action::Leave(g.addr));
+            if let Some(o) = g.overlay {
+                for a in o.subscribed {
+                    self.sink.push(Action::Leave(a));
+                }
+            }
             self.sink.event(ProtocolEvent::LeftGroup { group: gid });
         }
     }

@@ -26,8 +26,29 @@ impl Processor {
         // have arrived recently, proving ack state still circulates without
         // us beaconing. The deferral never exceeds half the fault-detector
         // timeout, so liveness and suspicion behaviour are untouched.
-        let hold = SimDuration::from_micros(self.cfg.fail_timeout.as_micros() / 2);
+        let hold_flat = SimDuration::from_micros(self.cfg.fail_timeout.as_micros() / 2);
         for gid in due {
+            // Tree mode divides the cap by the worst-case relay distance: a
+            // quiet leaf's liveness reaches a leaf in another subtree only
+            // through relayed digests (leaf → root → leaf, 2 × depth hops),
+            // and every interior hop may itself defer by the same cap, so a
+            // flat fail_timeout/2 here would compound to 2·depth·cap of
+            // staleness and convict healthy members. Dividing keeps the
+            // end-to-end staleness bound at fail_timeout/2 regardless of
+            // tree depth (the regression test holds a quiet leaf at 64
+            // members).
+            let tree_depth = self
+                .groups
+                .get(&gid)
+                .and_then(|g| g.overlay.as_ref())
+                .map(|o| o.tree.depth());
+            let hold = match tree_depth {
+                None => hold_flat,
+                Some(d) => SimDuration::from_micros(
+                    (hold_flat.as_micros() / (2 * d as u64).max(1))
+                        .max(self.cfg.heartbeat_interval.as_micros()),
+                ),
+            };
             let defer = self.cfg.packing.enabled && {
                 let g = self.groups.get(&gid).expect("listed");
                 now.saturating_since(g.last_sent) < hold
@@ -42,9 +63,58 @@ impl Processor {
                     g.hb_deferred_since_send = true;
                     self.stats.heartbeats_suppressed += 1;
                 }
+            } else if tree_depth.is_some() {
+                self.send_overlay_digest(now, gid, DigestDest::Neighborhood);
             } else {
                 self.send_unreliable(now, gid, FtmpBody::Heartbeat);
             }
+        }
+    }
+
+    /// Tree-mode starvation fallback (DESIGN.md §13). A strict tree gives
+    /// every pair of members exactly one dissemination path, and churn can
+    /// sever it: a voluntarily-leaving interior node takes its subtree's
+    /// only upstream with it, and any node whose rebuilt parent is itself
+    /// wedged starves in turn — neither can ever order the view change that
+    /// would heal the tree, because ordering needs fresh horizon evidence
+    /// the tree no longer carries to them. When this node detects it is
+    /// starving — ordering queue stalled, or some unsuspected member quiet,
+    /// past half the fault-detector timeout — it broadcasts a solicit digest
+    /// on the flat group address; every member answers with its own digest
+    /// there (see `handle_overlay_digest`), and one round of answers carries
+    /// every live member's fresh header past any severed tree edge. Costs
+    /// nothing in steady state and nothing in flat mode.
+    pub(super) fn tick_overlay_solicits(&mut self, now: SimTime) {
+        let hold = SimDuration::from_micros(self.cfg.fail_timeout.as_micros() / 2);
+        let due: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| {
+                g.overlay.is_some() && now.saturating_since(g.last_solicit_sent) >= hold
+            })
+            .filter(|(_, g)| {
+                let stalled = g.romp.ordering().queue_len() > 0
+                    && now.saturating_since(g.last_progress) >= hold;
+                // Only unsuspected peers count: once suspicion fires the
+                // fault path owns the peer, and solicitation's job is to
+                // stop liveness gaps from *becoming* suspicion.
+                let starving = g.pgmp.membership.iter().any(|&p| {
+                    p != self.id
+                        && !g.pgmp.my_suspects.contains(&p)
+                        && g.pgmp
+                            .last_heard
+                            .get(&p)
+                            .is_some_and(|&t| now.saturating_since(t) >= hold)
+                });
+                stalled || starving
+            })
+            .map(|(gid, _)| *gid)
+            .collect();
+        for gid in due {
+            if let Some(g) = self.groups.get_mut(&gid) {
+                g.last_solicit_sent = now;
+            }
+            self.send_overlay_digest(now, gid, DigestDest::Solicit);
         }
     }
 
@@ -86,9 +156,14 @@ impl Processor {
                             t.on_nack(now, gid, src, a, b, attempts);
                         }
                     }
-                    self.send_unreliable(
+                    // Tree mode routes the first attempts at the overlay
+                    // neighborhood and escalates persistent gaps to the
+                    // whole group; flat mode always multicasts group-wide.
+                    let dest = self.overlay_nack_dest(gid, src);
+                    self.send_unreliable_to(
                         now,
                         gid,
+                        dest,
                         FtmpBody::RetransmitRequest {
                             missing_from: src,
                             start_seq: a,

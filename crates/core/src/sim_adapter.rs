@@ -641,4 +641,184 @@ mod tests {
             .kind_packets(crate::wire::FtmpMsgType::Heartbeat as u8);
         assert!(hb > 0, "heartbeats flow and are classified");
     }
+
+    /// Tree-mode pairing used by the overlay tests: packing on (so ack
+    /// vectors ride packed overlay containers) + a k-ary dissemination tree.
+    fn tree_cfg(seed: u64, arity: usize) -> ProtocolConfig {
+        use crate::config::{OverlayPolicy, PackPolicy, Packing};
+        ProtocolConfig::with_seed(seed)
+            .packing(Packing::with(
+                1400,
+                PackPolicy::Deadline(SimDuration::from_micros(500)),
+            ))
+            .overlay(OverlayPolicy::Tree { arity })
+    }
+
+    fn delivery_keys(
+        net: &mut SimNet<SimProcessor>,
+        ids: impl Iterator<Item = u32>,
+    ) -> Vec<Vec<(u64, u32)>> {
+        ids.map(|id| {
+            net.node_mut(id)
+                .unwrap()
+                .take_deliveries()
+                .iter()
+                .map(|(_, d)| (d.ts.0, d.source.0))
+                .collect()
+        })
+        .collect()
+    }
+
+    /// Tree mode replaces full-mesh heartbeats with overlay digests and
+    /// still converges on one total order under loss.
+    #[test]
+    fn tree_mode_converges_under_loss_with_digests_replacing_heartbeats() {
+        let sim_cfg = SimConfig::with_seed(21).loss(ftmp_net::LossModel::Iid { p: 0.1 });
+        let mut net = build_net(8, sim_cfg, tree_cfg(21, 2));
+        for k in 0..16u64 {
+            let id = (k % 8) as u32 + 1;
+            net.with_node(id, |n, now, out| {
+                n.engine_mut()
+                    .multicast_request(now, conn(), RequestNum(k), Bytes::from(vec![k as u8; 16]))
+                    .unwrap();
+                n.pump(out);
+            });
+            net.run_for(SimDuration::from_millis(2));
+        }
+        net.run_for(SimDuration::from_millis(500));
+        let all = delivery_keys(&mut net, 1..=8u32);
+        assert_eq!(all[0].len(), 16, "every message delivered despite loss");
+        for w in all.windows(2) {
+            assert_eq!(w[0], w[1], "identical total order everywhere");
+        }
+        // Digest traffic flows; standalone flat heartbeats do not.
+        let digests: u64 = (1..=8u32)
+            .map(|id| {
+                net.node(id).unwrap().engine().stats().received
+                    [&crate::wire::FtmpMsgType::OverlayDigest]
+            })
+            .sum();
+        assert!(digests > 0, "overlay digests circulated");
+        let heartbeats: u64 = (1..=8u32)
+            .map(|id| {
+                *net.node(id)
+                    .unwrap()
+                    .engine()
+                    .stats()
+                    .sent
+                    .get(&crate::wire::FtmpMsgType::Heartbeat)
+                    .unwrap_or(&0)
+            })
+            .sum();
+        assert_eq!(heartbeats, 0, "tree mode sends digests, not heartbeats");
+    }
+
+    /// Tree-mode control-plane scaling: at 16 members the per-interval
+    /// control receptions drop by well over 4× against flat, because each
+    /// digest reaches O(arity) subscribers instead of n-1.
+    #[test]
+    fn tree_mode_cuts_control_receptions() {
+        let n = 16u32;
+        let control = |net: &SimNet<SimProcessor>| -> u64 {
+            (1..=n)
+                .map(|id| net.node(id).unwrap().engine().stats().control_received())
+                .sum()
+        };
+        let mut flat = build_net(n, SimConfig::with_seed(31), ProtocolConfig::with_seed(31));
+        flat.run_for(SimDuration::from_millis(500));
+        let mut tree = build_net(n, SimConfig::with_seed(31), tree_cfg(31, 4));
+        tree.run_for(SimDuration::from_millis(500));
+        let (cf, ct) = (control(&flat), control(&tree));
+        assert!(
+            ct * 4 <= cf,
+            "tree control receptions {ct} not ≥4× below flat {cf}"
+        );
+    }
+
+    /// A crash at 16 members under tree mode: the survivors convict the dead
+    /// member through relayed (non-)evidence, install the shrunk view, and
+    /// keep delivering in one total order — the rebuilt tree routes around
+    /// the hole.
+    #[test]
+    fn tree_mode_survives_crash_and_rebuilds() {
+        let n = 16u32;
+        let mut net = build_net(n, SimConfig::with_seed(41), tree_cfg(41, 4));
+        net.run_for(SimDuration::from_millis(50));
+        net.crash(5);
+        net.run_for(SimDuration::from_millis(900));
+        // Post-crash traffic must still order identically.
+        for k in 0..6u64 {
+            let id = [1u32, 2, 9, 14][k as usize % 4];
+            net.with_node(id, |nd, now, out| {
+                nd.engine_mut()
+                    .multicast_request(now, conn(), RequestNum(100 + k), Bytes::from(vec![k as u8]))
+                    .unwrap();
+                nd.pump(out);
+            });
+            net.run_for(SimDuration::from_millis(3));
+        }
+        net.run_for(SimDuration::from_millis(500));
+        let survivors: Vec<u32> = (1..=n).filter(|&id| id != 5).collect();
+        for &id in &survivors {
+            let members = net
+                .node(id)
+                .unwrap()
+                .engine()
+                .membership(GroupId(1))
+                .unwrap();
+            assert!(
+                !members.contains(&ProcessorId(5)),
+                "P{id} still lists the crashed member"
+            );
+            assert_eq!(members.len() as u32, n - 1);
+        }
+        let all = delivery_keys(&mut net, survivors.iter().copied());
+        assert_eq!(all[0].len(), 6, "post-crash messages all delivered");
+        for w in all.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    /// Satellite invariant (64 members, arity 4, depth 3): a quiet leaf
+    /// whose liveness reaches leaves in other subtrees only via relayed
+    /// digests (leaf → root → leaf, up to 2 × depth hops) must never be
+    /// falsely suspected, even with loss eating some of the relays. The
+    /// tree-mode deferral cap divides fail_timeout/2 by that relay distance
+    /// precisely so compounded per-hop staleness stays inside the
+    /// fault-detector timeout at any depth; this test pins the resulting
+    /// end-to-end behaviour (no Suspect traffic, no convictions, membership
+    /// intact) over several full fail_timeout periods of total silence.
+    #[test]
+    fn tree_mode_quiet_leaf_not_suspected_at_64_members() {
+        let n = 64u32;
+        let sim_cfg = SimConfig::with_seed(51).loss(ftmp_net::LossModel::Iid { p: 0.12 });
+        let mut net = build_net(n, sim_cfg, tree_cfg(51, 4));
+        // Everyone is quiet: liveness flows exclusively through relayed
+        // digests for several full fail_timeout periods.
+        net.run_for(SimDuration::from_millis(1500));
+        for id in 1..=n {
+            let node = net.node_mut(id).unwrap();
+            let suspects_sent = *node
+                .engine()
+                .stats()
+                .sent
+                .get(&crate::wire::FtmpMsgType::Suspect)
+                .unwrap_or(&0);
+            assert_eq!(suspects_sent, 0, "P{id} raised a false suspicion");
+            let events = node.take_events();
+            assert!(
+                !events
+                    .iter()
+                    .any(|(_, e)| matches!(e, crate::processor::ProtocolEvent::FaultReport { .. })),
+                "P{id} convicted a healthy member: {events:?}"
+            );
+            let members = net
+                .node(id)
+                .unwrap()
+                .engine()
+                .membership(GroupId(1))
+                .unwrap();
+            assert_eq!(members.len() as u32, n, "membership intact at P{id}");
+        }
+    }
 }

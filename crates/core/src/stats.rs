@@ -47,6 +47,47 @@ pub struct ProcessorStats {
     /// Incoming packed containers rejected whole (framing or inner decode
     /// error; no partial delivery).
     pub packed_rejects: u64,
+    /// Messages received from other processors, by type (each inner message
+    /// of a packed container counts individually). The overlay experiment
+    /// (E17) reads control-plane load from here because the SimNet sent
+    /// counter does not multiply by multicast fan-out.
+    pub received: BTreeMap<FtmpMsgType, u64>,
+    /// Received messages that carried the retransmission flag.
+    pub retransmissions_received: u64,
+}
+
+impl ProcessorStats {
+    /// Control-plane receptions: heartbeats, overlay digests, NACKs and
+    /// retransmissions — everything that is overhead rather than payload.
+    pub fn control_received(&self) -> u64 {
+        let of = |t: FtmpMsgType| self.received.get(&t).copied().unwrap_or(0);
+        of(FtmpMsgType::Heartbeat)
+            + of(FtmpMsgType::OverlayDigest)
+            + of(FtmpMsgType::RetransmitRequest)
+            + self.retransmissions_received
+    }
+
+    /// Register the packing / suppression / reception counters into a
+    /// telemetry registry so FTMP_METRICS_DIR snapshots include them
+    /// (mirrors `ShardSet::register_metrics` for the ORB shard counters).
+    pub fn register_metrics(&self, reg: &mut ftmp_telemetry::Registry) {
+        let pairs: [(&str, u64); 7] = [
+            ("ftmp_packed_datagrams_sent", self.packed_datagrams_sent),
+            ("ftmp_messages_packed", self.messages_packed),
+            ("ftmp_heartbeats_suppressed", self.heartbeats_suppressed),
+            ("ftmp_packed_rejects", self.packed_rejects),
+            ("ftmp_control_received", self.control_received()),
+            (
+                "ftmp_retransmissions_received",
+                self.retransmissions_received,
+            ),
+            ("ftmp_retransmissions_sent", self.retransmissions_sent),
+        ];
+        for (name, value) in pairs {
+            let id = reg.counter(name);
+            reg.inc(id, value);
+        }
+    }
 }
 
 /// Point-in-time buffer metrics for one group (experiment E6).

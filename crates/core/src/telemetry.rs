@@ -238,8 +238,17 @@ struct Ids {
     view_changes: CounterId,
     deliveries: CounterId,
     packed_datagrams: CounterId,
+    overlay_rebuilds: CounterId,
+    overlay_digests_sent: CounterId,
+    overlay_entries_merged: CounterId,
+    overlay_repairs_neighborhood: CounterId,
+    overlay_repairs_escalated: CounterId,
+    overlay_solicits: CounterId,
+    overlay_solicit_answers: CounterId,
+    overlay_rescues: CounterId,
     srtt_us: GaugeId,
     rttvar_us: GaugeId,
+    overlay_depth: GaugeId,
 }
 
 /// Per-group correlation state: open intervals awaiting their closing
@@ -301,8 +310,17 @@ impl Telemetry {
             view_changes: reg.counter("view_changes"),
             deliveries: reg.counter("deliveries"),
             packed_datagrams: reg.counter("packed_datagrams"),
+            overlay_rebuilds: reg.counter("overlay_rebuilds"),
+            overlay_digests_sent: reg.counter("overlay_digests_sent"),
+            overlay_entries_merged: reg.counter("overlay_entries_merged"),
+            overlay_repairs_neighborhood: reg.counter("overlay_repairs_neighborhood"),
+            overlay_repairs_escalated: reg.counter("overlay_repairs_escalated"),
+            overlay_solicits: reg.counter("overlay_solicits"),
+            overlay_solicit_answers: reg.counter("overlay_solicit_answers"),
+            overlay_rescues: reg.counter("overlay_rescues"),
             srtt_us: reg.gauge("srtt_us"),
             rttvar_us: reg.gauge("rttvar_us"),
+            overlay_depth: reg.gauge("overlay_depth"),
         };
         Telemetry {
             owner,
@@ -555,6 +573,49 @@ impl Telemetry {
         self.reg.inc(self.ids.packed_datagrams, 1);
         self.reg
             .record(self.ids.pack_msgs_per_datagram, u64::from(msgs));
+    }
+
+    /// The dissemination tree was (re)built for a view; `depth` is its
+    /// height (DESIGN.md §13).
+    pub fn on_overlay_rebuilt(&mut self, depth: usize) {
+        self.reg.inc(self.ids.overlay_rebuilds, 1);
+        self.reg.set(self.ids.overlay_depth, depth as i64);
+    }
+
+    /// An aggregated overlay digest left this processor.
+    pub fn on_overlay_digest_sent(&mut self, _entries: usize) {
+        self.reg.inc(self.ids.overlay_digests_sent, 1);
+    }
+
+    /// A neighbor's digest advanced `n` relayed members' horizons here.
+    pub fn on_overlay_entries_merged(&mut self, n: usize) {
+        self.reg.inc(self.ids.overlay_entries_merged, n as u64);
+    }
+
+    /// A starving node broadcast a solicit digest on the group address
+    /// (`answer` false), or this node answered one (`answer` true).
+    pub fn on_overlay_solicit(&mut self, answer: bool) {
+        if answer {
+            self.reg.inc(self.ids.overlay_solicit_answers, 1);
+        } else {
+            self.reg.inc(self.ids.overlay_solicits, 1);
+        }
+    }
+
+    /// This node answered a laggard's Suspect of an already-departed member
+    /// with tombstoned horizon evidence (the voluntary-leave race repair).
+    pub fn on_overlay_rescue(&mut self) {
+        self.reg.inc(self.ids.overlay_rescues, 1);
+    }
+
+    /// A NACK repair was routed over the overlay: to the tree neighborhood
+    /// first, escalated to the whole group after repeated failures.
+    pub fn on_overlay_repair(&mut self, escalated: bool) {
+        if escalated {
+            self.reg.inc(self.ids.overlay_repairs_escalated, 1);
+        } else {
+            self.reg.inc(self.ids.overlay_repairs_neighborhood, 1);
+        }
     }
 
     /// Freeze every metric.

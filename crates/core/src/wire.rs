@@ -1,4 +1,5 @@
-//! The FTMP wire format: header and the nine message bodies.
+//! The FTMP wire format: header and the message bodies (the paper's nine
+//! plus the tree-mode OverlayDigest extension).
 //!
 //! §3.2 of the paper draws the header fields — magic, version, byte order,
 //! retransmission, message size, message type, source processor id,
@@ -119,7 +120,8 @@ impl From<CdrError> for WireError {
     }
 }
 
-/// The nine FTMP message types (§5–§7, Fig. 3).
+/// The FTMP message types: the paper's nine (§5–§7, Fig. 3) plus the
+/// overlay digest extension (DESIGN.md §13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum FtmpMsgType {
@@ -143,6 +145,12 @@ pub enum FtmpMsgType {
     /// Proposes a membership excluding convicted processors; reliable,
     /// source order only.
     Membership = 8,
+    /// Tree-mode aggregated heartbeat: the header carries the sender's own
+    /// seq/ts/ack exactly like a Heartbeat, and the body relays the
+    /// sender's recorded (contiguous seq, horizon ts, ack ts) for every
+    /// other view member, so one datagram per tree edge substitutes for
+    /// full-mesh heartbeats (DESIGN.md §13); unreliable.
+    OverlayDigest = 9,
 }
 
 impl FtmpMsgType {
@@ -158,12 +166,13 @@ impl FtmpMsgType {
             6 => FtmpMsgType::RemoveProcessor,
             7 => FtmpMsgType::Suspect,
             8 => FtmpMsgType::Membership,
+            9 => FtmpMsgType::OverlayDigest,
             other => return Err(WireError::BadMsgType(other)),
         })
     }
 
-    /// All nine types in wire order.
-    pub const ALL: [FtmpMsgType; 9] = [
+    /// All types in wire order.
+    pub const ALL: [FtmpMsgType; 10] = [
         FtmpMsgType::Regular,
         FtmpMsgType::RetransmitRequest,
         FtmpMsgType::Heartbeat,
@@ -173,6 +182,7 @@ impl FtmpMsgType {
         FtmpMsgType::RemoveProcessor,
         FtmpMsgType::Suspect,
         FtmpMsgType::Membership,
+        FtmpMsgType::OverlayDigest,
     ];
 
     /// Does RMP assign this type a fresh sequence number and deliver it
@@ -182,7 +192,10 @@ impl FtmpMsgType {
     pub fn is_reliable(self) -> bool {
         !matches!(
             self,
-            FtmpMsgType::RetransmitRequest | FtmpMsgType::Heartbeat | FtmpMsgType::ConnectRequest
+            FtmpMsgType::RetransmitRequest
+                | FtmpMsgType::Heartbeat
+                | FtmpMsgType::ConnectRequest
+                | FtmpMsgType::OverlayDigest
         )
     }
 
@@ -391,6 +404,34 @@ fn decode_seqs(r: &mut CdrReader<'_>) -> Result<SeqVector, CdrError> {
     Ok(v)
 }
 
+/// `(member, contiguous seq, horizon ts, ack ts)` tuples carried by an
+/// OverlayDigest body: the sender's recorded view of each other member,
+/// exactly the evidence that member's own Heartbeat header would carry.
+pub type DigestVector = Vec<(ProcessorId, u64, Timestamp, Timestamp)>;
+
+fn encode_digest(w: &mut CdrWriter, entries: &DigestVector) {
+    w.write_u32(entries.len() as u32);
+    for (p, seq, ts, ack) in entries {
+        p.encode(w);
+        w.write_u64(*seq);
+        w.write_u64(ts.0);
+        w.write_u64(ack.0);
+    }
+}
+
+fn decode_digest(r: &mut CdrReader<'_>) -> Result<DigestVector, CdrError> {
+    let len = r.read_seq_len(28)?;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        let p = ProcessorId::decode(r)?;
+        let seq = r.read_u64()?;
+        let ts = Timestamp(r.read_u64()?);
+        let ack = Timestamp(r.read_u64()?);
+        v.push((p, seq, ts, ack));
+    }
+    Ok(v)
+}
+
 /// Message bodies (§5–§7).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FtmpBody {
@@ -470,6 +511,20 @@ pub enum FtmpBody {
         /// The proposed new membership.
         new_membership: Vec<ProcessorId>,
     },
+    /// Tree-mode aggregated heartbeat relaying the sender's recorded state
+    /// for every other view member (DESIGN.md §13).
+    OverlayDigest {
+        /// True when the sender is starving — its ordering queue has stalled
+        /// or some member has gone quiet past half the fault-detector
+        /// timeout — and is asking every member to answer with its own
+        /// digest on the group address. A strict tree is a single
+        /// dissemination path per pair; solicitation is the group-wide
+        /// fallback that restores liveness when churn severs that path.
+        solicit: bool,
+        /// One `(member, contiguous seq, horizon ts, ack ts)` per view
+        /// member other than the sender.
+        entries: DigestVector,
+    },
 }
 
 impl FtmpBody {
@@ -485,6 +540,7 @@ impl FtmpBody {
             FtmpBody::RemoveProcessor { .. } => FtmpMsgType::RemoveProcessor,
             FtmpBody::Suspect { .. } => FtmpMsgType::Suspect,
             FtmpBody::Membership { .. } => FtmpMsgType::Membership,
+            FtmpBody::OverlayDigest { .. } => FtmpMsgType::OverlayDigest,
         }
     }
 
@@ -512,6 +568,7 @@ impl FtmpBody {
                 new_membership,
                 ..
             } => 32 + 4 * (membership.len() + new_membership.len()) + 16 * seqs.len(),
+            FtmpBody::OverlayDigest { entries, .. } => 12 + 32 * entries.len(),
         }
     }
 
@@ -588,6 +645,10 @@ impl FtmpBody {
                 encode_seqs(w, seqs);
                 new_membership.encode(w);
             }
+            FtmpBody::OverlayDigest { solicit, entries } => {
+                w.write_bool(*solicit);
+                encode_digest(w, entries);
+            }
         }
     }
 
@@ -633,6 +694,10 @@ impl FtmpBody {
                 membership: Vec::<ProcessorId>::decode(r)?,
                 seqs: decode_seqs(r)?,
                 new_membership: Vec::<ProcessorId>::decode(r)?,
+            },
+            FtmpMsgType::OverlayDigest => FtmpBody::OverlayDigest {
+                solicit: r.read_bool()?,
+                entries: decode_digest(r)?,
             },
         })
     }
@@ -1088,6 +1153,17 @@ mod tests {
             seqs: vec![(ProcessorId(1), 100), (ProcessorId(2), 90)],
             new_membership: vec![ProcessorId(1), ProcessorId(2)],
         }));
+        rt(&msg(FtmpBody::OverlayDigest {
+            solicit: false,
+            entries: vec![
+                (ProcessorId(2), 14, Timestamp(900), Timestamp(850)),
+                (ProcessorId(3), 0, Timestamp(0), Timestamp(0)),
+            ],
+        }));
+        rt(&msg(FtmpBody::OverlayDigest {
+            solicit: true,
+            entries: vec![],
+        }));
     }
 
     #[test]
@@ -1104,7 +1180,7 @@ mod tests {
         ] {
             assert!(t.is_reliable(), "{t:?} must be reliable");
         }
-        for t in [RetransmitRequest, Heartbeat, ConnectRequest] {
+        for t in [RetransmitRequest, Heartbeat, ConnectRequest, OverlayDigest] {
             assert!(!t.is_reliable(), "{t:?} must be unreliable");
         }
         // Totally-ordered column.
@@ -1117,6 +1193,7 @@ mod tests {
             ConnectRequest,
             Suspect,
             Membership,
+            OverlayDigest,
         ] {
             assert!(!t.is_totally_ordered(), "{t:?} must not be totally ordered");
         }

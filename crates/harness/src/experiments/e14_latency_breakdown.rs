@@ -87,6 +87,10 @@ fn run_scenario(sim: SimConfig) -> Snapshot {
             if let Some(t) = node.engine().telemetry() {
                 merged.merge(t.registry());
             }
+            // The engine's shell counters (packing, heartbeat suppression,
+            // per-type receptions) live outside the telemetry registry;
+            // fold them in so the metrics snapshot carries both.
+            node.engine().stats().register_metrics(&mut merged);
         }
     }
     merged.snapshot()

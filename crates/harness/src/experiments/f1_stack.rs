@@ -24,6 +24,7 @@ fn layer_of(t: FtmpMsgType) -> &'static str {
         FtmpMsgType::RemoveProcessor => "PGMP (voluntary leave)",
         FtmpMsgType::Suspect => "PGMP (fault suspicion)",
         FtmpMsgType::Membership => "PGMP (membership change)",
+        FtmpMsgType::OverlayDigest => "ROMP (tree-mode aggregated liveness)",
     }
 }
 

@@ -136,7 +136,8 @@ pub fn run() -> Vec<Table> {
             ),
             FtmpMsgType::RetransmitRequest
             | FtmpMsgType::Heartbeat
-            | FtmpMsgType::ConnectRequest => (
+            | FtmpMsgType::ConnectRequest
+            | FtmpMsgType::OverlayDigest => (
                 "No".into(),
                 "No".into(),
                 "No".into(),

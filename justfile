@@ -61,3 +61,10 @@ recover:
     cargo test --release --test durable_recovery
     cargo test --release -p ftmp-check crash_restart
     FTMP_METRICS_DIR=results cargo run --release -p ftmp-bench --bin e16_recovery
+
+# Dissemination-overlay gate (DESIGN.md §13): the 64/128-member tree-mode
+# sweep cell under all seven oracles, then the E17 control-cost snapshot
+# flat vs tree at 16/64/128/256 members (results/e17.json).
+e17:
+    cargo test --release -p ftmp-check large_group
+    cargo run --release -p ftmp-bench --bin e17_overlay
