@@ -17,6 +17,9 @@
 //! - [`suite`] — [`OracleSuite`] fans each event to every oracle and keeps
 //!   a bounded context ring; [`Checker`] is the `Rc`-shared handle that
 //!   attaches the suite to simulated processors.
+//! - [`replay`] — reads the trace files `ftmp-runtime` records during
+//!   real-socket runs and feeds them through the same suite, so sim and
+//!   real transports are judged by identical oracles.
 //! - [`report`] — bridges [`ftmp_net::Trace`] captures into counterexample
 //!   excerpts (FTMP-classified records only, truncation flagged) and
 //!   re-exports the golden FNV trace hash.
@@ -28,6 +31,7 @@
 
 pub mod obs;
 pub mod oracles;
+pub mod replay;
 pub mod report;
 pub mod suite;
 pub mod sweep;
@@ -37,6 +41,7 @@ pub use oracles::{
     CausalOrder, DuplicateSuppression, ReclamationSafety, Reliability, SourceOrder, TotalOrder,
     VirtualSynchrony,
 };
+pub use replay::{read_trace_dir, read_trace_file, replay_traces, ReplayReport, TraceFile};
 pub use report::{excerpt, kind_name, trace_hash, TraceExcerpt};
 pub use suite::{Checker, OracleSuite};
 pub use sweep::{

@@ -17,7 +17,12 @@ use crate::ids::{GroupId, ProcessorId, Timestamp};
 
 /// Sink for the events a restarted member needs to reconstruct its
 /// delivery history: every ordered delivery and every installed view.
-pub trait DeliveryLog {
+///
+/// The `Send` bound exists for the real-socket runtime, which constructs a
+/// `Processor` (log attached) on the control thread and moves it into the
+/// event-loop thread; the log itself is only ever driven from one thread at
+/// a time.
+pub trait DeliveryLog: Send {
     /// An ordered message was delivered to the application.
     fn on_delivery(&mut self, d: &Delivery);
 

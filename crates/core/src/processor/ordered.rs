@@ -137,6 +137,15 @@ impl Processor {
                 }
                 if new_member != self.id && g.pgmp.membership.insert(new_member) {
                     g.pgmp.membership_ts = m.ts;
+                    // The added id may be a crashed member rejoining (§7.1
+                    // restart): its new incarnation allocates sequence
+                    // numbers from 1 again. Reset our receive window — the
+                    // old incarnation's window would reject the fresh
+                    // stream as stale duplicates — and drop any retention
+                    // left from the old stream, whose (source, seq) keys
+                    // would shadow the new incarnation's messages.
+                    g.rmp.seed_window(new_member, 1);
+                    g.rmp.retention_mut().drop_beyond(new_member, 0);
                     g.romp.ordering_mut().add_member(new_member, m.ts);
                     g.pgmp.last_heard.insert(new_member, now);
                     let members: Vec<ProcessorId> = g.pgmp.membership.iter().copied().collect();

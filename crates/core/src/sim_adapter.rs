@@ -465,28 +465,30 @@ mod tests {
     fn delivery_log_on_wire_trace_identical_and_records_flow() {
         use crate::durable::DeliveryLog;
         use crate::ids::{GroupId, Timestamp};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
 
+        // `DeliveryLog: Send` (for the real-socket runtime), so the test
+        // sink shares counts through atomics rather than `Rc<RefCell>`.
         #[derive(Default)]
         struct Counts {
-            deliveries: u64,
-            views: u64,
+            deliveries: AtomicU64,
+            views: AtomicU64,
         }
-        struct CountingLog(Rc<RefCell<Counts>>);
+        struct CountingLog(Arc<Counts>);
         impl DeliveryLog for CountingLog {
             fn on_delivery(&mut self, _d: &crate::processor::Delivery) {
-                self.0.borrow_mut().deliveries += 1;
+                self.0.deliveries.fetch_add(1, Ordering::Relaxed);
             }
             fn on_view_change(&mut self, _g: GroupId, _m: &[ProcessorId], _ts: Timestamp) {
-                self.0.borrow_mut().views += 1;
+                self.0.views.fetch_add(1, Ordering::Relaxed);
             }
         }
 
-        let counts: Rc<RefCell<Counts>> = Rc::default();
+        let counts: Arc<Counts> = Arc::default();
         let mut net = build_net(3, SimConfig::with_seed(7), ProtocolConfig::with_seed(7));
         for id in 1u32..=3 {
-            let c = Rc::clone(&counts);
+            let c = Arc::clone(&counts);
             net.with_node(id, move |n, _, _| {
                 n.engine_mut().set_delivery_log(Box::new(CountingLog(c)));
                 assert!(n.engine().delivery_log_enabled());
@@ -514,12 +516,12 @@ mod tests {
             0x40E7_EDBA_EE0B_E021,
             "attaching a delivery log perturbed the wire traffic"
         );
-        let c = counts.borrow();
         assert_eq!(
-            c.deliveries, 27,
+            counts.deliveries.load(Ordering::Relaxed),
+            27,
             "all three engines logged all nine deliveries"
         );
-        let _ = c.views; // founding members install no later views here
+        let _ = counts.views.load(Ordering::Relaxed); // founders install no later views here
     }
 
     /// S3 regression, at wire level: the survivor's outgoing ack timestamp

@@ -1,0 +1,521 @@
+//! The runtime event loop: one thread owning one `Processor`, fed by a
+//! real transport.
+//!
+//! Thread model per node (DESIGN.md §14): the transport owns its reader
+//! thread(s) which parse frames, filter by subscription, and push into an
+//! unbounded crossbeam channel; this module's **engine thread** owns the
+//! `Processor` and loops on `recv_timeout(next_tick_deadline)` — so it
+//! wakes for whichever comes first, a datagram or the timer. A burst of
+//! datagrams is drained under one `begin_batch`/`end_batch` window so the
+//! Packer coalesces the replies exactly as the simulator's batched pump
+//! does. Ticks fire on a fixed cadence (default 1 ms of real time = the
+//! simulator's tick quantum) and their scheduling lag is recorded in the
+//! `runtime_timer_lag_us` histogram.
+//!
+//! Time: the engine feeds the `Processor` `SimTime` values derived from a
+//! monotonic clock, optionally anchored to a cluster-wide epoch
+//! ([`RuntimeClock::with_unix_epoch`]) so trace timestamps from different
+//! OS processes merge into one approximate global order. Oracle soundness
+//! needs only per-node event order, which is exact by construction.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use bytes::Bytes;
+use ftmp_core::actions::{Action, Delivery, ProtocolEvent};
+use ftmp_core::config::ProtocolConfig;
+use ftmp_core::durable::DeliveryLog;
+use ftmp_core::ids::{ConnectionId, GroupId, ProcessorId, RequestNum};
+use ftmp_core::observe::Observation;
+use ftmp_core::{ClockMode, Processor};
+use ftmp_net::{McastAddr, Packet, SimTime};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::trace::TraceWriter;
+use crate::transport::{RxReceiver, Selected, TransportKind};
+
+/// Monotonic `SimTime` source, optionally anchored to a shared epoch.
+#[derive(Debug, Clone)]
+pub struct RuntimeClock {
+    /// Signed: a member spawned *before* the shared epoch (the usual case
+    /// for founders — the parent picks an epoch slightly in the future so
+    /// every process is up by time zero) has a negative base and reads
+    /// `SimTime(0)` until the epoch arrives.
+    base_us: i64,
+    anchor: Instant,
+}
+
+impl RuntimeClock {
+    /// Time starts at 0 when this clock is created (single-process runs).
+    pub fn process_start() -> Self {
+        RuntimeClock {
+            base_us: 0,
+            anchor: Instant::now(),
+        }
+    }
+
+    /// Time 0 is the given unix-epoch microsecond instant (cluster runs:
+    /// the parent picks one epoch and passes it to every member, so all
+    /// members' trace timestamps share an origin). Monotonic after anchor.
+    pub fn with_unix_epoch(epoch_us: u64) -> Self {
+        let now_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as i64)
+            .unwrap_or(0);
+        RuntimeClock {
+            base_us: now_us - epoch_us as i64,
+            anchor: Instant::now(),
+        }
+    }
+
+    /// Current runtime time.
+    pub fn now(&self) -> SimTime {
+        let t = self.base_us + self.anchor.elapsed().as_micros() as i64;
+        SimTime(t.max(0) as u64)
+    }
+}
+
+/// How this node enters the group.
+pub enum Role {
+    /// Founding member: installs the initial view directly.
+    Founder {
+        /// The full founding membership (must include this node).
+        members: Vec<ProcessorId>,
+    },
+    /// Joiner: subscribes and waits for a sponsor's AddProcessor.
+    Joiner,
+}
+
+/// Configuration for one runtime node.
+pub struct NodeConfig {
+    /// This processor.
+    pub id: ProcessorId,
+    /// The (single) group this node participates in.
+    pub group: GroupId,
+    /// The group's multicast address.
+    pub group_addr: McastAddr,
+    /// Protocol parameters (real milliseconds; the defaults work).
+    pub protocol: ProtocolConfig,
+    /// Founder or joiner.
+    pub role: Role,
+    /// Incarnation number (0 fresh, bumped on crash-restart); recorded in
+    /// the trace header so replay can retire/rejoin across restarts.
+    pub incarnation: u32,
+    /// Tick cadence (default 1 ms).
+    pub tick: Duration,
+    /// Time source.
+    pub clock: RuntimeClock,
+    /// Optional logical connection to bind at startup.
+    pub connection: Option<(ConnectionId, GroupId)>,
+    /// How long to keep pumping after `Command::Stop` so in-flight
+    /// acks/retransmissions settle (default 200 ms).
+    pub stop_grace: Duration,
+}
+
+impl NodeConfig {
+    /// A founder node with defaults.
+    pub fn founder(
+        id: ProcessorId,
+        group: GroupId,
+        group_addr: McastAddr,
+        members: Vec<ProcessorId>,
+    ) -> Self {
+        NodeConfig {
+            id,
+            group,
+            group_addr,
+            protocol: ProtocolConfig::default(),
+            role: Role::Founder { members },
+            incarnation: 0,
+            tick: Duration::from_millis(1),
+            clock: RuntimeClock::process_start(),
+            connection: None,
+            stop_grace: Duration::from_millis(200),
+        }
+    }
+
+    /// A joiner node with defaults.
+    pub fn joiner(id: ProcessorId, group: GroupId, group_addr: McastAddr) -> Self {
+        NodeConfig {
+            role: Role::Joiner,
+            ..NodeConfig::founder(id, group, group_addr, Vec::new())
+        }
+    }
+}
+
+/// Control-plane commands accepted by a running node.
+pub enum Command {
+    /// Multicast an ordered request on a bound connection.
+    Publish {
+        /// The logical connection.
+        conn: ConnectionId,
+        /// ORB request number (duplicate-suppression key with `conn`).
+        request: RequestNum,
+        /// Request body.
+        giop: Bytes,
+    },
+    /// Sponsor `ProcessorId` into the group, retrying until membership
+    /// shows it (covers both first joins and post-crash re-adds, where the
+    /// add must wait out conviction and reconfiguration of the old
+    /// incarnation).
+    AddMember(ProcessorId),
+    /// Voluntarily remove a member (or self-leave).
+    RemoveMember(ProcessorId),
+    /// Begin orderly shutdown (drain for `stop_grace`, then exit).
+    Stop,
+}
+
+/// Final accounting returned by the engine thread.
+pub struct RuntimeReport {
+    /// Which transport carried the run.
+    pub transport: TransportKind,
+    /// True when `Auto` selection fell back to TCP.
+    pub fell_back: bool,
+    /// Ordered deliveries handed to the application.
+    pub delivered: u64,
+    /// Wire frames written by the transport.
+    pub sent_datagrams: u64,
+    /// Datagrams received (post-filter).
+    pub recv_datagrams: u64,
+    /// Publishes rejected by flow control or connect gating.
+    pub publish_rejected: u64,
+    /// Timer ticks fired.
+    pub ticks: u64,
+    /// Final membership of the group as this node saw it.
+    pub final_members: Vec<ProcessorId>,
+    /// Runtime-layer metrics snapshot.
+    pub metrics: ftmp_telemetry::Snapshot,
+    /// The finished trace file, when tracing was on.
+    pub trace_path: Option<PathBuf>,
+}
+
+/// Handle to a spawned node.
+pub struct RuntimeHandle {
+    commands: Sender<Command>,
+    /// Ordered deliveries, as they happen.
+    pub deliveries: Receiver<(SimTime, Delivery)>,
+    /// Protocol events (membership changes, fault reports, ...).
+    pub events: Receiver<(SimTime, ProtocolEvent)>,
+    thread: JoinHandle<RuntimeReport>,
+}
+
+impl RuntimeHandle {
+    /// Send a control command. Ignores send failure after the node exited.
+    pub fn command(&self, cmd: Command) {
+        let _ = self.commands.send(cmd);
+    }
+
+    /// Multicast an ordered request.
+    pub fn publish(&self, conn: ConnectionId, request: RequestNum, giop: Bytes) {
+        self.command(Command::Publish {
+            conn,
+            request,
+            giop,
+        });
+    }
+
+    /// Stop the node and collect its report.
+    pub fn stop(self) -> RuntimeReport {
+        let _ = self.commands.send(Command::Stop);
+        self.join()
+    }
+
+    /// Wait for the node to exit on its own (after a prior `Stop`).
+    pub fn join(self) -> RuntimeReport {
+        self.thread.join().expect("runtime node thread panicked")
+    }
+}
+
+/// Everything a node needs beyond its config.
+pub struct NodeParts {
+    /// The opened transport (from [`crate::transport::open_transport`]).
+    pub transport: Selected,
+    /// Consumer half of the transport's receive queue.
+    pub rx: RxReceiver,
+    /// Optional durable delivery log (ftmp-store) for crash-restart.
+    pub dlog: Option<Box<dyn DeliveryLog>>,
+    /// Optional observation trace recorder.
+    pub trace: Option<TraceWriter>,
+}
+
+/// Spawn the engine thread for one node.
+pub fn spawn(cfg: NodeConfig, parts: NodeParts) -> RuntimeHandle {
+    let (cmd_tx, cmd_rx) = unbounded();
+    let (dlv_tx, dlv_rx) = unbounded();
+    let (evt_tx, evt_rx) = unbounded();
+    let name = format!("ftmp-node-P{}", cfg.id.0);
+    let thread = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || run_node(cfg, parts, cmd_rx, dlv_tx, evt_tx))
+        .expect("spawn runtime node");
+    RuntimeHandle {
+        commands: cmd_tx,
+        deliveries: dlv_rx,
+        events: evt_rx,
+        thread,
+    }
+}
+
+/// How often a pending AddMember is retried while the target is absent.
+const ADD_RETRY: Duration = Duration::from_millis(200);
+
+/// The protocol timestamp carried by an observation, if it has one.
+///
+/// Used as a hybrid-logical floor on recorded trace times: protocol
+/// timestamps are cluster-coherent (Lamport-bumped on every receive), so
+/// flooring a member's recorded `at` by every timestamp it has observed
+/// bounds cross-process trace skew at one message latency even when the
+/// members' wall clocks disagree.
+fn obs_ts(obs: &Observation) -> Option<u64> {
+    match obs {
+        Observation::Delivered { ts, .. }
+        | Observation::ViewInstalled { ts, .. }
+        | Observation::Sent { ts, .. }
+        | Observation::Acked { ts, .. }
+        | Observation::Retained { ts, .. } => Some(ts.0),
+        Observation::Reclaimed { stable_ts, .. } => Some(stable_ts.0),
+        _ => None,
+    }
+}
+
+struct Counters {
+    reg: ftmp_telemetry::Registry,
+    recv: ftmp_telemetry::CounterId,
+    sent: ftmp_telemetry::CounterId,
+    depth: ftmp_telemetry::GaugeId,
+    lag: ftmp_telemetry::HistId,
+    fallback: ftmp_telemetry::CounterId,
+    ticks: ftmp_telemetry::CounterId,
+    deliveries: ftmp_telemetry::CounterId,
+}
+
+impl Counters {
+    fn new() -> Self {
+        let mut reg = ftmp_telemetry::Registry::new();
+        let recv = reg.counter("runtime_socket_recv_datagrams");
+        let sent = reg.counter("runtime_socket_sent_datagrams");
+        let depth = reg.gauge("runtime_recv_queue_depth");
+        let lag = reg.histogram("runtime_timer_lag_us");
+        let fallback = reg.counter("runtime_tcp_fallback_activations");
+        let ticks = reg.counter("runtime_ticks");
+        let deliveries = reg.counter("runtime_deliveries");
+        Counters {
+            reg,
+            recv,
+            sent,
+            depth,
+            lag,
+            fallback,
+            ticks,
+            deliveries,
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_node(
+    cfg: NodeConfig,
+    parts: NodeParts,
+    cmd_rx: Receiver<Command>,
+    dlv_tx: Sender<(SimTime, Delivery)>,
+    evt_tx: Sender<(SimTime, ProtocolEvent)>,
+) -> RuntimeReport {
+    let NodeParts {
+        transport,
+        rx,
+        dlog,
+        mut trace,
+    } = parts;
+    let Selected {
+        mut transport,
+        kind,
+        fell_back,
+    } = transport;
+    let mut ctr = Counters::new();
+    if fell_back {
+        ctr.reg.inc(ctr.fallback, 1);
+    }
+
+    // The engine runs a synchronized clock: message timestamps are floored
+    // at real (epoch-anchored) time, so cross-process trace merge order
+    // approximates true order.
+    let mut engine = Processor::new(cfg.id, cfg.protocol, ClockMode::Synchronized { skew_us: 0 });
+    if let Some(log) = dlog {
+        engine.set_delivery_log(log);
+    }
+    if trace.is_some() {
+        engine.enable_observations();
+    }
+    let now0 = cfg.clock.now();
+    match cfg.role {
+        Role::Founder { members } => {
+            engine.create_group(now0, cfg.group, cfg.group_addr, members);
+        }
+        Role::Joiner => engine.expect_join(cfg.group, cfg.group_addr),
+    }
+    if let Some((conn, group)) = cfg.connection {
+        engine.bind_connection(conn, group);
+    }
+
+    let mut actions: Vec<Action> = Vec::with_capacity(256);
+    let mut observations: Vec<Observation> = Vec::with_capacity(256);
+    let mut delivered = 0u64;
+    let mut publish_rejected = 0u64;
+    let mut ticks = 0u64;
+    let mut pending_adds: Vec<(ProcessorId, Instant)> = Vec::new();
+    let mut stop_at: Option<Instant> = None;
+    let mut next_tick = Instant::now() + cfg.tick;
+
+    let mut ts_floor = 0u64;
+    macro_rules! pump {
+        ($now:expr) => {{
+            let now = $now;
+            engine.drain_actions_into(&mut actions);
+            for a in actions.drain(..) {
+                match a {
+                    Action::Send { addr, payload } => transport.send(addr, &payload),
+                    Action::Join(addr) => transport.join(addr),
+                    Action::Leave(addr) => transport.leave(addr),
+                    Action::Deliver(d) => {
+                        delivered += 1;
+                        let _ = dlv_tx.send((SimTime(now.0.max(ts_floor)), d));
+                    }
+                    Action::Event(e) => {
+                        let _ = evt_tx.send((SimTime(now.0.max(ts_floor)), e));
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(tr) = trace.as_mut() {
+                engine.drain_observations_into(&mut observations);
+                for obs in observations.drain(..) {
+                    // Hybrid-logical stamp: never record an event earlier
+                    // than a protocol timestamp this member has seen.
+                    if let Some(ts) = obs_ts(&obs) {
+                        ts_floor = ts_floor.max(ts);
+                    }
+                    let _ = tr.record(SimTime(now.0.max(ts_floor)), &obs);
+                }
+            }
+        }};
+    }
+
+    loop {
+        let now_i = Instant::now();
+        let wait = next_tick.saturating_duration_since(now_i);
+        match rx.recv_timeout(wait) {
+            Ok(first) => {
+                let now = cfg.clock.now();
+                engine.begin_batch();
+                engine.handle_packet(now, &Packet::new(cfg.id.0, first.addr, first.payload));
+                // Drain the burst under the same Packer batch window.
+                let mut budget = 64;
+                while budget > 0 {
+                    match rx.try_recv() {
+                        Some(d) => {
+                            engine.handle_packet(now, &Packet::new(cfg.id.0, d.addr, d.payload))
+                        }
+                        None => break,
+                    }
+                    budget -= 1;
+                }
+                engine.end_batch(now);
+                pump!(now);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        let now_i = Instant::now();
+        if now_i >= next_tick {
+            let lag = now_i.saturating_duration_since(next_tick);
+            ctr.reg.record(ctr.lag, lag.as_micros() as u64);
+            let now = cfg.clock.now();
+            engine.tick(now);
+            ticks += 1;
+            pump!(now);
+            next_tick += cfg.tick;
+            if now_i > next_tick + cfg.tick * 50 {
+                // Way behind (debugger pause, CPU stall): resynchronize
+                // rather than firing a catch-up burst.
+                next_tick = now_i + cfg.tick;
+            }
+
+            pending_adds.retain_mut(|(member, last_try)| {
+                let present = engine
+                    .membership(cfg.group)
+                    .is_some_and(|m| m.contains(member));
+                if present {
+                    return false;
+                }
+                if last_try.elapsed() >= ADD_RETRY && !engine.is_reconfiguring(cfg.group) {
+                    engine.add_processor(cfg.clock.now(), cfg.group, *member);
+                    *last_try = Instant::now();
+                }
+                true
+            });
+            if !pending_adds.is_empty() {
+                pump!(cfg.clock.now());
+            }
+            ctr.reg.set(ctr.depth, rx.depth() as i64);
+        }
+
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            let now = cfg.clock.now();
+            match cmd {
+                Command::Publish {
+                    conn,
+                    request,
+                    giop,
+                } => {
+                    if engine.multicast_request(now, conn, request, giop).is_err() {
+                        publish_rejected += 1;
+                    }
+                    pump!(now);
+                }
+                Command::AddMember(p) => {
+                    engine.add_processor(now, cfg.group, p);
+                    pending_adds.push((p, Instant::now()));
+                    pump!(now);
+                }
+                Command::RemoveMember(p) => {
+                    engine.remove_processor(now, cfg.group, p);
+                    pump!(now);
+                }
+                Command::Stop => {
+                    if stop_at.is_none() {
+                        stop_at = Some(Instant::now() + cfg.stop_grace);
+                    }
+                }
+            }
+        }
+        if let Some(at) = stop_at {
+            if Instant::now() >= at {
+                break;
+            }
+        }
+    }
+
+    let now = cfg.clock.now();
+    pump!(now);
+    transport.shutdown();
+    ctr.reg.inc(ctr.recv, rx.received());
+    ctr.reg.inc(ctr.sent, transport.sent());
+    ctr.reg.inc(ctr.ticks, ticks);
+    ctr.reg.inc(ctr.deliveries, delivered);
+    ctr.reg.set(ctr.depth, rx.depth() as i64);
+    let trace_path = trace.and_then(|t| t.finish(SimTime(now.0.max(ts_floor))).ok());
+    RuntimeReport {
+        transport: kind,
+        fell_back,
+        delivered,
+        sent_datagrams: transport.sent(),
+        recv_datagrams: rx.received(),
+        publish_rejected,
+        ticks,
+        final_members: engine.membership(cfg.group).unwrap_or_default(),
+        metrics: ctr.reg.snapshot(),
+        trace_path,
+    }
+}

@@ -1,0 +1,113 @@
+//! On-disk observation traces for real-socket runs.
+//!
+//! Each runtime node appends its `Observation` stream to a text file, one
+//! line per observation, using the codec in `ftmp_core::observe` — the
+//! same schema `ftmp-check`'s trace-file replay reads back. The format:
+//!
+//! ```text
+//! ftmp-trace v1 node=2 inc=0
+//! o 152340 ViewInstalled g=1 t=0 m=1,2,3
+//! o 201882 Delivered g=1 c=1.10-1.20 r=1000001 s=1 q=3 t=201100
+//! end 4000123
+//! ```
+//!
+//! `o <at_us> <observation>` lines are written with one `write(2)` each,
+//! straight to the file (no userspace buffering): a kill -9'd member's
+//! trace survives in the page cache up to the last completed write, exactly
+//! like the durable delivery log. A missing `end` marker tells the replay
+//! reader the file belongs to a crashed incarnation, and an unparsable
+//! final line is treated as a torn tail.
+
+use ftmp_core::observe::Observation;
+use ftmp_net::SimTime;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File header prefix (version-checked by the replay reader).
+pub const TRACE_HEADER: &str = "ftmp-trace v1";
+
+/// Appends one node's observation stream to a trace file.
+pub struct TraceWriter {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl TraceWriter {
+    /// Create (truncate) the trace file and write its header.
+    pub fn create(path: impl AsRef<Path>, node: u32, incarnation: u32) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path)?;
+        writeln!(file, "{TRACE_HEADER} node={node} inc={incarnation}")?;
+        Ok(TraceWriter {
+            file,
+            path,
+            records: 0,
+        })
+    }
+
+    /// Append one observation.
+    pub fn record(&mut self, at: SimTime, obs: &Observation) -> io::Result<()> {
+        let line = format!("o {} {}\n", at.0, obs.encode_line());
+        self.file.write_all(line.as_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Write the clean-shutdown marker and flush to disk.
+    pub fn finish(mut self, at: SimTime) -> io::Result<PathBuf> {
+        writeln!(self.file, "end {}", at.0)?;
+        self.file.sync_data()?;
+        Ok(self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmp_core::ids::{GroupId, ProcessorId, SeqNum, Timestamp};
+
+    #[test]
+    fn writes_header_records_and_end_marker() {
+        let dir = ftmp_store::scratch_dir("runtime-trace");
+        let path = dir.join("t.trc");
+        let mut w = TraceWriter::create(&path, 7, 1).unwrap();
+        w.record(
+            SimTime(123),
+            &Observation::Sent {
+                group: GroupId(1),
+                seq: SeqNum(9),
+                ts: Timestamp(5),
+            },
+        )
+        .unwrap();
+        w.record(
+            SimTime(456),
+            &Observation::Suspected {
+                group: GroupId(1),
+                suspect: ProcessorId(3),
+            },
+        )
+        .unwrap();
+        assert_eq!(w.records(), 2);
+        let path = w.finish(SimTime(999)).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "ftmp-trace v1 node=7 inc=1");
+        assert_eq!(lines[1], "o 123 Sent g=1 q=9 t=5");
+        assert_eq!(lines[2], "o 456 Suspected g=1 p=3");
+        assert_eq!(lines[3], "end 999");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,719 @@
+//! The two real transports behind the runtime event loop.
+//!
+//! The sans-io `Processor` addresses everything by [`McastAddr`] — an
+//! opaque 32-bit multicast group. A [`Transport`] maps that address space
+//! onto real sockets:
+//!
+//! - [`UdpMulticastTransport`] maps each `McastAddr` to a 239.77.x.y IPv4
+//!   multicast group on the loopback interface. All members share one UDP
+//!   port (`SO_REUSEPORT`), so the kernel fans each datagram out to every
+//!   subscribed socket — true multicast semantics, one send per datagram.
+//! - [`TcpMeshTransport`] is the fallback for environments without working
+//!   loopback multicast (most containers): a full mesh of TCP streams, one
+//!   listener per member, where each logical multicast is written to every
+//!   peer plus a local self-copy.
+//!
+//! Both transports frame each datagram with the destination `McastAddr`,
+//! and the **receiver** filters against its local subscription set. That
+//! reproduces the simulator's exact semantics: `Processor::handle_packet`
+//! ignores packet envelopes, so subscription filtering is the transport's
+//! job (the kernel alone can't do it — the shared multicast port delivers
+//! every joined group's traffic to every socket, and a TCP stream carries
+//! all groups).
+//!
+//! Selection is probe-based: [`open_transport`] in `Auto` mode stands up
+//! the UDP path and sends itself a probe datagram; only if the probe comes
+//! back is multicast trusted. Any failure — no multicast route, join
+//! refused, probe lost — falls back to TCP.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ftmp_net::McastAddr;
+
+use bytes::Bytes;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::sys;
+
+/// Reserved `McastAddr` used by the multicast availability probe. Never
+/// handed to the `Processor`.
+pub const PROBE_ADDR: McastAddr = McastAddr(u32::MAX);
+
+/// Frame magic for UDP datagrams ("FTMR").
+const UDP_MAGIC: [u8; 4] = *b"FTMR";
+
+/// One received datagram, already filtered to a subscribed group.
+#[derive(Debug, Clone)]
+pub struct RxDatagram {
+    /// Destination group (from the frame header).
+    pub addr: McastAddr,
+    /// FTMP payload.
+    pub payload: Bytes,
+}
+
+/// Producer half of the receive queue (held by transport reader threads).
+#[derive(Clone)]
+pub struct RxQueue {
+    tx: Sender<RxDatagram>,
+    depth: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+}
+
+impl RxQueue {
+    fn push(&self, d: RxDatagram) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.received.fetch_add(1, Ordering::Relaxed);
+        let _ = self.tx.send(d);
+    }
+}
+
+/// Consumer half of the receive queue (held by the event loop).
+pub struct RxReceiver {
+    rx: Receiver<RxDatagram>,
+    depth: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+}
+
+impl RxReceiver {
+    /// Block up to `timeout` for the next datagram.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<RxDatagram, RecvTimeoutError> {
+        let d = self.rx.recv_timeout(timeout)?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Ok(d)
+    }
+
+    /// Non-blocking pop.
+    pub fn try_recv(&self) -> Option<RxDatagram> {
+        let d = self.rx.try_recv().ok()?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Some(d)
+    }
+
+    /// Current queue depth (datagrams received but not yet consumed).
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Total datagrams ever enqueued by the transport.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+}
+
+/// Create the receive queue shared between a transport and an event loop.
+pub fn rx_channel() -> (RxQueue, RxReceiver) {
+    let (tx, rx) = unbounded();
+    let depth = Arc::new(AtomicU64::new(0));
+    let received = Arc::new(AtomicU64::new(0));
+    (
+        RxQueue {
+            tx,
+            depth: Arc::clone(&depth),
+            received: Arc::clone(&received),
+        },
+        RxReceiver {
+            rx,
+            depth,
+            received,
+        },
+    )
+}
+
+/// Which real transport is carrying the group traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// UDP multicast on loopback (the primary path).
+    UdpMulticast,
+    /// Full-mesh TCP fallback.
+    TcpMesh,
+}
+
+impl TransportKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::UdpMulticast => "udp-multicast",
+            TransportKind::TcpMesh => "tcp-mesh",
+        }
+    }
+}
+
+/// A real transport carrying `Processor` datagrams.
+pub trait Transport: Send {
+    /// Which path this is.
+    fn kind(&self) -> TransportKind;
+    /// Transmit one logical multicast datagram.
+    fn send(&mut self, dst: McastAddr, payload: &[u8]);
+    /// Subscribe to a group (from `Action::Join`).
+    fn join(&mut self, addr: McastAddr);
+    /// Unsubscribe from a group (from `Action::Leave`).
+    fn leave(&mut self, addr: McastAddr);
+    /// Wire-level datagrams/frames written so far.
+    fn sent(&self) -> u64;
+    /// Stop reader/connector threads. Idempotent.
+    fn shutdown(&mut self);
+}
+
+/// Shared subscription set, consulted by reader threads on every frame.
+type Subs = Arc<Mutex<HashSet<u32>>>;
+
+/// Map a protocol `McastAddr` onto a loopback-scoped 239.77.x.y group.
+/// Collisions between distinct `McastAddr`s are harmless: the frame header
+/// carries the exact 32-bit address and receivers filter on it.
+pub fn multicast_group_ip(addr: McastAddr) -> Ipv4Addr {
+    let folded = (addr.0 ^ (addr.0 >> 16)) as u16;
+    Ipv4Addr::new(239, 77, (folded >> 8) as u8, (folded & 0xff) as u8)
+}
+
+fn udp_frame(dst: McastAddr, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(8 + payload.len());
+    f.extend_from_slice(&UDP_MAGIC);
+    f.extend_from_slice(&dst.0.to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+fn parse_udp_frame(buf: &[u8]) -> Option<(McastAddr, &[u8])> {
+    if buf.len() < 8 || buf[..4] != UDP_MAGIC {
+        return None;
+    }
+    let dst = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    Some((McastAddr(dst), &buf[8..]))
+}
+
+/// Configuration for the UDP multicast path.
+#[derive(Debug, Clone)]
+pub struct UdpConfig {
+    /// Shared port every member binds (with `SO_REUSEPORT`).
+    pub port: u16,
+    /// How long the self-probe waits for its own loopback copy before the
+    /// path is declared unavailable. `Duration::ZERO` forces unavailability
+    /// (used by tests to exercise the fallback selection).
+    pub probe_timeout: Duration,
+}
+
+impl Default for UdpConfig {
+    fn default() -> Self {
+        UdpConfig {
+            port: 47_600,
+            probe_timeout: Duration::from_millis(400),
+        }
+    }
+}
+
+/// UDP multicast on loopback. See module docs.
+pub struct UdpMulticastTransport {
+    sock: UdpSocket,
+    port: u16,
+    subs: Subs,
+    /// Kernel-level group memberships, refcounted by mapped IP (distinct
+    /// `McastAddr`s may fold to the same 239.77.x.y group).
+    joined: HashMap<Ipv4Addr, u32>,
+    sent: u64,
+    stop: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// Join `PROBE_ADDR`'s group and wait for our own probe datagram to come
+/// back over loopback. Proves bind, join, send route and receive all work.
+fn probe_multicast(sock: &UdpSocket, port: u16, timeout: Duration) -> io::Result<()> {
+    let probe_ip = multicast_group_ip(PROBE_ADDR);
+    sock.join_multicast_v4(&probe_ip, &Ipv4Addr::LOCALHOST)?;
+    let nonce = std::process::id().to_le_bytes();
+    let frame = udp_frame(PROBE_ADDR, &nonce);
+    let deadline = Instant::now() + timeout;
+    sock.set_read_timeout(Some(
+        Duration::from_millis(50).min(timeout.max(Duration::from_millis(1))),
+    ))?;
+    let mut buf = [0u8; 256];
+    while Instant::now() < deadline {
+        sock.send_to(&frame, (probe_ip, port))?;
+        match sock.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                if let Some((dst, payload)) = parse_udp_frame(&buf[..n]) {
+                    if dst == PROBE_ADDR && payload == nonce {
+                        return Ok(());
+                    }
+                    // Another member's probe — keep waiting for ours.
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::TimedOut,
+        "multicast self-probe timed out (no loopback multicast)",
+    ))
+}
+
+/// Check whether loopback UDP multicast works here, without keeping any
+/// state. Used to pick one transport uniformly across a whole cluster.
+pub fn multicast_available(cfg: &UdpConfig) -> bool {
+    let sock = match sys::udp_socket_shared(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, cfg.port)) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    if sock.set_multicast_loop_v4(true).is_err() {
+        return false;
+    }
+    if sys::set_multicast_if_loopback(&sock).is_err() {
+        return false;
+    }
+    probe_multicast(&sock, cfg.port, cfg.probe_timeout).is_ok()
+}
+
+impl UdpMulticastTransport {
+    /// Bind the shared port, prove multicast works with a self-probe, and
+    /// start the reader thread. Any failure means "use the TCP fallback".
+    pub fn open(cfg: &UdpConfig, rxq: RxQueue) -> io::Result<Self> {
+        let sock = sys::udp_socket_shared(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, cfg.port))?;
+        sock.set_multicast_loop_v4(true)?;
+        sys::set_multicast_if_loopback(&sock)?;
+        probe_multicast(&sock, cfg.port, cfg.probe_timeout)?;
+
+        let subs: Subs = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader_sock = sock.try_clone()?;
+        reader_sock.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let reader_subs = Arc::clone(&subs);
+        let reader_stop = Arc::clone(&stop);
+        let reader = std::thread::Builder::new()
+            .name("ftmp-udp-rx".into())
+            .spawn(move || {
+                let mut buf = vec![0u8; 65_536];
+                while !reader_stop.load(Ordering::Relaxed) {
+                    match reader_sock.recv_from(&mut buf) {
+                        Ok((n, _)) => {
+                            if let Some((dst, payload)) = parse_udp_frame(&buf[..n]) {
+                                if dst == PROBE_ADDR {
+                                    continue;
+                                }
+                                let subscribed = reader_subs
+                                    .lock()
+                                    .map(|s| s.contains(&dst.0))
+                                    .unwrap_or(false);
+                                if subscribed {
+                                    rxq.push(RxDatagram {
+                                        addr: dst,
+                                        payload: Bytes::from(payload.to_vec()),
+                                    });
+                                }
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut => {}
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn udp reader");
+
+        Ok(UdpMulticastTransport {
+            sock,
+            port: cfg.port,
+            subs,
+            joined: HashMap::new(),
+            sent: 0,
+            stop,
+            reader: Some(reader),
+        })
+    }
+}
+
+impl Transport for UdpMulticastTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::UdpMulticast
+    }
+
+    fn send(&mut self, dst: McastAddr, payload: &[u8]) {
+        let frame = udp_frame(dst, payload);
+        if self
+            .sock
+            .send_to(&frame, (multicast_group_ip(dst), self.port))
+            .is_ok()
+        {
+            self.sent += 1;
+        }
+    }
+
+    fn join(&mut self, addr: McastAddr) {
+        if let Ok(mut s) = self.subs.lock() {
+            s.insert(addr.0);
+        }
+        let ip = multicast_group_ip(addr);
+        let refs = self.joined.entry(ip).or_insert(0);
+        if *refs == 0 {
+            // Best effort: a folded-IP collision with an existing kernel
+            // membership is fine, the frame filter is exact.
+            let _ = self.sock.join_multicast_v4(&ip, &Ipv4Addr::LOCALHOST);
+        }
+        *refs += 1;
+    }
+
+    fn leave(&mut self, addr: McastAddr) {
+        if let Ok(mut s) = self.subs.lock() {
+            s.remove(&addr.0);
+        }
+        let ip = multicast_group_ip(addr);
+        if let Some(refs) = self.joined.get_mut(&ip) {
+            *refs = refs.saturating_sub(1);
+            if *refs == 0 {
+                let _ = self.sock.leave_multicast_v4(&ip, &Ipv4Addr::LOCALHOST);
+                self.joined.remove(&ip);
+            }
+        }
+    }
+
+    fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for UdpMulticastTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Configuration for the TCP mesh fallback.
+pub struct TcpConfig {
+    /// This member's pre-bound listener (bind with
+    /// [`sys::tcp_listener_reuse`] or `TcpListener::bind`).
+    pub listener: TcpListener,
+    /// The other members' listener addresses. Unreachable peers are retried
+    /// forever, which is how a restarted member re-enters the mesh.
+    pub peers: Vec<SocketAddr>,
+    /// Delay between reconnect sweeps.
+    pub reconnect: Duration,
+}
+
+impl TcpConfig {
+    /// A mesh config with the default reconnect cadence.
+    pub fn new(listener: TcpListener, peers: Vec<SocketAddr>) -> Self {
+        TcpConfig {
+            listener,
+            peers,
+            reconnect: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Full-mesh TCP fallback. See module docs.
+pub struct TcpMeshTransport {
+    subs: Subs,
+    rxq: RxQueue,
+    slots: Arc<Vec<Mutex<Option<TcpStream>>>>,
+    sent: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// TCP frame: u32-LE dst addr, u32-LE payload length, payload.
+fn tcp_frame(dst: McastAddr, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(8 + payload.len());
+    f.extend_from_slice(&dst.0.to_le_bytes());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Per-stream reader: buffers bytes and delivers every complete frame that
+/// matches the subscription set.
+fn tcp_reader(mut stream: TcpStream, subs: Subs, rxq: RxQueue, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut acc: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut tmp = [0u8; 16 * 1024];
+    while !stop.load(Ordering::Relaxed) {
+        match stream.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => {
+                acc.extend_from_slice(&tmp[..n]);
+                let mut off = 0usize;
+                while acc.len() - off >= 8 {
+                    let dst =
+                        u32::from_le_bytes([acc[off], acc[off + 1], acc[off + 2], acc[off + 3]]);
+                    let len = u32::from_le_bytes([
+                        acc[off + 4],
+                        acc[off + 5],
+                        acc[off + 6],
+                        acc[off + 7],
+                    ]) as usize;
+                    if len > 1 << 24 {
+                        return; // corrupt stream; abandon it
+                    }
+                    if acc.len() - off - 8 < len {
+                        break;
+                    }
+                    let payload = &acc[off + 8..off + 8 + len];
+                    let subscribed = subs.lock().map(|s| s.contains(&dst)).unwrap_or(false);
+                    if subscribed {
+                        rxq.push(RxDatagram {
+                            addr: McastAddr(dst),
+                            payload: Bytes::from(payload.to_vec()),
+                        });
+                    }
+                    off += 8 + len;
+                }
+                acc.drain(..off);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+impl TcpMeshTransport {
+    /// Start the accept loop and the reconnect sweeper.
+    pub fn open(cfg: TcpConfig, rxq: RxQueue) -> io::Result<Self> {
+        let subs: Subs = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let slots: Arc<Vec<Mutex<Option<TcpStream>>>> =
+            Arc::new(cfg.peers.iter().map(|_| Mutex::new(None)).collect());
+        let mut threads = Vec::new();
+
+        cfg.listener.set_nonblocking(true)?;
+        {
+            let (listener, subs, rxq, stop) = (
+                cfg.listener,
+                Arc::clone(&subs),
+                rxq.clone(),
+                Arc::clone(&stop),
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ftmp-tcp-accept".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    let _ = stream.set_nonblocking(false);
+                                    let (subs, rxq, stop) =
+                                        (Arc::clone(&subs), rxq.clone(), Arc::clone(&stop));
+                                    // Reader threads exit on stream close or
+                                    // stop; they are not joined individually.
+                                    let _ = std::thread::Builder::new()
+                                        .name("ftmp-tcp-rx".into())
+                                        .spawn(move || tcp_reader(stream, subs, rxq, stop));
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(20));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn tcp accept"),
+            );
+        }
+        {
+            let (peers, slots, stop, reconnect) = (
+                cfg.peers.clone(),
+                Arc::clone(&slots),
+                Arc::clone(&stop),
+                cfg.reconnect,
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ftmp-tcp-connect".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            for (i, peer) in peers.iter().enumerate() {
+                                let vacant = slots[i].lock().map(|s| s.is_none()).unwrap_or(false);
+                                if !vacant {
+                                    continue;
+                                }
+                                if let Ok(stream) =
+                                    TcpStream::connect_timeout(peer, Duration::from_millis(150))
+                                {
+                                    let _ = stream.set_nodelay(true);
+                                    if let Ok(mut slot) = slots[i].lock() {
+                                        *slot = Some(stream);
+                                    }
+                                }
+                            }
+                            std::thread::sleep(reconnect);
+                        }
+                    })
+                    .expect("spawn tcp connect"),
+            );
+        }
+
+        Ok(TcpMeshTransport {
+            subs,
+            rxq,
+            slots,
+            sent: Arc::new(AtomicU64::new(0)),
+            stop,
+            threads,
+        })
+    }
+}
+
+impl Transport for TcpMeshTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::TcpMesh
+    }
+
+    fn send(&mut self, dst: McastAddr, payload: &[u8]) {
+        let frame = tcp_frame(dst, payload);
+        for slot in self.slots.iter() {
+            let Ok(mut guard) = slot.lock() else { continue };
+            let ok = match guard.as_mut() {
+                Some(stream) => stream.write_all(&frame).is_ok(),
+                None => continue,
+            };
+            if ok {
+                self.sent.fetch_add(1, Ordering::Relaxed);
+            } else {
+                *guard = None; // dead peer; the sweeper will reconnect
+            }
+        }
+        // The kernel loops multicast back to the sender; the mesh must do
+        // the same so self-addressed traffic (and loop-delivery dedupe
+        // paths) behave identically on both transports.
+        let subscribed = self
+            .subs
+            .lock()
+            .map(|s| s.contains(&dst.0))
+            .unwrap_or(false);
+        if subscribed {
+            self.rxq.push(RxDatagram {
+                addr: dst,
+                payload: Bytes::from(payload.to_vec()),
+            });
+        }
+    }
+
+    fn join(&mut self, addr: McastAddr) {
+        if let Ok(mut s) = self.subs.lock() {
+            s.insert(addr.0);
+        }
+    }
+
+    fn leave(&mut self, addr: McastAddr) {
+        if let Ok(mut s) = self.subs.lock() {
+            s.remove(&addr.0);
+        }
+    }
+
+    fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpMeshTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How [`open_transport`] picks a path.
+pub enum TransportMode {
+    /// Probe multicast; fall back to TCP if the probe fails.
+    Auto,
+    /// Require UDP multicast (error if the probe fails).
+    UdpMulticast,
+    /// Use the TCP mesh unconditionally.
+    TcpMesh,
+}
+
+/// Everything needed to open either path.
+pub struct TransportSpec {
+    /// Selection policy.
+    pub mode: TransportMode,
+    /// UDP path parameters.
+    pub udp: UdpConfig,
+    /// TCP fallback parameters (required unless mode is `UdpMulticast`).
+    pub tcp: Option<TcpConfig>,
+}
+
+/// An opened transport plus how it was chosen.
+pub struct Selected {
+    /// The transport.
+    pub transport: Box<dyn Transport>,
+    /// Which path it is.
+    pub kind: TransportKind,
+    /// True when `Auto` wanted multicast but had to fall back to TCP.
+    pub fell_back: bool,
+}
+
+/// Open a transport per `spec`. In `Auto` mode the UDP path is stood up and
+/// self-probed; any failure selects the TCP mesh and reports `fell_back`.
+pub fn open_transport(spec: TransportSpec, rxq: RxQueue) -> io::Result<Selected> {
+    let open_tcp = |tcp: Option<TcpConfig>, rxq: RxQueue, fell_back: bool| {
+        let cfg = tcp.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "TCP fallback not configured")
+        })?;
+        Ok(Selected {
+            transport: Box::new(TcpMeshTransport::open(cfg, rxq)?) as Box<dyn Transport>,
+            kind: TransportKind::TcpMesh,
+            fell_back,
+        })
+    };
+    match spec.mode {
+        TransportMode::TcpMesh => open_tcp(spec.tcp, rxq, false),
+        TransportMode::UdpMulticast => Ok(Selected {
+            transport: Box::new(UdpMulticastTransport::open(&spec.udp, rxq)?),
+            kind: TransportKind::UdpMulticast,
+            fell_back: false,
+        }),
+        TransportMode::Auto => match UdpMulticastTransport::open(&spec.udp, rxq.clone()) {
+            Ok(t) => Ok(Selected {
+                transport: Box::new(t),
+                kind: TransportKind::UdpMulticast,
+                fell_back: false,
+            }),
+            Err(_) => open_tcp(spec.tcp, rxq, true),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_frame_round_trip_and_rejects() {
+        let frame = udp_frame(McastAddr(0xDEAD_BEEF), b"hi");
+        let (dst, payload) = parse_udp_frame(&frame).unwrap();
+        assert_eq!(dst, McastAddr(0xDEAD_BEEF));
+        assert_eq!(payload, b"hi");
+        assert!(parse_udp_frame(b"FTM").is_none());
+        assert!(parse_udp_frame(b"XXXX\x01\x00\x00\x00").is_none());
+    }
+
+    #[test]
+    fn mcast_addr_maps_into_239_77() {
+        for a in [0u32, 1, 0xFFFF_FFFF, 0x1234_5678] {
+            let ip = multicast_group_ip(McastAddr(a));
+            assert!(ip.is_multicast(), "{ip} not multicast");
+            assert_eq!(ip.octets()[0], 239);
+            assert_eq!(ip.octets()[1], 77);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Real-socket integration tests.
+//!
+//! The TCP-mesh tests are always on: they need nothing but loopback TCP,
+//! which every CI container has. The UDP multicast test is gated behind
+//! `FTMP_SOCKET_TESTS=1` *and* a live multicast probe, because loopback
+//! multicast is typically unavailable in containers — that combination is
+//! exactly why the runtime has a fallback path, and the fallback-selection
+//! test pins that the `Auto` mode actually takes it.
+
+use bytes::Bytes;
+use ftmp_core::ids::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum};
+use ftmp_net::McastAddr;
+use ftmp_runtime::{node, sys, transport};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::time::{Duration, Instant};
+
+fn conn() -> ConnectionId {
+    ConnectionId::new(ObjectGroupId::new(1, 10), ObjectGroupId::new(1, 20))
+}
+
+const GROUP: GroupId = GroupId(1);
+const GROUP_ADDR: McastAddr = McastAddr(0x4654_4D31);
+
+/// Stand up `n` founders over the TCP mesh (ephemeral ports), or over UDP
+/// multicast when `udp_port` is given.
+fn spawn_group(n: u32, udp_port: Option<u16>) -> Vec<node::RuntimeHandle> {
+    let members: Vec<ProcessorId> = (1..=n).map(ProcessorId).collect();
+    let mut listeners = Vec::new();
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    if udp_port.is_none() {
+        for _ in 0..n {
+            let l = sys::tcp_listener_reuse(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))
+                .expect("bind listener");
+            addrs.push(l.local_addr().expect("listener addr"));
+            listeners.push(l);
+        }
+    }
+    let mut handles = Vec::new();
+    for (i, &id) in members.iter().enumerate() {
+        let (rxq, rx) = transport::rx_channel();
+        let spec = match udp_port {
+            Some(port) => transport::TransportSpec {
+                mode: transport::TransportMode::UdpMulticast,
+                udp: transport::UdpConfig {
+                    port,
+                    ..transport::UdpConfig::default()
+                },
+                tcp: None,
+            },
+            None => {
+                let peers = addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, a)| *a)
+                    .collect();
+                transport::TransportSpec {
+                    mode: transport::TransportMode::TcpMesh,
+                    udp: transport::UdpConfig::default(),
+                    tcp: Some(transport::TcpConfig::new(listeners.remove(0), peers)),
+                }
+            }
+        };
+        let selected = transport::open_transport(spec, rxq).expect("open transport");
+        let mut cfg = node::NodeConfig::founder(id, GROUP, GROUP_ADDR, members.clone());
+        cfg.connection = Some((conn(), GROUP));
+        handles.push(node::spawn(
+            cfg,
+            node::NodeParts {
+                transport: selected,
+                rx,
+                dlog: None,
+                trace: None,
+            },
+        ));
+    }
+    handles
+}
+
+/// Drive the standard agreement workload: every member publishes `per_node`
+/// requests, every member must deliver all of them in the same total order.
+fn run_agreement(handles: Vec<node::RuntimeHandle>, per_node: u64) -> Vec<node::RuntimeReport> {
+    let n = handles.len() as u64;
+    // Let the transport links (TCP mesh reconnect sweep) come up first.
+    std::thread::sleep(Duration::from_millis(400));
+    for (i, h) in handles.iter().enumerate() {
+        let id = i as u64 + 1;
+        for k in 0..per_node {
+            h.publish(
+                conn(),
+                RequestNum(id * 100 + k),
+                Bytes::from(vec![id as u8; 64]),
+            );
+        }
+    }
+    let want = n * per_node;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut orders: Vec<Vec<u64>> = vec![Vec::new(); handles.len()];
+    while orders.iter().any(|o| (o.len() as u64) < want) && Instant::now() < deadline {
+        for (i, h) in handles.iter().enumerate() {
+            while let Ok((_, d)) = h.deliveries.recv_timeout(Duration::from_millis(10)) {
+                orders[i].push(d.request_num.0);
+            }
+        }
+    }
+    for (i, o) in orders.iter().enumerate() {
+        assert_eq!(
+            o.len() as u64,
+            want,
+            "node {} delivered {} of {want}",
+            i + 1,
+            o.len()
+        );
+    }
+    for o in &orders[1..] {
+        assert_eq!(o, &orders[0], "total order diverged between members");
+    }
+    // Stop everyone concurrently: a sequential stop would leave the last
+    // members running long enough to convict the already-stopped ones.
+    for h in &handles {
+        h.command(node::Command::Stop);
+    }
+    handles.into_iter().map(node::RuntimeHandle::join).collect()
+}
+
+#[test]
+fn tcp_mesh_three_nodes_agree_on_total_order() {
+    let reports = run_agreement(spawn_group(3, None), 5);
+    for r in &reports {
+        assert_eq!(r.transport, transport::TransportKind::TcpMesh);
+        assert!(!r.fell_back, "TcpMesh was forced, not a fallback");
+        assert!(r.delivered >= 15);
+        assert!(r.sent_datagrams > 0);
+        assert!(r.recv_datagrams > 0);
+        assert_eq!(
+            r.final_members,
+            vec![ProcessorId(1), ProcessorId(2), ProcessorId(3)]
+        );
+        assert_eq!(
+            r.metrics.counter("runtime_deliveries"),
+            Some(r.delivered),
+            "telemetry snapshot covers the runtime layer"
+        );
+        assert_eq!(
+            r.metrics.counter("runtime_tcp_fallback_activations"),
+            Some(0)
+        );
+        assert!(r.metrics.histogram("runtime_timer_lag_us").is_some());
+    }
+}
+
+/// `Auto` selection must pick the TCP mesh when the multicast path cannot
+/// prove itself. A zero probe budget makes the self-probe fail on every
+/// host — including ones where multicast actually works — so this test pins
+/// the fallback path deterministically, exactly as a multicast-less CI
+/// container would exercise it.
+#[test]
+fn auto_mode_falls_back_to_tcp_when_multicast_probe_fails() {
+    let listener =
+        sys::tcp_listener_reuse(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)).expect("listener");
+    let (rxq, _rx) = transport::rx_channel();
+    let selected = transport::open_transport(
+        transport::TransportSpec {
+            mode: transport::TransportMode::Auto,
+            udp: transport::UdpConfig {
+                probe_timeout: Duration::ZERO,
+                ..transport::UdpConfig::default()
+            },
+            tcp: Some(transport::TcpConfig::new(listener, Vec::new())),
+        },
+        rxq,
+    )
+    .expect("fallback must open");
+    assert_eq!(selected.kind, transport::TransportKind::TcpMesh);
+    assert!(selected.fell_back, "Auto must report the fallback");
+}
+
+/// Without a TCP fallback configured, a failed probe is a hard error.
+#[test]
+fn auto_mode_errors_without_fallback_when_probe_fails() {
+    let (rxq, _rx) = transport::rx_channel();
+    let err = transport::open_transport(
+        transport::TransportSpec {
+            mode: transport::TransportMode::Auto,
+            udp: transport::UdpConfig {
+                probe_timeout: Duration::ZERO,
+                ..transport::UdpConfig::default()
+            },
+            tcp: None,
+        },
+        rxq,
+    );
+    assert!(err.is_err());
+}
+
+/// Real UDP multicast on loopback. Gated: set `FTMP_SOCKET_TESTS=1` on a
+/// host with multicast-capable loopback (most bare-metal Linux; most
+/// containers are not).
+#[test]
+fn udp_multicast_three_nodes_agree_on_total_order() {
+    if std::env::var("FTMP_SOCKET_TESTS").as_deref() != Ok("1") {
+        eprintln!("skipping: FTMP_SOCKET_TESTS=1 not set");
+        return;
+    }
+    let udp = transport::UdpConfig {
+        port: 47_611,
+        ..transport::UdpConfig::default()
+    };
+    if !transport::multicast_available(&udp) {
+        eprintln!("skipping: loopback multicast unavailable on this host");
+        return;
+    }
+    let reports = run_agreement(spawn_group(3, Some(udp.port)), 5);
+    for r in &reports {
+        assert_eq!(r.transport, transport::TransportKind::UdpMulticast);
+        assert!(r.delivered >= 15);
+    }
+}

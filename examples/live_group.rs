@@ -1,136 +1,137 @@
-//! The live transport: real threads, wall-clock heartbeats, injected loss.
+//! A live three-endpoint group over **real OS sockets**.
 //!
-//! Three endpoint threads share an in-process multicast hub
-//! ([`ftmp::net::live::LiveNet`]); each runs an FTMP engine against real
-//! time. The hub drops 10% of remote deliveries, so the NACK machinery runs
-//! for real. The main thread submits messages and prints each endpoint's
-//! agreed delivery order.
+//! Each endpoint is an [`ftmp::runtime`] node: the same sans-io FTMP
+//! engine that the simulator drives, here running on its own thread
+//! against wall-clock time and a real transport. The transport is UDP
+//! multicast on loopback when the host allows it, with an automatic
+//! fall-back to a full TCP mesh (the runtime probes before committing,
+//! so this example passes in multicast-less containers too).
+//!
+//! The main thread publishes interleaved messages from all three
+//! endpoints and then checks that every endpoint delivered the
+//! identical total order.
 //!
 //! ```text
 //! cargo run --example live_group
 //! ```
 
 use bytes::Bytes;
-use ftmp::core::{
-    Action, ClockMode, ConnectionId, GroupId, ObjectGroupId, Processor, ProcessorId,
-    ProtocolConfig, RequestNum,
-};
-use ftmp::net::live::LiveNet;
-use ftmp::net::{McastAddr, SimTime};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use ftmp::core::{ConnectionId, GroupId, ObjectGroupId, ProcessorId, RequestNum};
+use ftmp::net::McastAddr;
+use ftmp::runtime::{node, sys, transport};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 const GROUP: GroupId = GroupId(1);
-const ADDR: McastAddr = McastAddr(1);
+const GROUP_ADDR: McastAddr = McastAddr(0x4C49_5645); // "LIVE"
+const UDP_PORT: u16 = 47_650;
+const TCP_BASE: u16 = 47_651;
 
 fn conn() -> ConnectionId {
     ConnectionId::new(ObjectGroupId::new(1, 1), ObjectGroupId::new(1, 2))
 }
 
-/// Messages the main thread sends to an endpoint thread.
-enum Cmd {
-    Publish(String, u64),
-    Stop,
-}
-
 fn main() {
-    let hub = LiveNet::new();
-    hub.set_loss(0.10);
-    let start = Instant::now();
-    let stop = Arc::new(AtomicBool::new(false));
     let members: Vec<ProcessorId> = (1..=3).map(ProcessorId).collect();
+    // One shared epoch so the three nodes' protocol clocks agree.
+    let epoch_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .as_micros() as u64;
 
-    let mut cmd_txs = Vec::new();
     let mut handles = Vec::new();
-    let (report_tx, report_rx) = mpsc::channel::<(u32, Vec<String>)>();
-
-    for id in 1..=3u32 {
-        let (handle, rx) = hub.join(id);
-        handle.subscribe(ADDR);
-        let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
-        cmd_txs.push(cmd_tx);
-        let members = members.clone();
-        let stop = Arc::clone(&stop);
-        let report = report_tx.clone();
-        handles.push(std::thread::spawn(move || {
-            let mut engine = Processor::new(
-                ProcessorId(id),
-                ProtocolConfig::with_seed(7),
-                ClockMode::Lamport,
+    for &id in &members {
+        let (rxq, rx) = transport::rx_channel();
+        // TCP fallback mesh: each node listens on its own port and dials
+        // the other two. Only used if the multicast probe fails.
+        let listener = sys::tcp_listener_reuse(SocketAddrV4::new(
+            Ipv4Addr::LOCALHOST,
+            TCP_BASE + id.0 as u16,
+        ))
+        .expect("bind tcp listener");
+        let peers: Vec<SocketAddr> = members
+            .iter()
+            .filter(|&&p| p != id)
+            .map(|p| SocketAddr::from((Ipv4Addr::LOCALHOST, TCP_BASE + p.0 as u16)))
+            .collect();
+        let selected = transport::open_transport(
+            transport::TransportSpec {
+                mode: transport::TransportMode::Auto,
+                udp: transport::UdpConfig {
+                    port: UDP_PORT,
+                    ..Default::default()
+                },
+                tcp: Some(transport::TcpConfig {
+                    listener,
+                    peers,
+                    reconnect: Duration::from_millis(50),
+                }),
+            },
+            rxq,
+        )
+        .expect("open transport");
+        if id.0 == 1 {
+            println!(
+                "transport: {:?}{}",
+                selected.kind,
+                if selected.fell_back {
+                    " (multicast unavailable, fell back)"
+                } else {
+                    ""
+                }
             );
-            let now = || SimTime(start.elapsed().as_micros() as u64);
-            engine.create_group(now(), GROUP, ADDR, members);
-            engine.bind_connection(conn(), GROUP);
-            let mut delivered = Vec::new();
-            while !stop.load(Ordering::Relaxed) {
-                // Network input, with a short timeout doubling as the tick.
-                if let Ok(pkt) = rx.recv_timeout(Duration::from_micros(500)) {
-                    engine.handle_packet(now(), &pkt);
-                }
-                engine.tick(now());
-                for a in engine.drain_actions() {
-                    match a {
-                        Action::Send { addr, payload } => {
-                            handle.send(ftmp::net::Packet::new(id, addr, payload));
-                        }
-                        Action::Deliver(d) => {
-                            delivered.push(String::from_utf8_lossy(&d.giop).into_owned());
-                        }
-                        _ => {}
-                    }
-                }
-                while let Ok(cmd) = cmd_rx.try_recv() {
-                    match cmd {
-                        Cmd::Publish(text, req) => {
-                            let _ = engine.multicast_request(
-                                now(),
-                                conn(),
-                                RequestNum(req),
-                                Bytes::from(text),
-                            );
-                        }
-                        Cmd::Stop => stop.store(true, Ordering::Relaxed),
-                    }
-                }
-            }
-            report.send((id, delivered)).ok();
-        }));
+        }
+        let mut cfg = node::NodeConfig::founder(id, GROUP, GROUP_ADDR, members.clone());
+        cfg.connection = Some((conn(), GROUP));
+        cfg.clock = node::RuntimeClock::with_unix_epoch(epoch_us);
+        handles.push(node::spawn(
+            cfg,
+            node::NodeParts {
+                transport: selected,
+                rx,
+                dlog: None,
+                trace: None,
+            },
+        ));
     }
-    drop(report_tx);
 
     // Publish from all three endpoints, interleaved.
-    println!("three live endpoint threads, 10% injected loss, wall-clock heartbeats\n");
+    println!("three runtime nodes over real sockets, wall-clock heartbeats\n");
     for round in 0..5u64 {
-        for (i, tx) in cmd_txs.iter().enumerate() {
-            tx.send(Cmd::Publish(
-                format!("round {round} from P{}", i + 1),
-                round * 3 + i as u64 + 1,
-            ))
-            .unwrap();
+        for (i, h) in handles.iter().enumerate() {
+            h.publish(
+                conn(),
+                RequestNum(round * 3 + i as u64 + 1),
+                Bytes::from(format!("round {round} from P{}", i + 1)),
+            );
         }
         std::thread::sleep(Duration::from_millis(30));
     }
-    std::thread::sleep(Duration::from_millis(300));
-    for tx in &cmd_txs {
-        tx.send(Cmd::Stop).ok();
-    }
-    for h in handles {
-        h.join().unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    let mut views = Vec::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        let mut delivered = Vec::new();
+        while let Ok((_, d)) = h.deliveries.try_recv() {
+            delivered.push(String::from_utf8_lossy(&d.giop).into_owned());
+        }
+        let report = h.stop();
+        println!(
+            "P{} delivered {} messages ({} datagrams in, {} out)",
+            i + 1,
+            delivered.len(),
+            report.recv_datagrams,
+            report.sent_datagrams
+        );
+        views.push(delivered);
     }
 
-    let mut views: Vec<(u32, Vec<String>)> = report_rx.iter().collect();
-    views.sort_by_key(|(id, _)| *id);
-    for (id, seq) in &views {
-        println!("P{id} delivered {} messages", seq.len());
-    }
-    let agree = views.windows(2).all(|w| w[0].1 == w[1].1);
+    let agree = views.windows(2).all(|w| w[0] == w[1]);
     println!("\nall endpoints delivered the identical order: {agree}");
     println!("first endpoint's view:");
-    for (i, line) in views[0].1.iter().enumerate() {
+    for (i, line) in views[0].iter().enumerate() {
         println!("  {:>2}. {line}", i + 1);
     }
     assert!(agree, "live endpoints diverged");
-    assert_eq!(views[0].1.len(), 15, "all 15 messages delivered");
+    assert_eq!(views[0].len(), 15, "all 15 messages delivered");
 }

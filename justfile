@@ -68,3 +68,11 @@ recover:
 e17:
     cargo test --release -p ftmp-check large_group
     cargo run --release -p ftmp-bench --bin e17_overlay
+
+# Real-socket cluster gate (DESIGN.md §14): the runtime's socket tests,
+# then the E18 multi-process cluster — 3 founders + a live join + a
+# kill -9/durable-log restart over UDP multicast (auto TCP fallback),
+# traces replayed through all seven oracles (results/e18.json).
+cluster:
+    FTMP_SOCKET_TESTS=1 cargo test --release -p ftmp-runtime
+    cargo run --release -p ftmp-harness --bin ftmp-cluster

@@ -12,7 +12,9 @@
 //! * [`baselines`] — sequencer / token-ring / unicast baselines,
 //! * [`harness`] — experiment workloads, sweeps and metrics,
 //! * [`check`] — online conformance oracles + schedule-sweep driver,
-//! * [`store`] — durable delivered-message log with crash-restart recovery.
+//! * [`store`] — durable delivered-message log with crash-restart recovery,
+//! * [`runtime`] — real-socket runtime (UDP multicast / TCP mesh) driving
+//!   the same sans-io engine over OS sockets and wall-clock time.
 //!
 //! # Example
 //!
@@ -56,4 +58,5 @@ pub use ftmp_giop as giop;
 pub use ftmp_harness as harness;
 pub use ftmp_net as net;
 pub use ftmp_orb as orb;
+pub use ftmp_runtime as runtime;
 pub use ftmp_store as store;
