@@ -1,0 +1,680 @@
+//! Coverage-guided schedule exploration (DESIGN.md §15, ROADMAP item 5).
+//!
+//! The fixed sweep matrix ([`run_sweep`](crate::sweep::run_sweep)) *samples*
+//! the schedule space; this module *searches* it, in the style of the
+//! Derecho runtime-checking work: a feedback loop mutates targeted
+//! drop/delay/duplicate faults against the wire classes and keeps whichever
+//! schedules reach telemetry territory no earlier schedule reached.
+//!
+//! The pieces:
+//!
+//! - **Genome** ([`Genome`]): a scenario, a seed, a step count, and a list
+//!   of [`FaultGene`]s — each one a targeted fault against a specific wire
+//!   class (drop/delay/duplicate the `skip`-th through `skip+count`-th
+//!   matching copies). A genome compiles to an [`FaultPlan`] that consumes
+//!   no randomness, so *the genome is the schedule*: replaying it
+//!   reproduces the run bit for bit.
+//! - **Coverage map** ([`CoverageMap`]): the set of `(metric, log2-bucket)`
+//!   pairs reached across all runs so far, built from
+//!   [`Snapshot::buckets`](ftmp_telemetry::Snapshot::buckets) over the
+//!   cell's merged telemetry — protocol counters, latency histograms, and
+//!   the near-miss gauges (buffered-gap depth, stability lag, suspicion
+//!   and conviction margins, overlay solicitation/rescue counts).
+//! - **Explorer** ([`explore`]): seeds a corpus with the plain matrix
+//!   cells, then repeatedly mutates a corpus schedule — biased toward the
+//!   wire class whose faults last produced novelty — and keeps mutants
+//!   that light up new buckets. Oracle violations are minimized
+//!   ([`minimize_with`]) before the counterexample (with its
+//!   flight-recorder splice) is recorded.
+
+use ftmp_net::{FaultOp, FaultPlan, FaultRule, SimDuration};
+use ftmp_telemetry::Snapshot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::sweep::{run_cell_instrumented, CellVerdict, Scenario};
+
+/// Wire classes a gene may target: the FTMP message-type octets plus the
+/// packed-container marker (`wire.rs`).
+pub const CLASSES: [u8; 11] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x50];
+
+/// What a [`FaultGene`] does to the copies it claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneOp {
+    /// Drop them.
+    Drop,
+    /// Delay them by the given milliseconds (reordering past later
+    /// same-link traffic when large).
+    DelayMs(u64),
+    /// Deliver them and a duplicate the given milliseconds later.
+    DuplicateMs(u64),
+}
+
+impl GeneOp {
+    fn to_fault(self) -> FaultOp {
+        match self {
+            GeneOp::Drop => FaultOp::Drop,
+            GeneOp::DelayMs(ms) => FaultOp::Delay(SimDuration::from_millis(ms)),
+            GeneOp::DuplicateMs(ms) => FaultOp::Duplicate(SimDuration::from_millis(ms)),
+        }
+    }
+
+    fn json(self) -> String {
+        match self {
+            GeneOp::Drop => "{\"op\": \"drop\"}".to_string(),
+            GeneOp::DelayMs(ms) => format!("{{\"op\": \"delay\", \"ms\": {ms}}}"),
+            GeneOp::DuplicateMs(ms) => format!("{{\"op\": \"dup\", \"ms\": {ms}}}"),
+        }
+    }
+}
+
+/// One targeted fault: `op` applied to the `skip`-th through
+/// `skip+count`-th copies of wire class `class` (into `dst`, or into every
+/// receiver when `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultGene {
+    /// Wire-class octet the gene targets (see [`CLASSES`]).
+    pub class: u8,
+    /// Receiver the gene targets, `None` = every receiver.
+    pub dst: Option<u32>,
+    /// Matching copies to let pass before firing.
+    pub skip: u64,
+    /// Matching copies to affect.
+    pub count: u64,
+    /// The fault applied.
+    pub op: GeneOp,
+}
+
+/// A complete, replayable schedule: the scenario's deterministic fault
+/// script plus this genome's targeted faults, all under one seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Genome {
+    /// Base scenario whose workload and fault script the genome rides on.
+    pub scenario: Scenario,
+    /// Seed for the cell's stochastic models and workload.
+    pub seed: u64,
+    /// Workload steps.
+    pub steps: usize,
+    /// Targeted faults layered on top of the scenario.
+    pub genes: Vec<FaultGene>,
+}
+
+impl Genome {
+    /// A plain matrix cell: the scenario with no extra faults.
+    pub fn plain(scenario: Scenario, seed: u64, steps: usize) -> Self {
+        Genome {
+            scenario,
+            seed,
+            steps,
+            genes: Vec::new(),
+        }
+    }
+
+    /// Compile to the simulator's fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan {
+            rules: self
+                .genes
+                .iter()
+                .map(|g| FaultRule {
+                    class: Some(g.class),
+                    src: None,
+                    dst: g.dst,
+                    skip: g.skip,
+                    count: g.count,
+                    op: g.op.to_fault(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Run the schedule this genome describes: deterministic in the genome
+    /// alone (same genome → bit-identical verdict and telemetry snapshot).
+    pub fn run(&self, trace_capacity: usize) -> (CellVerdict, Snapshot) {
+        run_cell_instrumented(
+            self.scenario,
+            self.seed,
+            self.steps,
+            trace_capacity,
+            Some(&self.plan()),
+        )
+    }
+
+    /// Corpus-manifest encoding.
+    pub fn to_json(&self) -> String {
+        let genes: Vec<String> = self
+            .genes
+            .iter()
+            .map(|g| {
+                let dst = g
+                    .dst
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "null".to_string());
+                let mut op = g.op.json();
+                // splice the gene fields into the op object
+                op.truncate(op.len() - 1);
+                format!(
+                    "{op}, \"class\": {}, \"dst\": {dst}, \"skip\": {}, \"count\": {}}}",
+                    g.class, g.skip, g.count
+                )
+            })
+            .collect();
+        format!(
+            "{{\"scenario\": \"{}\", \"seed\": {}, \"steps\": {}, \"genes\": [{}]}}",
+            self.scenario.name(),
+            self.seed,
+            self.steps,
+            genes.join(", ")
+        )
+    }
+}
+
+/// The set of `(metric, log2-bucket)` pairs reached so far. Monotone: a
+/// schedule is *novel* exactly when it grows this set.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    reached: BTreeSet<(String, u8)>,
+}
+
+impl CoverageMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb a snapshot signature; returns how many pairs were new.
+    pub fn absorb(&mut self, buckets: &[(String, u8)]) -> usize {
+        let before = self.reached.len();
+        for b in buckets {
+            self.reached.insert(b.clone());
+        }
+        self.reached.len() - before
+    }
+
+    /// Buckets reached.
+    pub fn len(&self) -> usize {
+        self.reached.len()
+    }
+
+    /// No buckets reached yet?
+    pub fn is_empty(&self) -> bool {
+        self.reached.is_empty()
+    }
+
+    /// The reached `(metric, log2-bucket)` pairs, in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, u8)> {
+        self.reached.iter()
+    }
+}
+
+/// Explorer shape.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Scenarios the corpus is seeded from (and mutants stay within).
+    pub scenarios: Vec<Scenario>,
+    /// Seed for the mutation stream and the plain corpus cells.
+    pub base_seed: u64,
+    /// Total cell executions (mutants, minimization probes and failure
+    /// replays all count).
+    pub budget: usize,
+    /// Workload steps per cell.
+    pub steps: usize,
+    /// Trace ring capacity per cell.
+    pub trace_capacity: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            scenarios: Scenario::matrix(),
+            base_seed: 0x5EED,
+            budget: 48,
+            steps: 40,
+            trace_capacity: 4096,
+        }
+    }
+}
+
+/// A corpus entry: a schedule that reached new coverage when first run.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The schedule.
+    pub genome: Genome,
+    /// Buckets it newly reached when first run.
+    pub novelty: usize,
+    /// Oracle violations it produced (0 for interesting-but-clean).
+    pub violations: u64,
+}
+
+/// An oracle violation the explorer found, shrunk to a minimal schedule.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The minimized genome still reproducing the violation.
+    pub genome: Genome,
+    /// Its verdict, counterexample (flight-recorder splice) included.
+    pub verdict: CellVerdict,
+}
+
+/// Everything an exploration campaign produced.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreOutcome {
+    /// Coverage reached across all executions.
+    pub coverage: CoverageMap,
+    /// Schedules that each grew the map when found.
+    pub corpus: Vec<CorpusEntry>,
+    /// Minimized failures.
+    pub failures: Vec<Failure>,
+    /// `(executions so far, buckets reached)` after every absorbed run —
+    /// the coverage-growth curve E19 plots against the fixed matrix.
+    pub history: Vec<(usize, usize)>,
+    /// Cell executions actually spent.
+    pub executions: usize,
+}
+
+/// Log-uniform `1..=2^max_exp` with jitter: extremes (a sustained drop of
+/// hundreds of copies, a multi-second delay) are as likely as mild values.
+/// The scenario scripts already cover mild randomized faulting — the
+/// buckets only targeted genes can reach are at the heavy tail.
+fn log_uniform(rng: &mut SmallRng, max_exp: u32) -> u64 {
+    let exp = rng.gen_range(0..=max_exp);
+    (1u64 << exp) + rng.gen_range(0..=(1u64 << exp) / 2)
+}
+
+fn random_op(rng: &mut SmallRng) -> GeneOp {
+    match rng.gen_range(0..3u32) {
+        0 => GeneOp::Drop,
+        1 => GeneOp::DelayMs(log_uniform(rng, 11)), // up to ~3 s
+        _ => GeneOp::DuplicateMs(log_uniform(rng, 7)),
+    }
+}
+
+/// Mutate `g` in place: reseed the cell (15%), add a gene (~50%), tweak
+/// one (~20%), or drop one (15%). Reseeding keeps the fault genes but
+/// re-rolls the stochastic models and workload — the dimension the fixed
+/// matrix explores by cycling seeds, which the explorer must dominate, not
+/// forfeit. New genes target the `focus` class — the one that last
+/// increased novelty — half the time, and draw their reach (`count`,
+/// delay) log-uniformly so sustained class-wide outages are one mutation
+/// away. Returns the class of the touched gene, `None` for a removal or
+/// reseed.
+fn mutate(g: &mut Genome, rng: &mut SmallRng, focus: Option<u8>) -> Option<u8> {
+    let roll: u32 = rng.gen_range(0..100);
+    if roll < 15 {
+        g.seed = rng.gen();
+        return None;
+    }
+    if roll < 65 || g.genes.is_empty() {
+        let class = match focus {
+            Some(c) if rng.gen_bool(0.5) => c,
+            _ => CLASSES[rng.gen_range(0..CLASSES.len())],
+        };
+        let dst = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1..=4u32))
+        } else {
+            None
+        };
+        g.genes.push(FaultGene {
+            class,
+            dst,
+            skip: rng.gen_range(0..40),
+            count: log_uniform(rng, 9), // up to ~768 copies
+            op: random_op(rng),
+        });
+        Some(class)
+    } else if roll < 85 {
+        let i = rng.gen_range(0..g.genes.len());
+        let gene = &mut g.genes[i];
+        match rng.gen_range(0..3u32) {
+            0 => gene.skip = rng.gen_range(0..40),
+            1 => gene.count = log_uniform(rng, 9),
+            _ => gene.op = random_op(rng),
+        }
+        Some(gene.class)
+    } else {
+        let i = rng.gen_range(0..g.genes.len());
+        g.genes.remove(i);
+        None
+    }
+}
+
+/// Greedy counterexample minimization, generic over the failure predicate
+/// so the shrink logic is testable without running cells: drop genes to a
+/// fixpoint, then shrink each survivor's `count` toward 1 and `skip`
+/// toward 0. Every probe calls `fails` once; at most `budget` probes.
+/// Returns the smallest still-failing genome and the probes spent.
+pub fn minimize_with<F>(genome: &Genome, budget: usize, mut fails: F) -> (Genome, usize)
+where
+    F: FnMut(&Genome) -> bool,
+{
+    let mut current = genome.clone();
+    let mut used = 0usize;
+    let mut changed = true;
+    while changed && used < budget {
+        changed = false;
+        let mut i = 0;
+        while i < current.genes.len() && used < budget {
+            let mut cand = current.clone();
+            cand.genes.remove(i);
+            used += 1;
+            if fails(&cand) {
+                current = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    for i in 0..current.genes.len() {
+        while current.genes[i].count > 1 && used < budget {
+            let mut cand = current.clone();
+            cand.genes[i].count /= 2;
+            used += 1;
+            if fails(&cand) {
+                current = cand;
+            } else {
+                break;
+            }
+        }
+        if current.genes[i].skip > 0 && used < budget {
+            let mut cand = current.clone();
+            cand.genes[i].skip = 0;
+            used += 1;
+            if fails(&cand) {
+                current = cand;
+            }
+        }
+    }
+    (current, used)
+}
+
+/// Run a coverage-guided exploration campaign.
+///
+/// The first `scenarios.len()` executions are the plain matrix cells (so
+/// the explorer strictly contains the fixed matrix's starting point); the
+/// rest are split by a yield-greedy bandit between further matrix-cell
+/// replays and guided mutants. A schedule joins the corpus iff it reached
+/// new buckets; a violating one is greedily minimized and its final
+/// verdict recorded with the counterexample splice.
+pub fn explore(cfg: &ExploreConfig) -> ExploreOutcome {
+    let mut rng = SmallRng::seed_from_u64(cfg.base_seed ^ 0x00EF_10E5_C0FF_EE00);
+    let mut out = ExploreOutcome::default();
+    let mut focus: Option<u8> = None;
+    for &scenario in &cfg.scenarios {
+        if out.executions >= cfg.budget {
+            break;
+        }
+        let genome = Genome::plain(scenario, cfg.base_seed, cfg.steps);
+        let (verdict, snap) = genome.run(cfg.trace_capacity);
+        out.executions += 1;
+        let novelty = out.coverage.absorb(&snap.buckets());
+        out.history.push((out.executions, out.coverage.len()));
+        if verdict.violations > 0 {
+            record_failure(cfg, &mut out, genome.clone(), &verdict);
+        }
+        out.corpus.push(CorpusEntry {
+            genome,
+            novelty,
+            violations: verdict.violations,
+        });
+    }
+    // Two exploration moves, allocated by yield: *fresh* cells draw from
+    // the fixed matrix's own grid (a scenario column at its next seed),
+    // while *mutants* push into fault territory the matrix never samples.
+    // A smoothed greedy bandit sends each execution to whichever move is
+    // currently buying more buckets — and the fresh arm is itself a
+    // bandit over scenarios, deepening whichever column still yields
+    // instead of round-robining into saturated ones the way the matrix
+    // must. That double guidance is the whole E19 claim: at equal budget
+    // the matrix wastes cells on columns that stopped paying, and the
+    // explorer reinvests exactly those cells.
+    let n = cfg.scenarios.len();
+    let score = |(runs, gain): (f64, f64)| (gain + 1.0) / (runs + 1.0);
+    // Exponential decay on the arm statistics: the scores track *recent*
+    // yield, so an arm that fizzled early is re-tried once the other
+    // one's glory fades — a cumulative average would lock in whichever
+    // move happened to win the first few pulls.
+    const DECAY: f64 = 0.9;
+    // Per-scenario (replays beyond the seeding pass, buckets gained).
+    let mut sc_replays = vec![0u64; n];
+    let mut sc_stats = vec![(0.0f64, 0.0f64); n];
+    let mut arms = [(0.0f64, 0.0f64); 2]; // (runs, buckets gained): [fresh, mutate]
+    while out.executions < cfg.budget && !out.corpus.is_empty() {
+        let go_fresh = if rng.gen_bool(0.15) {
+            rng.gen_bool(0.5) // keep both arms alive
+        } else {
+            score(arms[0]) >= score(arms[1])
+        };
+        let (genome, touched, sc_idx) = if go_fresh {
+            let idx = if rng.gen_bool(0.2) {
+                rng.gen_range(0..n) // keep the column estimates honest
+            } else {
+                (0..n)
+                    .max_by(|&a, &b| score(sc_stats[a]).total_cmp(&score(sc_stats[b])))
+                    .expect("scenarios is non-empty")
+            };
+            // The column's next matrix cell: the seeding pass covered
+            // seed offset 0, replays continue 1, 2, …
+            let seed = cfg.base_seed + 1 + sc_replays[idx];
+            (
+                Genome::plain(cfg.scenarios[idx], seed, cfg.steps),
+                None,
+                Some(idx),
+            )
+        } else {
+            // Parent: the newest corpus entry a quarter of the time
+            // (depth), else any (breadth).
+            let pick = if rng.gen_bool(0.25) {
+                out.corpus.len() - 1
+            } else {
+                rng.gen_range(0..out.corpus.len())
+            };
+            let mut g = out.corpus[pick].genome.clone();
+            let touched = mutate(&mut g, &mut rng, focus);
+            (g, touched, None)
+        };
+        let (verdict, snap) = genome.run(cfg.trace_capacity);
+        out.executions += 1;
+        let novelty = out.coverage.absorb(&snap.buckets());
+        out.history.push((out.executions, out.coverage.len()));
+        for (runs, gain) in arms.iter_mut().chain(sc_stats.iter_mut()) {
+            *runs *= DECAY;
+            *gain *= DECAY;
+        }
+        let arm = &mut arms[usize::from(!go_fresh)];
+        arm.0 += 1.0;
+        arm.1 += novelty as f64;
+        if let Some(i) = sc_idx {
+            sc_replays[i] += 1;
+            sc_stats[i].0 += 1.0;
+            sc_stats[i].1 += novelty as f64;
+        }
+        if verdict.violations > 0 {
+            record_failure(cfg, &mut out, genome.clone(), &verdict);
+        }
+        if novelty > 0 {
+            if touched.is_some() {
+                focus = touched;
+            }
+            out.corpus.push(CorpusEntry {
+                genome,
+                novelty,
+                violations: verdict.violations,
+            });
+        }
+    }
+    out
+}
+
+/// Minimize a violating genome within the remaining budget and record the
+/// shrunk schedule with its final verdict (one confirming replay).
+fn record_failure(
+    cfg: &ExploreConfig,
+    out: &mut ExploreOutcome,
+    genome: Genome,
+    verdict: &CellVerdict,
+) {
+    let remaining = cfg.budget.saturating_sub(out.executions);
+    // Keep one probe for the confirming replay.
+    let probe_budget = remaining.saturating_sub(1);
+    let trace_capacity = cfg.trace_capacity;
+    let (minimized, used) = minimize_with(&genome, probe_budget, |cand| {
+        cand.run(trace_capacity).0.violations > 0
+    });
+    out.executions += used;
+    let final_verdict = if minimized == genome {
+        verdict.clone()
+    } else {
+        out.executions += 1;
+        minimized.run(trace_capacity).0
+    };
+    out.failures.push(Failure {
+        genome: minimized,
+        verdict: final_verdict,
+    });
+}
+
+/// Run the *fixed* matrix at the same execution budget, for the E19
+/// comparison: cells cycle `scenarios × (base_seed, base_seed+1, …)` until
+/// the budget is spent, coverage absorbed exactly as the explorer does.
+/// Returns the coverage map and the growth curve.
+pub fn matrix_coverage(cfg: &ExploreConfig) -> (CoverageMap, Vec<(usize, usize)>) {
+    let mut cov = CoverageMap::new();
+    let mut history = Vec::new();
+    let mut execs = 0usize;
+    let mut seed = cfg.base_seed;
+    'outer: loop {
+        for &scenario in &cfg.scenarios {
+            if execs >= cfg.budget {
+                break 'outer;
+            }
+            let (_, snap) =
+                run_cell_instrumented(scenario, seed, cfg.steps, cfg.trace_capacity, None);
+            execs += 1;
+            cov.absorb(&snap.buckets());
+            history.push((execs, cov.len()));
+        }
+        seed += 1;
+        if cfg.scenarios.is_empty() {
+            break;
+        }
+    }
+    (cov, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gene(class: u8, op: GeneOp) -> FaultGene {
+        FaultGene {
+            class,
+            dst: None,
+            skip: 4,
+            count: 8,
+            op,
+        }
+    }
+
+    /// The minimizer shrinks to exactly the failure-relevant genes: a
+    /// stubbed predicate fails iff the genome still contains both a class-7
+    /// drop and a class-0 delay.
+    #[test]
+    fn minimizer_shrinks_to_the_relevant_genes() {
+        let genome = Genome {
+            scenario: Scenario::Lossless,
+            seed: 1,
+            steps: 20,
+            genes: vec![
+                gene(2, GeneOp::DuplicateMs(5)),
+                gene(7, GeneOp::Drop),
+                gene(9, GeneOp::Drop),
+                gene(0, GeneOp::DelayMs(40)),
+                gene(5, GeneOp::DelayMs(3)),
+            ],
+        };
+        let fails = |g: &Genome| {
+            g.genes.iter().any(|x| x.class == 7 && x.op == GeneOp::Drop)
+                && g.genes
+                    .iter()
+                    .any(|x| x.class == 0 && matches!(x.op, GeneOp::DelayMs(_)))
+        };
+        let (min, used) = minimize_with(&genome, 1000, fails);
+        assert_eq!(min.genes.len(), 2, "exactly the two relevant genes");
+        assert!(min.genes.iter().any(|x| x.class == 7));
+        assert!(min.genes.iter().any(|x| x.class == 0));
+        // count shrunk to 1, skip to 0 (the stub ignores them).
+        assert!(min.genes.iter().all(|x| x.count == 1 && x.skip == 0));
+        assert!(used > 0);
+        assert!(fails(&min), "the minimized genome still fails");
+    }
+
+    /// The minimizer never returns a passing genome, and a budget of zero
+    /// returns the input untouched.
+    #[test]
+    fn minimizer_respects_budget() {
+        let genome = Genome {
+            scenario: Scenario::Lossless,
+            seed: 1,
+            steps: 20,
+            genes: vec![gene(7, GeneOp::Drop), gene(2, GeneOp::Drop)],
+        };
+        let (min, used) = minimize_with(&genome, 0, |_| true);
+        assert_eq!(min, genome);
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn coverage_map_absorb_counts_only_new_buckets() {
+        let mut cov = CoverageMap::new();
+        let a = vec![("x".to_string(), 1), ("y".to_string(), 2)];
+        assert_eq!(cov.absorb(&a), 2);
+        assert_eq!(cov.absorb(&a), 0, "same signature adds nothing");
+        let b = vec![("x".to_string(), 3)];
+        assert_eq!(cov.absorb(&b), 1, "same metric, new bucket, is novel");
+        assert_eq!(cov.len(), 3);
+    }
+
+    #[test]
+    fn genome_json_roundtrips_scenario_by_name() {
+        let genome = Genome {
+            scenario: Scenario::ClockSkew,
+            seed: 9,
+            steps: 30,
+            genes: vec![FaultGene {
+                class: 0x50,
+                dst: Some(3),
+                skip: 2,
+                count: 4,
+                op: GeneOp::DelayMs(25),
+            }],
+        };
+        let j = genome.to_json();
+        assert!(j.contains("\"scenario\": \"clock-skew\""));
+        assert!(j.contains("\"op\": \"delay\", \"ms\": 25"));
+        assert!(j.contains("\"class\": 80"));
+        assert_eq!(Scenario::by_name("clock-skew"), Some(Scenario::ClockSkew));
+        assert_eq!(Scenario::by_name("nope"), None);
+    }
+
+    /// Genome → plan compilation is mechanical and ordered.
+    #[test]
+    fn genome_compiles_to_ordered_fault_rules() {
+        let genome = Genome {
+            scenario: Scenario::Lossless,
+            seed: 1,
+            steps: 20,
+            genes: vec![gene(7, GeneOp::Drop), gene(2, GeneOp::DuplicateMs(5))],
+        };
+        let plan = genome.plan();
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].class, Some(7));
+        assert_eq!(plan.rules[0].op, FaultOp::Drop);
+        assert_eq!(
+            plan.rules[1].op,
+            FaultOp::Duplicate(SimDuration::from_millis(5))
+        );
+        assert_eq!(plan.rules[0].skip, 4);
+        assert_eq!(plan.rules[0].count, 8);
+    }
+}

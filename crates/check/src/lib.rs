@@ -25,10 +25,14 @@
 //!   re-exports the golden FNV trace hash.
 //! - [`sweep`] — the seed × scenario matrix driver behind the conformance
 //!   test, the chaos suite, and experiment E13.
+//! - [`explore`] — the coverage-guided schedule explorer (E19): genomes of
+//!   targeted wire-class faults, a telemetry-bucket coverage map, greedy
+//!   counterexample minimization, and deterministic replay-from-genome.
 //!
 //! Observation recording is off by default and costs one branch per
 //! emission site when off; [`Checker::attach`] flips it on per node.
 
+pub mod explore;
 pub mod obs;
 pub mod oracles;
 pub mod replay;
@@ -36,6 +40,10 @@ pub mod report;
 pub mod suite;
 pub mod sweep;
 
+pub use explore::{
+    explore, matrix_coverage, minimize_with, CorpusEntry, CoverageMap, ExploreConfig,
+    ExploreOutcome, Failure, FaultGene, GeneOp, Genome,
+};
 pub use obs::{Event, Key, Oracle, Violation};
 pub use oracles::{
     CausalOrder, DuplicateSuppression, ReclamationSafety, Reliability, SourceOrder, TotalOrder,
@@ -45,5 +53,6 @@ pub use replay::{read_trace_dir, read_trace_file, replay_traces, ReplayReport, T
 pub use report::{excerpt, kind_name, trace_hash, TraceExcerpt};
 pub use suite::{Checker, OracleSuite};
 pub use sweep::{
-    run_cell, run_sweep, seed_budget, CellVerdict, Scenario, SweepConfig, SweepReport,
+    run_cell, run_cell_instrumented, run_sweep, seed_budget, CellVerdict, Scenario, SweepConfig,
+    SweepReport,
 };

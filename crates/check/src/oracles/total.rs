@@ -5,6 +5,22 @@
 //! A later joiner may start mid-log (its join floor suppressed the prefix),
 //! but from its first delivery on it must track the log exactly.
 //!
+//! **View scoping.** Agreement is only required among processors that
+//! transition through the same views (§7.2 virtual synchrony). A
+//! one-way-partitioned processor keeps receiving traffic, so its horizons
+//! keep advancing and it keeps delivering — including its own messages,
+//! which the survivors never received and discard as beyond-target at the
+//! membership flush. Survivors meanwhile *stall*: the delivery rule needs
+//! a rising horizon from every member, so their cursors converge on a
+//! common frontier while the partitioned processor runs ahead alone. When
+//! a survivor reports a conviction (`Convicted` precedes its flush
+//! deliveries), the convicted processor is *forked*: its deliveries stop
+//! binding the log, and the log is truncated back to the unforked
+//! frontier — everything beyond it was delivered only by the forked
+//! continuation, and the survivors' flush re-extends the log in their own
+//! agreed order. A restart under the same id un-forks the processor,
+//! which then re-enters like a joiner.
+//!
 //! The log is pruned below the slowest active cursor (minus a slack window),
 //! so memory is bounded by the delivery spread between the fastest and
 //! slowest live processor — the ack horizon keeps that spread finite.
@@ -33,6 +49,10 @@ struct GroupLog {
     cursors: BTreeMap<ProcessorId, usize>,
     /// Processors retired from convergence duty (crashed / left).
     retired: Vec<ProcessorId>,
+    /// Processors excluded by a newer view while their partition
+    /// continuation kept delivering: their deliveries no longer bind the
+    /// log (see module docs on view scoping).
+    forked: Vec<ProcessorId>,
 }
 
 /// See module docs.
@@ -60,11 +80,35 @@ impl GroupLog {
         at
     }
 
+    /// Fork `q` out of convergence: a survivor convicted it. Truncate the
+    /// log back to the unforked frontier — the highest cursor among
+    /// processors still in the view lineage. Everything beyond it was
+    /// delivered only by forked continuations; the survivors' flush
+    /// re-extends the log in their own agreed order.
+    fn fork(&mut self, q: ProcessorId) {
+        if self.forked.contains(&q) {
+            return;
+        }
+        self.forked.push(q);
+        let frontier = self
+            .cursors
+            .iter()
+            .filter(|(p, _)| !self.forked.contains(p))
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap_or(self.base)
+            .max(self.base);
+        while self.end() > frontier {
+            let key = self.log.pop_back().expect("end > frontier >= base");
+            self.index.remove(&key);
+        }
+    }
+
     fn prune(&mut self) {
         let min_active = self
             .cursors
             .iter()
-            .filter(|(p, _)| !self.retired.contains(p))
+            .filter(|(p, _)| !self.retired.contains(p) && !self.forked.contains(p))
             .map(|(_, &c)| c)
             .min()
             .unwrap_or(self.end());
@@ -85,11 +129,26 @@ impl Oracle for TotalOrder {
     }
 
     fn observe(&mut self, ev: &Event, out: &mut Vec<Violation>) {
+        if let Observation::Convicted { group, convicted } = &ev.obs {
+            // A conviction report from a processor still in the view
+            // lineage forks the convicted member (reports from already-
+            // forked processors are part of their own continuation).
+            let g = self.groups.entry(*group).or_default();
+            if !g.forked.contains(&ev.node) && *convicted != ev.node {
+                g.fork(*convicted);
+            }
+            return;
+        }
         let Observation::Delivered { group, .. } = &ev.obs else {
             return;
         };
         let key = crate::obs::key_of(&ev.obs).expect("delivered has a key");
         let g = self.groups.entry(*group).or_default();
+        if g.forked.contains(&ev.node) {
+            // A forked processor's continuation is unconstrained relative
+            // to the survivors (it left their view lineage).
+            return;
+        }
         let known = g.index.get(&key).copied();
         match g.cursors.get(&ev.node).copied() {
             None => {
@@ -163,6 +222,7 @@ impl Oracle for TotalOrder {
         // drop its cursor so its first delivery may land mid-log.
         for g in self.groups.values_mut() {
             g.retired.retain(|&p| p != node);
+            g.forked.retain(|&p| p != node);
             g.cursors.remove(&node);
         }
     }
@@ -171,6 +231,9 @@ impl Oracle for TotalOrder {
         for (gid, g) in &self.groups {
             let end = g.end();
             for &node in live {
+                if g.forked.contains(&node) {
+                    continue; // left the view lineage; no convergence duty
+                }
                 let Some(&cursor) = g.cursors.get(&node) else {
                     continue; // delivered nothing in this group
                 };

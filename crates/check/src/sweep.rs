@@ -9,8 +9,8 @@ use ftmp_core::{
     Processor, ProcessorId, ProtocolConfig, RequestNum, SimProcessor, TimerPolicy,
 };
 use ftmp_net::{
-    LinkDegrade, LinkSelector, LossModel, McastAddr, NodeId, SimConfig, SimDuration, SimNet,
-    SimTime,
+    FaultPlan, LinkDegrade, LinkSelector, LossModel, McastAddr, NodeId, SimConfig, SimDuration,
+    SimNet, SimTime,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -65,11 +65,26 @@ pub enum Scenario {
     /// leave mid-run: each view change forces an overlay rebuild with all
     /// seven oracles watching (DESIGN.md §13).
     LargeGroup,
+    /// One founder's *outbound* links go dark mid-run while its inbound
+    /// side keeps flowing: the survivors convict it, and — unlike
+    /// [`PartitionHeal`](Scenario::PartitionHeal) — the victim hears the
+    /// Membership message excluding it in real time and must leave through
+    /// the exclusion-notice path while still receiving traffic.
+    AsymmetricPartition,
+    /// Persistent 50% loss on the single directed link 2→3 for the whole
+    /// run (a half-broken NIC): NACK recovery carries one direction of one
+    /// link indefinitely while suspicion stays asymmetric.
+    OneWayLoss,
+    /// Every member stamps with E4's synchronized-clock source
+    /// ([`ClockMode::Synchronized`]) under per-member skews spanning
+    /// ±30 ms, exercising the Lamport floor that keeps timestamps — and so
+    /// total order — monotone despite physical-clock disagreement.
+    ClockSkew,
 }
 
 impl Scenario {
     /// The full matrix.
-    pub const ALL: [Scenario; 10] = [
+    pub const ALL: [Scenario; 13] = [
         Scenario::Lossless,
         Scenario::IidLoss,
         Scenario::BurstLoss,
@@ -80,7 +95,22 @@ impl Scenario {
         Scenario::ConnSoak,
         Scenario::CrashRestart,
         Scenario::LargeGroup,
+        Scenario::AsymmetricPartition,
+        Scenario::OneWayLoss,
+        Scenario::ClockSkew,
     ];
+
+    /// The conformance-job matrix: every scenario except
+    /// [`LargeGroup`](Scenario::LargeGroup), whose 64/128-member cells cost
+    /// as much as the rest of the matrix combined and run in the dedicated
+    /// `large-group` CI job. New axes added to [`ALL`](Scenario::ALL) are
+    /// picked up here (and by `sweep_smoke`) automatically.
+    pub fn matrix() -> Vec<Scenario> {
+        Scenario::ALL
+            .into_iter()
+            .filter(|s| *s != Scenario::LargeGroup)
+            .collect()
+    }
 
     /// Stable name for verdicts and JSON.
     pub fn name(&self) -> &'static str {
@@ -95,6 +125,26 @@ impl Scenario {
             Scenario::ConnSoak => "conn-soak-10k",
             Scenario::CrashRestart => "crash-restart",
             Scenario::LargeGroup => "large-group",
+            Scenario::AsymmetricPartition => "asymmetric-partition",
+            Scenario::OneWayLoss => "one-way-loss",
+            Scenario::ClockSkew => "clock-skew",
+        }
+    }
+
+    /// Scenario by stable name (corpus-manifest decoding).
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Timestamp source for member `id` in this scenario: everything runs
+    /// Lamport except the clock-skew cell, where members stamp from
+    /// synchronized physical clocks disagreeing by up to ±30 ms.
+    fn clock(self, id: u32) -> ClockMode {
+        match self {
+            Scenario::ClockSkew => ClockMode::Synchronized {
+                skew_us: (id as i64 % 5 - 2) * 15_000,
+            },
+            _ => ClockMode::Lamport,
         }
     }
 
@@ -352,7 +402,7 @@ impl Cell {
         let mut e = Processor::new(
             ProcessorId(joiner),
             self.scenario.shape(ProtocolConfig::with_seed(seed)),
-            ClockMode::Lamport,
+            self.scenario.clock(joiner),
         );
         e.expect_join(GROUP, ADDR);
         e.bind_connection(conn(), GROUP);
@@ -396,7 +446,7 @@ impl Cell {
         let mut e = Processor::new(
             ProcessorId(id),
             ProtocolConfig::with_seed(seed),
-            ClockMode::Lamport,
+            self.scenario.clock(id),
         );
         e.expect_join(GROUP, ADDR);
         for &c in &self.conns {
@@ -444,7 +494,18 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         | Scenario::Churn
         | Scenario::ConnSoak
         | Scenario::CrashRestart
-        | Scenario::LargeGroup => {}
+        | Scenario::LargeGroup
+        | Scenario::AsymmetricPartition
+        | Scenario::ClockSkew => {}
+        Scenario::OneWayLoss => {
+            // A half-broken NIC: the whole run, one direction of one link.
+            sim = sim.degrade(LinkDegrade::lossy(
+                SimTime::ZERO,
+                SimTime(u64::MAX),
+                LinkSelector::Link(vec![(2, 3)]),
+                0.5,
+            ));
+        }
         Scenario::IidLoss => {
             sim = sim.loss(LossModel::Iid { p: 0.08 });
         }
@@ -486,7 +547,7 @@ fn build_cell(scenario: Scenario, seed: u64, trace_capacity: usize) -> Cell {
         vec![conn()]
     };
     for id in 1..=founders_n {
-        let mut e = Processor::new(ProcessorId(id), proto.clone(), ClockMode::Lamport);
+        let mut e = Processor::new(ProcessorId(id), proto.clone(), scenario.clock(id));
         e.create_group(SimTime::ZERO, GROUP, ADDR, founders.clone());
         for &c in &conns {
             e.bind_connection(c, GROUP);
@@ -538,10 +599,18 @@ fn view_records(records: &[ftmp_store::LogRecord]) -> u64 {
 /// member's flight-recorder dump (the conviction-frozen dump when one was
 /// captured, else the live ring).
 fn build_counterexample(cell: &Cell, live: &[NodeId]) -> String {
-    let mut cx = cell
-        .checker
-        .with_suite(|s| s.first_counterexample())
-        .unwrap_or_default();
+    let mut cx = cell.checker.with_suite(|s| {
+        let mut by: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for v in s.violations() {
+            *by.entry(v.oracle).or_default() += 1;
+        }
+        let breakdown: Vec<String> = by.iter().map(|(o, n)| format!("{o}={n}")).collect();
+        format!(
+            "violations by oracle: {}\n{}",
+            breakdown.join(", "),
+            s.first_counterexample().unwrap_or_default()
+        )
+    });
     if let Some(trace) = cell.net.trace() {
         cx.push_str(&report::excerpt(trace, 40).to_string());
     }
@@ -561,7 +630,28 @@ fn build_counterexample(cell: &Cell, live: &[NodeId]) -> String {
 /// oracle suite attached, drive the seeded workload and the scenario's
 /// fault schedule, settle, and collect the verdict.
 pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usize) -> CellVerdict {
+    run_cell_instrumented(scenario, seed, steps, trace_capacity, None).0
+}
+
+/// [`run_cell`] plus the coverage instrument: an optional targeted
+/// [`FaultPlan`] installed before the schedule runs, and the cell's merged
+/// telemetry snapshot (every live member's registry merged in id order,
+/// near-miss peak gauges taken as cross-member maxima, plus sweep- and
+/// network-level counters). The snapshot's [`buckets`] signature is the
+/// coverage map the explorer feeds on (DESIGN.md §15).
+///
+/// [`buckets`]: ftmp_telemetry::Snapshot::buckets
+pub fn run_cell_instrumented(
+    scenario: Scenario,
+    seed: u64,
+    steps: usize,
+    trace_capacity: usize,
+    plan: Option<&FaultPlan>,
+) -> (CellVerdict, ftmp_telemetry::Snapshot) {
     let mut cell = build_cell(scenario, seed, trace_capacity);
+    if let Some(p) = plan {
+        cell.net.set_fault_plan(p.clone());
+    }
     for step in 0..steps.max(12) {
         match scenario {
             Scenario::Crash if step == steps / 3 => {
@@ -581,6 +671,19 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
             }
             Scenario::PartitionHeal if step == steps / 4 => {
                 cell.net.partition(vec![vec![1, 2, 3], vec![4]]);
+            }
+            Scenario::AsymmetricPartition if step == steps / 4 => {
+                // P4's outbound side goes dark; its inbound side still
+                // flows, so it watches its own conviction happen live.
+                for dst in 1..=3 {
+                    cell.net.block_link(4, dst);
+                }
+            }
+            Scenario::AsymmetricPartition if step == (steps * 3) / 4 => {
+                for dst in 1..=3 {
+                    cell.net.unblock_link(4, dst);
+                }
+                cell.checker.retire(4);
             }
             Scenario::PartitionHeal if step == (steps * 3) / 4 => {
                 // The majority convicted P4 during the partition; after the
@@ -629,12 +732,15 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
                 .is_some_and(|n| n.engine().membership(GROUP).is_some())
         })
         .collect();
-    assert!(
-        !live.is_empty(),
-        "{} seed {seed}: no live member survived the schedule",
-        scenario.name()
-    );
-    cell.checker.finish(live.iter().copied());
+    // A hostile enough schedule (explorer mutants can black-hole every
+    // link) may dissolve the whole group — mutual suspicion convicts
+    // everyone and the last survivors leave. That is a legal outcome, not
+    // a harness error: there is no view left to converge, so the
+    // finish-time checks are vacuous, while any safety violation observed
+    // *en route* has already been recorded.
+    if !live.is_empty() {
+        cell.checker.finish(live.iter().copied());
+    }
     let violations = cell.checker.violation_count();
     let counterexample = (violations > 0).then(|| build_counterexample(&cell, &live));
     let verdict = CellVerdict {
@@ -645,11 +751,61 @@ pub fn run_cell(scenario: Scenario, seed: u64, steps: usize, trace_capacity: usi
         violations,
         counterexample,
     };
+    let snapshot = aggregate_snapshot(&cell, &live, &verdict);
     if let Some(dir) = &cell.dlog_dir {
         drop(cell.net); // close the victim's log before deleting it
         let _ = std::fs::remove_dir_all(dir);
     }
-    verdict
+    (verdict, snapshot)
+}
+
+/// Merge the live members' telemetry registries (in id order — counters
+/// add, histograms merge, the near-miss peak gauges take the cross-member
+/// maximum) and append sweep- and network-level counters: one snapshot
+/// summarizing everything this execution made the protocol do.
+fn aggregate_snapshot(
+    cell: &Cell,
+    live: &[NodeId],
+    verdict: &CellVerdict,
+) -> ftmp_telemetry::Snapshot {
+    let mut agg = ftmp_telemetry::Registry::new();
+    let mut gap_peak = 0i64;
+    let mut margin_peak = 0i64;
+    for &id in live {
+        let Some(n) = cell.net.node(id) else { continue };
+        let Some(tel) = n.engine().telemetry() else {
+            continue;
+        };
+        agg.merge(tel.registry());
+        let snap = tel.registry().snapshot();
+        gap_peak = gap_peak.max(snap.gauge("gap_depth_peak").unwrap_or(0));
+        margin_peak = margin_peak.max(snap.gauge("conviction_margin_permille").unwrap_or(0));
+    }
+    // Registry::merge leaves a gauge at the last member's value; the peaks
+    // are only meaningful as maxima across the group.
+    let g = agg.gauge("gap_depth_peak");
+    agg.set(g, gap_peak);
+    let g = agg.gauge("conviction_margin_permille");
+    agg.set(g, margin_peak);
+    for (name, v) in [
+        ("sweep_observations", verdict.observations),
+        ("sweep_delivered", verdict.delivered),
+        ("sweep_violations", verdict.violations),
+        ("net_sent_packets", cell.net.stats().sent_packets),
+        ("net_sent_messages", cell.net.stats().sent_messages),
+        ("net_delivered", cell.net.stats().delivered),
+        ("net_lost", cell.net.stats().lost),
+        ("net_partitioned", cell.net.stats().partitioned),
+        ("net_to_crashed", cell.net.stats().to_crashed),
+    ] {
+        let c = agg.counter(name);
+        agg.inc(c, v);
+    }
+    for (kind, (packets, _bytes)) in &cell.net.stats().per_kind {
+        let c = agg.counter(&format!("net_kind_{kind:#04x}_packets"));
+        agg.inc(c, *packets);
+    }
+    agg.snapshot()
 }
 
 #[cfg(test)]

@@ -1,0 +1,115 @@
+//! Replay-from-genome determinism: the property the explorer's corpus
+//! rests on. A genome — scenario, seed, steps, targeted fault genes — must
+//! replay to a bit-identical verdict *and* telemetry snapshot, because the
+//! corpus stores nothing but genomes and E19's failures are only useful if
+//! `just explore` reproduces them exactly.
+
+use ftmp_check::explore::CLASSES;
+use ftmp_check::{FaultGene, GeneOp, Genome, Scenario};
+use proptest::collection;
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = GeneOp> {
+    prop_oneof![
+        Just(GeneOp::Drop),
+        (1u64..=50).prop_map(GeneOp::DelayMs),
+        (1u64..=10).prop_map(GeneOp::DuplicateMs),
+    ]
+}
+
+fn arb_gene() -> impl Strategy<Value = FaultGene> {
+    (
+        (0usize..CLASSES.len()).prop_map(|i| CLASSES[i]),
+        prop_oneof![Just(None), (1u32..=4).prop_map(Some)],
+        0u64..20,
+        (1u64..=6, arb_op()),
+    )
+        .prop_map(|(class, dst, skip, (count, op))| FaultGene {
+            class,
+            dst,
+            skip,
+            count,
+            op,
+        })
+}
+
+fn arb_genome() -> impl Strategy<Value = Genome> {
+    (
+        prop_oneof![
+            Just(Scenario::Lossless),
+            Just(Scenario::IidLoss),
+            Just(Scenario::OneWayLoss),
+            Just(Scenario::ClockSkew),
+        ],
+        0u64..1000,
+        (12usize..=14, collection::vec(arb_gene(), 0..4)),
+    )
+        .prop_map(|(scenario, seed, (steps, genes))| Genome {
+            scenario,
+            seed,
+            steps,
+            genes,
+        })
+}
+
+proptest! {
+    #[test]
+    fn genome_replays_to_identical_verdict_and_snapshot(genome in arb_genome()) {
+        let (v1, s1) = genome.run(2048);
+        let (v2, s2) = genome.run(2048);
+        prop_assert_eq!(v1.scenario, v2.scenario);
+        prop_assert_eq!(v1.seed, v2.seed);
+        prop_assert_eq!(v1.observations, v2.observations);
+        prop_assert_eq!(v1.delivered, v2.delivered);
+        prop_assert_eq!(v1.violations, v2.violations);
+        prop_assert_eq!(v1.counterexample, v2.counterexample);
+        prop_assert_eq!(s1.to_json(), s2.to_json());
+        // The coverage signature is a pure function of the snapshot.
+        prop_assert_eq!(s1.buckets(), s2.buckets());
+    }
+}
+
+/// One pinned genome with every op kind, replayed across runs: the
+/// fixed-point version of the property (and a corpus-manifest round-trip
+/// through the scenario name).
+#[test]
+fn pinned_genome_replay_is_bit_identical() {
+    let genome = Genome {
+        scenario: Scenario::IidLoss,
+        seed: 0xE19,
+        steps: 20,
+        genes: vec![
+            FaultGene {
+                class: 0,
+                dst: Some(2),
+                skip: 3,
+                count: 4,
+                op: GeneOp::Drop,
+            },
+            FaultGene {
+                class: 2,
+                dst: None,
+                skip: 0,
+                count: 6,
+                op: GeneOp::DelayMs(35),
+            },
+            FaultGene {
+                class: 1,
+                dst: Some(3),
+                skip: 1,
+                count: 2,
+                op: GeneOp::DuplicateMs(4),
+            },
+        ],
+    };
+    let (v1, s1) = genome.run(4096);
+    let (v2, s2) = genome.run(4096);
+    assert_eq!(v1.observations, v2.observations);
+    assert_eq!(v1.delivered, v2.delivered);
+    assert_eq!(v1.violations, v2.violations);
+    assert_eq!(s1.to_json(), s2.to_json());
+    assert_eq!(
+        Scenario::by_name(genome.scenario.name()),
+        Some(genome.scenario)
+    );
+}

@@ -1,0 +1,256 @@
+//! Minimized schedules the E19 explorer flushed out, pinned as
+//! regressions. Each one failed on pre-fix code; the genome is the whole
+//! reproduction — replaying it is deterministic (see
+//! `explore_determinism.rs`), so a red run here prints a genome you can
+//! hand straight to `just explore`.
+
+use ftmp_check::{FaultGene, GeneOp, Genome, Scenario};
+
+/// Explorer finding (E19, first campaign): a *plain* asymmetric-partition
+/// cell — P4's outbound dark, inbound still flowing — tripped the
+/// total-order oracle at many seeds. P4 keeps receiving everyone's
+/// traffic, so its horizons keep advancing and it delivers its own
+/// messages at agreed-order positions the survivors never see (they never
+/// received them, convict P4, and discard its beyond-target messages at
+/// the membership flush). That divergent continuation is exactly what
+/// virtual synchrony scopes out: P4 does not transition into the
+/// survivors' view, so its solo tail must not define the agreed order.
+/// The oracle now forks a processor excluded by a newer view and excises
+/// its undelivered tail; the protocol itself was already correct.
+#[test]
+fn asymmetric_partition_divergence_is_view_scoped() {
+    // 42/0xBEEF/777 came out of the explorer; 0xC0F0 with 60 steps is the
+    // conformance job's own cell, which the finding would have broken.
+    for (seed, steps) in [(42, 40), (0xBEEF, 40), (777, 40), (0xC0F0, 60)] {
+        let v = Genome::plain(Scenario::AsymmetricPartition, seed, steps)
+            .run(4096)
+            .0;
+        assert_eq!(
+            v.violations,
+            0,
+            "asymmetric-partition seed {seed} steps {steps}:\n{}",
+            v.counterexample.unwrap_or_default()
+        );
+    }
+}
+
+/// Explorer finding (E19, overnight hunt): membership-flush targets did
+/// not cover deliveries made *while the reconfiguration ran*. The agreed
+/// per-source flush targets are the max over the survivors' announce-time
+/// seq vectors — a snapshot. Survivors kept running the ordered-delivery
+/// rule during the reconfiguration, so one that received a removed
+/// member's late arrivals after announcing could deliver *past* the
+/// target its peers flush to (they discard that tail at the flush) and
+/// the views diverged: on the partition-heal genome below, P1/P2
+/// delivered P4's seqs 25–26 while the agreed target said 24, and P3
+/// completed without ever recovering them. Fixed by pausing ordered
+/// delivery while a reconfiguration is in progress (§7.2): the flush
+/// delivers exactly up to the targets everywhere, and control traffic
+/// bypasses total order so completion cannot stall. Each genome below
+/// tripped total-order + virtual-synchrony pre-fix.
+#[test]
+fn reconfiguration_targets_cover_midflight_deliveries() {
+    let cases = [
+        Genome {
+            scenario: Scenario::PartitionHeal,
+            seed: 20,
+            steps: 80,
+            genes: vec![FaultGene {
+                class: 0,
+                dst: Some(3),
+                skip: 28,
+                count: 129,
+                op: GeneOp::Drop,
+            }],
+        },
+        Genome {
+            scenario: Scenario::AsymmetricPartition,
+            seed: 10342344320334027090,
+            steps: 40,
+            genes: vec![
+                FaultGene {
+                    class: 0,
+                    dst: None,
+                    skip: 0,
+                    count: 160,
+                    op: GeneOp::Drop,
+                },
+                FaultGene {
+                    class: 0,
+                    dst: Some(3),
+                    skip: 0,
+                    count: 1,
+                    op: GeneOp::DelayMs(2989),
+                },
+                FaultGene {
+                    class: 0,
+                    dst: None,
+                    skip: 0,
+                    count: 1,
+                    op: GeneOp::DelayMs(759),
+                },
+            ],
+        },
+        Genome {
+            scenario: Scenario::OneWayLoss,
+            seed: 14,
+            steps: 40,
+            genes: vec![
+                FaultGene {
+                    class: 0,
+                    dst: Some(4),
+                    skip: 32,
+                    count: 22,
+                    op: GeneOp::DelayMs(5),
+                },
+                FaultGene {
+                    class: 0,
+                    dst: None,
+                    skip: 36,
+                    count: 133,
+                    op: GeneOp::Drop,
+                },
+                FaultGene {
+                    class: 2,
+                    dst: None,
+                    skip: 22,
+                    count: 134,
+                    op: GeneOp::Drop,
+                },
+                FaultGene {
+                    class: 1,
+                    dst: None,
+                    skip: 12,
+                    count: 48,
+                    op: GeneOp::DelayMs(540),
+                },
+            ],
+        },
+    ];
+    for g in cases {
+        let (v, _) = g.clone().run(8192);
+        assert_eq!(
+            v.violations,
+            0,
+            "{}:\n{}",
+            g.to_json(),
+            v.counterexample.unwrap_or_default()
+        );
+    }
+}
+
+/// Explorer finding (E19, overnight hunt): a member under persistent
+/// one-way *data* loss — every Regular datagram and NACK repair towards
+/// it swallowed, heartbeats still flowing — stayed in the group forever
+/// with a permanent gap. The silence-based fail timeout never fires (it
+/// hears us fine, we hear its heartbeats fine), so nothing excluded it:
+/// a live member that can never converge, stalling stability and pinning
+/// retention group-wide. Pre-fix this genome tripped the reliability
+/// oracle at finish. The fix is the ack-progress detector: a member
+/// whose reported ack sits below our own reception frontier and has not
+/// advanced for `ack_stall_timeout` is suspected like a silent one, and
+/// the ordinary conviction quorum excludes it.
+#[test]
+fn data_blackholed_member_is_eventually_excluded() {
+    let g = Genome {
+        scenario: Scenario::OneWayLoss,
+        seed: 14,
+        steps: 40,
+        genes: vec![FaultGene {
+            class: 0,
+            dst: Some(4),
+            skip: 32,
+            count: 727,
+            op: GeneOp::Drop,
+        }],
+    };
+    let (v, _) = g.clone().run(8192);
+    assert_eq!(
+        v.violations,
+        0,
+        "{}:\n{}",
+        g.to_json(),
+        v.counterexample.unwrap_or_default()
+    );
+}
+
+/// Explorer finding (E19, overnight hunt): a schedule hostile enough to
+/// black-hole every wire class can dissolve the whole group — mutual
+/// suspicion convicts everyone and the last survivors leave. The sweep
+/// harness used to panic ("no live member survived the schedule"), which
+/// crashed entire explorer campaigns instead of producing a verdict. A
+/// dissolved group is a legal outcome: finish-time convergence is vacuous
+/// and en-route safety violations are already recorded.
+#[test]
+fn group_dissolving_schedule_is_a_legal_outcome() {
+    let g = Genome {
+        scenario: Scenario::CrashRestart,
+        seed: 17,
+        steps: 60,
+        genes: vec![0u8, 1, 2, 7, 8, 0x50]
+            .into_iter()
+            .map(|class| FaultGene {
+                class,
+                dst: None,
+                skip: 10,
+                count: 100000,
+                op: GeneOp::Drop,
+            })
+            .collect(),
+    };
+    let (v, _) = g.run(8192);
+    assert_eq!(
+        v.violations,
+        0,
+        "dissolving schedule:\n{}",
+        v.counterexample.unwrap_or_default()
+    );
+}
+
+/// Clock skew stayed clean through the E19 campaigns (ordering keys are
+/// Lamport-corrected, so a drifting local clock shifts *when* timestamps
+/// are minted, never their relative order). Pinned here both plain and
+/// under the nastiest skew-adjacent schedule the explorer tried: delaying
+/// a slice of timestamp-carrying data traffic by whole seconds while the
+/// skewed member keeps minting — if a future change lets raw clock
+/// readings leak into the ordering key, this is the cell that breaks.
+#[test]
+fn clock_skew_ordering_holds_plain_and_under_targeted_delay() {
+    for seed in [7u64, 42, 0xBEEF] {
+        let v = Genome::plain(Scenario::ClockSkew, seed, 40).run(4096).0;
+        assert_eq!(
+            v.violations,
+            0,
+            "plain clock-skew seed {seed}:\n{}",
+            v.counterexample.unwrap_or_default()
+        );
+    }
+    let stressed = Genome {
+        scenario: Scenario::ClockSkew,
+        seed: 42,
+        steps: 40,
+        genes: vec![
+            FaultGene {
+                class: 0, // data datagrams: the timestamp carriers
+                dst: None,
+                skip: 8,
+                count: 64,
+                op: GeneOp::DelayMs(2000),
+            },
+            FaultGene {
+                class: 2, // heartbeats (ack carriers): stall the horizon too
+                dst: Some(2),
+                skip: 0,
+                count: 32,
+                op: GeneOp::Drop,
+            },
+        ],
+    };
+    let v = stressed.run(4096).0;
+    assert_eq!(
+        v.violations,
+        0,
+        "stressed clock-skew:\n{}",
+        v.counterexample.unwrap_or_default()
+    );
+}

@@ -189,6 +189,13 @@ pub struct ProtocolConfig {
     pub heartbeat_interval: SimDuration,
     /// Suspect a member after this long without traffic from it (§7.2).
     pub fail_timeout: SimDuration,
+    /// Suspect a member whose reported ack timestamp has not advanced for
+    /// this long while our own reception frontier sits above it. Such a
+    /// member is heartbeat-reachable but data-unreachable (persistent
+    /// one-way loss towards it swallows both the originals and every
+    /// NACK repair), so the silence-based `fail_timeout` never fires; left
+    /// in the group it stalls stability and pins retention forever.
+    pub ack_stall_timeout: SimDuration,
     /// NACK scheduling: wait a uniformly random delay in `[0, nack_delay]`
     /// after detecting a gap before sending a RetransmitRequest, so the
     /// receivers of one multicast don't NACK in lock-step.
@@ -226,6 +233,7 @@ impl Default for ProtocolConfig {
         ProtocolConfig {
             heartbeat_interval: SimDuration::from_millis(10),
             fail_timeout: SimDuration::from_millis(120),
+            ack_stall_timeout: SimDuration::from_millis(600),
             nack_delay: SimDuration::from_millis(2),
             nack_retry: SimDuration::from_millis(8),
             retransmit_suppress: SimDuration::from_millis(4),
@@ -261,6 +269,12 @@ impl ProtocolConfig {
     /// Builder-style fail timeout override.
     pub fn fail_timeout_of(mut self, d: SimDuration) -> Self {
         self.fail_timeout = d;
+        self
+    }
+
+    /// Builder-style ack-stall timeout override.
+    pub fn ack_stall_of(mut self, d: SimDuration) -> Self {
+        self.ack_stall_timeout = d;
         self
     }
 

@@ -337,6 +337,13 @@ pub struct PgmpGroup {
     /// jitter); under adaptive timers the fail timeout floors at a multiple
     /// of it, so latency spikes widen suspicion instead of convicting.
     pub arrivals: BTreeMap<ProcessorId, Interarrival>,
+    /// Per-member ack-progress watermark: the member's last reported ack
+    /// timestamp, and when it last advanced or was last level with our own
+    /// reception frontier. A member whose heartbeats keep arriving but whose
+    /// ack stops advancing while we hold data above it is data-unreachable
+    /// (a one-way blackhole the silence-based fail timeout can never see);
+    /// the fault detector suspects it after `ack_stall_timeout`.
+    pub ack_progress: BTreeMap<ProcessorId, (Timestamp, SimTime)>,
     /// This layer's traffic counters.
     pub counters: PgmpCounters,
 }
@@ -364,6 +371,7 @@ impl PgmpGroup {
             membership_notice: None,
             notice_retx_at: SimTime::ZERO,
             arrivals: BTreeMap::new(),
+            ack_progress: BTreeMap::new(),
             counters: PgmpCounters::default(),
         }
     }

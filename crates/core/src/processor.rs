@@ -1355,6 +1355,26 @@ impl Processor {
         }
         if !own {
             self.clock.observe(msg.ts);
+            // Near-miss signal: how much of this peer's failure timeout had
+            // elapsed when it finally spoke again? 1000‰ would have been a
+            // suspicion; only notable silences (≥250‰) are recorded.
+            if self.tel.is_some() && !msg.retransmission && msg.source != self.id {
+                let permille = self.groups.get(&gid).and_then(|g| {
+                    let last = *g.pgmp.last_heard.get(&msg.source)?;
+                    let timeout = crate::adaptive::fail_timeout_for(
+                        &self.cfg,
+                        &g.pgmp.arrivals_of(msg.source),
+                    )
+                    .as_micros()
+                    .max(1);
+                    Some(now.saturating_since(last).as_micros().saturating_mul(1000) / timeout)
+                });
+                if let Some(p) = permille.filter(|&p| p >= 250) {
+                    if let Some(t) = self.tel.as_mut() {
+                        t.on_peer_silence(p);
+                    }
+                }
+            }
             let g = self.groups.get_mut(&gid).expect("checked");
             g.pgmp.note_heard(msg.source, now, !msg.retransmission);
             self.maybe_send_exclusion_notice(now, gid, msg.source);
@@ -1403,8 +1423,13 @@ impl Processor {
                 }
             }
             RmpOutput::Buffered => {
+                let depth = self
+                    .groups
+                    .get(&gid)
+                    .map_or(0, |g| g.rmp.buffered_total() as u64);
                 if let Some(t) = self.tel.as_mut() {
                     t.on_buffered(now, gid, rx_src, rx_seq);
+                    t.on_gap_depth(depth);
                 }
             }
             RmpOutput::Released(run) => {
@@ -1546,6 +1571,16 @@ impl Processor {
             let Some(g) = self.groups.get_mut(&gid) else {
                 return;
             };
+            // §7.2: ordered delivery pauses while a reconfiguration is in
+            // progress. The membership flush delivers exactly up to the
+            // agreed per-source targets; a survivor that kept delivering a
+            // removed member's late arrivals here would run past the
+            // targets its peers flush to (they discard that tail) and the
+            // views would diverge. Control traffic and RMP recovery bypass
+            // total order, so pausing cannot stall the reconfiguration.
+            if g.pgmp.reconfig.is_some() {
+                break;
+            }
             let batch = g.romp.deliverable();
             if batch.is_empty() {
                 break;

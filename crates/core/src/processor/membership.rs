@@ -17,15 +17,32 @@ impl Processor {
         reporter: ProcessorId,
         suspects: BTreeSet<ProcessorId>,
     ) {
-        let out = {
+        let (out, margin) = {
             let g = self.groups.get_mut(&gid).expect("group exists");
             let required = self.cfg.suspect_quorum.required(g.pgmp.membership.len());
-            g.pgmp.handle(PgmpInput::SuspectReport {
+            let out = g.pgmp.handle(PgmpInput::SuspectReport {
                 reporter,
                 suspects,
                 required,
-            })
+            });
+            // Near-miss signal: the unconvicted member closest to the
+            // conviction quorum, in permille (1000‰ = convicted).
+            let margin = if self.tel.is_some() && required > 0 {
+                g.pgmp
+                    .membership
+                    .iter()
+                    .map(|&q| g.pgmp.suspicion.suspicion_count(q, &g.pgmp.membership))
+                    .filter(|&votes| votes < required)
+                    .map(|votes| (votes * 1000 / required) as i64)
+                    .max()
+            } else {
+                None
+            };
+            (out, margin)
         };
+        if let (Some(m), Some(t)) = (margin, self.tel.as_mut()) {
+            t.on_conviction_margin(m);
+        }
         if let PgmpOutput::Convicted(convicted) = out {
             self.convict(now, &convicted);
         }
@@ -160,6 +177,7 @@ impl Processor {
                 g.pgmp.last_heard.remove(r);
                 g.pgmp.my_suspects.remove(r);
                 g.pgmp.arrivals.remove(r);
+                g.pgmp.ack_progress.remove(r);
                 if let Some(t) = targets.get(r) {
                     g.rmp.retention_mut().drop_beyond(*r, *t);
                 }
@@ -199,19 +217,30 @@ impl Processor {
             });
             (delivered, events)
         };
+        // Emission order matters to the conformance oracles: convictions
+        // are *decided* before the flush (the flush is their consequence),
+        // so FaultReport goes out first — a checker learns the removals
+        // before it sees the survivors deliver past the removed members'
+        // discarded tails. The flush deliveries still precede the
+        // MembershipChange: they belong to the old view (§7.2).
+        let (faults, views): (Vec<_>, Vec<_>) = events
+            .into_iter()
+            .partition(|e| matches!(e, ProtocolEvent::FaultReport { .. }));
+        for e in faults {
+            if let ProtocolEvent::FaultReport { group, processor } = &e {
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_convicted(now, *group, *processor);
+                }
+            }
+            self.emit_event(e);
+        }
         for m in delivered {
             self.handle_ordered(now, gid, m);
         }
-        for e in events {
-            if let Some(t) = self.tel.as_mut() {
-                match &e {
-                    ProtocolEvent::FaultReport { group, processor } => {
-                        t.on_convicted(now, *group, *processor);
-                    }
-                    ProtocolEvent::MembershipChange { group, members, ts } => {
-                        t.on_view_installed(now, *group, members.len(), ts.0);
-                    }
-                    _ => {}
+        for e in views {
+            if let ProtocolEvent::MembershipChange { group, members, ts } = &e {
+                if let Some(t) = self.tel.as_mut() {
+                    t.on_view_installed(now, *group, members.len(), ts.0);
                 }
             }
             self.emit_event(e);

@@ -178,9 +178,37 @@ impl Processor {
     pub(super) fn tick_fault_detector(&mut self, now: SimTime) {
         let gids: Vec<GroupId> = self.groups.keys().copied().collect();
         for gid in gids {
+            // Ack-progress detector: a member still heartbeating (so the
+            // silence timeout below never fires) whose reported ack sits
+            // below our own reception frontier and has not moved for
+            // `ack_stall_timeout` cannot be recovering data — persistent
+            // one-way loss towards it swallows originals and NACK repairs
+            // alike. Left in place it stalls stability and pins retention
+            // group-wide, so it is suspected like any silent member.
+            let stalled: Vec<ProcessorId> = {
+                let g = self.groups.get_mut(&gid).expect("listed");
+                let own_ack = g.romp.ordering().ack_ts();
+                let acks: Vec<(ProcessorId, Timestamp)> =
+                    g.romp.ordering().reported_acks().collect();
+                let mut out = Vec::new();
+                for (p, ack) in acks {
+                    if p == self.id {
+                        continue;
+                    }
+                    let entry = g.pgmp.ack_progress.entry(p).or_insert((ack, now));
+                    if ack > entry.0 || ack >= own_ack {
+                        *entry = (ack, now);
+                    } else if !g.pgmp.my_suspects.contains(&p)
+                        && now.saturating_since(entry.1) > self.cfg.ack_stall_timeout
+                    {
+                        out.push(p);
+                    }
+                }
+                out
+            };
             let (newly, resend_due): (Vec<ProcessorId>, bool) = {
                 let g = self.groups.get(&gid).expect("listed");
-                let newly = g
+                let mut newly = g
                     .pgmp
                     .membership
                     .iter()
@@ -199,7 +227,12 @@ impl Processor {
                                 .get(&p)
                                 .is_some_and(|&t| now.saturating_since(t) > timeout)
                     })
-                    .collect();
+                    .collect::<Vec<ProcessorId>>();
+                for p in stalled {
+                    if !newly.contains(&p) {
+                        newly.push(p);
+                    }
+                }
                 // Standing suspicions are re-announced periodically so a
                 // peer that discarded an earlier report (stale epoch, or a
                 // quorum that was one vote short) still converges.

@@ -249,6 +249,9 @@ struct Ids {
     srtt_us: GaugeId,
     rttvar_us: GaugeId,
     overlay_depth: GaugeId,
+    gap_depth_peak: GaugeId,
+    conviction_margin_permille: GaugeId,
+    suspicion_margin_permille: HistId,
 }
 
 /// Per-group correlation state: open intervals awaiting their closing
@@ -287,6 +290,10 @@ pub struct Telemetry {
     flight: Ring<FlightEntry>,
     /// The flight ring rendered at the moment of the first conviction.
     conviction_dump: Option<String>,
+    /// High-water mark behind the `gap_depth_peak` gauge.
+    gap_depth_peak: u64,
+    /// High-water mark behind the `conviction_margin_permille` gauge.
+    conviction_margin_peak: i64,
 }
 
 impl Telemetry {
@@ -321,6 +328,9 @@ impl Telemetry {
             srtt_us: reg.gauge("srtt_us"),
             rttvar_us: reg.gauge("rttvar_us"),
             overlay_depth: reg.gauge("overlay_depth"),
+            gap_depth_peak: reg.gauge("gap_depth_peak"),
+            conviction_margin_permille: reg.gauge("conviction_margin_permille"),
+            suspicion_margin_permille: reg.histogram("suspicion_margin_permille"),
         };
         Telemetry {
             owner,
@@ -329,6 +339,8 @@ impl Telemetry {
             groups: BTreeMap::new(),
             flight: Ring::new(FLIGHT_CAPACITY),
             conviction_dump: None,
+            gap_depth_peak: 0,
+            conviction_margin_peak: 0,
         }
     }
 
@@ -366,6 +378,38 @@ impl Telemetry {
                 seq,
             },
         );
+    }
+
+    /// The out-of-order buffer holds `depth` messages after a new arrival
+    /// was parked behind a gap. The peak depth is a near-miss signal for
+    /// the coverage-guided explorer: schedules that stack deeper gaps are
+    /// closer to reliability/ordering trouble even when every oracle stays
+    /// green (DESIGN.md §15).
+    pub fn on_gap_depth(&mut self, depth: u64) {
+        if depth > self.gap_depth_peak {
+            self.gap_depth_peak = depth;
+            self.reg.set(self.ids.gap_depth_peak, depth as i64);
+        }
+    }
+
+    /// A fresh message arrived from a peer that had been silent for
+    /// `permille` thousandths of its failure timeout — i.e. the peer came
+    /// this close (1000‰ = conviction) to being suspected. Near-miss
+    /// signal for schedules that almost break liveness.
+    pub fn on_peer_silence(&mut self, permille: u64) {
+        self.reg
+            .record(self.ids.suspicion_margin_permille, permille);
+    }
+
+    /// A suspect report left a still-unconvicted member at `permille`
+    /// thousandths of the conviction quorum (1000‰ = convicted). Tracks
+    /// the peak: how close the suspicion matrix came to excluding a
+    /// member that survived.
+    pub fn on_conviction_margin(&mut self, permille: i64) {
+        if permille > self.conviction_margin_peak {
+            self.conviction_margin_peak = permille;
+            self.reg.set(self.ids.conviction_margin_permille, permille);
+        }
     }
 
     /// RMP released a message in source order; if it had been buffered, the

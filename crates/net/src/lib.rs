@@ -25,7 +25,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use models::{LatencyModel, LinkDegrade, LinkSelector, LossModel, SimConfig};
+pub use models::{
+    FaultOp, FaultPlan, FaultRule, LatencyModel, LinkDegrade, LinkSelector, LossModel, SimConfig,
+};
 pub use sim::{Outbox, SimNet, SimNode, WireTap};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

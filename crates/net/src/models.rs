@@ -150,6 +150,9 @@ pub enum LinkSelector {
     To(Vec<NodeId>),
     /// Only links *out of* the listed senders (a congested uplink).
     From(Vec<NodeId>),
+    /// Only the listed directed `(src, dst)` links — a persistent one-way
+    /// fault such as a half-broken NIC or a misprogrammed switch port.
+    Link(Vec<(NodeId, NodeId)>),
 }
 
 impl LinkSelector {
@@ -159,7 +162,76 @@ impl LinkSelector {
             LinkSelector::All => true,
             LinkSelector::To(dsts) => dsts.contains(&dst),
             LinkSelector::From(srcs) => srcs.contains(&src),
+            LinkSelector::Link(links) => links.contains(&(src, dst)),
         }
+    }
+}
+
+/// What a matched [`FaultRule`] does to a (packet, receiver) copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Drop the copy.
+    Drop,
+    /// Add the given extra one-way delay to the copy. Large values reorder
+    /// the copy past later traffic on the same link.
+    Delay(SimDuration),
+    /// Deliver the copy normally and schedule a duplicate arriving the
+    /// given extra delay later.
+    Duplicate(SimDuration),
+}
+
+/// A deterministic, targeted schedule fault: drop/delay/duplicate the
+/// `skip`-th through `skip+count`-th copies matching a (class, src, dst)
+/// filter. Rules consume no randomness, so a fault plan replays
+/// bit-identically from its description — the property the coverage-guided
+/// explorer's genome replay rests on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Traffic-class octet to match (from the installed classifier);
+    /// `None` matches every class, including unclassified payloads.
+    pub class: Option<u8>,
+    /// Source node to match (`None` = any).
+    pub src: Option<NodeId>,
+    /// Receiver to match (`None` = any).
+    pub dst: Option<NodeId>,
+    /// Matching copies to let pass before the rule starts firing.
+    pub skip: u64,
+    /// Number of matching copies to affect once firing.
+    pub count: u64,
+    /// What to do to affected copies.
+    pub op: FaultOp,
+}
+
+impl FaultRule {
+    /// Does this rule's filter cover a copy of the given class on
+    /// `src → dst`? (Occurrence windows are tracked by the simulator.)
+    pub fn matches(&self, class: Option<u8>, src: NodeId, dst: NodeId) -> bool {
+        (match self.class {
+            None => true,
+            Some(c) => class == Some(c),
+        }) && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// An ordered list of [`FaultRule`]s; the first matching rule whose
+/// occurrence window is open claims each copy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Rules, evaluated in order per (packet, receiver) copy.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Plan with no rules (injects nothing).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Append a rule.
+    pub fn rule(mut self, r: FaultRule) -> Self {
+        self.rules.push(r);
+        self
     }
 }
 

@@ -111,6 +111,12 @@ impl Histogram {
 
     /// Freeze the summary statistics.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut populated = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b > 0 {
+                populated |= 1 << i;
+            }
+        }
         HistogramSnapshot {
             count: self.count,
             sum: self.sum,
@@ -119,6 +125,7 @@ impl Histogram {
             p95: self.quantile(95),
             p99: self.quantile(99),
             max: self.max,
+            populated,
         }
     }
 }
@@ -140,6 +147,14 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// Exact maximum.
     pub max: u64,
+    /// Bitmask of the power-of-two buckets holding at least one sample —
+    /// bit *i* set means some value landed in bucket *i*. The
+    /// branch-coverage-like signature [`Snapshot::buckets`] feeds on
+    /// (which latency/margin *classes* occurred, not where the quantiles
+    /// drifted).
+    ///
+    /// [`Snapshot::buckets`]: crate::Snapshot::buckets
+    pub populated: u64,
 }
 
 #[cfg(test)]
@@ -184,7 +199,8 @@ mod tests {
                 p50: 0,
                 p95: 0,
                 p99: 0,
-                max: 0
+                max: 0,
+                populated: 0
             }
         );
     }

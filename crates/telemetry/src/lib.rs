@@ -137,6 +137,16 @@ pub struct Snapshot {
     hists: Vec<(String, HistogramSnapshot)>,
 }
 
+/// Collapse a value to its coverage bucket: `0` for zero, else
+/// `floor(log2(v)) + 1` — so 1, 2–3, 4–7, 8–15, … are distinct buckets.
+pub fn log2_bucket(v: u64) -> u8 {
+    if v == 0 {
+        0
+    } else {
+        (63 - v.leading_zeros() + 1) as u8
+    }
+}
+
 /// Escape a string for embedding in a JSON document.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -176,6 +186,47 @@ impl Snapshot {
     /// All histogram names and summaries.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
         self.hists.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// All counter names and values, in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All gauge names and values, in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// The snapshot's coverage signature: counters and gauges collapse to
+    /// a log-2 bucket (`0` for zero, else `floor(log2(v)) + 1`) and
+    /// contribute one `(name, bucket)` pair each; a histogram contributes
+    /// its count dimension plus one `(name.hist, i)` pair per *populated*
+    /// power-of-two bucket — which value classes occurred, not where the
+    /// quantiles drifted (quantiles wander across bucket boundaries with
+    /// workload randomness, which would turn the coverage map into a seed
+    /// lottery rather than a behaviour map).
+    ///
+    /// The set of pairs reached over a campaign is a cheap, monotone
+    /// coverage map: a schedule is *novel* iff it produces a pair no
+    /// earlier schedule produced (DESIGN.md §15).
+    pub fn buckets(&self) -> Vec<(String, u8)> {
+        let mut out = Vec::new();
+        for (n, v) in self.counters() {
+            out.push((n.to_string(), log2_bucket(v)));
+        }
+        for (n, v) in self.gauges() {
+            out.push((n.to_string(), log2_bucket(v.unsigned_abs())));
+        }
+        for (n, h) in self.histograms() {
+            out.push((format!("{n}.count"), log2_bucket(h.count)));
+            for i in 0..64u8 {
+                if h.populated & (1 << i) != 0 {
+                    out.push((format!("{n}.hist"), i));
+                }
+            }
+        }
+        out
     }
 
     /// Encode as a stable JSON object:
@@ -262,6 +313,44 @@ mod tests {
         let s = a.snapshot();
         assert_eq!(s.counter("x"), Some(3));
         assert_eq!(s.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn log2_buckets_partition_by_powers_of_two() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(7), 3);
+        assert_eq!(log2_bucket(8), 4);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn snapshot_buckets_cover_all_metric_kinds() {
+        let mut r = Registry::new();
+        let c = r.counter("sent");
+        r.inc(c, 5);
+        let g = r.gauge("depth");
+        r.set(g, -9);
+        let h = r.histogram("lat_us");
+        r.record(h, 100);
+        r.record(h, 1000);
+        let b = r.snapshot().buckets();
+        let find = |name: &str| b.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(find("sent"), Some(3), "5 → bucket 3");
+        assert_eq!(find("depth"), Some(4), "|-9| = 9 → bucket 4");
+        assert_eq!(find("lat_us.count"), Some(2));
+        // 100 → bucket 7, 1000 → bucket 10: one pair per populated bucket.
+        let hist: Vec<u8> = b
+            .iter()
+            .filter(|(n, _)| n == "lat_us.hist")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hist, vec![7, 10]);
+        // Same registry → identical signature.
+        assert_eq!(b, r.snapshot().buckets());
     }
 
     #[test]

@@ -69,6 +69,14 @@ e17:
     cargo test --release -p ftmp-check large_group
     cargo run --release -p ftmp-bench --bin e17_overlay
 
+# Coverage-guided exploration gate (DESIGN.md §15): the E19 comparison —
+# fixed matrix vs feedback-guided explorer at equal budget — plus any
+# oracle violations found, minimized to replayable genomes
+# (results/e19.json + results/e19_corpus.json). Fails unless the
+# explorer strictly beats the matrix and the campaign is violation-free.
+explore:
+    cargo run --release -p ftmp-harness --bin ftmp-explore
+
 # Real-socket cluster gate (DESIGN.md §14): the runtime's socket tests,
 # then the E18 multi-process cluster — 3 founders + a live join + a
 # kill -9/durable-log restart over UDP multicast (auto TCP fallback),

@@ -12,13 +12,13 @@ use ftmp::check::{run_sweep, seed_budget, Scenario, SweepConfig};
 
 #[test]
 fn fault_matrix_sweeps_clean() {
-    // LargeGroup (64/128 members) is excluded here: one 128-member cell
-    // costs as much as the rest of the matrix combined. It runs in the
-    // dedicated `large-group` CI job via `ftmp-check`'s large_group tests.
-    let scenarios: Vec<Scenario> = Scenario::ALL
-        .into_iter()
-        .filter(|s| *s != Scenario::LargeGroup)
-        .collect();
+    // Scenario::matrix() is the single source of truth for this job's
+    // cells: everything in Scenario::ALL except LargeGroup (64/128
+    // members; one 128-member cell costs as much as the rest of the matrix
+    // combined — it runs in the dedicated `large-group` CI job via
+    // `ftmp-check`'s large_group tests). New scenario axes are picked up
+    // here automatically.
+    let scenarios: Vec<Scenario> = Scenario::matrix();
     let cfg = SweepConfig {
         base_seed: 0xC0F0,
         seeds_per_scenario: seed_budget(2),
